@@ -1,0 +1,47 @@
+// Reproduces the left panel of Fig. 4: the repository of codified
+// design-flow tasks with their classifications (A/T/CG/O) and the dynamic
+// marker, printed from the live task registry — plus the structure of the
+// implemented PSA-flow (branch points A, B, C and their paths).
+#include <iostream>
+
+#include "flow/standard_flow.hpp"
+#include "flow/tasks.hpp"
+#include "support/table.hpp"
+
+using namespace psaflow;
+
+int main() {
+    std::cout << "=== Fig. 4: repository of codified design-flow tasks ===\n\n";
+
+    TablePrinter table({"Task", "Class", "Dynamic"});
+    for (const auto& task : flow::repository()) {
+        table.add_row({task->name(), flow::to_string(task->cls()),
+                       task->dynamic() ? "yes (executes the program)" : ""});
+    }
+    table.print(std::cout);
+
+    std::cout << "\n=== implemented PSA-flow structure ===\n";
+    const auto design_flow = flow::standard_flow(flow::Mode::Informed);
+    std::cout << "prologue (target-independent):\n";
+    for (const auto& task : design_flow.prologue) {
+        std::cout << "  [" << flow::to_string(task->cls()) << "] "
+                  << task->name() << "\n";
+    }
+
+    std::function<void(const flow::BranchPoint&, int)> dump =
+        [&](const flow::BranchPoint& branch, int depth) {
+            const std::string pad(static_cast<std::size_t>(depth) * 2, ' ');
+            std::cout << pad << "branch point " << branch.name
+                      << " [strategy: " << branch.strategy->name() << "]\n";
+            for (const auto& path : branch.paths) {
+                std::cout << pad << "  path '" << path.name << "':\n";
+                for (const auto& task : path.tasks) {
+                    std::cout << pad << "    [" << flow::to_string(task->cls())
+                              << "] " << task->name() << "\n";
+                }
+                if (path.next) dump(*path.next, depth + 2);
+            }
+        };
+    if (design_flow.branch) dump(*design_flow.branch, 0);
+    return 0;
+}

@@ -1,0 +1,462 @@
+#include "analysis/dependence.hpp"
+
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ast/printer.hpp"
+#include "ast/walk.hpp"
+#include "meta/query.hpp"
+#include "support/error.hpp"
+
+namespace psaflow::analysis {
+
+using namespace psaflow::ast;
+
+namespace {
+
+/// Names of scalars written anywhere in `body` (assignment targets).
+std::unordered_set<std::string> written_scalars(const Block& body) {
+    std::unordered_set<std::string> out;
+    walk(static_cast<const Node&>(body), [&](const Node& n) {
+        if (const auto* a = dyn_cast<Assign>(&n)) {
+            if (const auto* id = dyn_cast<Ident>(a->target.get()))
+                out.insert(id->name);
+        }
+        return true;
+    });
+    return out;
+}
+
+/// Names of arrays written anywhere in `body`.
+std::unordered_set<std::string> written_arrays(const Block& body) {
+    std::unordered_set<std::string> out;
+    walk(static_cast<const Node&>(body), [&](const Node& n) {
+        if (const auto* a = dyn_cast<Assign>(&n)) {
+            if (const auto* ix = dyn_cast<Index>(a->target.get())) {
+                if (const auto* base = dyn_cast<Ident>(ix->base.get()))
+                    out.insert(base->name);
+            }
+        }
+        return true;
+    });
+    return out;
+}
+
+/// Affine decomposition of an index expression with respect to the loop
+/// variable `v`:  expr == coef * v + rest, where `coef` and `rest` are
+/// loop-invariant *as strings* (canonical printed form). Returns nullopt
+/// when the expression is not affine in `v` or references state mutated by
+/// the loop body (non-invariant coefficient/rest).
+struct Affine {
+    std::string coef; ///< "0" when expr does not involve v
+    std::string rest;
+    std::optional<long long> coef_const; ///< set when coef is a constant
+    std::optional<long long> rest_const; ///< set when rest is a constant
+};
+
+class AffineDecomposer {
+public:
+    AffineDecomposer(const std::string& v,
+                     const std::unordered_set<std::string>& mutated_scalars,
+                     const std::unordered_set<std::string>& mutated_arrays)
+        : v_(v), mutated_scalars_(mutated_scalars),
+          mutated_arrays_(mutated_arrays) {}
+
+    std::optional<Affine> run(const Expr& e) { return decompose(e); }
+
+private:
+    static std::string sum(const std::string& a, const std::string& b) {
+        if (a == "0") return b;
+        if (b == "0") return a;
+        return "(" + a + " + " + b + ")";
+    }
+    static std::string diff(const std::string& a, const std::string& b) {
+        if (b == "0") return a;
+        return "(" + a + " - " + b + ")";
+    }
+    static std::string prod(const std::string& a, const std::string& b) {
+        if (a == "0" || b == "0") return "0";
+        if (a == "1") return b;
+        if (b == "1") return a;
+        return "(" + a + " * " + b + ")";
+    }
+
+    /// True when `e` references the induction variable.
+    bool contains_v(const Expr& e) const {
+        bool found = false;
+        walk(static_cast<const Node&>(e), [&](const Node& n) {
+            if (const auto* id = dyn_cast<Ident>(&n)) {
+                if (id->name == v_) found = true;
+            }
+            return !found;
+        });
+        return found;
+    }
+
+    /// True when `e` is loop-invariant modulo inner induction variables:
+    /// no reference to scalars or arrays mutated by the body.
+    bool invariant(const Expr& e) const {
+        bool bad = false;
+        walk(static_cast<const Node&>(e), [&](const Node& n) {
+            if (const auto* id = dyn_cast<Ident>(&n)) {
+                if (mutated_scalars_.count(id->name) != 0) bad = true;
+            }
+            if (const auto* ix = dyn_cast<Index>(&n)) {
+                if (const auto* base = dyn_cast<Ident>(ix->base.get())) {
+                    if (mutated_arrays_.count(base->name) != 0) bad = true;
+                }
+            }
+            return !bad;
+        });
+        return !bad;
+    }
+
+    std::optional<Affine> decompose(const Expr& e) {
+        if (!contains_v(e)) {
+            if (!invariant(e)) return std::nullopt;
+            return Affine{"0", to_source(e), 0, meta::fold_int_constant(e)};
+        }
+        switch (e.kind()) {
+            case NodeKind::Ident: // must be v itself (contains_v holds)
+                return Affine{"1", "0", 1, 0};
+            case NodeKind::Binary: {
+                const auto& b = static_cast<const Binary&>(e);
+                switch (b.op) {
+                    case BinaryOp::Add: {
+                        auto l = decompose(*b.lhs);
+                        auto r = decompose(*b.rhs);
+                        if (!l || !r) return std::nullopt;
+                        Affine out{sum(l->coef, r->coef),
+                                   sum(l->rest, r->rest), std::nullopt,
+                                   std::nullopt};
+                        if (l->coef_const && r->coef_const)
+                            out.coef_const = *l->coef_const + *r->coef_const;
+                        if (l->rest_const && r->rest_const)
+                            out.rest_const = *l->rest_const + *r->rest_const;
+                        return out;
+                    }
+                    case BinaryOp::Sub: {
+                        auto l = decompose(*b.lhs);
+                        auto r = decompose(*b.rhs);
+                        if (!l || !r) return std::nullopt;
+                        // coef must stay "positive-looking": subtracting a
+                        // v-term flips stride direction, which we treat
+                        // conservatively.
+                        if (r->coef != "0") return std::nullopt;
+                        Affine out{l->coef, diff(l->rest, r->rest),
+                                   l->coef_const, std::nullopt};
+                        if (l->rest_const && r->rest_const)
+                            out.rest_const = *l->rest_const - *r->rest_const;
+                        return out;
+                    }
+                    case BinaryOp::Mul: {
+                        const bool lv = contains_v(*b.lhs);
+                        const bool rv = contains_v(*b.rhs);
+                        if (lv && rv) return std::nullopt; // v * v
+                        const Expr& with_v = lv ? *b.lhs : *b.rhs;
+                        const Expr& factor = lv ? *b.rhs : *b.lhs;
+                        if (!invariant(factor)) return std::nullopt;
+                        auto inner = decompose(with_v);
+                        if (!inner) return std::nullopt;
+                        const std::string f = to_source(factor);
+                        Affine out{prod(inner->coef, f),
+                                   prod(inner->rest, f), std::nullopt,
+                                   std::nullopt};
+                        const auto fc = meta::fold_int_constant(factor);
+                        if (fc && inner->coef_const)
+                            out.coef_const = *inner->coef_const * *fc;
+                        if (fc && inner->rest_const)
+                            out.rest_const = *inner->rest_const * *fc;
+                        return out;
+                    }
+                    default:
+                        return std::nullopt; // div/mod of v: non-affine
+                }
+            }
+            default:
+                return std::nullopt; // calls, v inside a subscript, ...
+        }
+    }
+
+    const std::string& v_;
+    const std::unordered_set<std::string>& mutated_scalars_;
+    const std::unordered_set<std::string>& mutated_arrays_;
+};
+
+struct ArrayAccess {
+    const Expr* index = nullptr;
+    bool is_write = false;
+    bool is_accumulation = false; ///< compound assignment (+=, -=, ...)
+};
+
+} // namespace
+
+DependenceInfo analyze_dependence(const Module& module, const For& loop) {
+    DependenceInfo info;
+    const Block& body = *loop.body;
+    const std::string& v = loop.var;
+
+    const auto mutated_scalars = written_scalars(body);
+    const auto mutated_arrays = written_arrays(body);
+
+    // Scalars declared inside the body (including inner induction variables)
+    // are private to an iteration.
+    std::unordered_set<std::string> private_names;
+    walk(static_cast<const Node&>(body), [&](const Node& n) {
+        if (const auto* d = dyn_cast<VarDecl>(&n)) private_names.insert(d->name);
+        if (const auto* f = dyn_cast<For>(&n)) private_names.insert(f->var);
+        return true;
+    });
+
+    // ---- induction variable integrity --------------------------------------
+    if (mutated_scalars.count(v) != 0)
+        info.carried.push_back("induction variable '" + v +
+                               "' is written inside the loop body");
+
+    // ---- calls with side effects -------------------------------------------
+    walk(static_cast<const Node&>(body), [&](const Node& n) {
+        if (const auto* c = dyn_cast<Call>(&n)) {
+            const Function* callee = module.find_function(c->callee);
+            if (callee == nullptr) return true; // builtin: pure
+            for (const auto& p : callee->params) {
+                if (p->type.is_pointer &&
+                    meta::writes_variable(const_cast<Function&>(*callee),
+                                          p->name)) {
+                    info.carried.push_back(
+                        "call to '" + c->callee +
+                        "' may write array argument '" + p->name + "'");
+                    break;
+                }
+            }
+        }
+        return true;
+    });
+
+    // ---- array accesses ----------------------------------------------------
+    std::unordered_map<std::string, std::vector<ArrayAccess>> accesses;
+    std::unordered_set<const Expr*> write_targets;
+    walk(static_cast<const Node&>(body), [&](const Node& n) {
+        if (const auto* a = dyn_cast<Assign>(&n)) {
+            if (const auto* ix = dyn_cast<Index>(a->target.get())) {
+                const auto* base = dyn_cast<Ident>(ix->base.get());
+                if (base != nullptr) {
+                    accesses[base->name].push_back(
+                        {ix->index.get(), true, a->op != AssignOp::Set});
+                    write_targets.insert(a->target.get());
+                }
+            }
+        }
+        return true;
+    });
+    walk(static_cast<const Node&>(body), [&](const Node& n) {
+        if (const auto* ix = dyn_cast<Index>(&n)) {
+            if (write_targets.count(static_cast<const Expr*>(ix)) != 0)
+                return true; // counted as write
+            const auto* base = dyn_cast<Ident>(ix->base.get());
+            if (base != nullptr && mutated_arrays.count(base->name) != 0) {
+                // Reads only matter for arrays that are also written.
+                accesses[base->name].push_back({ix->index.get(), false, false});
+            }
+        }
+        return true;
+    });
+
+    AffineDecomposer aff(v, mutated_scalars, mutated_arrays);
+    for (auto& [array, list] : accesses) {
+        if (private_names.count(array) != 0) continue; // local scratch array:
+        // still shared across iterations? No: locals declared in the body are
+        // re-created per iteration, hence private.
+
+        bool all_accumulating = true;
+        bool any_write = false;
+        std::vector<Affine> forms;
+        bool independent = true;
+        std::string reason;
+
+        for (const ArrayAccess& acc : list) {
+            if (acc.is_write) {
+                any_write = true;
+                if (!acc.is_accumulation) all_accumulating = false;
+            }
+            auto form = aff.run(*acc.index);
+            if (!form) {
+                independent = false;
+                reason = "index '" + to_source(*acc.index) +
+                         "' of array '" + array + "' is not affine in '" + v +
+                         "'";
+                break;
+            }
+            if (form->coef == "0") {
+                independent = false;
+                reason = "array '" + array + "' accessed at index '" +
+                         to_source(*acc.index) +
+                         "' that does not advance with '" + v + "'";
+                break;
+            }
+            forms.push_back(std::move(*form));
+        }
+
+        if (independent && !forms.empty()) {
+            // All accesses must share the stride (coefficient of v).
+            for (const Affine& f : forms) {
+                if (f.coef != forms.front().coef) {
+                    independent = false;
+                    reason = "array '" + array +
+                             "' accessed at mixed strides in '" + v + "'";
+                    break;
+                }
+            }
+        }
+        if (independent && !forms.empty()) {
+            // Identical offsets are always fine; distinct *constant*
+            // offsets are fine when they all fall within one stride (the
+            // multi-field record pattern a[i*13 + 0..12]).
+            bool same_rest = true;
+            for (const Affine& f : forms) {
+                if (f.rest != forms.front().rest) same_rest = false;
+            }
+            if (!same_rest) {
+                bool const_window = forms.front().coef_const.has_value();
+                long long lo = 0;
+                long long hi = 0;
+                bool first = true;
+                for (const Affine& f : forms) {
+                    if (!f.rest_const) {
+                        const_window = false;
+                        break;
+                    }
+                    lo = first ? *f.rest_const : std::min(lo, *f.rest_const);
+                    hi = first ? *f.rest_const : std::max(hi, *f.rest_const);
+                    first = false;
+                }
+                if (!const_window ||
+                    hi - lo >= std::abs(*forms.front().coef_const)) {
+                    independent = false;
+                    reason = "array '" + array +
+                             "' accessed at offset index patterns that may "
+                             "collide across iterations of '" + v + "'";
+                }
+            }
+        }
+
+        if (!any_write) continue;
+        if (independent) continue;
+        if (all_accumulating) {
+            info.array_accumulations.push_back(array);
+        } else {
+            info.carried.push_back(reason);
+        }
+    }
+
+    // ---- shared scalar writes ----------------------------------------------
+    // Collect per-scalar assignment nodes, then decide reduction vs carried.
+    std::unordered_map<std::string, std::vector<const Assign*>> scalar_writes;
+    walk(static_cast<const Node&>(body), [&](const Node& n) {
+        if (const auto* a = dyn_cast<Assign>(&n)) {
+            if (const auto* id = dyn_cast<Ident>(a->target.get())) {
+                if (private_names.count(id->name) == 0 && id->name != v)
+                    scalar_writes[id->name].push_back(a);
+            }
+        }
+        return true;
+    });
+
+    auto expr_reads_name = [](const Expr& e, const std::string& name) {
+        bool found = false;
+        walk(static_cast<const Node&>(e), [&](const Node& n) {
+            if (const auto* id = dyn_cast<Ident>(&n)) {
+                if (id->name == name) found = true;
+            }
+            return !found;
+        });
+        return found;
+    };
+
+    for (const auto& [name, writes] : scalar_writes) {
+        char op = 0;
+        bool is_reduction = true;
+        for (const Assign* a : writes) {
+            char this_op = 0;
+            switch (a->op) {
+                case AssignOp::Add: this_op = '+'; break;
+                case AssignOp::Sub: this_op = '+'; break; // sum reduction
+                case AssignOp::Mul: this_op = '*'; break;
+                case AssignOp::Set: {
+                    // Accept `s = s + e` / `s = e + s` / `s = s * e` forms.
+                    const auto* b = dyn_cast<Binary>(a->value.get());
+                    if (b != nullptr &&
+                        (b->op == BinaryOp::Add || b->op == BinaryOp::Mul)) {
+                        const auto* l = dyn_cast<Ident>(b->lhs.get());
+                        const auto* r = dyn_cast<Ident>(b->rhs.get());
+                        const bool l_is_s = l != nullptr && l->name == name;
+                        const bool r_is_s = r != nullptr && r->name == name;
+                        if (l_is_s != r_is_s) {
+                            const Expr& other = l_is_s ? *b->rhs : *b->lhs;
+                            if (!expr_reads_name(other, name)) {
+                                this_op = b->op == BinaryOp::Add ? '+' : '*';
+                                break;
+                            }
+                        }
+                    }
+                    is_reduction = false;
+                    break;
+                }
+                default: is_reduction = false; break;
+            }
+            if (!is_reduction) break;
+            if (this_op != 0 && a->op != AssignOp::Set &&
+                expr_reads_name(*a->value, name)) {
+                is_reduction = false;
+                break;
+            }
+            if (op == 0) op = this_op;
+            if (op != this_op) {
+                is_reduction = false;
+                break;
+            }
+        }
+
+        if (is_reduction) {
+            // The scalar must not be read outside its own accumulations.
+            std::unordered_set<const Node*> allowed;
+            for (const Assign* a : writes) {
+                allowed.insert(a->target.get());
+                if (a->op == AssignOp::Set) {
+                    // The embedded `s` read inside `s = s + e`.
+                    const auto* b = dyn_cast<Binary>(a->value.get());
+                    if (b != nullptr) {
+                        if (const auto* l = dyn_cast<Ident>(b->lhs.get());
+                            l != nullptr && l->name == name)
+                            allowed.insert(b->lhs.get());
+                        if (const auto* r = dyn_cast<Ident>(b->rhs.get());
+                            r != nullptr && r->name == name)
+                            allowed.insert(b->rhs.get());
+                    }
+                }
+            }
+            bool read_elsewhere = false;
+            walk(static_cast<const Node&>(body), [&](const Node& n) {
+                if (const auto* id = dyn_cast<Ident>(&n)) {
+                    if (id->name == name && allowed.count(&n) == 0)
+                        read_elsewhere = true;
+                }
+                return !read_elsewhere;
+            });
+            if (read_elsewhere) is_reduction = false;
+        }
+
+        if (is_reduction) {
+            info.reductions.push_back(Reduction{name, op});
+        } else {
+            info.carried.push_back("scalar '" + name +
+                                   "' carries a value across iterations");
+        }
+    }
+
+    info.parallel =
+        info.carried.empty() && info.array_accumulations.empty();
+    return info;
+}
+
+} // namespace psaflow::analysis

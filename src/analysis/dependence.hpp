@@ -1,0 +1,54 @@
+// Static loop-dependence analysis — the paper's "Loop Dependence Analysis"
+// task. Decides, per canonical loop, whether iterations may execute in
+// parallel, and classifies the dependencies it finds:
+//
+//   - scalar reductions  (s += expr): parallelisable with a reduction clause;
+//   - array accumulation (a[e] += ..., e not a function of the induction
+//     variable alone): the pattern the "Remove Array += Dependency"
+//     transform targets;
+//   - true loop-carried dependencies: anything else that reads or writes
+//     across iterations.
+//
+// The analysis is conservative: when it cannot prove independence it reports
+// a dependency. That matches the engineering reality of the paper's flow —
+// a wrongly-parallelised loop is a broken design, a wrongly-serialised loop
+// is only a slow one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ast/nodes.hpp"
+
+namespace psaflow::analysis {
+
+/// A scalar reduction recognised in a loop body.
+struct Reduction {
+    std::string var;
+    char op = '+'; ///< '+', '-', '*' (OpenMP reduction identifiers)
+};
+
+struct DependenceInfo {
+    /// True when all iterations may run concurrently, treating recognised
+    /// scalar reductions as parallelisable (OpenMP reduction clause, GPU
+    /// atomic/tree reduction).
+    bool parallel = false;
+
+    std::vector<Reduction> reductions;
+
+    /// Arrays accumulated at indices not injective in the induction
+    /// variable, e.g. hist[bin[i]] += 1.
+    std::vector<std::string> array_accumulations;
+
+    /// Human-readable reasons for each dependency that blocks parallelism.
+    std::vector<std::string> carried;
+
+    [[nodiscard]] bool has_reductions() const { return !reductions.empty(); }
+};
+
+/// Analyse one canonical loop. `module` provides callee bodies for
+/// (conservative) interprocedural effects of calls inside the loop.
+[[nodiscard]] DependenceInfo analyze_dependence(const ast::Module& module,
+                                                const ast::For& loop);
+
+} // namespace psaflow::analysis

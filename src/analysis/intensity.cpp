@@ -1,0 +1,146 @@
+#include "analysis/intensity.hpp"
+
+#include <algorithm>
+
+#include "meta/query.hpp"
+#include "sema/builtins.hpp"
+
+namespace psaflow::analysis {
+
+using namespace psaflow::ast;
+
+namespace {
+
+struct Counter {
+    const sema::TypeInfo& types;
+    bool exact = true;
+
+    StaticIntensity expr(const Expr& e) {
+        StaticIntensity acc;
+        switch (e.kind()) {
+            case NodeKind::Binary: {
+                const auto& b = static_cast<const Binary&>(e);
+                acc = combine(expr(*b.lhs), expr(*b.rhs));
+                if (is_arithmetic(b.op) && is_floating(types.type_of(b)))
+                    acc.flops += b.op == BinaryOp::Div ? 4.0 : 1.0;
+                return acc;
+            }
+            case NodeKind::Unary: {
+                const auto& u = static_cast<const Unary&>(e);
+                acc = expr(*u.operand);
+                if (u.op == UnaryOp::Neg && is_floating(types.type_of(u)))
+                    acc.flops += 1.0;
+                return acc;
+            }
+            case NodeKind::Call: {
+                const auto& c = static_cast<const Call&>(e);
+                for (const auto& a : c.args) acc = combine(acc, expr(*a));
+                if (const auto* b = sema::find_builtin(c.callee))
+                    acc.flops += b->flop_cost;
+                // User-function calls: counted as their body's cost would
+                // require inlining; hotspot kernels contain no user calls
+                // after extraction, so charge nothing and stay a lower bound.
+                return acc;
+            }
+            case NodeKind::Index: {
+                const auto& ix = static_cast<const Index&>(e);
+                acc = expr(*ix.index);
+                acc.bytes += size_of(types.type_of(ix));
+                return acc;
+            }
+            default:
+                return acc;
+        }
+    }
+
+    StaticIntensity stmt(const Stmt& s) {
+        switch (s.kind()) {
+            case NodeKind::Block: {
+                StaticIntensity acc;
+                for (const auto& inner : static_cast<const Block&>(s).stmts)
+                    acc = combine(acc, stmt(*inner));
+                return acc;
+            }
+            case NodeKind::VarDecl: {
+                const auto& d = static_cast<const VarDecl&>(s);
+                return d.init ? expr(*d.init) : StaticIntensity{};
+            }
+            case NodeKind::Assign: {
+                const auto& a = static_cast<const Assign&>(s);
+                StaticIntensity acc = combine(expr(*a.value), lvalue(*a.target));
+                if (a.op != AssignOp::Set &&
+                    is_floating(types.type_of(*a.target)))
+                    acc.flops += a.op == AssignOp::Div ? 4.0 : 1.0;
+                return acc;
+            }
+            case NodeKind::If: {
+                const auto& i = static_cast<const If&>(s);
+                StaticIntensity cond = expr(*i.cond);
+                StaticIntensity then_side = stmt(*i.then_body);
+                StaticIntensity else_side =
+                    i.else_body ? stmt(*i.else_body) : StaticIntensity{};
+                // Worst case: heavier branch.
+                const StaticIntensity& heavy =
+                    then_side.flops + then_side.bytes >=
+                            else_side.flops + else_side.bytes
+                        ? then_side
+                        : else_side;
+                return combine(cond, heavy);
+            }
+            case NodeKind::For: {
+                const auto& f = static_cast<const For&>(s);
+                StaticIntensity body = stmt(*f.body);
+                double trips = 1.0;
+                if (meta::has_fixed_bounds(f)) {
+                    trips = static_cast<double>(meta::constant_trip_count(f));
+                } else {
+                    exact = false;
+                }
+                body.flops *= trips;
+                body.bytes *= trips;
+                return body;
+            }
+            case NodeKind::While: {
+                exact = false; // unknown iteration count: body counted once
+                return stmt(*static_cast<const While&>(s).body);
+            }
+            case NodeKind::Return: {
+                const auto& r = static_cast<const Return&>(s);
+                return r.value ? expr(*r.value) : StaticIntensity{};
+            }
+            case NodeKind::ExprStmt:
+                return expr(*static_cast<const ExprStmt&>(s).expr);
+            default:
+                return {};
+        }
+    }
+
+    StaticIntensity lvalue(const Expr& target) {
+        if (target.kind() == NodeKind::Index) {
+            const auto& ix = static_cast<const Index&>(target);
+            StaticIntensity acc = expr(*ix.index);
+            acc.bytes += size_of(types.type_of(ix));
+            return acc;
+        }
+        return {};
+    }
+
+    static StaticIntensity combine(StaticIntensity a,
+                                   const StaticIntensity& b) {
+        a.flops += b.flops;
+        a.bytes += b.bytes;
+        return a;
+    }
+};
+
+} // namespace
+
+StaticIntensity static_intensity(const For& loop,
+                                 const sema::TypeInfo& types) {
+    Counter counter{types};
+    StaticIntensity out = counter.stmt(*loop.body);
+    out.exact = counter.exact;
+    return out;
+}
+
+} // namespace psaflow::analysis

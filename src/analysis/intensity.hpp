@@ -1,0 +1,30 @@
+// Static arithmetic-intensity analysis — counts floating-point work and
+// memory traffic per iteration of a loop directly from the AST (no
+// execution), the static half of the paper's compute-/memory-bound
+// discriminator. The dynamic counterpart lives in characterize.hpp.
+#pragma once
+
+#include "ast/nodes.hpp"
+#include "sema/type_check.hpp"
+
+namespace psaflow::analysis {
+
+struct StaticIntensity {
+    double flops = 0.0; ///< weighted flops per outer-loop iteration
+    double bytes = 0.0; ///< bytes accessed per outer-loop iteration
+    /// False when a nested loop has non-constant bounds; its body was then
+    /// counted once (a lower bound on the true work).
+    bool exact = true;
+
+    [[nodiscard]] double flops_per_byte() const {
+        return bytes > 0.0 ? flops / bytes : 0.0;
+    }
+};
+
+/// Per-iteration static work of `loop`'s body. Nested fixed-bound loops
+/// multiply their body counts by the constant trip count; conditional
+/// branches contribute the *heavier* side (worst-case work).
+[[nodiscard]] StaticIntensity static_intensity(const ast::For& loop,
+                                               const sema::TypeInfo& types);
+
+} // namespace psaflow::analysis

@@ -1,0 +1,36 @@
+// Workload descriptions: how to run an application for dynamic analyses.
+//
+// The paper's dynamic tasks execute the application on representative inputs.
+// A Workload packages the entry point and an argument factory parameterised
+// by problem scale, so the same description serves:
+//   - hotspot detection and profiling at a small `profile_scale`,
+//   - scaling-law fitting at `profile_scale` and 2x `profile_scale`,
+//   - performance evaluation extrapolated to `eval_scale` (paper-sized).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "interp/interpreter.hpp"
+
+namespace psaflow::analysis {
+
+struct Workload {
+    /// Entry function to call (the whole application, e.g. "run").
+    std::string entry;
+
+    /// Build entry arguments for a given problem scale. Scale 1.0 is the
+    /// base profiling size; the factory must produce deterministic inputs.
+    std::function<std::vector<interp::Arg>(double scale)> make_args;
+
+    /// Scale used for profiling runs (kept small: the interpreter pays a
+    /// large constant factor versus native execution).
+    double profile_scale = 1.0;
+
+    /// Scale the paper's evaluation corresponds to; performance estimates
+    /// extrapolate to this size using the fitted scaling laws.
+    double eval_scale = 64.0;
+};
+
+} // namespace psaflow::analysis

@@ -1,0 +1,97 @@
+#include "apps/apps.hpp"
+
+#include "interp/value.hpp"
+#include "support/prng.hpp"
+
+namespace psaflow::apps {
+
+namespace {
+
+// AdPredictor: Bayesian click-through-rate inference. Every impression
+// carries NF=12 feature values; the per-impression score accumulates
+// Gaussian message contributions over a *fixed-bound* inner loop with a
+// scalar accumulation dependency — exactly the structure the paper calls
+// "simple fixed-bound, fully-unrollable inner loops", which sends the
+// informed PSA down the CPU+FPGA branch (pipelined, II=1).
+const char* kSource = R"(
+void adpredictor_infer(int n, float beta2, float* feats, float* wmean, float* wvar, float* preds) {
+    for (int i = 0; i < n; i = i + 1) {
+        double smean = 0.0;
+        double svar = 0.0;
+        for (int f = 0; f < 12; f = f + 1) {
+            double x = feats[i * 12 + f];
+            double t = wmean[f] * x;
+            double u = wvar[f] * x * x;
+            double g = exp(0.0 - 0.5 * t * t / (u + 1.0));
+            double c = erfc(0.0 - t / sqrt(2.0 * u + 2.0));
+            smean += t * c;
+            svar += u * g;
+        }
+        double z = smean / sqrt(svar + beta2);
+        preds[i] = 0.5 * erfc(0.0 - z * 0.70710678118654752);
+    }
+}
+
+void run(int n, float beta2, float* feats, float* wmean, float* wvar, float* preds) {
+    adpredictor_infer(n, beta2, feats, wmean, wvar, preds);
+}
+)";
+
+constexpr int kNumFeatures = 12;
+
+std::vector<interp::Arg> make_args(double scale) {
+    const int n = static_cast<int>(256 * scale);
+
+    auto feats = std::make_shared<interp::Buffer>(
+        ast::Type::Float, static_cast<std::size_t>(n * kNumFeatures),
+        "feats");
+    SplitMix64 rng(31);
+    for (int i = 0; i < n * kNumFeatures; ++i)
+        feats->store(i, rng.uniform(0.0, 1.0));
+
+    auto wmean = std::make_shared<interp::Buffer>(ast::Type::Float,
+                                                  kNumFeatures, "wmean");
+    auto wvar = std::make_shared<interp::Buffer>(ast::Type::Float,
+                                                 kNumFeatures, "wvar");
+    SplitMix64 wrng(37);
+    for (int i = 0; i < kNumFeatures; ++i) {
+        wmean->store(i, wrng.uniform(-1.0, 1.0));
+        wvar->store(i, wrng.uniform(0.1, 1.0));
+    }
+
+    auto preds = std::make_shared<interp::Buffer>(
+        ast::Type::Float, static_cast<std::size_t>(n), "preds");
+
+    return {
+        interp::Value::of_int(n), interp::Value::of_float(1.0),
+        feats,                    wmean,
+        wvar,                     preds,
+    };
+}
+
+} // namespace
+
+const Application& adpredictor() {
+    static const Application app = [] {
+        Application a;
+        a.name = "adpredictor";
+        a.description = "AdPredictor Bayesian CTR inference (12 fixed "
+                        "features per impression, fully-unrollable inner "
+                        "loop)";
+        a.source = kSource;
+        a.workload.entry = "run";
+        a.workload.make_args = make_args;
+        a.workload.profile_scale = 1.0;  // n = 256 impressions
+        a.workload.eval_scale = 32768.0; // n = 8.39M impressions
+        a.allow_single_precision = true;
+        a.paper = PaperSpeedups{28.0, 10.0, 10.0, 14.0, 32.0, 32.0, "fpga"};
+        a.paper_loc_omp = 0.02;
+        a.paper_loc_hip = 0.31;
+        a.paper_loc_a10 = 0.42;
+        a.paper_loc_s10 = 0.63;
+        return a;
+    }();
+    return app;
+}
+
+} // namespace psaflow::apps

@@ -1,0 +1,54 @@
+// The five evaluation applications of the paper (Section IV-A): N-Body
+// Simulation, K-Means Classification, AdPredictor, Rush Larsen ODE Solver
+// and Bezier Surface Generation — each as an HLC source, a deterministic
+// workload factory, and the paper's reported Fig. 5 numbers for the
+// reproduction benches to compare against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/workload.hpp"
+
+namespace psaflow::apps {
+
+/// Fig. 5 hotspot-region speedups as reported in the paper (x vs a single
+/// CPU thread). Negative entries mean "not reported" (Rush Larsen FPGA
+/// designs exceeded device capacity).
+struct PaperSpeedups {
+    double omp = 0.0;
+    double gpu_1080 = 0.0;
+    double gpu_2080 = 0.0;
+    double fpga_a10 = 0.0;
+    double fpga_s10 = 0.0;
+    double auto_selected = 0.0;
+    std::string auto_target; ///< "cpu", "gpu" or "fpga"
+};
+
+struct Application {
+    std::string name;
+    std::string description;
+    std::string source; ///< HLC translation unit
+    analysis::Workload workload;
+    bool allow_single_precision = true;
+    PaperSpeedups paper;
+
+    /// Paper Table I added-LOC percentages (fractions; <0 = n/a).
+    double paper_loc_omp = 0.0;
+    double paper_loc_hip = 0.0;
+    double paper_loc_a10 = 0.0;
+    double paper_loc_s10 = 0.0;
+};
+
+[[nodiscard]] const Application& nbody();
+[[nodiscard]] const Application& kmeans();
+[[nodiscard]] const Application& adpredictor();
+[[nodiscard]] const Application& rush_larsen();
+[[nodiscard]] const Application& bezier();
+
+/// All five, in the paper's presentation order.
+[[nodiscard]] std::vector<const Application*> all_applications();
+
+[[nodiscard]] const Application& application_by_name(const std::string& name);
+
+} // namespace psaflow::apps

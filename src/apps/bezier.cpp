@@ -1,0 +1,107 @@
+#include "apps/apps.hpp"
+
+#include "interp/value.hpp"
+#include "support/prng.hpp"
+
+namespace psaflow::apps {
+
+namespace {
+
+// Bezier surface generation: evaluate a degree-m tensor-product Bezier
+// patch on an (nu x nv) sample grid. One flat parallel loop over sample
+// points; inside, a complex multi-nested inner structure over the
+// (m+1) x (m+1) control grid whose bounds are runtime values — so the
+// inner accumulation loops are *not* fully unrollable and the informed PSA
+// selects the CPU+GPU branch, as in the paper.
+const char* kSource = R"(
+void bezier_surface(int nu, int nv, int m, double* binom, double* cx, double* cy, double* cz, double* outx, double* outy, double* outz) {
+    for (int p = 0; p < nu * nv; p = p + 1) {
+        int ui = p / nv;
+        int vi = p % nv;
+        double u = 1.0 * ui / (nu - 1);
+        double v = 1.0 * vi / (nv - 1);
+        double sx = 0.0;
+        double sy = 0.0;
+        double sz = 0.0;
+        for (int a = 0; a < m + 1; a = a + 1) {
+            double bu = binom[a] * pow(u, 1.0 * a) * pow(1.0 - u, 1.0 * (m - a));
+            for (int b = 0; b < m + 1; b = b + 1) {
+                double bv = binom[b] * pow(v, 1.0 * b) * pow(1.0 - v, 1.0 * (m - b));
+                double w = bu * bv;
+                sx += w * cx[a * (m + 1) + b];
+                sy += w * cy[a * (m + 1) + b];
+                sz += w * cz[a * (m + 1) + b];
+            }
+        }
+        outx[p] = sx;
+        outy[p] = sy;
+        outz[p] = sz;
+    }
+}
+
+void run(int nu, int nv, int m, double* binom, double* cx, double* cy, double* cz, double* outx, double* outy, double* outz) {
+    bezier_surface(nu, nv, m, binom, cx, cy, cz, outx, outy, outz);
+}
+)";
+
+constexpr int kDegree = 15; // 16x16 control grid
+
+std::vector<interp::Arg> make_args(double scale) {
+    const int nu = static_cast<int>(8 * scale);
+    const int nv = nu;
+    const int ctrl = (kDegree + 1) * (kDegree + 1);
+
+    auto binom = std::make_shared<interp::Buffer>(ast::Type::Double,
+                                                  kDegree + 1, "binom");
+    double coeff = 1.0;
+    for (int a = 0; a <= kDegree; ++a) {
+        binom->store(a, coeff);
+        coeff = coeff * (kDegree - a) / (a + 1);
+    }
+
+    auto control = [&](const char* name, std::uint64_t seed) {
+        auto buf = std::make_shared<interp::Buffer>(
+            ast::Type::Double, static_cast<std::size_t>(ctrl), name);
+        SplitMix64 rng(seed);
+        for (int i = 0; i < ctrl; ++i) buf->store(i, rng.uniform(-2.0, 2.0));
+        return buf;
+    };
+    auto out = [&](const char* name) {
+        return std::make_shared<interp::Buffer>(
+            ast::Type::Double, static_cast<std::size_t>(nu * nv), name);
+    };
+
+    return {
+        interp::Value::of_int(nu), interp::Value::of_int(nv),
+        interp::Value::of_int(kDegree),
+        binom,
+        control("cx", 51), control("cy", 52), control("cz", 53),
+        out("outx"), out("outy"), out("outz"),
+    };
+}
+
+} // namespace
+
+const Application& bezier() {
+    static const Application app = [] {
+        Application a;
+        a.name = "bezier";
+        a.description = "Degree-15 tensor-product Bezier surface evaluation "
+                        "(complex multi-nested inner loop structure)";
+        a.source = kSource;
+        a.workload.entry = "run";
+        a.workload.make_args = make_args;
+        a.workload.profile_scale = 1.0; // 8x8 samples
+        a.workload.eval_scale = 10.0;   // 80x80 = 6400 samples
+        a.allow_single_precision = false; // surface accuracy: keep double
+        a.paper = PaperSpeedups{30.0, 63.0, 67.0, 23.0, 27.0, 67.0, "gpu"};
+        a.paper_loc_omp = 0.02;
+        a.paper_loc_hip = 0.26;
+        a.paper_loc_a10 = 0.34;
+        a.paper_loc_s10 = 0.42;
+        return a;
+    }();
+    return app;
+}
+
+} // namespace psaflow::apps

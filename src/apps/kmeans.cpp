@@ -1,0 +1,123 @@
+#include "apps/apps.hpp"
+
+#include "interp/value.hpp"
+#include "support/prng.hpp"
+
+namespace psaflow::apps {
+
+namespace {
+
+// K-Means classification. The hotspot is the assignment loop: for every
+// point, find the nearest of k centroids. Arithmetic intensity against the
+// streamed points is low (~3k/8 FLOPs per byte with k=8), so the informed
+// PSA classifies it memory-bound and selects the multi-thread CPU branch —
+// the paper's outcome. The update phase carries the sums[...] += array
+// accumulation the "Remove Array += Dependency" transform targets.
+const char* kSource = R"(
+void kmeans_assign(int n, int k, int dim, double* points, double* centroids, int* assignment) {
+    for (int i = 0; i < n; i = i + 1) {
+        double best = 1e300;
+        int bestc = 0;
+        for (int c = 0; c < k; c = c + 1) {
+            double dist = 0.0;
+            for (int d = 0; d < dim; d = d + 1) {
+                double diff = points[i * dim + d] - centroids[c * dim + d];
+                dist += diff * diff;
+            }
+            if (dist < best) {
+                best = dist;
+                bestc = c;
+            }
+        }
+        assignment[i] = bestc;
+    }
+}
+
+void kmeans_update(int n, int k, int dim, double* points, double* centroids, int* assignment, double* sums, int* counts) {
+    for (int z = 0; z < k * dim; z = z + 1) {
+        sums[z] = 0.0;
+    }
+    for (int c = 0; c < k; c = c + 1) {
+        counts[c] = 0;
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        counts[assignment[i]] += 1;
+        for (int d = 0; d < dim; d = d + 1) {
+            sums[assignment[i] * dim + d] += points[i * dim + d];
+        }
+    }
+    for (int c = 0; c < k; c = c + 1) {
+        if (counts[c] > 0) {
+            for (int d = 0; d < dim; d = d + 1) {
+                centroids[c * dim + d] = sums[c * dim + d] / counts[c];
+            }
+        }
+    }
+}
+
+void run(int n, int k, int dim, int iters, double* points, double* centroids, int* assignment, double* sums, int* counts) {
+    for (int t = 0; t < iters; t = t + 1) {
+        kmeans_assign(n, k, dim, points, centroids, assignment);
+        kmeans_update(n, k, dim, points, centroids, assignment, sums, counts);
+    }
+}
+)";
+
+std::vector<interp::Arg> make_args(double scale) {
+    const int n = static_cast<int>(256 * scale);
+    const int k = 8;
+    const int dim = 8;
+    const int iters = 5;
+
+    auto points = std::make_shared<interp::Buffer>(
+        ast::Type::Double, static_cast<std::size_t>(n * dim), "points");
+    SplitMix64 rng(23);
+    for (int i = 0; i < n * dim; ++i) points->store(i, rng.uniform(0.0, 10.0));
+
+    auto centroids = std::make_shared<interp::Buffer>(
+        ast::Type::Double, static_cast<std::size_t>(k * dim), "centroids");
+    SplitMix64 crng(29);
+    for (int i = 0; i < k * dim; ++i)
+        centroids->store(i, crng.uniform(0.0, 10.0));
+
+    auto assignment = std::make_shared<interp::Buffer>(
+        ast::Type::Int, static_cast<std::size_t>(n), "assignment");
+    auto sums = std::make_shared<interp::Buffer>(
+        ast::Type::Double, static_cast<std::size_t>(k * dim), "sums");
+    auto counts = std::make_shared<interp::Buffer>(
+        ast::Type::Int, static_cast<std::size_t>(k), "counts");
+
+    return {
+        interp::Value::of_int(n),    interp::Value::of_int(k),
+        interp::Value::of_int(dim),  interp::Value::of_int(iters),
+        points,                      centroids,
+        assignment,                  sums,
+        counts,
+    };
+}
+
+} // namespace
+
+const Application& kmeans() {
+    static const Application app = [] {
+        Application a;
+        a.name = "kmeans";
+        a.description = "K-Means classification (k=8, dim=8, 5 iterations; "
+                        "memory-bound assignment hotspot)";
+        a.source = kSource;
+        a.workload.entry = "run";
+        a.workload.make_args = make_args;
+        a.workload.profile_scale = 1.0;   // n = 256
+        a.workload.eval_scale = 16384.0;  // n = 4.19M points
+        a.allow_single_precision = true;
+        a.paper = PaperSpeedups{30.0, 19.0, 24.0, 7.0, 13.0, 30.0, "cpu"};
+        a.paper_loc_omp = 0.04;
+        a.paper_loc_hip = 0.81;
+        a.paper_loc_a10 = 1.01;
+        a.paper_loc_s10 = 1.47;
+        return a;
+    }();
+    return app;
+}
+
+} // namespace psaflow::apps

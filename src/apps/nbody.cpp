@@ -1,0 +1,101 @@
+#include "apps/apps.hpp"
+
+#include "interp/value.hpp"
+#include "support/prng.hpp"
+
+namespace psaflow::apps {
+
+namespace {
+
+// All-pairs gravitational N-Body simulation. The hotspot is the force
+// loop: a double loop nest with bounds unknown at compile time (the paper's
+// characterisation). Compute-bound, parallel outer loop, inner loop bound
+// not fixed => the informed PSA selects the CPU+GPU branch.
+const char* kSource = R"(
+void nbody_step(int n, double dt, double* px, double* py, double* pz, double* vx, double* vy, double* vz, double* mass) {
+    for (int i = 0; i < n; i = i + 1) {
+        double ax = 0.0;
+        double ay = 0.0;
+        double az = 0.0;
+        for (int j = 0; j < n; j = j + 1) {
+            double dx = px[j] - px[i];
+            double dy = py[j] - py[i];
+            double dz = pz[j] - pz[i];
+            double d2 = dx * dx + dy * dy + dz * dz + 0.0001;
+            double inv = 1.0 / sqrt(d2);
+            double inv3 = inv * inv * inv * mass[j];
+            ax += dx * inv3;
+            ay += dy * inv3;
+            az += dz * inv3;
+        }
+        vx[i] += dt * ax;
+        vy[i] += dt * ay;
+        vz[i] += dt * az;
+    }
+    for (int i = 0; i < n; i = i + 1) {
+        px[i] += dt * vx[i];
+        py[i] += dt * vy[i];
+        pz[i] += dt * vz[i];
+    }
+}
+
+void run(int n, int steps, double dt, double* px, double* py, double* pz, double* vx, double* vy, double* vz, double* mass) {
+    for (int t = 0; t < steps; t = t + 1) {
+        nbody_step(n, dt, px, py, pz, vx, vy, vz, mass);
+    }
+}
+)";
+
+std::vector<interp::Arg> make_args(double scale) {
+    const int n = static_cast<int>(64 * scale);
+    const int steps = 2;
+
+    auto buffer = [&](const char* name, std::uint64_t seed, double lo,
+                      double hi) {
+        auto buf = std::make_shared<interp::Buffer>(ast::Type::Double,
+                                                    static_cast<std::size_t>(n),
+                                                    name);
+        SplitMix64 rng(seed);
+        for (int i = 0; i < n; ++i) buf->store(i, rng.uniform(lo, hi));
+        return buf;
+    };
+
+    return {
+        interp::Value::of_int(n),
+        interp::Value::of_int(steps),
+        interp::Value::of_double(0.01),
+        buffer("px", 11, -1.0, 1.0),
+        buffer("py", 12, -1.0, 1.0),
+        buffer("pz", 13, -1.0, 1.0),
+        buffer("vx", 14, -0.1, 0.1),
+        buffer("vy", 15, -0.1, 0.1),
+        buffer("vz", 16, -0.1, 0.1),
+        buffer("mass", 17, 0.5, 1.5),
+    };
+}
+
+} // namespace
+
+const Application& nbody() {
+    static const Application app = [] {
+        Application a;
+        a.name = "nbody";
+        a.description = "All-pairs gravitational N-Body simulation (O(n^2) "
+                        "force loop, 2 time steps)";
+        a.source = kSource;
+        a.workload.entry = "run";
+        a.workload.make_args = make_args;
+        a.workload.profile_scale = 1.0;  // n = 64
+        a.workload.eval_scale = 1024.0;  // n = 65536
+        a.allow_single_precision = true;
+        a.paper = PaperSpeedups{30.0, 337.0, 751.0, 1.1, 1.4, 751.0, "gpu"};
+        a.paper_loc_omp = 0.02;
+        a.paper_loc_hip = 0.37;
+        a.paper_loc_a10 = 0.52;
+        a.paper_loc_s10 = 0.69;
+        return a;
+    }();
+    return app;
+}
+
+} // namespace psaflow::apps

@@ -1,0 +1,18 @@
+#include "apps/apps.hpp"
+
+#include "support/error.hpp"
+
+namespace psaflow::apps {
+
+std::vector<const Application*> all_applications() {
+    return {&rush_larsen(), &nbody(), &bezier(), &adpredictor(), &kmeans()};
+}
+
+const Application& application_by_name(const std::string& name) {
+    for (const Application* app : all_applications()) {
+        if (app->name == name) return *app;
+    }
+    throw Error("unknown application '" + name + "'");
+}
+
+} // namespace psaflow::apps

@@ -1,0 +1,132 @@
+#include "apps/apps.hpp"
+
+#include <string>
+
+#include "interp/value.hpp"
+#include "support/prng.hpp"
+
+namespace psaflow::apps {
+
+namespace {
+
+constexpr int kGates = 13;
+
+// Rush–Larsen exponential-integrator update for a cardiac-cell membrane
+// model: thirteen Hodgkin-Huxley-style gating variables, each with
+// voltage-dependent steady state and time "constant" built from exp()
+// rate functions, integrated as g' = ginf + (g - ginf) * exp(-dt/tau).
+//
+// The body is one huge straight-line block per cell: ~80 exp-class
+// operations and dozens of live intermediates. That is what produces the
+// paper's observations — 255 registers/thread on the GPUs (saturating the
+// GTX 1080 Ti) and FPGA designs that overmap both devices at unroll 1
+// ("the resulting designs are sizeable and exceed the capacity of our
+// current FPGA devices"). Precision-sensitive: single-precision conversion
+// is disallowed (ODE stability), so all targets compute in double.
+std::string make_source() {
+    std::string body;
+    // Per-gate rate constants: vary the shift/slope so gates are distinct.
+    for (int g = 0; g < kGates; ++g) {
+        const std::string i = std::to_string(g);
+        const std::string shift = std::to_string(20.0 + 3.5 * g);
+        const std::string slope = std::to_string(5.0 + 0.7 * g);
+        const std::string ascale = std::to_string(0.32 + 0.01 * g);
+        const std::string bscale = std::to_string(0.08 + 0.005 * g);
+        body += "        double a" + i + " = " + ascale + " * (v + " + shift +
+                ") / (1.0 - exp(0.0 - (v + " + shift + ") / " + slope +
+                "));\n";
+        body += "        double b" + i + " = " + bscale + " * exp(0.0 - (v + " +
+                shift + ") / (" + slope + " * 4.0));\n";
+        body += "        double inf" + i + " = a" + i + " / (a" + i + " + b" +
+                i + ") * (1.0 / (1.0 + exp(0.0 - (v + " + shift + ") / " +
+                slope + ")));\n";
+        body += "        double tau" + i + " = 1.0 / (a" + i + " + b" + i +
+                ") + 0.1 * exp(0.0 - v * v / 400.0);\n";
+        body += "        double g" + i + " = gates[i * " +
+                std::to_string(kGates) + " + " + i + "];\n";
+        body += "        double e" + i + " = exp(0.0 - dt / tau" + i + ");\n";
+        body += "        gates[i * " + std::to_string(kGates) + " + " + i +
+                "] = inf" + i + " + (g" + i + " - inf" + i + ") * e" + i +
+                ";\n";
+    }
+
+    // Membrane currents from the freshly updated gates (a few pow-class
+    // nonlinearities), then the voltage update.
+    body += "        double ina = 23.0 * pow(gates[i * 13 + 0], 3.0) * "
+            "gates[i * 13 + 1] * gates[i * 13 + 2] * (v - 50.0);\n";
+    body += "        double ik = 0.282 * pow(gates[i * 13 + 3], 4.0) * (v + "
+            "77.0) * exp(0.0 - v / 40.0);\n";
+    body += "        double ica = 0.09 * gates[i * 13 + 4] * gates[i * 13 + "
+            "5] * (v - 120.0) / (1.0 + exp(0.0 - v / 15.0));\n";
+    body += "        double ileak = 0.03 * (v + 54.4);\n";
+    body += "        voltage[i] = v - dt * (ina + ik + ica + ileak - "
+            "stim[i]);\n";
+
+    std::string source;
+    source += "void rush_larsen_step(int n, double dt, double* voltage, "
+              "double* gates, double* stim) {\n";
+    source += "    for (int i = 0; i < n; i = i + 1) {\n";
+    source += "        double v = voltage[i];\n";
+    source += body;
+    source += "    }\n";
+    source += "}\n\n";
+    source += "void run(int n, int steps, double dt, double* voltage, "
+              "double* gates, double* stim) {\n";
+    source += "    for (int t = 0; t < steps; t = t + 1) {\n";
+    source += "        rush_larsen_step(n, dt, voltage, gates, stim);\n";
+    source += "    }\n";
+    source += "}\n";
+    return source;
+}
+
+std::vector<interp::Arg> make_args(double scale) {
+    const int n = static_cast<int>(128 * scale);
+    const int steps = 25;
+
+    auto voltage = std::make_shared<interp::Buffer>(
+        ast::Type::Double, static_cast<std::size_t>(n), "voltage");
+    auto gates = std::make_shared<interp::Buffer>(
+        ast::Type::Double, static_cast<std::size_t>(n * kGates), "gates");
+    auto stim = std::make_shared<interp::Buffer>(
+        ast::Type::Double, static_cast<std::size_t>(n), "stim");
+
+    SplitMix64 rng(41);
+    for (int i = 0; i < n; ++i) {
+        voltage->store(i, rng.uniform(-80.0, -20.0));
+        stim->store(i, rng.uniform(0.0, 1.0));
+    }
+    for (int i = 0; i < n * kGates; ++i) gates->store(i, rng.uniform(0.0, 1.0));
+
+    return {
+        interp::Value::of_int(n), interp::Value::of_int(steps),
+        interp::Value::of_double(0.02),
+        voltage, gates, stim,
+    };
+}
+
+} // namespace
+
+const Application& rush_larsen() {
+    static const Application app = [] {
+        Application a;
+        a.name = "rushlarsen";
+        a.description = "Rush-Larsen exponential integrator for a 13-gate "
+                        "cardiac cell model (huge straight-line kernel; "
+                        "precision-sensitive)";
+        a.source = make_source();
+        a.workload.entry = "run";
+        a.workload.make_args = make_args;
+        a.workload.profile_scale = 1.0; // n = 128 cells
+        a.workload.eval_scale = 8192.0; // n = 1.05M cells
+        a.allow_single_precision = false; // ODE stability demands double
+        a.paper = PaperSpeedups{28.0, 63.0, 98.0, -1.0, -1.0, 98.0, "gpu"};
+        a.paper_loc_omp = 0.004;
+        a.paper_loc_hip = 0.06;
+        a.paper_loc_a10 = -1.0; // n/a: designs exceed device capacity
+        a.paper_loc_s10 = -1.0;
+        return a;
+    }();
+    return app;
+}
+
+} // namespace psaflow::apps

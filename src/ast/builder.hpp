@@ -1,0 +1,153 @@
+// Terse factories for constructing AST fragments programmatically. The
+// transform and code-generation passes synthesise new code (kernel wrappers,
+// timer instrumentation, unrolled bodies) through these helpers.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ast/nodes.hpp"
+
+namespace psaflow::ast::build {
+
+[[nodiscard]] inline ExprPtr int_lit(long long v) {
+    auto e = std::make_unique<IntLit>();
+    e->value = v;
+    return e;
+}
+
+[[nodiscard]] inline ExprPtr float_lit(double v, bool single = false) {
+    auto e = std::make_unique<FloatLit>();
+    e->value = v;
+    e->single = single;
+    return e;
+}
+
+[[nodiscard]] inline ExprPtr bool_lit(bool v) {
+    auto e = std::make_unique<BoolLit>();
+    e->value = v;
+    return e;
+}
+
+[[nodiscard]] inline ExprPtr ident(std::string name) {
+    auto e = std::make_unique<Ident>();
+    e->name = std::move(name);
+    return e;
+}
+
+[[nodiscard]] inline ExprPtr unary(UnaryOp op, ExprPtr operand) {
+    auto e = std::make_unique<Unary>();
+    e->op = op;
+    e->operand = std::move(operand);
+    return e;
+}
+
+[[nodiscard]] inline ExprPtr binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+    auto e = std::make_unique<Binary>();
+    e->op = op;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+}
+
+[[nodiscard]] inline ExprPtr add(ExprPtr l, ExprPtr r) {
+    return binary(BinaryOp::Add, std::move(l), std::move(r));
+}
+[[nodiscard]] inline ExprPtr sub(ExprPtr l, ExprPtr r) {
+    return binary(BinaryOp::Sub, std::move(l), std::move(r));
+}
+[[nodiscard]] inline ExprPtr mul(ExprPtr l, ExprPtr r) {
+    return binary(BinaryOp::Mul, std::move(l), std::move(r));
+}
+[[nodiscard]] inline ExprPtr lt(ExprPtr l, ExprPtr r) {
+    return binary(BinaryOp::Lt, std::move(l), std::move(r));
+}
+
+[[nodiscard]] inline ExprPtr call(std::string callee,
+                                  std::vector<ExprPtr> args = {}) {
+    auto e = std::make_unique<Call>();
+    e->callee = std::move(callee);
+    e->args = std::move(args);
+    return e;
+}
+
+[[nodiscard]] inline ExprPtr index(ExprPtr base, ExprPtr idx) {
+    auto e = std::make_unique<Index>();
+    e->base = std::move(base);
+    e->index = std::move(idx);
+    return e;
+}
+
+[[nodiscard]] inline ExprPtr index(std::string array, ExprPtr idx) {
+    return index(ident(std::move(array)), std::move(idx));
+}
+
+[[nodiscard]] inline StmtPtr var_decl(Type elem, std::string name,
+                                      ExprPtr init = nullptr) {
+    auto s = std::make_unique<VarDecl>();
+    s->elem = elem;
+    s->name = std::move(name);
+    s->init = std::move(init);
+    return s;
+}
+
+[[nodiscard]] inline StmtPtr array_decl(Type elem, std::string name,
+                                        ExprPtr size) {
+    auto s = std::make_unique<VarDecl>();
+    s->elem = elem;
+    s->name = std::move(name);
+    s->is_array = true;
+    s->array_size = std::move(size);
+    return s;
+}
+
+[[nodiscard]] inline StmtPtr assign(ExprPtr target, ExprPtr value,
+                                    AssignOp op = AssignOp::Set) {
+    auto s = std::make_unique<Assign>();
+    s->op = op;
+    s->target = std::move(target);
+    s->value = std::move(value);
+    return s;
+}
+
+[[nodiscard]] inline StmtPtr expr_stmt(ExprPtr expr) {
+    auto s = std::make_unique<ExprStmt>();
+    s->expr = std::move(expr);
+    return s;
+}
+
+[[nodiscard]] inline StmtPtr ret(ExprPtr value = nullptr) {
+    auto s = std::make_unique<Return>();
+    s->value = std::move(value);
+    return s;
+}
+
+[[nodiscard]] inline BlockPtr block(std::vector<StmtPtr> stmts = {}) {
+    auto b = std::make_unique<Block>();
+    b->stmts = std::move(stmts);
+    return b;
+}
+
+/// Canonical counted loop `for (int var = init; var < limit; var += step)`.
+[[nodiscard]] inline std::unique_ptr<For> for_loop(std::string var,
+                                                   ExprPtr init, ExprPtr limit,
+                                                   BlockPtr body,
+                                                   ExprPtr step = nullptr) {
+    auto s = std::make_unique<For>();
+    s->var = std::move(var);
+    s->init = std::move(init);
+    s->limit = std::move(limit);
+    s->step = step ? std::move(step) : int_lit(1);
+    s->body = std::move(body);
+    return s;
+}
+
+[[nodiscard]] inline ParamPtr param(ValueType type, std::string name) {
+    auto p = std::make_unique<Param>();
+    p->type = type;
+    p->name = std::move(name);
+    return p;
+}
+
+} // namespace psaflow::ast::build

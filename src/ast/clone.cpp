@@ -1,0 +1,197 @@
+#include "ast/clone.hpp"
+
+#include "support/error.hpp"
+
+namespace psaflow::ast {
+
+namespace {
+
+ExprPtr clone_opt(const ExprPtr& expr) {
+    return expr ? clone_expr(*expr) : nullptr;
+}
+
+} // namespace
+
+ExprPtr clone_expr(const Expr& expr) {
+    ExprPtr out;
+    switch (expr.kind()) {
+        case NodeKind::IntLit: {
+            const auto& e = static_cast<const IntLit&>(expr);
+            auto c = std::make_unique<IntLit>();
+            c->value = e.value;
+            out = std::move(c);
+            break;
+        }
+        case NodeKind::FloatLit: {
+            const auto& e = static_cast<const FloatLit&>(expr);
+            auto c = std::make_unique<FloatLit>();
+            c->value = e.value;
+            c->single = e.single;
+            c->spelling = e.spelling;
+            out = std::move(c);
+            break;
+        }
+        case NodeKind::BoolLit: {
+            const auto& e = static_cast<const BoolLit&>(expr);
+            auto c = std::make_unique<BoolLit>();
+            c->value = e.value;
+            out = std::move(c);
+            break;
+        }
+        case NodeKind::Ident: {
+            const auto& e = static_cast<const Ident&>(expr);
+            auto c = std::make_unique<Ident>();
+            c->name = e.name;
+            out = std::move(c);
+            break;
+        }
+        case NodeKind::Unary: {
+            const auto& e = static_cast<const Unary&>(expr);
+            auto c = std::make_unique<Unary>();
+            c->op = e.op;
+            c->operand = clone_expr(*e.operand);
+            out = std::move(c);
+            break;
+        }
+        case NodeKind::Binary: {
+            const auto& e = static_cast<const Binary&>(expr);
+            auto c = std::make_unique<Binary>();
+            c->op = e.op;
+            c->lhs = clone_expr(*e.lhs);
+            c->rhs = clone_expr(*e.rhs);
+            out = std::move(c);
+            break;
+        }
+        case NodeKind::Call: {
+            const auto& e = static_cast<const Call&>(expr);
+            auto c = std::make_unique<Call>();
+            c->callee = e.callee;
+            for (const auto& a : e.args) c->args.push_back(clone_expr(*a));
+            out = std::move(c);
+            break;
+        }
+        case NodeKind::Index: {
+            const auto& e = static_cast<const Index&>(expr);
+            auto c = std::make_unique<Index>();
+            c->base = clone_expr(*e.base);
+            c->index = clone_expr(*e.index);
+            out = std::move(c);
+            break;
+        }
+        default:
+            throw Error("clone_expr: not an expression node");
+    }
+    out->loc = expr.loc;
+    return out;
+}
+
+StmtPtr clone_stmt(const Stmt& stmt) {
+    StmtPtr out;
+    switch (stmt.kind()) {
+        case NodeKind::Block:
+            out = clone_block(static_cast<const Block&>(stmt));
+            break;
+        case NodeKind::VarDecl: {
+            const auto& s = static_cast<const VarDecl&>(stmt);
+            auto c = std::make_unique<VarDecl>();
+            c->elem = s.elem;
+            c->name = s.name;
+            c->is_array = s.is_array;
+            c->array_size = clone_opt(s.array_size);
+            c->init = clone_opt(s.init);
+            out = std::move(c);
+            break;
+        }
+        case NodeKind::Assign: {
+            const auto& s = static_cast<const Assign&>(stmt);
+            auto c = std::make_unique<Assign>();
+            c->op = s.op;
+            c->target = clone_expr(*s.target);
+            c->value = clone_expr(*s.value);
+            out = std::move(c);
+            break;
+        }
+        case NodeKind::If: {
+            const auto& s = static_cast<const If&>(stmt);
+            auto c = std::make_unique<If>();
+            c->cond = clone_expr(*s.cond);
+            c->then_body = clone_block(*s.then_body);
+            if (s.else_body) c->else_body = clone_block(*s.else_body);
+            out = std::move(c);
+            break;
+        }
+        case NodeKind::For: {
+            const auto& s = static_cast<const For&>(stmt);
+            auto c = std::make_unique<For>();
+            c->var = s.var;
+            c->init = clone_expr(*s.init);
+            c->limit = clone_expr(*s.limit);
+            c->step = clone_expr(*s.step);
+            c->body = clone_block(*s.body);
+            out = std::move(c);
+            break;
+        }
+        case NodeKind::While: {
+            const auto& s = static_cast<const While&>(stmt);
+            auto c = std::make_unique<While>();
+            c->cond = clone_expr(*s.cond);
+            c->body = clone_block(*s.body);
+            out = std::move(c);
+            break;
+        }
+        case NodeKind::Return: {
+            const auto& s = static_cast<const Return&>(stmt);
+            auto c = std::make_unique<Return>();
+            c->value = clone_opt(s.value);
+            out = std::move(c);
+            break;
+        }
+        case NodeKind::ExprStmt: {
+            const auto& s = static_cast<const ExprStmt&>(stmt);
+            auto c = std::make_unique<ExprStmt>();
+            c->expr = clone_expr(*s.expr);
+            out = std::move(c);
+            break;
+        }
+        default:
+            throw Error("clone_stmt: not a statement node");
+    }
+    out->pragmas = stmt.pragmas;
+    out->loc = stmt.loc;
+    return out;
+}
+
+BlockPtr clone_block(const Block& block) {
+    auto out = std::make_unique<Block>();
+    out->loc = block.loc;
+    out->pragmas = block.pragmas;
+    for (const auto& s : block.stmts) out->stmts.push_back(clone_stmt(*s));
+    return out;
+}
+
+FunctionPtr clone_function(const Function& fn) {
+    auto out = std::make_unique<Function>();
+    out->loc = fn.loc;
+    out->ret = fn.ret;
+    out->name = fn.name;
+    for (const auto& p : fn.params) {
+        auto pc = std::make_unique<Param>();
+        pc->loc = p->loc;
+        pc->type = p->type;
+        pc->name = p->name;
+        out->params.push_back(std::move(pc));
+    }
+    out->body = clone_block(*fn.body);
+    return out;
+}
+
+ModulePtr clone_module(const Module& module) {
+    auto out = std::make_unique<Module>();
+    out->loc = module.loc;
+    out->name = module.name;
+    for (const auto& f : module.functions)
+        out->functions.push_back(clone_function(*f));
+    return out;
+}
+
+} // namespace psaflow::ast

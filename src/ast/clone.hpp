@@ -1,0 +1,25 @@
+// Deep copies of AST subtrees. PSA-flow branch points fork the design state:
+// every selected path receives its own clone of the module so target-specific
+// transforms cannot interfere with sibling paths.
+#pragma once
+
+#include "ast/nodes.hpp"
+
+namespace psaflow::ast {
+
+/// Deep-copy an expression subtree. Clones receive fresh node ids.
+[[nodiscard]] ExprPtr clone_expr(const Expr& expr);
+
+/// Deep-copy a statement subtree (including attached pragmas).
+[[nodiscard]] StmtPtr clone_stmt(const Stmt& stmt);
+
+/// Deep-copy a block.
+[[nodiscard]] BlockPtr clone_block(const Block& block);
+
+/// Deep-copy a function.
+[[nodiscard]] FunctionPtr clone_function(const Function& fn);
+
+/// Deep-copy a whole module.
+[[nodiscard]] ModulePtr clone_module(const Module& module);
+
+} // namespace psaflow::ast

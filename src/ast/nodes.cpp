@@ -1,0 +1,103 @@
+#include "ast/nodes.hpp"
+
+#include <atomic>
+
+namespace psaflow::ast {
+
+Node::Node() : id(next_id()) {}
+
+Node::Id Node::next_id() {
+    static std::atomic<Id> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+const char* to_string(NodeKind k) {
+    switch (k) {
+        case NodeKind::Module: return "Module";
+        case NodeKind::Function: return "Function";
+        case NodeKind::Param: return "Param";
+        case NodeKind::Block: return "Block";
+        case NodeKind::VarDecl: return "VarDecl";
+        case NodeKind::Assign: return "Assign";
+        case NodeKind::If: return "If";
+        case NodeKind::For: return "For";
+        case NodeKind::While: return "While";
+        case NodeKind::Return: return "Return";
+        case NodeKind::ExprStmt: return "ExprStmt";
+        case NodeKind::IntLit: return "IntLit";
+        case NodeKind::FloatLit: return "FloatLit";
+        case NodeKind::BoolLit: return "BoolLit";
+        case NodeKind::Ident: return "Ident";
+        case NodeKind::Unary: return "Unary";
+        case NodeKind::Binary: return "Binary";
+        case NodeKind::Call: return "Call";
+        case NodeKind::Index: return "Index";
+    }
+    return "?";
+}
+
+const char* to_string(BinaryOp op) {
+    switch (op) {
+        case BinaryOp::Add: return "+";
+        case BinaryOp::Sub: return "-";
+        case BinaryOp::Mul: return "*";
+        case BinaryOp::Div: return "/";
+        case BinaryOp::Mod: return "%";
+        case BinaryOp::Lt: return "<";
+        case BinaryOp::Le: return "<=";
+        case BinaryOp::Gt: return ">";
+        case BinaryOp::Ge: return ">=";
+        case BinaryOp::Eq: return "==";
+        case BinaryOp::Ne: return "!=";
+        case BinaryOp::And: return "&&";
+        case BinaryOp::Or: return "||";
+    }
+    return "?";
+}
+
+bool is_comparison(BinaryOp op) {
+    switch (op) {
+        case BinaryOp::Lt:
+        case BinaryOp::Le:
+        case BinaryOp::Gt:
+        case BinaryOp::Ge:
+        case BinaryOp::Eq:
+        case BinaryOp::Ne: return true;
+        default: return false;
+    }
+}
+
+bool is_logical(BinaryOp op) {
+    return op == BinaryOp::And || op == BinaryOp::Or;
+}
+
+bool is_arithmetic(BinaryOp op) {
+    switch (op) {
+        case BinaryOp::Add:
+        case BinaryOp::Sub:
+        case BinaryOp::Mul:
+        case BinaryOp::Div:
+        case BinaryOp::Mod: return true;
+        default: return false;
+    }
+}
+
+const char* to_string(AssignOp op) {
+    switch (op) {
+        case AssignOp::Set: return "=";
+        case AssignOp::Add: return "+=";
+        case AssignOp::Sub: return "-=";
+        case AssignOp::Mul: return "*=";
+        case AssignOp::Div: return "/=";
+    }
+    return "?";
+}
+
+Function* Module::find_function(const std::string& fn_name) const {
+    for (const auto& fn : functions) {
+        if (fn->name == fn_name) return fn.get();
+    }
+    return nullptr;
+}
+
+} // namespace psaflow::ast

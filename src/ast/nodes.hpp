@@ -1,0 +1,291 @@
+// The HLC abstract syntax tree.
+//
+// Artisan (the paper's meta-programming framework) exposes an AST that
+// "closely mirrors the source-code as written without lowering", so generated
+// designs stay human-readable. This AST follows the same philosophy: nodes
+// keep spellings (float literals), pragmas attach to the statements they
+// precede, and the printer in printer.hpp round-trips source faithfully.
+//
+// Ownership: the tree is a strict hierarchy of std::unique_ptr. Non-owning
+// observers (query results, parent maps, analysis results) use raw pointers,
+// valid for the lifetime of the owning Module.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ast/type.hpp"
+#include "support/source_location.hpp"
+
+namespace psaflow::ast {
+
+enum class NodeKind {
+    Module,
+    Function,
+    Param,
+    // statements
+    Block,
+    VarDecl,
+    Assign,
+    If,
+    For,
+    While,
+    Return,
+    ExprStmt,
+    // expressions
+    IntLit,
+    FloatLit,
+    BoolLit,
+    Ident,
+    Unary,
+    Binary,
+    Call,
+    Index,
+};
+
+[[nodiscard]] const char* to_string(NodeKind k);
+
+/// Base of every AST node. `id` is unique per process and survives printing
+/// (but not cloning: clones get fresh ids), letting query results and reports
+/// name specific nodes unambiguously.
+struct Node {
+    using Id = std::uint64_t;
+
+    Node();
+    virtual ~Node() = default;
+
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+
+    [[nodiscard]] virtual NodeKind kind() const = 0;
+
+    Id id;
+    SrcLoc loc;
+
+private:
+    static Id next_id();
+};
+
+// --------------------------------------------------------------------------
+// Expressions
+// --------------------------------------------------------------------------
+
+struct Expr : Node {};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLit final : Expr {
+    long long value = 0;
+
+    [[nodiscard]] NodeKind kind() const override { return NodeKind::IntLit; }
+};
+
+/// A floating literal. `single` distinguishes `1.0f` from `1.0`; the
+/// "Employ SP Numeric Literals" transform flips it. `spelling` preserves the
+/// user's original digits so printing does not perturb the source.
+struct FloatLit final : Expr {
+    double value = 0.0;
+    bool single = false;
+    std::string spelling;
+
+    [[nodiscard]] NodeKind kind() const override { return NodeKind::FloatLit; }
+};
+
+struct BoolLit final : Expr {
+    bool value = false;
+
+    [[nodiscard]] NodeKind kind() const override { return NodeKind::BoolLit; }
+};
+
+struct Ident final : Expr {
+    std::string name;
+
+    [[nodiscard]] NodeKind kind() const override { return NodeKind::Ident; }
+};
+
+enum class UnaryOp { Neg, Not };
+
+struct Unary final : Expr {
+    UnaryOp op = UnaryOp::Neg;
+    ExprPtr operand;
+
+    [[nodiscard]] NodeKind kind() const override { return NodeKind::Unary; }
+};
+
+enum class BinaryOp {
+    Add, Sub, Mul, Div, Mod,
+    Lt, Le, Gt, Ge, Eq, Ne,
+    And, Or,
+};
+
+[[nodiscard]] const char* to_string(BinaryOp op);
+[[nodiscard]] bool is_comparison(BinaryOp op);
+[[nodiscard]] bool is_logical(BinaryOp op);
+[[nodiscard]] bool is_arithmetic(BinaryOp op);
+
+struct Binary final : Expr {
+    BinaryOp op = BinaryOp::Add;
+    ExprPtr lhs;
+    ExprPtr rhs;
+
+    [[nodiscard]] NodeKind kind() const override { return NodeKind::Binary; }
+};
+
+/// A call to a builtin math function (sqrt, exp, ...) or a user function.
+struct Call final : Expr {
+    std::string callee;
+    std::vector<ExprPtr> args;
+
+    [[nodiscard]] NodeKind kind() const override { return NodeKind::Call; }
+};
+
+/// Array subscript `base[index]`. `base` is an Ident in well-formed HLC
+/// (no pointer arithmetic chains), which the type checker enforces.
+struct Index final : Expr {
+    ExprPtr base;
+    ExprPtr index;
+
+    [[nodiscard]] NodeKind kind() const override { return NodeKind::Index; }
+};
+
+// --------------------------------------------------------------------------
+// Statements
+// --------------------------------------------------------------------------
+
+/// Base of statements. `pragmas` holds the `#pragma` lines written (or
+/// instrumented) immediately before this statement, e.g. "omp parallel for"
+/// or "unroll 8". Keeping them on the statement makes insert-pragma
+/// instrumentation a one-line edit, exactly as in the paper's Fig. 2.
+struct Stmt : Node {
+    std::vector<std::string> pragmas;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Block final : Stmt {
+    std::vector<StmtPtr> stmts;
+
+    [[nodiscard]] NodeKind kind() const override { return NodeKind::Block; }
+};
+
+using BlockPtr = std::unique_ptr<Block>;
+
+/// `double x = e;` or `float acc[128];` — local declaration, optionally an
+/// array with a constant-expression size, optionally initialised.
+struct VarDecl final : Stmt {
+    Type elem = Type::Double;
+    std::string name;
+    bool is_array = false;
+    ExprPtr array_size; ///< non-null iff is_array
+    ExprPtr init;       ///< may be null
+
+    [[nodiscard]] NodeKind kind() const override { return NodeKind::VarDecl; }
+};
+
+enum class AssignOp { Set, Add, Sub, Mul, Div };
+
+[[nodiscard]] const char* to_string(AssignOp op);
+
+/// `target = value;` and compound forms. Target is an Ident or Index.
+struct Assign final : Stmt {
+    AssignOp op = AssignOp::Set;
+    ExprPtr target;
+    ExprPtr value;
+
+    [[nodiscard]] NodeKind kind() const override { return NodeKind::Assign; }
+};
+
+struct If final : Stmt {
+    ExprPtr cond;
+    BlockPtr then_body;
+    BlockPtr else_body; ///< may be null
+
+    [[nodiscard]] NodeKind kind() const override { return NodeKind::If; }
+};
+
+/// Canonical counted loop: `for (int var = init; var < limit; var += step)`.
+/// The parser normalises `var = var + c` and `var++` steps into this form.
+/// Canonical loops are what the paper's loop analyses (dependence,
+/// trip-count, unrolling) reason about.
+struct For final : Stmt {
+    std::string var;
+    ExprPtr init;
+    ExprPtr limit;
+    ExprPtr step;
+    BlockPtr body;
+
+    [[nodiscard]] NodeKind kind() const override { return NodeKind::For; }
+};
+
+struct While final : Stmt {
+    ExprPtr cond;
+    BlockPtr body;
+
+    [[nodiscard]] NodeKind kind() const override { return NodeKind::While; }
+};
+
+struct Return final : Stmt {
+    ExprPtr value; ///< may be null
+
+    [[nodiscard]] NodeKind kind() const override { return NodeKind::Return; }
+};
+
+/// Expression evaluated for effect — in practice a call statement.
+struct ExprStmt final : Stmt {
+    ExprPtr expr;
+
+    [[nodiscard]] NodeKind kind() const override { return NodeKind::ExprStmt; }
+};
+
+// --------------------------------------------------------------------------
+// Declarations
+// --------------------------------------------------------------------------
+
+struct Param final : Node {
+    ValueType type;
+    std::string name;
+
+    [[nodiscard]] NodeKind kind() const override { return NodeKind::Param; }
+};
+
+using ParamPtr = std::unique_ptr<Param>;
+
+struct Function final : Node {
+    Type ret = Type::Void;
+    std::string name;
+    std::vector<ParamPtr> params;
+    BlockPtr body;
+
+    [[nodiscard]] NodeKind kind() const override { return NodeKind::Function; }
+};
+
+using FunctionPtr = std::unique_ptr<Function>;
+
+/// A whole translation unit. `name` labels the design for reports
+/// ("nbody", "nbody.omp", ...).
+struct Module final : Node {
+    std::string name;
+    std::vector<FunctionPtr> functions;
+
+    [[nodiscard]] NodeKind kind() const override { return NodeKind::Module; }
+
+    /// Find a function by name; null if absent.
+    [[nodiscard]] Function* find_function(const std::string& fn_name) const;
+};
+
+using ModulePtr = std::unique_ptr<Module>;
+
+/// Checked downcast: null when the node is not of kind T.
+template <typename T>
+[[nodiscard]] T* dyn_cast(Node* node) {
+    return node != nullptr ? dynamic_cast<T*>(node) : nullptr;
+}
+
+template <typename T>
+[[nodiscard]] const T* dyn_cast(const Node* node) {
+    return node != nullptr ? dynamic_cast<const T*>(node) : nullptr;
+}
+
+} // namespace psaflow::ast

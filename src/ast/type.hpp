@@ -1,0 +1,67 @@
+// Scalar and value types of HLC, the high-level C subset psaflow operates on.
+#pragma once
+
+#include <string>
+
+#include "support/error.hpp"
+
+namespace psaflow::ast {
+
+/// Element (scalar) types. HLC is deliberately small: the paper's transforms
+/// act on loop nests and numeric code, not on aggregates.
+enum class Type {
+    Void,
+    Bool,
+    Int,    ///< 64-bit signed integer
+    Float,  ///< IEEE single precision
+    Double, ///< IEEE double precision
+};
+
+/// A declared value type: scalar or pointer-to-scalar (array parameters decay
+/// to pointers, as in C).
+struct ValueType {
+    Type elem = Type::Void;
+    bool is_pointer = false;
+
+    friend bool operator==(const ValueType&, const ValueType&) = default;
+};
+
+[[nodiscard]] inline bool is_numeric(Type t) {
+    return t == Type::Int || t == Type::Float || t == Type::Double;
+}
+
+[[nodiscard]] inline bool is_floating(Type t) {
+    return t == Type::Float || t == Type::Double;
+}
+
+/// Size in bytes of one element; used by data-movement analysis and the
+/// device transfer models.
+[[nodiscard]] inline int size_of(Type t) {
+    switch (t) {
+        case Type::Void: return 0;
+        case Type::Bool: return 1;
+        case Type::Int: return 8;
+        case Type::Float: return 4;
+        case Type::Double: return 8;
+    }
+    throw Error("size_of: bad type");
+}
+
+[[nodiscard]] inline std::string to_string(Type t) {
+    switch (t) {
+        case Type::Void: return "void";
+        case Type::Bool: return "bool";
+        case Type::Int: return "int";
+        case Type::Float: return "float";
+        case Type::Double: return "double";
+    }
+    throw Error("to_string: bad type");
+}
+
+[[nodiscard]] inline std::string to_string(const ValueType& vt) {
+    std::string s = to_string(vt.elem);
+    if (vt.is_pointer) s += "*";
+    return s;
+}
+
+} // namespace psaflow::ast

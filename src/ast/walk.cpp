@@ -1,0 +1,161 @@
+#include "ast/walk.hpp"
+
+#include "support/error.hpp"
+
+namespace psaflow::ast {
+
+namespace {
+
+// Single mutable implementation; the const overloads adapt via const_cast,
+// which is sound because the callbacks they forward to only receive const
+// references.
+void children_impl(Node& node, const std::function<void(Node&)>& fn) {
+    auto visit = [&](auto& ptr) {
+        if (ptr) fn(*ptr);
+    };
+    switch (node.kind()) {
+        case NodeKind::Module: {
+            auto& m = static_cast<Module&>(node);
+            for (auto& f : m.functions) visit(f);
+            break;
+        }
+        case NodeKind::Function: {
+            auto& f = static_cast<Function&>(node);
+            for (auto& p : f.params) visit(p);
+            visit(f.body);
+            break;
+        }
+        case NodeKind::Param:
+            break;
+        case NodeKind::Block: {
+            auto& b = static_cast<Block&>(node);
+            for (auto& s : b.stmts) visit(s);
+            break;
+        }
+        case NodeKind::VarDecl: {
+            auto& d = static_cast<VarDecl&>(node);
+            visit(d.array_size);
+            visit(d.init);
+            break;
+        }
+        case NodeKind::Assign: {
+            auto& a = static_cast<Assign&>(node);
+            visit(a.target);
+            visit(a.value);
+            break;
+        }
+        case NodeKind::If: {
+            auto& i = static_cast<If&>(node);
+            visit(i.cond);
+            visit(i.then_body);
+            visit(i.else_body);
+            break;
+        }
+        case NodeKind::For: {
+            auto& f = static_cast<For&>(node);
+            visit(f.init);
+            visit(f.limit);
+            visit(f.step);
+            visit(f.body);
+            break;
+        }
+        case NodeKind::While: {
+            auto& w = static_cast<While&>(node);
+            visit(w.cond);
+            visit(w.body);
+            break;
+        }
+        case NodeKind::Return: {
+            auto& r = static_cast<Return&>(node);
+            visit(r.value);
+            break;
+        }
+        case NodeKind::ExprStmt: {
+            auto& e = static_cast<ExprStmt&>(node);
+            visit(e.expr);
+            break;
+        }
+        case NodeKind::IntLit:
+        case NodeKind::FloatLit:
+        case NodeKind::BoolLit:
+        case NodeKind::Ident:
+            break;
+        case NodeKind::Unary: {
+            auto& u = static_cast<Unary&>(node);
+            visit(u.operand);
+            break;
+        }
+        case NodeKind::Binary: {
+            auto& b = static_cast<Binary&>(node);
+            visit(b.lhs);
+            visit(b.rhs);
+            break;
+        }
+        case NodeKind::Call: {
+            auto& c = static_cast<Call&>(node);
+            for (auto& a : c.args) visit(a);
+            break;
+        }
+        case NodeKind::Index: {
+            auto& x = static_cast<Index&>(node);
+            visit(x.base);
+            visit(x.index);
+            break;
+        }
+    }
+}
+
+} // namespace
+
+void for_each_child(Node& node, const std::function<void(Node&)>& fn) {
+    children_impl(node, fn);
+}
+
+void for_each_child(const Node& node,
+                    const std::function<void(const Node&)>& fn) {
+    children_impl(const_cast<Node&>(node), [&](Node& child) { fn(child); });
+}
+
+void walk(Node& node, const std::function<bool(Node&)>& fn) {
+    if (!fn(node)) return;
+    for_each_child(node, [&](Node& child) { walk(child, fn); });
+}
+
+void walk(const Node& node, const std::function<bool(const Node&)>& fn) {
+    walk(const_cast<Node&>(node), [&](Node& n) { return fn(n); });
+}
+
+ParentMap::ParentMap(Node& root) {
+    parents_[&root] = nullptr;
+    walk(root, [&](Node& n) {
+        for_each_child(n, [&](Node& child) { parents_[&child] = &n; });
+        return true;
+    });
+}
+
+Node* ParentMap::parent(const Node& node) const {
+    auto it = parents_.find(&node);
+    ensure(it != parents_.end(), "ParentMap: node not in mapped subtree");
+    return it->second;
+}
+
+ParentMap::BlockSlot ParentMap::slot_of(const Stmt& stmt) const {
+    auto* block = dyn_cast<Block>(parent(stmt));
+    ensure(block != nullptr, "slot_of: statement is not inside a Block");
+    for (std::size_t i = 0; i < block->stmts.size(); ++i) {
+        if (block->stmts[i].get() == &stmt) return {block, i};
+    }
+    throw Error("slot_of: statement not found in its parent block");
+}
+
+int loop_depth(Node& root, const Node& node) {
+    ParentMap parents(root);
+    int depth = 0;
+    for (const Node* p = parents.parent(node); p != nullptr;
+         p = parents.parent(*p)) {
+        if (p->kind() == NodeKind::For) ++depth;
+    }
+    return depth;
+}
+
+} // namespace psaflow::ast

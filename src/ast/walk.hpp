@@ -1,0 +1,72 @@
+// Generic traversal over the HLC AST: child enumeration, pre-order walks and
+// parent maps. The meta-programming query engine (src/meta) and every
+// analysis pass are built on these primitives.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/nodes.hpp"
+
+namespace psaflow::ast {
+
+/// Invoke `fn` on every direct child of `node`, in source order.
+void for_each_child(Node& node, const std::function<void(Node&)>& fn);
+void for_each_child(const Node& node, const std::function<void(const Node&)>& fn);
+
+/// Pre-order traversal rooted at `node` (inclusive). `fn` returns whether to
+/// descend into the visited node's children.
+void walk(Node& node, const std::function<bool(Node&)>& fn);
+void walk(const Node& node, const std::function<bool(const Node&)>& fn);
+
+/// Collect, pre-order, every node under `root` (inclusive) for which `pred`
+/// holds and which is of kind T.
+template <typename T>
+[[nodiscard]] std::vector<T*> collect(Node& root,
+                                      const std::function<bool(const T&)>& pred =
+                                          [](const T&) { return true; }) {
+    std::vector<T*> out;
+    walk(root, [&](Node& n) {
+        if (auto* typed = dynamic_cast<T*>(&n); typed != nullptr && pred(*typed)) {
+            out.push_back(typed);
+        }
+        return true;
+    });
+    return out;
+}
+
+/// Parent links for a subtree, built once by traversal. Nodes are keyed by
+/// address; the map is invalidated by any structural edit.
+class ParentMap {
+public:
+    explicit ParentMap(Node& root);
+
+    /// Parent of `node`, or null for the root.
+    [[nodiscard]] Node* parent(const Node& node) const;
+
+    /// Nearest enclosing node of kind T (excluding `node` itself); null if none.
+    template <typename T>
+    [[nodiscard]] T* enclosing(const Node& node) const {
+        for (Node* p = parent(node); p != nullptr; p = parent(*p)) {
+            if (auto* typed = dynamic_cast<T*>(p)) return typed;
+        }
+        return nullptr;
+    }
+
+    /// The Block directly containing statement `stmt`, with `stmt`'s position
+    /// in it; throws if `stmt` is not a direct child of a Block.
+    struct BlockSlot {
+        Block* block;
+        std::size_t index;
+    };
+    [[nodiscard]] BlockSlot slot_of(const Stmt& stmt) const;
+
+private:
+    std::unordered_map<const Node*, Node*> parents_;
+};
+
+/// Number of `For` nodes strictly enclosing `node` within `root`.
+[[nodiscard]] int loop_depth(Node& root, const Node& node);
+
+} // namespace psaflow::ast

@@ -1,0 +1,56 @@
+// DesignSpec: every decision the PSA-flow accumulated for one design —
+// target, device, DSE-chosen parameters and applied optimisations. The
+// emitters render a complete design source from (module AST, spec); the
+// perf layer prices the same spec on the device models.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "platform/devices.hpp"
+
+namespace psaflow::codegen {
+
+enum class TargetKind {
+    None,      ///< design-flow terminated without offload
+    CpuOpenMp, ///< OpenMP multi-thread CPU design
+    CpuGpu,    ///< HIP CPU+GPU design
+    CpuFpga,   ///< oneAPI CPU+FPGA design
+};
+
+[[nodiscard]] const char* to_string(TargetKind kind);
+
+struct DesignSpec {
+    std::string app_name;
+    std::string kernel_name;
+
+    TargetKind target = TargetKind::None;
+    platform::DeviceId device = platform::DeviceId::Epyc7543;
+
+    // --- CPU (OpenMP) ---
+    int omp_threads = 0;
+
+    // --- GPU (HIP) ---
+    int block_size = 0;
+    /// Directional staging decisions from the data in/out analysis: arrays
+    /// read by the kernel are copied in, written arrays copied out. Empty
+    /// lists mean "stage everything both ways" (analysis unavailable).
+    std::vector<std::string> copy_in;
+    std::vector<std::string> copy_out;
+    bool pinned_host_memory = false;
+    bool specialised_math = false; ///< __expf-style intrinsics
+    std::vector<std::string> shared_arrays;
+
+    // --- FPGA (oneAPI) ---
+    int unroll = 0;
+    bool zero_copy = false; ///< USM host allocations (Stratix10)
+    bool synthesizable = true;
+
+    // --- shared ---
+    bool single_precision = false;
+
+    /// Short design identifier, e.g. "nbody-hip-rtx2080ti".
+    [[nodiscard]] std::string design_name() const;
+};
+
+} // namespace psaflow::codegen

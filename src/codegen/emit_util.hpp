@@ -1,0 +1,38 @@
+// Shared helpers for the design emitters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ast/nodes.hpp"
+
+namespace psaflow::codegen {
+
+/// C/C++ rendering of an HLC type.
+[[nodiscard]] std::string c_type(const ast::ValueType& type);
+
+/// "int n, double* px, double* py" for a function's parameter list.
+[[nodiscard]] std::string param_list(const ast::Function& fn);
+
+/// Pointer (array) parameters of `fn`, in declaration order.
+[[nodiscard]] std::vector<const ast::Param*>
+array_params(const ast::Function& fn);
+
+/// Scalar parameters of `fn`, in declaration order.
+[[nodiscard]] std::vector<const ast::Param*>
+scalar_params(const ast::Function& fn);
+
+/// The kernel's single outermost loop (the offloaded iteration space).
+/// Throws when the kernel does not have exactly one outermost loop.
+[[nodiscard]] ast::For& kernel_outer_loop(const ast::Function& kernel);
+
+/// All functions of `module` except `skip`, printed as plain C++ (HLC is a
+/// C subset). Used for the host-side remainder of generated designs.
+[[nodiscard]] std::string emit_other_functions(const ast::Module& module,
+                                               const std::string& skip);
+
+/// A banner comment block for generated designs.
+[[nodiscard]] std::string banner(const std::string& title,
+                                 const std::vector<std::string>& lines);
+
+} // namespace psaflow::codegen

@@ -1,0 +1,471 @@
+#include <sstream>
+
+#include "ast/builder.hpp"
+#include "ast/clone.hpp"
+#include "ast/printer.hpp"
+#include "codegen/codegen.hpp"
+#include "codegen/emit_util.hpp"
+#include "meta/query.hpp"
+#include "support/error.hpp"
+#include "support/string_util.hpp"
+#include "transform/rewrite.hpp"
+
+namespace psaflow::codegen {
+
+using namespace psaflow::ast;
+
+const char* to_string(TargetKind kind) {
+    switch (kind) {
+        case TargetKind::None: return "reference";
+        case TargetKind::CpuOpenMp: return "omp";
+        case TargetKind::CpuGpu: return "hip";
+        case TargetKind::CpuFpga: return "oneapi";
+    }
+    return "?";
+}
+
+std::string DesignSpec::design_name() const {
+    std::string device_tag;
+    switch (device) {
+        case platform::DeviceId::Epyc7543: device_tag = "epyc"; break;
+        case platform::DeviceId::Gtx1080Ti: device_tag = "gtx1080ti"; break;
+        case platform::DeviceId::Rtx2080Ti: device_tag = "rtx2080ti"; break;
+        case platform::DeviceId::Arria10: device_tag = "arria10"; break;
+        case platform::DeviceId::Stratix10: device_tag = "stratix10"; break;
+    }
+    if (target == TargetKind::None) return app_name + "-reference";
+    return app_name + "-" + to_string(target) + "-" + device_tag;
+}
+
+namespace {
+
+/// Print the statements of `block` at `depth` without the surrounding
+/// braces.
+std::string body_stmts(const Block& block, int depth) {
+    std::string out;
+    for (const auto& s : block.stmts) out += to_source(*s, depth);
+    return out;
+}
+
+/// "long long px_len, long long py_len" — explicit buffer extents for the
+/// generated management code (sized by the data in/out analysis at design
+/// generation time; the developer would otherwise write these by hand).
+std::string len_params(const Function& kernel) {
+    std::string out;
+    for (const Param* p : array_params(kernel)) {
+        if (!out.empty()) out += ", ";
+        out += "long long " + p->name + "_len";
+    }
+    return out;
+}
+
+// ========================================================= OpenMP =========
+
+std::string emit_openmp(const Module& module, const DesignSpec& spec) {
+    std::ostringstream os;
+    os << banner(spec.app_name + ": OpenMP multi-thread CPU design",
+                 {"target: " + std::string(platform::to_string(spec.device)),
+                  "num_threads: " + std::to_string(spec.omp_threads) +
+                      " (OMP Num. Threads DSE)"});
+    os << "#include <cmath>\n";
+    os << "#include <omp.h>\n\n";
+    os << to_source(module);
+    return os.str();
+}
+
+// ============================================================ HIP =========
+
+/// Rewrite, inside `block`, every access `arr[j]` (for a staged array and
+/// exactly the inner induction variable) into `arr_tile[jt]`.
+void stage_tile_accesses(Block& block,
+                         const std::vector<std::string>& staged,
+                         const std::string& inner_var) {
+    for (auto& stmt : block.stmts) {
+        transform::for_each_expr_slot(*stmt, [&](ExprPtr& slot) {
+            auto* ix = dyn_cast<Index>(slot.get());
+            if (ix == nullptr) return;
+            const auto* base = dyn_cast<Ident>(ix->base.get());
+            const auto* idx = dyn_cast<Ident>(ix->index.get());
+            if (base == nullptr || idx == nullptr || idx->name != inner_var)
+                return;
+            for (const auto& name : staged) {
+                if (base->name == name) {
+                    slot = build::index(name + "_tile", build::ident("jt"));
+                    return;
+                }
+            }
+        });
+    }
+}
+
+std::string hip_kernel_body(const Function& kernel,
+                            const sema::TypeInfo& types,
+                            const DesignSpec& spec, const For& outer) {
+    std::ostringstream os;
+    const std::string& v = outer.var;
+    const std::string limit = to_source(*outer.limit);
+
+    os << "    const int " << v
+       << " = blockIdx.x * blockDim.x + threadIdx.x;\n";
+
+    auto inner_loops = meta::inner_for_loops(const_cast<For&>(outer));
+    const bool tiled = !spec.shared_arrays.empty() && !inner_loops.empty();
+
+    if (!tiled) {
+        os << "    if (" << v << " < " << limit << ") {\n";
+        os << body_stmts(*outer.body, 2);
+        os << "    }\n";
+        return os.str();
+    }
+
+    // Shared-memory staging of broadcast arrays around the first inner loop
+    // (the "Introduce Shared Mem Buf" task).
+    const For& inner = *inner_loops.front();
+    const std::string& j = inner.var;
+    const std::string jlimit = to_source(*inner.limit);
+    const int bs = spec.block_size > 0 ? spec.block_size : 256;
+
+    for (const auto& name : spec.shared_arrays) {
+        const Type elem = types.var_type(kernel, name).elem;
+        os << "    __shared__ " << to_string(elem) << " " << name << "_tile["
+           << bs << "];\n";
+    }
+
+    // Statements before / after the inner loop.
+    std::string pre;
+    std::string post;
+    bool seen_inner = false;
+    for (const auto& s : outer.body->stmts) {
+        if (s.get() == static_cast<const Stmt*>(&inner)) {
+            seen_inner = true;
+            continue;
+        }
+        (seen_inner ? post : pre) += to_source(*s, 1);
+    }
+    os << pre;
+
+    os << "    for (int j0 = 0; j0 < " << jlimit << "; j0 += " << bs
+       << ") {\n";
+    os << "        if (j0 + (int)threadIdx.x < " << jlimit << ") {\n";
+    for (const auto& name : spec.shared_arrays) {
+        os << "            " << name << "_tile[threadIdx.x] = " << name
+           << "[j0 + threadIdx.x];\n";
+    }
+    os << "        }\n";
+    os << "        __syncthreads();\n";
+    os << "        const int jt_max = (" << jlimit << " - j0 < " << bs
+       << ") ? (" << jlimit << " - j0) : " << bs << ";\n";
+    os << "        if (" << v << " < " << limit << ") {\n";
+    os << "            for (int jt = 0; jt < jt_max; jt = jt + 1) {\n";
+
+    // Inner body: staged accesses go to the tiles, the induction variable
+    // becomes j0 + jt everywhere else.
+    BlockPtr inner_body = clone_block(*inner.body);
+    stage_tile_accesses(*inner_body, spec.shared_arrays, j);
+    auto j_repl = build::add(build::ident("j0"), build::ident("jt"));
+    transform::substitute_ident(*inner_body, j, *j_repl);
+    os << body_stmts(*inner_body, 4);
+
+    os << "            }\n";
+    os << "        }\n";
+    os << "        __syncthreads();\n";
+    os << "    }\n";
+    os << "    if (" << v << " < " << limit << ") {\n";
+    os << indent_lines(post, 4) << (post.empty() ? "" : "");
+    os << "    }\n";
+    return os.str();
+}
+
+std::string emit_hip(const Module& module, const sema::TypeInfo& types,
+                     const DesignSpec& spec) {
+    const Function* kernel = module.find_function(spec.kernel_name);
+    ensure(kernel != nullptr, "emit_hip: kernel '" + spec.kernel_name +
+                                  "' not found in module");
+    const For& outer = kernel_outer_loop(*kernel);
+
+    std::vector<std::string> notes = {
+        "target device: " + std::string(platform::to_string(spec.device)),
+        "blocksize: " + std::to_string(spec.block_size) + " (blocksize DSE)",
+        std::string("pinned host memory: ") +
+            (spec.pinned_host_memory ? "yes (hipHostMalloc)" : "no"),
+        std::string("single precision: ") +
+            (spec.single_precision ? "yes" : "no"),
+    };
+    if (!spec.shared_arrays.empty())
+        notes.push_back("shared-memory staging: " +
+                        join(spec.shared_arrays, ", "));
+
+    std::ostringstream os;
+    os << banner(spec.app_name + ": HIP CPU+GPU design", notes);
+    os << "#include <hip/hip_runtime.h>\n";
+    os << "#include <cmath>\n";
+    os << "#include <cstdio>\n";
+    os << "#include <cstdlib>\n\n";
+    os << "#define HIP_CHECK(cmd)                                       \\\n"
+          "    do {                                                     \\\n"
+          "        hipError_t hip_err_ = (cmd);                         \\\n"
+          "        if (hip_err_ != hipSuccess) {                        \\\n"
+          "            fprintf(stderr, \"HIP error %s at %s:%d\\n\",    \\\n"
+          "                    hipGetErrorString(hip_err_),             \\\n"
+          "                    __FILE__, __LINE__);                     \\\n"
+          "            exit(EXIT_FAILURE);                              \\\n"
+          "        }                                                    \\\n"
+          "    } while (0)\n\n";
+
+    if (spec.specialised_math) {
+        os << "// Specialised device math (Employ Specialised Math Fns):\n";
+        os << "#define expf(x) __expf(x)\n";
+        os << "#define logf(x) __logf(x)\n";
+        os << "#define powf(x, y) __powf((x), (y))\n\n";
+    }
+
+    // ---- device kernel -----------------------------------------------------
+    os << "__global__ void " << spec.kernel_name << "_gpu("
+       << param_list(*kernel) << ") {\n";
+    os << hip_kernel_body(*kernel, types, spec, outer);
+    os << "}\n\n";
+
+    // ---- host wrapper --------------------------------------------------
+    const auto arrays = array_params(*kernel);
+    os << "void " << spec.kernel_name << "(" << len_params(*kernel)
+       << (arrays.empty() ? "" : ", ") << param_list(*kernel) << ") {\n";
+    for (const Param* p : arrays) {
+        const std::string t = to_string(p->type.elem);
+        os << "    " << t << "* d_" << p->name << " = nullptr;\n";
+        os << "    HIP_CHECK(hipMalloc(&d_" << p->name << ", " << p->name
+           << "_len * sizeof(" << t << ")));\n";
+    }
+    if (spec.pinned_host_memory) {
+        os << "    // Host buffers are expected pinned (hipHostMalloc) by "
+              "the caller;\n"
+           << "    // transfers below then run at full PCIe bandwidth.\n";
+    }
+    auto staged = [&](const std::vector<std::string>& list,
+                      const std::string& name) {
+        if (list.empty()) return true; // no analysis: stage everything
+        for (const auto& entry : list) {
+            if (entry == name) return true;
+        }
+        return false;
+    };
+    for (const Param* p : arrays) {
+        if (!staged(spec.copy_in, p->name)) {
+            os << "    // " << p->name
+               << ": write-only on the device, no host->device copy\n";
+            continue;
+        }
+        os << "    HIP_CHECK(hipMemcpy(d_" << p->name << ", " << p->name
+           << ", " << p->name << "_len * sizeof(" << to_string(p->type.elem)
+           << "), hipMemcpyHostToDevice));\n";
+    }
+    const int bs = spec.block_size > 0 ? spec.block_size : 256;
+    os << "    const int block_size = " << bs << ";\n";
+    os << "    const long long grid_size =\n"
+       << "        (" << to_source(*outer.limit)
+       << " + block_size - 1) / block_size;\n";
+    os << "    hipLaunchKernelGGL(" << spec.kernel_name
+       << "_gpu, dim3(grid_size), dim3(block_size), 0, 0";
+    for (const auto& p : kernel->params) {
+        os << ",\n                       "
+           << (p->type.is_pointer ? "d_" + p->name : p->name);
+    }
+    os << ");\n";
+    os << "    HIP_CHECK(hipGetLastError());\n";
+    os << "    HIP_CHECK(hipDeviceSynchronize());\n";
+    for (const Param* p : arrays) {
+        if (!staged(spec.copy_out, p->name)) {
+            os << "    // " << p->name
+               << ": read-only on the device, no device->host copy\n";
+            continue;
+        }
+        os << "    HIP_CHECK(hipMemcpy(" << p->name << ", d_" << p->name
+           << ", " << p->name << "_len * sizeof(" << to_string(p->type.elem)
+           << "), hipMemcpyDeviceToHost));\n";
+    }
+    for (const Param* p : arrays) {
+        os << "    HIP_CHECK(hipFree(d_" << p->name << "));\n";
+    }
+    os << "}\n\n";
+
+    os << "// ---- host-side application code "
+          "(unchanged reference logic) ----\n";
+    os << emit_other_functions(module, spec.kernel_name);
+    return os.str();
+}
+
+// ========================================================= oneAPI =========
+
+std::string emit_oneapi(const Module& module, const sema::TypeInfo& types,
+                        const DesignSpec& spec) {
+    (void)types;
+    const Function* kernel = module.find_function(spec.kernel_name);
+    ensure(kernel != nullptr, "emit_oneapi: kernel '" + spec.kernel_name +
+                                  "' not found in module");
+    const For& outer = kernel_outer_loop(*kernel);
+    const auto arrays = array_params(*kernel);
+
+    std::vector<std::string> notes = {
+        "target device: " + std::string(platform::to_string(spec.device)),
+        "outer pipeline unroll: " + std::to_string(spec.unroll) +
+            " (Unroll Until Overmap DSE)",
+        std::string("data transfer: ") +
+            (spec.zero_copy ? "zero-copy host memory (USM)"
+                            : "SYCL buffers over PCIe"),
+        std::string("single precision: ") +
+            (spec.single_precision ? "yes" : "no"),
+    };
+    if (!spec.synthesizable)
+        notes.push_back("WARNING: design overmaps the device even at "
+                        "unroll 1 — not synthesizable");
+
+    std::ostringstream os;
+    os << banner(spec.app_name + ": oneAPI CPU+FPGA design", notes);
+    os << "#include <sycl/sycl.hpp>\n";
+    os << "#include <sycl/ext/intel/fpga_extensions.hpp>\n";
+    os << "#include <cmath>\n";
+    os << "#include <cstdio>\n";
+    os << "#include <cstdlib>\n\n";
+    os << "class " << spec.kernel_name << "_id;\n\n";
+    os << "static auto exception_handler = [](sycl::exception_list elist) "
+          "{\n"
+          "    for (std::exception_ptr const& e : elist) {\n"
+          "        try {\n"
+          "            std::rethrow_exception(e);\n"
+          "        } catch (sycl::exception const& ex) {\n"
+          "            fprintf(stderr, \"SYCL exception: %s\\n\", "
+          "ex.what());\n"
+          "            exit(EXIT_FAILURE);\n"
+          "        }\n"
+          "    }\n"
+          "};\n\n";
+
+    os << "void " << spec.kernel_name << "(" << len_params(*kernel)
+       << (arrays.empty() ? "" : ", ") << param_list(*kernel) << ") {\n";
+    os << "#if defined(FPGA_EMULATOR)\n";
+    os << "    sycl::ext::intel::fpga_emulator_selector selector;\n";
+    os << "#else\n";
+    os << "    sycl::ext::intel::fpga_selector selector;\n";
+    os << "#endif\n";
+    os << "    sycl::queue q(selector, exception_handler);\n";
+
+    const int unroll = spec.unroll > 0 ? spec.unroll : 1;
+    if (spec.zero_copy) {
+        // Stratix10: unified shared memory — the kernel reads host memory
+        // in place; no bulk copies.
+        os << "\n    // Zero-copy data transfer (USM): host allocations are\n"
+              "    // accessed in place by the FPGA; no hipMemcpy-style "
+              "staging.\n";
+        for (const Param* p : arrays) {
+            const std::string t = to_string(p->type.elem);
+            os << "    " << t << "* " << p->name
+               << "_usm = sycl::malloc_host<" << t << ">(" << p->name
+               << "_len, q);\n";
+            os << "    for (long long usm_i = 0; usm_i < " << p->name
+               << "_len; ++usm_i) " << p->name << "_usm[usm_i] = " << p->name
+               << "[usm_i];\n";
+        }
+        os << "\n    q.submit([&](sycl::handler& h) {\n";
+        os << "        h.single_task<" << spec.kernel_name
+           << "_id>([=]() [[intel::kernel_args_restrict]] {\n";
+        os << "            #pragma unroll " << unroll << "\n";
+        // Print the outer loop with USM pointer names.
+        auto loop_clone = clone_stmt(outer);
+        for (const Param* p : arrays) {
+            // arr -> arr_usm applies to subscript bases only: rename idents
+            // used as Index bases.
+            walk(*loop_clone, [&](Node& n) {
+                if (auto* ix = dyn_cast<Index>(&n)) {
+                    if (auto* base = dyn_cast<Ident>(ix->base.get());
+                        base != nullptr && base->name == p->name)
+                        base->name = p->name + "_usm";
+                }
+                return true;
+            });
+        }
+        os << to_source(*loop_clone, 3);
+        os << "        });\n";
+        os << "    });\n";
+        os << "    q.wait();\n\n";
+        for (const Param* p : arrays) {
+            os << "    for (long long usm_i = 0; usm_i < " << p->name
+               << "_len; ++usm_i) " << p->name << "[usm_i] = " << p->name
+               << "_usm[usm_i];\n";
+            os << "    sycl::free(" << p->name << "_usm, q);\n";
+        }
+    } else {
+        // Arria10: SYCL buffers, copied over PCIe at scope boundaries.
+        os << "    {\n";
+        for (const Param* p : arrays) {
+            const std::string t = to_string(p->type.elem);
+            os << "        sycl::buffer<" << t << ", 1> " << p->name
+               << "_buf(" << p->name << ", sycl::range<1>(" << p->name
+               << "_len));\n";
+        }
+        os << "        q.submit([&](sycl::handler& h) {\n";
+        for (const Param* p : arrays) {
+            os << "            auto " << p->name << "_acc = " << p->name
+               << "_buf.get_access<sycl::access::mode::read_write>(h);\n";
+        }
+        os << "            h.single_task<" << spec.kernel_name
+           << "_id>([=]() {\n";
+        os << "                #pragma unroll " << unroll << "\n";
+        auto loop_clone = clone_stmt(outer);
+        for (const Param* p : arrays) {
+            walk(*loop_clone, [&](Node& n) {
+                if (auto* ix = dyn_cast<Index>(&n)) {
+                    if (auto* base = dyn_cast<Ident>(ix->base.get());
+                        base != nullptr && base->name == p->name)
+                        base->name = p->name + "_acc";
+                }
+                return true;
+            });
+        }
+        os << to_source(*loop_clone, 4);
+        os << "            });\n";
+        os << "        });\n";
+        os << "    } // buffer destructors synchronise data back to the "
+              "host\n";
+        os << "    q.wait();\n";
+    }
+    os << "}\n\n";
+
+    os << "// ---- host-side application code "
+          "(unchanged reference logic) ----\n";
+    os << emit_other_functions(module, spec.kernel_name);
+    return os.str();
+}
+
+// ====================================================== reference ==========
+
+std::string emit_reference(const Module& module, const DesignSpec& spec) {
+    std::ostringstream os;
+    os << banner(spec.app_name + ": unmodified reference design",
+                 {"the PSA strategy found no profitable mapping"});
+    os << "#include <cmath>\n\n";
+    os << to_source(module);
+    return os.str();
+}
+
+} // namespace
+
+std::string emit_design(const Module& module, const sema::TypeInfo& types,
+                        const DesignSpec& spec) {
+    switch (spec.target) {
+        case TargetKind::CpuOpenMp: return emit_openmp(module, spec);
+        case TargetKind::CpuGpu: return emit_hip(module, types, spec);
+        case TargetKind::CpuFpga: return emit_oneapi(module, types, spec);
+        case TargetKind::None: return emit_reference(module, spec);
+    }
+    throw Error("emit_design: bad target");
+}
+
+double loc_delta(const std::string& design_source,
+                 const std::string& reference_source) {
+    const int design = count_loc(design_source);
+    const int reference = count_loc(reference_source);
+    ensure(reference > 0, "loc_delta: empty reference source");
+    return static_cast<double>(design - reference) /
+           static_cast<double>(reference);
+}
+
+} // namespace psaflow::codegen

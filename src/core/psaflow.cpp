@@ -1,0 +1,32 @@
+#include "core/psaflow.hpp"
+
+#include "frontend/parser.hpp"
+
+namespace psaflow {
+
+flow::FlowResult compile(const apps::Application& app,
+                         const RunOptions& options) {
+    return compile(app.name, app.source, app.workload,
+                   app.allow_single_precision, options);
+}
+
+flow::FlowResult compile(const std::string& app_name, std::string_view source,
+                         analysis::Workload workload,
+                         bool allow_single_precision,
+                         const RunOptions& options) {
+    auto module = frontend::parse_module(source, app_name);
+    flow::FlowContext ctx(app_name, std::move(module), std::move(workload));
+    ctx.allow_single_precision = allow_single_precision;
+    ctx.intensity_threshold_x = options.intensity_threshold_x;
+
+    flow::EngineOptions engine;
+    engine.budget = options.budget;
+    engine.cost_model = options.cost_model;
+
+    const flow::DesignFlow design_flow = flow::standard_flow(options.mode);
+    return flow::run_flow(design_flow, std::move(ctx), engine);
+}
+
+const char* version() { return "psaflow 1.0.0"; }
+
+} // namespace psaflow

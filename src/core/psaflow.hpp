@@ -1,0 +1,46 @@
+// psaflow public API.
+//
+// The facade over the whole system: parse a technology-agnostic HLC
+// application, run the paper's implemented PSA-flow (Fig. 4) in informed or
+// uninformed mode, and receive the generated designs with their emitted
+// sources and predicted performance.
+//
+//     const auto& app = psaflow::apps::nbody();
+//     auto result = psaflow::compile(app, {.mode = flow::Mode::Informed});
+//     for (const auto& d : result.designs)
+//         std::cout << d.name() << ": " << d.speedup << "x\n";
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "analysis/workload.hpp"
+#include "apps/apps.hpp"
+#include "flow/engine.hpp"
+#include "flow/standard_flow.hpp"
+
+namespace psaflow {
+
+struct RunOptions {
+    flow::Mode mode = flow::Mode::Informed;
+    flow::Budget budget;         ///< Fig. 3 cost feedback (optional)
+    flow::CostModel cost_model;  ///< cloud prices for the budget check
+    double intensity_threshold_x = 4.0; ///< Fig. 3's tunable X (FLOPs/B)
+};
+
+/// Run the standard PSA-flow on one of the bundled applications.
+[[nodiscard]] flow::FlowResult compile(const apps::Application& app,
+                                       const RunOptions& options = {});
+
+/// Run the standard PSA-flow on arbitrary HLC source. `workload` drives the
+/// dynamic analyses; `allow_single_precision` gates the SP transforms.
+[[nodiscard]] flow::FlowResult compile(const std::string& app_name,
+                                       std::string_view source,
+                                       analysis::Workload workload,
+                                       bool allow_single_precision = true,
+                                       const RunOptions& options = {});
+
+/// Library version string.
+[[nodiscard]] const char* version();
+
+} // namespace psaflow

@@ -1,0 +1,82 @@
+#include "dse/dse.hpp"
+
+#include <algorithm>
+
+#include "perf/estimator.hpp"
+#include "platform/cpu.hpp"
+#include "support/error.hpp"
+
+namespace psaflow::dse {
+
+using namespace psaflow::platform;
+
+UnrollResult unroll_until_overmap(const FpgaModel& fpga,
+                                  const ast::Function& kernel,
+                                  const sema::TypeInfo& types, int max_unroll,
+                                  bool single_precision) {
+    ensure(max_unroll >= 1, "unroll_until_overmap: max_unroll must be >= 1");
+    UnrollResult result;
+
+    int unroll = 1;
+    while (true) {
+        const FpgaReport report =
+            fpga.report(kernel, types, unroll, single_precision);
+        result.trace.push_back(
+            UnrollStep{unroll, report.utilisation(), report.overmapped});
+        if (report.overmapped) break;
+        result.unroll = unroll;
+        result.report = report;
+        if (unroll >= max_unroll) break;
+        unroll *= 2; // the Fig. 2 meta-program doubles each DSE iteration
+    }
+    return result;
+}
+
+BlocksizeResult blocksize_dse(const GpuModel& gpu, const KernelShape& shape,
+                              double smem_per_thread_bytes,
+                              bool pinned_host_memory) {
+    BlocksizeResult result;
+    result.seconds = 1e30;
+
+    for (int bs = 32; bs <= 1024; bs *= 2) {
+        LaunchConfig config;
+        config.block_size = bs;
+        config.pinned_host_memory = pinned_host_memory;
+        config.smem_per_block_kb = smem_per_thread_bytes * bs / 1024.0;
+        const GpuEstimate est = gpu.estimate(shape, config);
+        result.trace.push_back(
+            BlocksizeStep{bs, est.occupancy, est.total_seconds});
+
+        const bool faster = est.total_seconds < result.seconds * (1.0 - 1e-9);
+        const bool tie_better_occupancy =
+            est.total_seconds <= result.seconds * (1.0 + 1e-9) &&
+            est.occupancy > result.occupancy;
+        if (faster || tie_better_occupancy) {
+            result.block_size = bs;
+            result.occupancy = est.occupancy;
+            result.seconds = est.total_seconds;
+        }
+    }
+    return result;
+}
+
+ThreadsResult omp_threads_dse(const CpuModel& cpu, const KernelShape& shape) {
+    ThreadsResult result;
+    result.seconds = 1e30;
+
+    std::vector<int> candidates;
+    for (int t = 1; t < cpu.spec().cores; t *= 2) candidates.push_back(t);
+    candidates.push_back(cpu.spec().cores);
+
+    for (int threads : candidates) {
+        const double seconds = cpu.time_multi_thread(shape, threads);
+        result.trace.push_back(ThreadsStep{threads, seconds});
+        if (seconds < result.seconds) {
+            result.seconds = seconds;
+            result.threads = threads;
+        }
+    }
+    return result;
+}
+
+} // namespace psaflow::dse

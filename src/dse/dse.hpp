@@ -1,0 +1,94 @@
+// Design-space exploration engines — the paper's "O"-class tasks:
+//
+//   - "Unroll Until Overmap DSE" (Fig. 2): double the kernel unroll factor
+//     until the FPGA report estimates > 90% utilisation, keep the last
+//     fitting design;
+//   - "<GPU> Blocksize DSE": sweep launch configurations against the GPU
+//     model, minimising time (maximum occupancy breaks ties);
+//   - "OMP Num. Threads DSE": sweep thread counts against the CPU model.
+//
+// Each engine returns the chosen parameter *and* its exploration trace so
+// benches and tests can inspect the search path.
+#pragma once
+
+#include <vector>
+
+#include "ast/nodes.hpp"
+#include "platform/cpu.hpp"
+#include "platform/fpga.hpp"
+#include "platform/gpu.hpp"
+#include "platform/kernel_shape.hpp"
+#include "sema/type_check.hpp"
+
+namespace psaflow::dse {
+
+// ---------------------------------------------------------------- FPGA ----
+
+struct UnrollStep {
+    int unroll = 1;
+    double utilisation = 0.0;
+    bool overmapped = false;
+};
+
+struct UnrollResult {
+    /// Largest power-of-two unroll that fits (0 when even unroll=1
+    /// overmaps — the paper's Rush Larsen case: design not synthesizable).
+    int unroll = 0;
+    platform::FpgaReport report; ///< report for the chosen factor
+    std::vector<UnrollStep> trace;
+
+    [[nodiscard]] bool synthesizable() const { return unroll >= 1; }
+};
+
+/// Fig. 2's meta-program against the FPGA report model. `max_unroll` bounds
+/// the search (the parallel iteration count is a natural bound).
+[[nodiscard]] UnrollResult
+unroll_until_overmap(const platform::FpgaModel& fpga,
+                     const ast::Function& kernel,
+                     const sema::TypeInfo& types, int max_unroll = 1 << 14,
+                     bool single_precision = false);
+
+// ----------------------------------------------------------------- GPU ----
+
+struct BlocksizeStep {
+    int block_size = 0;
+    double occupancy = 0.0;
+    double seconds = 0.0;
+};
+
+struct BlocksizeResult {
+    int block_size = 256;
+    double occupancy = 0.0;
+    double seconds = 0.0;
+    std::vector<BlocksizeStep> trace;
+};
+
+/// Sweep {32, 64, ..., 1024} minimising predicted time; occupancy breaks
+/// ties. `smem_per_thread_bytes` models shared-memory tiles that grow with
+/// the block (bytes staged per thread).
+[[nodiscard]] BlocksizeResult
+blocksize_dse(const platform::GpuModel& gpu,
+              const platform::KernelShape& shape,
+              double smem_per_thread_bytes = 0.0,
+              bool pinned_host_memory = false);
+
+// ----------------------------------------------------------------- CPU ----
+
+struct ThreadsStep {
+    int threads = 0;
+    double seconds = 0.0;
+};
+
+struct ThreadsResult {
+    int threads = 1;
+    double seconds = 0.0;
+    std::vector<ThreadsStep> trace;
+};
+
+/// Sweep thread counts (powers of two up to the core count, plus the core
+/// count itself) minimising predicted time.
+[[nodiscard]] ThreadsResult
+omp_threads_dse(const platform::CpuModel& cpu,
+                const platform::KernelShape& shape);
+
+} // namespace psaflow::dse

@@ -1,0 +1,110 @@
+// FlowContext: the design state threaded through a PSA-flow. Each branch
+// path forks the context (deep-cloning the module) so sibling paths cannot
+// observe each other's transforms — the mechanism behind Fig. 1's
+// "increasingly specialized designs".
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/characterize.hpp"
+#include "analysis/dependence.hpp"
+#include "analysis/workload.hpp"
+#include "ast/nodes.hpp"
+#include "codegen/design_spec.hpp"
+#include "perf/shape_builder.hpp"
+#include "platform/fpga.hpp"
+#include "sema/type_check.hpp"
+
+namespace psaflow::flow {
+
+class FlowContext {
+public:
+    /// Start a flow over `source_module` driven by `workload`.
+    FlowContext(std::string app_name, ast::ModulePtr source_module,
+                analysis::Workload workload);
+
+    FlowContext(FlowContext&&) = default;
+    FlowContext& operator=(FlowContext&&) = default;
+
+    /// Deep copy for a branch path: clones the module, re-checks types and
+    /// invalidates node-id-keyed caches.
+    [[nodiscard]] FlowContext fork() const;
+
+    // ---- state access -------------------------------------------------
+
+    [[nodiscard]] ast::Module& module() { return *module_; }
+    [[nodiscard]] const ast::Module& module() const { return *module_; }
+    [[nodiscard]] const sema::TypeInfo& types() const { return types_; }
+    [[nodiscard]] const analysis::Workload& workload() const {
+        return workload_;
+    }
+    [[nodiscard]] const std::string& app_name() const { return app_name_; }
+    [[nodiscard]] const std::string& reference_source() const {
+        return reference_source_;
+    }
+
+    /// The extracted kernel function; throws before extraction.
+    [[nodiscard]] ast::Function& kernel() const;
+    [[nodiscard]] ast::For& outer_loop() const;
+    [[nodiscard]] bool has_kernel() const { return !spec.kernel_name.empty(); }
+
+    /// Evaluation scale relative to profiling scale.
+    [[nodiscard]] double relative_scale() const {
+        return workload_.eval_scale / workload_.profile_scale;
+    }
+
+    // ---- cache management -----------------------------------------------
+
+    /// Call after any structural edit: re-runs sema and drops the dynamic
+    /// characterisation (node ids / costs changed).
+    void invalidate();
+
+    /// Dynamic kernel characterisation of the *current* module state;
+    /// recomputed lazily after invalidation.
+    [[nodiscard]] const analysis::KernelCharacterization& characterization();
+
+    /// Dependence analysis of the kernel's outer loop (current state).
+    [[nodiscard]] const analysis::DependenceInfo& outer_dependence();
+
+    /// KernelShape of the current design at evaluation scale, folding in
+    /// the accumulated DesignSpec decisions (SP, shared arrays).
+    [[nodiscard]] platform::KernelShape shape();
+
+    /// Single-thread CPU reference time (captured by the first
+    /// characterisation of the pristine kernel; stable across transforms).
+    [[nodiscard]] double reference_seconds();
+
+    void note(std::string line) { log_.push_back(std::move(line)); }
+    [[nodiscard]] const std::vector<std::string>& log() const { return log_; }
+
+    // ---- accumulated design decisions ------------------------------------
+
+    codegen::DesignSpec spec;
+    std::optional<platform::FpgaReport> fpga_report;
+
+    /// Workload characteristics the PSA strategy consumes (set by the
+    /// analysis tasks; see Fig. 3).
+    bool allow_single_precision = true;
+    double intensity_threshold_x = 4.0; ///< Fig. 3's tunable X
+
+    /// Hotspot detection result (set by the Identify Hotspot Loops task).
+    std::optional<ast::Node::Id> hotspot_loop_id;
+    std::string hotspot_function;
+    double hotspot_fraction = 0.0;
+
+private:
+    std::string app_name_;
+    ast::ModulePtr module_;
+    sema::TypeInfo types_;
+    analysis::Workload workload_;
+    std::string reference_source_;
+
+    std::optional<analysis::KernelCharacterization> ch_;
+    std::optional<analysis::DependenceInfo> outer_dep_;
+    double reference_seconds_ = 0.0;
+    std::vector<std::string> log_;
+};
+
+} // namespace psaflow::flow

@@ -1,0 +1,192 @@
+#include "flow/engine.hpp"
+
+#include <algorithm>
+
+#include "perf/estimator.hpp"
+#include "support/error.hpp"
+#include "support/string_util.hpp"
+
+namespace psaflow::flow {
+
+using codegen::TargetKind;
+
+const DesignArtifact* FlowResult::best() const {
+    const DesignArtifact* out = nullptr;
+    for (const auto& d : designs) {
+        if (!d.synthesizable) continue;
+        if (out == nullptr || d.speedup > out->speedup) out = &d;
+    }
+    return out;
+}
+
+const DesignArtifact* FlowResult::find(TargetKind target,
+                                       platform::DeviceId device) const {
+    for (const auto& d : designs) {
+        if (d.spec.target == target && d.spec.device == device) return &d;
+    }
+    return nullptr;
+}
+
+namespace {
+
+double smem_per_block_kb(FlowContext& ctx) {
+    if (ctx.spec.shared_arrays.empty() || ctx.spec.block_size <= 0)
+        return 0.0;
+    double bytes_per_thread = 0.0;
+    for (const auto& arr : ctx.spec.shared_arrays) {
+        bytes_per_thread +=
+            size_of(ctx.types().var_type(ctx.kernel(), arr).elem);
+    }
+    return bytes_per_thread * ctx.spec.block_size / 1024.0;
+}
+
+DesignArtifact finalize(FlowContext ctx, double reference_seconds) {
+    DesignArtifact out;
+    out.shape = ctx.shape();
+
+    switch (ctx.spec.target) {
+        case TargetKind::None:
+            out.hotspot_seconds = reference_seconds;
+            break;
+        case TargetKind::CpuOpenMp: {
+            const int threads = ctx.spec.omp_threads > 0
+                                    ? ctx.spec.omp_threads
+                                    : platform::epyc7543().cores;
+            out.hotspot_seconds = perf::omp_seconds(out.shape, threads);
+            break;
+        }
+        case TargetKind::CpuGpu: {
+            perf::GpuDesignPoint point;
+            point.device = ctx.spec.device;
+            point.block_size =
+                ctx.spec.block_size > 0 ? ctx.spec.block_size : 256;
+            point.pinned_host_memory = ctx.spec.pinned_host_memory;
+            point.smem_per_block_kb = smem_per_block_kb(ctx);
+            out.hotspot_seconds =
+                perf::gpu_estimate(out.shape, point).total_seconds;
+            break;
+        }
+        case TargetKind::CpuFpga: {
+            ensure(ctx.fpga_report.has_value(),
+                   "finalize: FPGA design without an unroll DSE report");
+            perf::FpgaDesignPoint point;
+            point.device = ctx.spec.device;
+            point.report = *ctx.fpga_report;
+            out.hotspot_seconds =
+                perf::fpga_estimate(out.shape, point).total_seconds;
+            break;
+        }
+    }
+
+    out.synthesizable = ctx.spec.synthesizable;
+    out.speedup = out.synthesizable && out.hotspot_seconds > 0.0
+                      ? reference_seconds / out.hotspot_seconds
+                      : 0.0;
+    out.source = codegen::emit_design(ctx.module(), ctx.types(), ctx.spec);
+    out.loc_delta = codegen::loc_delta(out.source, ctx.reference_source());
+    ctx.note("design '" + ctx.spec.design_name() + "': " +
+             (out.synthesizable
+                  ? format_compact(out.speedup, 4) + "x speedup, +" +
+                        format_compact(100.0 * out.loc_delta, 3) + "% LOC"
+                  : "not synthesizable"));
+    out.spec = ctx.spec;
+    out.log = ctx.log();
+    return out;
+}
+
+void descend(const BranchPoint* branch, FlowContext ctx,
+             double reference_seconds, std::vector<DesignArtifact>& out) {
+    if (branch == nullptr) {
+        out.push_back(finalize(std::move(ctx), reference_seconds));
+        return;
+    }
+    const auto indices = branch->strategy->select(ctx, *branch);
+    if (indices.empty()) {
+        // Fig. 3's terminate outcome: the design leaves unmodified.
+        ctx.spec.target = TargetKind::None;
+        out.push_back(finalize(std::move(ctx), reference_seconds));
+        return;
+    }
+    for (std::size_t idx : indices) {
+        ensure(idx < branch->paths.size(),
+               "run_flow: strategy selected an out-of-range path");
+        const FlowPath& path = branch->paths[idx];
+        FlowContext forked = ctx.fork();
+        forked.note("entering path '" + path.name + "' at branch '" +
+                    branch->name + "'");
+        for (const TaskPtr& task : path.tasks) task->run(forked);
+        descend(path.next.get(), std::move(forked), reference_seconds, out);
+    }
+}
+
+} // namespace
+
+FlowResult run_flow(const DesignFlow& flow, FlowContext ctx,
+                    const EngineOptions& options) {
+    for (const TaskPtr& task : flow.prologue) task->run(ctx);
+
+    FlowResult result;
+    result.reference_seconds =
+        ctx.has_kernel() ? ctx.reference_seconds() : 0.0;
+    result.log = ctx.log();
+
+    if (flow.branch == nullptr) {
+        result.designs.push_back(
+            finalize(std::move(ctx), result.reference_seconds));
+        return result;
+    }
+
+    // Budget feedback loop (Fig. 3, bottom): if the selected design's run
+    // cost exceeds the budget, exclude its target and re-select. Only
+    // meaningful for single-path (informed) strategies.
+    std::set<std::string> excluded;
+    for (int iteration = 0;; ++iteration) {
+        BranchPoint branch = *flow.branch;
+        if (!excluded.empty())
+            branch.strategy = informed_strategy(excluded);
+
+        result.designs.clear();
+        descend(&branch, ctx.fork(), result.reference_seconds,
+                result.designs);
+
+        if (!options.budget.constrained() ||
+            iteration >= options.max_feedback_iterations)
+            break;
+
+        // Feedback applies only to an *informed* selection: every design of
+        // this round belongs to one target family (device branch points may
+        // still have produced one design per device).
+        TargetKind family = TargetKind::None;
+        bool single_family = true;
+        for (const auto& d : result.designs) {
+            if (d.spec.target == TargetKind::None) continue;
+            if (family == TargetKind::None) family = d.spec.target;
+            if (d.spec.target != family) single_family = false;
+        }
+        if (!single_family || family == TargetKind::None) break;
+
+        // Evaluate the cheapest synthesizable design of the family against
+        // the budget.
+        const DesignArtifact* cheapest = nullptr;
+        for (const auto& d : result.designs) {
+            if (!d.synthesizable) continue;
+            if (cheapest == nullptr ||
+                d.hotspot_seconds < cheapest->hotspot_seconds)
+                cheapest = &d;
+        }
+        if (cheapest == nullptr) break;
+        const double cost = options.cost_model.run_cost(
+            family, cheapest->hotspot_seconds);
+        if (cost <= options.budget.max_run_cost) break;
+
+        switch (family) {
+            case TargetKind::CpuGpu: excluded.insert("gpu"); break;
+            case TargetKind::CpuFpga: excluded.insert("fpga"); break;
+            case TargetKind::CpuOpenMp: excluded.insert("cpu"); break;
+            default: break;
+        }
+    }
+    return result;
+}
+
+} // namespace psaflow::flow

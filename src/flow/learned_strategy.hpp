@@ -1,0 +1,76 @@
+// Learned PSA strategy — the paper's future work ("developing sophisticated
+// ML-based PSA strategies ... with access to a full application
+// representation, data collected by analysis tasks, and knowledge of target
+// hardware capabilities, there is considerable opportunity for
+// sophisticated PSA strategies incorporating, for example, machine-learning
+// techniques").
+//
+// This is a deliberately transparent instance: a k-nearest-neighbour
+// classifier over the same analysis-derived signals the Fig. 3 tree
+// consumes (arithmetic intensity, transfer-vs-CPU ratio, loop structure,
+// dependence and transcendental fractions), trained from labelled examples.
+// `train_from_oracle` produces the labels the honest way: run the
+// uninformed flow (generate every design) and record which target won.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "flow/task.hpp"
+
+namespace psaflow::flow {
+
+/// Feature vector for one kernel, derived from the target-independent
+/// analyses (all scale-free or log-scaled).
+struct StrategyFeatures {
+    double log_intensity = 0.0;      ///< log10(per-pass FLOPs/B)
+    double log_compute_transfer = 0.0; ///< log10(T_cpu / T_transfer)
+    double outer_parallel = 0.0;       ///< 0/1
+    double inner_with_deps = 0.0;      ///< 0/1
+    double inner_fully_unrollable = 0.0; ///< 0/1
+    double dependent_fraction = 0.0;
+    double transcendental_fraction = 0.0;
+    double log_parallel_iters = 0.0;
+
+    [[nodiscard]] std::vector<double> as_vector() const;
+};
+
+/// Extract features from a context (runs the required analyses).
+[[nodiscard]] StrategyFeatures gather_features(FlowContext& ctx);
+
+/// A labelled training example.
+struct TrainingExample {
+    StrategyFeatures features;
+    std::string label; ///< "cpu", "gpu" or "fpga" (FlowPath names at A)
+};
+
+/// k-NN over z-score-normalised features. Deterministic: ties break toward
+/// the nearest example.
+class LearnedStrategy final : public PsaStrategy {
+public:
+    explicit LearnedStrategy(std::vector<TrainingExample> examples, int k = 3);
+
+    [[nodiscard]] std::string name() const override { return "learned (kNN)"; }
+
+    [[nodiscard]] std::vector<std::size_t>
+    select(FlowContext& ctx, const BranchPoint& branch) override;
+
+    /// Classify a bare feature vector (exposed for tests/benches).
+    [[nodiscard]] std::string classify(const StrategyFeatures& features) const;
+
+private:
+    std::vector<TrainingExample> examples_;
+    std::vector<double> mean_;
+    std::vector<double> stddev_;
+    int k_;
+};
+
+/// Label `training_apps` by running the uninformed flow and recording the
+/// winning target of each ("the oracle"). Expensive: one full uninformed
+/// flow per application.
+[[nodiscard]] std::vector<TrainingExample>
+train_from_oracle(const std::vector<const apps::Application*>& training_apps);
+
+} // namespace psaflow::flow

@@ -1,0 +1,74 @@
+#include "flow/standard_flow.hpp"
+
+#include "flow/strategy.hpp"
+#include "flow/tasks.hpp"
+
+namespace psaflow::flow {
+
+using platform::DeviceId;
+
+DesignFlow standard_flow(Mode mode) {
+    DesignFlow flow;
+
+    // ---- target-independent tasks (Fig. 4 top) -------------------------
+    flow.prologue = {
+        identify_hotspot_loops(),
+        hotspot_loop_extraction(),
+        pointer_analysis(),
+        arithmetic_intensity_analysis(),
+        data_inout_analysis(),
+        loop_dependence_analysis(),
+        loop_tripcount_analysis(),
+        remove_array_plus_eq(),
+    };
+
+    // ---- branch point B: FPGA devices -------------------------------------
+    auto branch_b = std::make_shared<BranchPoint>();
+    branch_b->name = "B (FPGA device)";
+    branch_b->strategy = select_all();
+    branch_b->paths.push_back(FlowPath{
+        "arria10",
+        {unroll_until_overmap_dse(DeviceId::Arria10)},
+        nullptr});
+    branch_b->paths.push_back(FlowPath{
+        "stratix10",
+        {zero_copy_data_transfer(),
+         unroll_until_overmap_dse(DeviceId::Stratix10)},
+        nullptr});
+
+    // ---- branch point C: GPU devices ---------------------------------------
+    auto branch_c = std::make_shared<BranchPoint>();
+    branch_c->name = "C (GPU device)";
+    branch_c->strategy = select_all();
+    branch_c->paths.push_back(FlowPath{
+        "gtx1080ti", {blocksize_dse(DeviceId::Gtx1080Ti)}, nullptr});
+    branch_c->paths.push_back(FlowPath{
+        "rtx2080ti", {blocksize_dse(DeviceId::Rtx2080Ti)}, nullptr});
+
+    // ---- branch point A: target selection ----------------------------------
+    auto branch_a = std::make_shared<BranchPoint>();
+    branch_a->name = "A (target)";
+    branch_a->strategy =
+        mode == Mode::Informed ? informed_strategy() : select_all();
+
+    branch_a->paths.push_back(FlowPath{
+        "gpu",
+        {generate_hip_design(), employ_hip_pinned_memory(),
+         employ_sp_math_fns(), employ_sp_numeric_literals(),
+         introduce_shared_mem_buf(), employ_specialised_math_fns()},
+        branch_c});
+    branch_a->paths.push_back(FlowPath{
+        "fpga",
+        {generate_oneapi_design(), unroll_fixed_loops(),
+         employ_sp_math_fns(), employ_sp_numeric_literals()},
+        branch_b});
+    branch_a->paths.push_back(FlowPath{
+        "cpu",
+        {multi_thread_parallel_loops(), omp_num_threads_dse()},
+        nullptr});
+
+    flow.branch = branch_a;
+    return flow;
+}
+
+} // namespace psaflow::flow

@@ -1,0 +1,19 @@
+// The paper's implemented PSA-flow (Fig. 4): target-independent tasks, then
+// branch point A (multi-thread CPU / CPU+GPU / CPU+FPGA), then device
+// branch points B (Arria10 / Stratix10) and C (GTX 1080 Ti / RTX 2080 Ti).
+#pragma once
+
+#include "flow/task.hpp"
+
+namespace psaflow::flow {
+
+enum class Mode {
+    Informed,   ///< Fig. 3 strategy at branch point A
+    Uninformed, ///< all paths at A: generates all five designs
+};
+
+/// Build the Fig. 4 flow. Branch points B and C always select both devices
+/// (as in the paper's implementation).
+[[nodiscard]] DesignFlow standard_flow(Mode mode);
+
+} // namespace psaflow::flow

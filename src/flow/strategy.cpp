@@ -1,0 +1,189 @@
+#include "flow/strategy.hpp"
+
+#include <algorithm>
+
+#include "meta/query.hpp"
+#include "perf/estimator.hpp"
+#include "support/error.hpp"
+#include "support/string_util.hpp"
+
+namespace psaflow::flow {
+
+double CostModel::price_per_hour(codegen::TargetKind target) const {
+    switch (target) {
+        case codegen::TargetKind::CpuGpu: return gpu_per_hour;
+        case codegen::TargetKind::CpuFpga: return fpga_per_hour;
+        default: return cpu_per_hour;
+    }
+}
+
+double CostModel::run_cost(codegen::TargetKind target, double seconds) const {
+    return seconds / 3600.0 * price_per_hour(target);
+}
+
+double energy_joules(const CostModel& model, platform::DeviceId device,
+                     double seconds) {
+    double device_watts = 0.0;
+    switch (device) {
+        case platform::DeviceId::Epyc7543:
+            // The CPU designs run *on* the host: no separate host share.
+            return platform::epyc7543().tdp_watts * seconds;
+        case platform::DeviceId::Gtx1080Ti:
+        case platform::DeviceId::Rtx2080Ti:
+            device_watts = platform::gpu_spec(device).tdp_watts;
+            break;
+        case platform::DeviceId::Arria10:
+        case platform::DeviceId::Stratix10:
+            device_watts = platform::fpga_spec(device).tdp_watts;
+            break;
+    }
+    return (device_watts + model.host_share_watts) * seconds;
+}
+
+const char* to_string(Fig3Choice choice) {
+    switch (choice) {
+        case Fig3Choice::CpuOpenMp: return "multi-thread CPU";
+        case Fig3Choice::CpuGpu: return "CPU+GPU";
+        case Fig3Choice::CpuFpga: return "CPU+FPGA";
+        case Fig3Choice::Terminate: return "terminate (reference)";
+    }
+    return "?";
+}
+
+Fig3Choice fig3_decide(const Fig3Inputs& in) {
+    const bool offload_worthwhile =
+        in.transfer_seconds < in.cpu_seconds &&
+        in.flops_per_byte > in.threshold_x;
+
+    if (!offload_worthwhile) {
+        // Memory-bound or transfer-dominated: accelerators cannot help.
+        return in.outer_parallel ? Fig3Choice::CpuOpenMp
+                                 : Fig3Choice::Terminate;
+    }
+    if (!in.outer_parallel) {
+        // Sequential outer loop: only pipelined execution extracts
+        // parallelism.
+        return Fig3Choice::CpuFpga;
+    }
+    // Parallel outer loop: a GPU usually wins on data parallelism, unless
+    // fixed-bound dependent inner loops make pipelined full unrolling on an
+    // FPGA more profitable.
+    if (in.inner_loop_with_deps && in.inner_fully_unrollable)
+        return Fig3Choice::CpuFpga;
+    return Fig3Choice::CpuGpu;
+}
+
+Fig3Inputs gather_fig3_inputs(FlowContext& ctx) {
+    Fig3Inputs in;
+    const auto shape = ctx.shape();
+    in.transfer_seconds = perf::transfer_seconds_estimate(shape);
+    in.cpu_seconds = ctx.reference_seconds();
+    // Per-pass streaming intensity: the roofline-relevant FLOPs per byte of
+    // DRAM traffic. Each kernel invocation streams the footprint once, so
+    // the footprint-based intensity is divided by the invocation count.
+    in.flops_per_byte =
+        ctx.characterization().flops_per_byte(ctx.relative_scale()) /
+        std::max<long long>(1, ctx.characterization().kernel_calls);
+    in.threshold_x = ctx.intensity_threshold_x;
+    in.outer_parallel = ctx.outer_dependence().parallel;
+
+    for (ast::For* inner : meta::inner_for_loops(ctx.outer_loop())) {
+        const auto info = analysis::analyze_dependence(ctx.module(), *inner);
+        const bool deps = info.has_reductions() || !info.carried.empty() ||
+                          !info.array_accumulations.empty();
+        if (!deps) continue;
+        in.inner_loop_with_deps = true;
+        if (meta::has_fixed_bounds(*inner) &&
+            meta::constant_trip_count(*inner) <= 64)
+            in.inner_fully_unrollable = true;
+    }
+    return in;
+}
+
+namespace {
+
+std::size_t path_index(const BranchPoint& branch, const std::string& name) {
+    for (std::size_t i = 0; i < branch.paths.size(); ++i) {
+        if (branch.paths[i].name == name) return i;
+    }
+    throw Error("PSA strategy: flow has no path named '" + name + "'");
+}
+
+class InformedStrategy final : public PsaStrategy {
+public:
+    explicit InformedStrategy(std::set<std::string> excluded)
+        : excluded_(std::move(excluded)) {}
+
+    std::string name() const override { return "informed (Fig. 3)"; }
+
+    std::vector<std::size_t> select(FlowContext& ctx,
+                                    const BranchPoint& branch) override {
+        const Fig3Inputs in = gather_fig3_inputs(ctx);
+        Fig3Choice choice = fig3_decide(in);
+
+        // Cost feedback: excluded targets fall through to the next-best
+        // branch in a fixed preference order.
+        auto choice_name = [](Fig3Choice c) -> std::string {
+            switch (c) {
+                case Fig3Choice::CpuOpenMp: return "cpu";
+                case Fig3Choice::CpuGpu: return "gpu";
+                case Fig3Choice::CpuFpga: return "fpga";
+                default: return "";
+            }
+        };
+        const std::vector<Fig3Choice> fallbacks = {
+            choice, Fig3Choice::CpuFpga, Fig3Choice::CpuGpu,
+            Fig3Choice::CpuOpenMp};
+        for (Fig3Choice candidate : fallbacks) {
+            if (candidate == Fig3Choice::Terminate) continue;
+            const std::string name = choice_name(candidate);
+            if (excluded_.count(name) != 0) continue;
+            if (candidate != choice &&
+                excluded_.count(choice_name(choice)) == 0)
+                break; // original choice stands, no fallback needed
+            ctx.note("PSA (A): selected " +
+                     std::string(to_string(candidate)) +
+                     (candidate != choice ? " (cost feedback)" : "") +
+                     " [AI " + format_compact(in.flops_per_byte, 4) +
+                     " FLOPs/B, transfer " +
+                     format_compact(in.transfer_seconds, 4) + " s vs CPU " +
+                     format_compact(in.cpu_seconds, 4) + " s]");
+            return {path_index(branch, name)};
+        }
+        if (choice == Fig3Choice::Terminate) {
+            ctx.note("PSA (A): offload not worthwhile and outer loop not "
+                     "parallel — design-flow terminates unmodified");
+        } else {
+            ctx.note("PSA (A): every profitable target excluded by the cost "
+                     "budget — design-flow terminates unmodified");
+        }
+        return {};
+    }
+
+private:
+    std::set<std::string> excluded_;
+};
+
+class SelectAll final : public PsaStrategy {
+public:
+    std::string name() const override { return "select-all"; }
+
+    std::vector<std::size_t> select(FlowContext&,
+                                    const BranchPoint& branch) override {
+        std::vector<std::size_t> out(branch.paths.size());
+        for (std::size_t i = 0; i < out.size(); ++i) out[i] = i;
+        return out;
+    }
+};
+
+} // namespace
+
+std::shared_ptr<PsaStrategy> informed_strategy(std::set<std::string> excluded) {
+    return std::make_shared<InformedStrategy>(std::move(excluded));
+}
+
+std::shared_ptr<PsaStrategy> select_all() {
+    return std::make_shared<SelectAll>();
+}
+
+} // namespace psaflow::flow

@@ -1,0 +1,84 @@
+// PSA strategies: the decision logic at branch points.
+//
+// `informed_strategy()` implements the paper's Fig. 3 decision tree for
+// branch point A (offload-worthiness via transfer time and arithmetic
+// intensity, then GPU/FPGA/CPU selection via loop structure), optionally
+// constrained by a cost budget with feedback (the engine re-invokes the
+// strategy with excluded targets when a selected design busts the budget).
+//
+// `uninformed_strategy()` selects every path — the paper's mode that
+// generates all five designs. `select_all()` is the same mechanism used at
+// the device branch points B and C ("the current implementation
+// automatically selects both paths").
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "flow/task.hpp"
+
+namespace psaflow::flow {
+
+/// Cloud price assumptions for the analytic cost evaluation (Fig. 3's
+/// bottom box). Per-hour on-demand prices; only ratios matter.
+struct CostModel {
+    double cpu_per_hour = 2.0;
+    double gpu_per_hour = 3.0;
+    double fpga_per_hour = 1.65;
+
+    [[nodiscard]] double price_per_hour(codegen::TargetKind target) const;
+
+    /// Cost of running the hotspot once: seconds * hourly price.
+    [[nodiscard]] double run_cost(codegen::TargetKind target,
+                                  double seconds) const;
+
+    /// Host power charged to every design (the accelerators are
+    /// co-processors: a CPU socket share stays busy orchestrating).
+    double host_share_watts = 60.0;
+};
+
+/// Energy (joules) of running the hotspot once on `device`: device TDP plus
+/// the host share, times the predicted time. The Section IV-D extension:
+/// "Similar analysis could be used to identify the most energy efficient
+/// implementation."
+[[nodiscard]] double energy_joules(const CostModel& model,
+                                   platform::DeviceId device, double seconds);
+
+/// Budget for the feedback loop; unlimited when not set.
+struct Budget {
+    double max_run_cost = -1.0; ///< negative: unconstrained
+
+    [[nodiscard]] bool constrained() const { return max_run_cost >= 0.0; }
+};
+
+/// Fig. 3 informed strategy. `excluded` names paths the cost feedback has
+/// vetoed (matched against FlowPath::name).
+[[nodiscard]] std::shared_ptr<PsaStrategy>
+informed_strategy(std::set<std::string> excluded = {});
+
+/// Select all paths (uninformed mode at A; default at B and C).
+[[nodiscard]] std::shared_ptr<PsaStrategy> select_all();
+
+/// Decision inputs of Fig. 3, exposed for tests and the ablation bench.
+struct Fig3Inputs {
+    double transfer_seconds = 0.0;
+    double cpu_seconds = 0.0;
+    double flops_per_byte = 0.0;
+    double threshold_x = 4.0;
+    bool outer_parallel = false;
+    bool inner_loop_with_deps = false;
+    bool inner_fully_unrollable = false;
+};
+
+enum class Fig3Choice { CpuOpenMp, CpuGpu, CpuFpga, Terminate };
+
+[[nodiscard]] const char* to_string(Fig3Choice choice);
+
+/// The pure decision function behind the informed strategy.
+[[nodiscard]] Fig3Choice fig3_decide(const Fig3Inputs& in);
+
+/// Gather Fig3Inputs from a context (runs the required analyses).
+[[nodiscard]] Fig3Inputs gather_fig3_inputs(FlowContext& ctx);
+
+} // namespace psaflow::flow

@@ -1,0 +1,76 @@
+// The design-flow task framework of the paper's Fig. 4: tasks classified
+// Analysis / Transform / Code-Generation / Optimisation compose into paths;
+// branch points with Path Selection Automation (PSA) strategies make the
+// flow diverge toward increasingly specialised designs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flow/context.hpp"
+
+namespace psaflow::flow {
+
+enum class TaskClass {
+    Analysis,     ///< "A" in Fig. 4
+    Transform,    ///< "T"
+    CodeGen,      ///< "CG"
+    Optimisation, ///< "O" (DSE)
+};
+
+[[nodiscard]] const char* to_string(TaskClass cls);
+
+/// One codified design-flow task. `dynamic()` marks tasks that execute the
+/// application (the dot-marker in the paper's figures).
+class Task {
+public:
+    virtual ~Task() = default;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+    [[nodiscard]] virtual TaskClass cls() const = 0;
+    [[nodiscard]] virtual bool dynamic() const { return false; }
+
+    virtual void run(FlowContext& ctx) = 0;
+};
+
+using TaskPtr = std::shared_ptr<Task>;
+
+struct BranchPoint;
+
+/// One option at a branch point: a named task sequence followed by an
+/// optional further branch point.
+struct FlowPath {
+    std::string name;
+    std::vector<TaskPtr> tasks;
+    std::shared_ptr<BranchPoint> next; ///< nested branch (B, C); may be null
+};
+
+class PsaStrategy;
+
+/// A branch point (the yellow blocks of Fig. 1/Fig. 4).
+struct BranchPoint {
+    std::string name;
+    std::vector<FlowPath> paths;
+    std::shared_ptr<PsaStrategy> strategy;
+};
+
+/// Path Selection Automation: decides which paths of `branch` a context
+/// follows. Returning no indices terminates the flow at this point with the
+/// design unmodified (Fig. 3's "design-flow terminates" outcome).
+class PsaStrategy {
+public:
+    virtual ~PsaStrategy() = default;
+    [[nodiscard]] virtual std::string name() const = 0;
+    [[nodiscard]] virtual std::vector<std::size_t>
+    select(FlowContext& ctx, const BranchPoint& branch) = 0;
+};
+
+/// A complete design-flow: target-independent prologue then the first
+/// branch point (A).
+struct DesignFlow {
+    std::vector<TaskPtr> prologue;
+    std::shared_ptr<BranchPoint> branch; ///< may be null (linear flow)
+};
+
+} // namespace psaflow::flow

@@ -1,0 +1,45 @@
+// The repository of codified design-flow tasks (paper Fig. 4, left panel).
+// Factory functions create task instances; `repository()` lists one of each
+// for documentation/inspection (the bench for Fig. 4 prints it).
+#pragma once
+
+#include <vector>
+
+#include "flow/task.hpp"
+#include "platform/devices.hpp"
+
+namespace psaflow::flow {
+
+// ---- target-independent (T-INDEP) ----------------------------------------
+[[nodiscard]] TaskPtr identify_hotspot_loops();     // A, dynamic
+[[nodiscard]] TaskPtr hotspot_loop_extraction();    // T
+[[nodiscard]] TaskPtr pointer_analysis();           // A, dynamic
+[[nodiscard]] TaskPtr arithmetic_intensity_analysis(); // A
+[[nodiscard]] TaskPtr data_inout_analysis();        // A, dynamic
+[[nodiscard]] TaskPtr loop_dependence_analysis();   // A
+[[nodiscard]] TaskPtr loop_tripcount_analysis();    // A, dynamic
+[[nodiscard]] TaskPtr remove_array_plus_eq();       // T
+
+// ---- FPGA path -------------------------------------------------------
+[[nodiscard]] TaskPtr generate_oneapi_design();     // CG
+[[nodiscard]] TaskPtr unroll_fixed_loops();         // T
+[[nodiscard]] TaskPtr employ_sp_math_fns();         // T (shared with GPU)
+[[nodiscard]] TaskPtr employ_sp_numeric_literals(); // T (shared with GPU)
+[[nodiscard]] TaskPtr zero_copy_data_transfer();    // T (Stratix10)
+[[nodiscard]] TaskPtr unroll_until_overmap_dse(platform::DeviceId device); // O
+
+// ---- GPU path --------------------------------------------------------
+[[nodiscard]] TaskPtr generate_hip_design();        // CG
+[[nodiscard]] TaskPtr employ_hip_pinned_memory();   // T
+[[nodiscard]] TaskPtr introduce_shared_mem_buf();   // T
+[[nodiscard]] TaskPtr employ_specialised_math_fns();// T
+[[nodiscard]] TaskPtr blocksize_dse(platform::DeviceId device); // O
+
+// ---- CPU path --------------------------------------------------------
+[[nodiscard]] TaskPtr multi_thread_parallel_loops();// T
+[[nodiscard]] TaskPtr omp_num_threads_dse();        // O
+
+/// One instance of every task in the repository, in Fig. 4 order.
+[[nodiscard]] std::vector<TaskPtr> repository();
+
+} // namespace psaflow::flow

@@ -1,0 +1,294 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "support/error.hpp"
+#include "support/string_util.hpp"
+
+namespace psaflow::frontend {
+
+namespace {
+
+const std::unordered_map<std::string_view, TokKind>& keywords() {
+    static const std::unordered_map<std::string_view, TokKind> map = {
+        {"void", TokKind::KwVoid},     {"bool", TokKind::KwBool},
+        {"int", TokKind::KwInt},       {"float", TokKind::KwFloat},
+        {"double", TokKind::KwDouble}, {"if", TokKind::KwIf},
+        {"else", TokKind::KwElse},     {"for", TokKind::KwFor},
+        {"while", TokKind::KwWhile},   {"return", TokKind::KwReturn},
+        {"true", TokKind::KwTrue},     {"false", TokKind::KwFalse},
+    };
+    return map;
+}
+
+class Cursor {
+public:
+    explicit Cursor(std::string_view src) : src_(src) {}
+
+    [[nodiscard]] bool done() const { return pos_ >= src_.size(); }
+    [[nodiscard]] char peek(std::size_t ahead = 0) const {
+        return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+    }
+    char advance() {
+        char c = src_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        return c;
+    }
+    [[nodiscard]] SrcLoc loc() const { return {line_, col_}; }
+
+private:
+    std::string_view src_;
+    std::size_t pos_ = 0;
+    std::uint32_t line_ = 1;
+    std::uint32_t col_ = 1;
+};
+
+} // namespace
+
+std::vector<Token> lex(std::string_view source) {
+    std::vector<Token> out;
+    Cursor cur(source);
+
+    auto push = [&](TokKind kind, SrcLoc loc, std::string text = {}) {
+        Token t;
+        t.kind = kind;
+        t.loc = loc;
+        t.text = std::move(text);
+        out.push_back(std::move(t));
+    };
+
+    while (!cur.done()) {
+        const SrcLoc loc = cur.loc();
+        const char c = cur.peek();
+
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            cur.advance();
+            continue;
+        }
+
+        // Comments.
+        if (c == '/' && cur.peek(1) == '/') {
+            while (!cur.done() && cur.peek() != '\n') cur.advance();
+            continue;
+        }
+        if (c == '/' && cur.peek(1) == '*') {
+            cur.advance();
+            cur.advance();
+            while (true) {
+                if (cur.done()) throw ParseError(loc, "unterminated /* comment");
+                if (cur.peek() == '*' && cur.peek(1) == '/') {
+                    cur.advance();
+                    cur.advance();
+                    break;
+                }
+                cur.advance();
+            }
+            continue;
+        }
+
+        // #pragma lines.
+        if (c == '#') {
+            std::string line;
+            while (!cur.done() && cur.peek() != '\n') line += cur.advance();
+            std::string_view rest = trim(line);
+            if (!starts_with(rest, "#pragma"))
+                throw ParseError(loc, "only #pragma directives are supported");
+            rest.remove_prefix(7);
+            push(TokKind::Pragma, loc, std::string(trim(rest)));
+            continue;
+        }
+
+        // Identifiers and keywords.
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            std::string word;
+            while (!cur.done() && (std::isalnum(static_cast<unsigned char>(
+                                       cur.peek())) ||
+                                   cur.peek() == '_'))
+                word += cur.advance();
+            auto it = keywords().find(word);
+            if (it != keywords().end()) {
+                push(it->second, loc, std::move(word));
+            } else {
+                push(TokKind::Identifier, loc, std::move(word));
+            }
+            continue;
+        }
+
+        // Numeric literals.
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(static_cast<unsigned char>(cur.peek(1))))) {
+            std::string digits;
+            bool is_float = false;
+            while (!cur.done()) {
+                char d = cur.peek();
+                if (std::isdigit(static_cast<unsigned char>(d))) {
+                    digits += cur.advance();
+                } else if (d == '.') {
+                    is_float = true;
+                    digits += cur.advance();
+                } else if (d == 'e' || d == 'E') {
+                    is_float = true;
+                    digits += cur.advance();
+                    if (cur.peek() == '+' || cur.peek() == '-')
+                        digits += cur.advance();
+                } else {
+                    break;
+                }
+            }
+            bool single = false;
+            if (cur.peek() == 'f' || cur.peek() == 'F') {
+                single = true;
+                is_float = true;
+                cur.advance();
+            }
+            Token t;
+            t.loc = loc;
+            if (is_float) {
+                t.kind = TokKind::FloatLiteral;
+                t.text = digits;
+                t.float_single = single;
+                char* end = nullptr;
+                t.float_value = std::strtod(digits.c_str(), &end);
+                if (end == nullptr || *end != '\0')
+                    throw ParseError(loc, "malformed float literal '" + digits + "'");
+            } else {
+                t.kind = TokKind::IntLiteral;
+                t.text = digits;
+                char* end = nullptr;
+                t.int_value = std::strtoll(digits.c_str(), &end, 10);
+                if (end == nullptr || *end != '\0')
+                    throw ParseError(loc, "malformed int literal '" + digits + "'");
+            }
+            out.push_back(std::move(t));
+            continue;
+        }
+
+        // Operators and punctuation.
+        auto two = [&](char second) { return cur.peek(1) == second; };
+        switch (c) {
+            case '(': cur.advance(); push(TokKind::LParen, loc); continue;
+            case ')': cur.advance(); push(TokKind::RParen, loc); continue;
+            case '{': cur.advance(); push(TokKind::LBrace, loc); continue;
+            case '}': cur.advance(); push(TokKind::RBrace, loc); continue;
+            case '[': cur.advance(); push(TokKind::LBracket, loc); continue;
+            case ']': cur.advance(); push(TokKind::RBracket, loc); continue;
+            case ';': cur.advance(); push(TokKind::Semicolon, loc); continue;
+            case ',': cur.advance(); push(TokKind::Comma, loc); continue;
+            case '%': cur.advance(); push(TokKind::Percent, loc); continue;
+            case '+':
+                cur.advance();
+                if (cur.peek() == '+') { cur.advance(); push(TokKind::PlusPlus, loc); }
+                else if (cur.peek() == '=') { cur.advance(); push(TokKind::PlusAssign, loc); }
+                else push(TokKind::Plus, loc);
+                continue;
+            case '-':
+                cur.advance();
+                if (cur.peek() == '-') { cur.advance(); push(TokKind::MinusMinus, loc); }
+                else if (cur.peek() == '=') { cur.advance(); push(TokKind::MinusAssign, loc); }
+                else push(TokKind::Minus, loc);
+                continue;
+            case '*':
+                cur.advance();
+                if (cur.peek() == '=') { cur.advance(); push(TokKind::StarAssign, loc); }
+                else push(TokKind::Star, loc);
+                continue;
+            case '/':
+                cur.advance();
+                if (cur.peek() == '=') { cur.advance(); push(TokKind::SlashAssign, loc); }
+                else push(TokKind::Slash, loc);
+                continue;
+            case '<':
+                cur.advance();
+                if (cur.peek() == '=') { cur.advance(); push(TokKind::Le, loc); }
+                else push(TokKind::Lt, loc);
+                continue;
+            case '>':
+                cur.advance();
+                if (cur.peek() == '=') { cur.advance(); push(TokKind::Ge, loc); }
+                else push(TokKind::Gt, loc);
+                continue;
+            case '=':
+                cur.advance();
+                if (cur.peek() == '=') { cur.advance(); push(TokKind::EqEq, loc); }
+                else push(TokKind::Assign, loc);
+                continue;
+            case '!':
+                cur.advance();
+                if (cur.peek() == '=') { cur.advance(); push(TokKind::NotEq, loc); }
+                else push(TokKind::Not, loc);
+                continue;
+            case '&':
+                if (two('&')) { cur.advance(); cur.advance(); push(TokKind::AndAnd, loc); continue; }
+                throw ParseError(loc, "single '&' is not an HLC operator");
+            case '|':
+                if (two('|')) { cur.advance(); cur.advance(); push(TokKind::OrOr, loc); continue; }
+                throw ParseError(loc, "single '|' is not an HLC operator");
+            default:
+                throw ParseError(loc, std::string("unexpected character '") + c + "'");
+        }
+    }
+
+    push(TokKind::End, cur.loc());
+    return out;
+}
+
+const char* to_string(TokKind kind) {
+    switch (kind) {
+        case TokKind::End: return "<eof>";
+        case TokKind::Identifier: return "identifier";
+        case TokKind::IntLiteral: return "int literal";
+        case TokKind::FloatLiteral: return "float literal";
+        case TokKind::Pragma: return "#pragma";
+        case TokKind::KwVoid: return "void";
+        case TokKind::KwBool: return "bool";
+        case TokKind::KwInt: return "int";
+        case TokKind::KwFloat: return "float";
+        case TokKind::KwDouble: return "double";
+        case TokKind::KwIf: return "if";
+        case TokKind::KwElse: return "else";
+        case TokKind::KwFor: return "for";
+        case TokKind::KwWhile: return "while";
+        case TokKind::KwReturn: return "return";
+        case TokKind::KwTrue: return "true";
+        case TokKind::KwFalse: return "false";
+        case TokKind::LParen: return "(";
+        case TokKind::RParen: return ")";
+        case TokKind::LBrace: return "{";
+        case TokKind::RBrace: return "}";
+        case TokKind::LBracket: return "[";
+        case TokKind::RBracket: return "]";
+        case TokKind::Semicolon: return ";";
+        case TokKind::Comma: return ",";
+        case TokKind::Plus: return "+";
+        case TokKind::Minus: return "-";
+        case TokKind::Star: return "*";
+        case TokKind::Slash: return "/";
+        case TokKind::Percent: return "%";
+        case TokKind::Lt: return "<";
+        case TokKind::Le: return "<=";
+        case TokKind::Gt: return ">";
+        case TokKind::Ge: return ">=";
+        case TokKind::EqEq: return "==";
+        case TokKind::NotEq: return "!=";
+        case TokKind::AndAnd: return "&&";
+        case TokKind::OrOr: return "||";
+        case TokKind::Not: return "!";
+        case TokKind::Assign: return "=";
+        case TokKind::PlusAssign: return "+=";
+        case TokKind::MinusAssign: return "-=";
+        case TokKind::StarAssign: return "*=";
+        case TokKind::SlashAssign: return "/=";
+        case TokKind::PlusPlus: return "++";
+        case TokKind::MinusMinus: return "--";
+    }
+    return "?";
+}
+
+} // namespace psaflow::frontend

@@ -1,0 +1,18 @@
+// Hand-written lexer for HLC. Produces the full token vector up front;
+// sources are small (applications, not corpora) so there is no need to
+// stream.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "frontend/token.hpp"
+
+namespace psaflow::frontend {
+
+/// Tokenise `source`. Throws ParseError on malformed input (unknown
+/// character, bad numeric literal, unterminated comment).
+[[nodiscard]] std::vector<Token> lex(std::string_view source);
+
+} // namespace psaflow::frontend

@@ -1,0 +1,25 @@
+// Recursive-descent parser for HLC, producing the source-faithful AST.
+//
+// For-loops are normalised to the canonical counted form
+//     for (int i = <init>; i < <limit>; i = i + <step>)
+// accepting `i < e`, `i <= e` (rewritten to `i < e + 1`), and the step
+// spellings `i = i + c`, `i += c`, `i++`, `++i`. The paper's loop analyses
+// (dependence, trip count, unroll DSE) all assume canonical loops.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "ast/nodes.hpp"
+
+namespace psaflow::frontend {
+
+/// Parse a full translation unit. `module_name` labels the design in reports.
+/// Throws ParseError on malformed input.
+[[nodiscard]] ast::ModulePtr parse_module(std::string_view source,
+                                          std::string module_name = "module");
+
+/// Parse a single expression (used by tests and pragma payloads).
+[[nodiscard]] ast::ExprPtr parse_expression(std::string_view source);
+
+} // namespace psaflow::frontend

@@ -1,0 +1,41 @@
+// Token stream for HLC.
+#pragma once
+
+#include <string>
+
+#include "support/source_location.hpp"
+
+namespace psaflow::frontend {
+
+enum class TokKind {
+    End,
+    Identifier,
+    IntLiteral,
+    FloatLiteral,
+    Pragma, ///< a full `#pragma ...` line; text holds everything after "#pragma "
+    // keywords
+    KwVoid, KwBool, KwInt, KwFloat, KwDouble,
+    KwIf, KwElse, KwFor, KwWhile, KwReturn, KwTrue, KwFalse,
+    // punctuation
+    LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+    Semicolon, Comma,
+    // operators
+    Plus, Minus, Star, Slash, Percent,
+    Lt, Le, Gt, Ge, EqEq, NotEq,
+    AndAnd, OrOr, Not,
+    Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign,
+    PlusPlus, MinusMinus,
+};
+
+[[nodiscard]] const char* to_string(TokKind kind);
+
+struct Token {
+    TokKind kind = TokKind::End;
+    std::string text;   ///< spelling (identifiers, literals, pragma payloads)
+    long long int_value = 0;
+    double float_value = 0.0;
+    bool float_single = false; ///< literal had an 'f' suffix
+    SrcLoc loc;
+};
+
+} // namespace psaflow::frontend

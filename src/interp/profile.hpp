@@ -1,0 +1,110 @@
+// Execution profiles collected by the interpreter. These are the raw
+// material of the paper's dynamic analyses: per-loop cost ("loop timers"),
+// trip counts, per-buffer access ranges (data in/out), and observed argument
+// aliasing for the kernel function.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/nodes.hpp"
+
+namespace psaflow::interp {
+
+/// Statistics for one loop node, keyed by node id.
+struct LoopStats {
+    long long entries = 0;   ///< how many times execution reached the loop
+    long long trips = 0;     ///< total iterations across all entries
+    double cost = 0.0;       ///< cost units attributed (including nested work)
+    /// Cost excluding work done inside called functions: a time-step driver
+    /// loop has a large `cost` but a tiny `self_cost`, so hotspot detection
+    /// ranks the loop *doing* the work, not the loop calling it.
+    double self_cost = 0.0;
+    double flops = 0.0;      ///< floating-point operation count (weighted)
+    double mem_bytes = 0.0;  ///< bytes moved by array accesses
+
+    [[nodiscard]] double avg_trip_count() const {
+        return entries == 0 ? 0.0
+                            : static_cast<double>(trips) /
+                                  static_cast<double>(entries);
+    }
+};
+
+/// Observed access range for one buffer within the focus function.
+struct BufferAccess {
+    std::string buffer_name; ///< name of the parameter inside the focus fn
+    int elem_bytes = 0;
+    long long min_read = std::numeric_limits<long long>::max();
+    long long max_read = -1;
+    long long min_write = std::numeric_limits<long long>::max();
+    long long max_write = -1;
+    long long reads = 0;
+    long long writes = 0;
+
+    [[nodiscard]] bool read() const { return reads > 0; }
+    [[nodiscard]] bool written() const { return writes > 0; }
+
+    /// Bytes that must be transferred *to* an accelerator for this buffer:
+    /// the extent of the read range.
+    [[nodiscard]] long long bytes_in() const {
+        return read() ? (max_read - min_read + 1) * elem_bytes : 0;
+    }
+    /// Bytes transferred *back*: the extent of the written range.
+    [[nodiscard]] long long bytes_out() const {
+        return written() ? (max_write - min_write + 1) * elem_bytes : 0;
+    }
+};
+
+/// Full profile of one interpreted run.
+struct ExecutionProfile {
+    /// Per-loop statistics, keyed by AST node id.
+    std::unordered_map<ast::Node::Id, LoopStats> loops;
+
+    /// Total cost units of the run (the "single CPU thread" reference work).
+    double total_cost = 0.0;
+    double total_flops = 0.0;
+    double total_call_flops = 0.0; ///< flops charged by builtin math calls
+    double total_mem_bytes = 0.0;
+
+    /// Focus-function observations (set when the interpreter was given a
+    /// focus function, normally the extracted hotspot kernel).
+    std::string focus_function;
+    long long focus_calls = 0;
+    double focus_cost = 0.0;
+    double focus_flops = 0.0;
+    double focus_call_flops = 0.0;
+    double focus_mem_bytes = 0.0;
+    /// Access summary per pointer parameter of the focus function.
+    std::vector<BufferAccess> focus_buffers;
+    /// True if two pointer arguments of any focus call named the same buffer.
+    bool focus_args_alias = false;
+
+    [[nodiscard]] const LoopStats* loop(ast::Node::Id id) const {
+        auto it = loops.find(id);
+        return it == loops.end() ? nullptr : &it->second;
+    }
+
+    [[nodiscard]] const BufferAccess* buffer(const std::string& name) const {
+        for (const auto& b : focus_buffers) {
+            if (b.buffer_name == name) return &b;
+        }
+        return nullptr;
+    }
+
+    /// Total bytes in+out for the focus function — the paper's "data in/out
+    /// analysis" result used to estimate accelerator transfer time.
+    [[nodiscard]] long long focus_bytes_in() const {
+        long long total = 0;
+        for (const auto& b : focus_buffers) total += b.bytes_in();
+        return total;
+    }
+    [[nodiscard]] long long focus_bytes_out() const {
+        long long total = 0;
+        for (const auto& b : focus_buffers) total += b.bytes_out();
+        return total;
+    }
+};
+
+} // namespace psaflow::interp

@@ -1,0 +1,61 @@
+#include "meta/instrument.hpp"
+
+#include "support/error.hpp"
+#include "support/string_util.hpp"
+
+namespace psaflow::meta {
+
+using namespace psaflow::ast;
+
+void insert_before(const ParentMap& parents, const Stmt& anchor,
+                   StmtPtr stmt) {
+    auto slot = parents.slot_of(anchor);
+    slot.block->stmts.insert(
+        slot.block->stmts.begin() + static_cast<std::ptrdiff_t>(slot.index),
+        std::move(stmt));
+}
+
+void insert_after(const ParentMap& parents, const Stmt& anchor, StmtPtr stmt) {
+    auto slot = parents.slot_of(anchor);
+    slot.block->stmts.insert(
+        slot.block->stmts.begin() + static_cast<std::ptrdiff_t>(slot.index) + 1,
+        std::move(stmt));
+}
+
+StmtPtr replace_stmt(const ParentMap& parents, const Stmt& anchor,
+                     StmtPtr replacement) {
+    auto slot = parents.slot_of(anchor);
+    StmtPtr old = std::move(slot.block->stmts[slot.index]);
+    slot.block->stmts[slot.index] = std::move(replacement);
+    return old;
+}
+
+StmtPtr detach_stmt(const ParentMap& parents, const Stmt& anchor) {
+    auto slot = parents.slot_of(anchor);
+    StmtPtr old = std::move(slot.block->stmts[slot.index]);
+    slot.block->stmts.erase(slot.block->stmts.begin() +
+                            static_cast<std::ptrdiff_t>(slot.index));
+    return old;
+}
+
+void add_pragma(Stmt& stmt, std::string text) {
+    stmt.pragmas.push_back(std::move(text));
+}
+
+int remove_pragmas(Stmt& stmt, const std::string& prefix) {
+    const auto before = stmt.pragmas.size();
+    std::erase_if(stmt.pragmas, [&](const std::string& p) {
+        return starts_with(p, prefix);
+    });
+    return static_cast<int>(before - stmt.pragmas.size());
+}
+
+std::optional<std::string> find_pragma(const Stmt& stmt,
+                                       const std::string& prefix) {
+    for (const auto& p : stmt.pragmas) {
+        if (starts_with(p, prefix)) return p;
+    }
+    return std::nullopt;
+}
+
+} // namespace psaflow::meta

@@ -1,0 +1,46 @@
+// The instrument mechanism of the meta-programming substrate (paper Fig. 2):
+// structural edits on the design's AST — insert a statement or pragma before
+// a loop, replace a loop with a call, wrap code in timers. Edits invalidate
+// any ParentMap/TypeInfo built earlier; tasks rebuild them afterwards.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ast/nodes.hpp"
+#include "ast/walk.hpp"
+
+namespace psaflow::meta {
+
+/// Insert `stmt` immediately before `anchor` in its enclosing block.
+void insert_before(const ast::ParentMap& parents, const ast::Stmt& anchor,
+                   ast::StmtPtr stmt);
+
+/// Insert `stmt` immediately after `anchor` in its enclosing block.
+void insert_after(const ast::ParentMap& parents, const ast::Stmt& anchor,
+                  ast::StmtPtr stmt);
+
+/// Replace `anchor` with `replacement`; returns the detached original so the
+/// caller can move it elsewhere (hotspot extraction moves the loop into the
+/// new kernel function).
+[[nodiscard]] ast::StmtPtr replace_stmt(const ast::ParentMap& parents,
+                                        const ast::Stmt& anchor,
+                                        ast::StmtPtr replacement);
+
+/// Remove `anchor` from its block and return it.
+[[nodiscard]] ast::StmtPtr detach_stmt(const ast::ParentMap& parents,
+                                       const ast::Stmt& anchor);
+
+/// Attach a pragma line to `stmt` (printed as `#pragma <text>` directly
+/// above it) — the paper's `instrument(before, loop, #pragma ...)`.
+void add_pragma(ast::Stmt& stmt, std::string text);
+
+/// Remove all pragmas whose text starts with `prefix`; returns how many were
+/// removed.
+int remove_pragmas(ast::Stmt& stmt, const std::string& prefix);
+
+/// First pragma on `stmt` starting with `prefix`, if any.
+[[nodiscard]] std::optional<std::string> find_pragma(const ast::Stmt& stmt,
+                                                     const std::string& prefix);
+
+} // namespace psaflow::meta

@@ -1,0 +1,43 @@
+#include "perf/estimator.hpp"
+
+#include <algorithm>
+
+namespace psaflow::perf {
+
+using namespace psaflow::platform;
+
+double cpu_reference_seconds(const KernelShape& shape) {
+    return CpuModel(epyc7543()).time_single_thread(shape);
+}
+
+double omp_seconds(const KernelShape& shape, int threads) {
+    return CpuModel(epyc7543()).time_multi_thread(shape, threads);
+}
+
+GpuEstimate gpu_estimate(const KernelShape& shape,
+                         const GpuDesignPoint& point) {
+    GpuModel model(gpu_spec(point.device));
+    LaunchConfig config;
+    config.block_size = point.block_size;
+    config.pinned_host_memory = point.pinned_host_memory;
+    config.smem_per_block_kb = point.smem_per_block_kb;
+    return model.estimate(shape, config);
+}
+
+FpgaEstimate fpga_estimate(const KernelShape& shape,
+                           const FpgaDesignPoint& point) {
+    FpgaModel model(fpga_spec(point.device));
+    return model.estimate(shape, point.report);
+}
+
+double transfer_seconds_estimate(const KernelShape& shape) {
+    // The PSA offload test uses the best-case link among the available
+    // accelerators: pinned PCIe to a GPU or USM to the Stratix10.
+    const double best_bw =
+        std::max({gtx1080ti().pcie_pinned_bw_gbs,
+                  rtx2080ti().pcie_pinned_bw_gbs, stratix10().usm_bw_gbs}) *
+        1e9;
+    return shape.transfer_bytes() / best_bw;
+}
+
+} // namespace psaflow::perf

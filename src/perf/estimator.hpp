@@ -1,0 +1,48 @@
+// Design-point performance estimation: one thin, uniform interface over the
+// platform models, used by the PSA strategies, the DSE engines and the
+// Fig. 5 / Fig. 6 benches. All times are seconds for the hotspot region of
+// one application run; speedups are against the single-thread CPU reference.
+#pragma once
+
+#include <string>
+
+#include "platform/cpu.hpp"
+#include "platform/devices.hpp"
+#include "platform/fpga.hpp"
+#include "platform/gpu.hpp"
+#include "platform/kernel_shape.hpp"
+
+namespace psaflow::perf {
+
+/// The single-thread CPU reference time for the *unoptimised* kernel shape.
+[[nodiscard]] double cpu_reference_seconds(const platform::KernelShape& shape);
+
+/// OpenMP multi-thread CPU time.
+[[nodiscard]] double omp_seconds(const platform::KernelShape& shape,
+                                 int threads);
+
+struct GpuDesignPoint {
+    platform::DeviceId device = platform::DeviceId::Rtx2080Ti;
+    int block_size = 256;
+    bool pinned_host_memory = false;
+    double smem_per_block_kb = 0.0;
+};
+
+[[nodiscard]] platform::GpuEstimate
+gpu_estimate(const platform::KernelShape& shape, const GpuDesignPoint& point);
+
+struct FpgaDesignPoint {
+    platform::DeviceId device = platform::DeviceId::Stratix10;
+    platform::FpgaReport report; ///< from the unroll DSE
+};
+
+[[nodiscard]] platform::FpgaEstimate
+fpga_estimate(const platform::KernelShape& shape,
+              const FpgaDesignPoint& point);
+
+/// Estimated accelerator transfer time for the PSA offload test
+/// (T_data_trnsfr in Fig. 3), using the faster of the candidate links.
+[[nodiscard]] double
+transfer_seconds_estimate(const platform::KernelShape& shape);
+
+} // namespace psaflow::perf

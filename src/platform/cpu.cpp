@@ -1,0 +1,41 @@
+#include "platform/cpu.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace psaflow::platform {
+
+double CpuModel::time_single_thread(const KernelShape& shape) const {
+    const double peak_flops =
+        spec_.clock_ghz * 1e9 * spec_.flops_per_cycle_1t;
+    const double t_compute = shape.flops / peak_flops;
+    const double t_memory =
+        shape.footprint_bytes / (spec_.mem_bw_core_gbs * 1e9);
+    return std::max(t_compute, t_memory);
+}
+
+double CpuModel::time_multi_thread(const KernelShape& shape,
+                                   int threads) const {
+    ensure(threads >= 1, "CpuModel: thread count must be >= 1");
+    const int used = std::min(threads, spec_.cores);
+    const double peak_flops = spec_.clock_ghz * 1e9 *
+                              spec_.flops_per_cycle_1t * used *
+                              spec_.parallel_efficiency;
+    // Concurrency is capped by the parallel iterations available.
+    const double usable =
+        std::min(static_cast<double>(used), shape.parallel_iters);
+    const double effective_flops =
+        peak_flops * (used > 0 ? usable / used : 1.0);
+
+    const double t_compute = shape.flops / effective_flops;
+    const double bw = std::min(spec_.mem_bw_socket_gbs,
+                               spec_.mem_bw_core_gbs * used) *
+                      1e9;
+    const double t_memory = shape.footprint_bytes / bw;
+    const double overhead =
+        shape.invocations * spec_.omp_region_overhead_us * 1e-6;
+    return std::max(t_compute, t_memory) + overhead;
+}
+
+} // namespace psaflow::platform

@@ -1,0 +1,45 @@
+// CPU performance model (AMD EPYC 7543 class). A two-term roofline:
+// arithmetic throughput vs. socket memory bandwidth, with a parallel
+// efficiency factor and per-region OpenMP overhead for the multi-threaded
+// variant. The single-thread prediction is the baseline every Fig. 5
+// speedup is measured against.
+#pragma once
+
+#include <string>
+
+#include "platform/kernel_shape.hpp"
+
+namespace psaflow::platform {
+
+struct CpuSpec {
+    std::string name;
+    int cores = 32;
+    double clock_ghz = 2.8;
+    /// Effective sustained flops/cycle of one thread on unoptimised scalar
+    /// code (weighted-flop units, matching the interpreter's accounting).
+    double flops_per_cycle_1t = 2.0;
+    double mem_bw_core_gbs = 12.0;    ///< one thread's achievable bandwidth
+    double mem_bw_socket_gbs = 190.0; ///< all-cores achievable bandwidth
+    double parallel_efficiency = 0.92; ///< OpenMP scaling efficiency
+    double omp_region_overhead_us = 15.0; ///< fork/join + scheduling
+    double tdp_watts = 225.0; ///< socket power at full load
+};
+
+class CpuModel {
+public:
+    explicit CpuModel(CpuSpec spec) : spec_(std::move(spec)) {}
+
+    [[nodiscard]] const CpuSpec& spec() const { return spec_; }
+
+    /// Seconds for the kernel on one thread (the reference implementation).
+    [[nodiscard]] double time_single_thread(const KernelShape& shape) const;
+
+    /// Seconds for the OpenMP design with `threads` threads.
+    [[nodiscard]] double time_multi_thread(const KernelShape& shape,
+                                           int threads) const;
+
+private:
+    CpuSpec spec_;
+};
+
+} // namespace psaflow::platform

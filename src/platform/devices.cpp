@@ -1,0 +1,147 @@
+#include "platform/devices.hpp"
+
+#include "support/error.hpp"
+
+namespace psaflow::platform {
+
+const char* to_string(DeviceId id) {
+    switch (id) {
+        case DeviceId::Epyc7543: return "EPYC 7543";
+        case DeviceId::Gtx1080Ti: return "GTX 1080 Ti";
+        case DeviceId::Rtx2080Ti: return "RTX 2080 Ti";
+        case DeviceId::Arria10: return "Arria10";
+        case DeviceId::Stratix10: return "Stratix10";
+    }
+    return "?";
+}
+
+const CpuSpec& epyc7543() {
+    static const CpuSpec spec = [] {
+        CpuSpec s;
+        s.name = "AMD EPYC 7543 (32c @ 2.8 GHz)";
+        s.cores = 32;
+        s.clock_ghz = 2.8;
+        s.flops_per_cycle_1t = 2.0; // unoptimised scalar reference code
+        s.mem_bw_core_gbs = 12.0;
+        s.mem_bw_socket_gbs = 190.0; // 8-channel DDR4-3200, sustained
+        s.parallel_efficiency = 0.92;
+        s.omp_region_overhead_us = 15.0;
+        s.tdp_watts = 225.0;
+        return s;
+    }();
+    return spec;
+}
+
+const GpuSpec& gtx1080ti() {
+    static const GpuSpec spec = [] {
+        GpuSpec s;
+        s.name = "NVIDIA GeForce GTX 1080 Ti (Pascal GP102)";
+        s.sms = 28;
+        s.cores_per_sm = 128;
+        s.clock_ghz = 1.582;
+        s.regs_per_sm = 65'536;
+        s.max_threads_per_sm = 2'048;
+        s.max_blocks_per_sm = 32;
+        s.max_regs_per_thread = 255;
+        s.smem_per_sm_kb = 96.0;
+        s.mem_bw_gbs = 484.0;
+        s.fp64_ratio = 1.0 / 13.0;   // effective dp rate incl. mixed int work
+        s.pcie_bw_gbs = 6.0;          // PCIe 3.0 x16, pageable
+        s.pcie_pinned_bw_gbs = 12.0;  // pinned
+        s.launch_overhead_us = 8.0;
+        s.saturation_occupancy = 0.16;
+        s.dependent_chain_efficiency = 0.10;
+        s.compute_efficiency = 0.33;
+        s.tdp_watts = 250.0;
+        return s;
+    }();
+    return spec;
+}
+
+const GpuSpec& rtx2080ti() {
+    static const GpuSpec spec = [] {
+        GpuSpec s;
+        s.name = "NVIDIA GeForce RTX 2080 Ti (Turing TU102)";
+        s.sms = 68;
+        s.cores_per_sm = 64;
+        s.clock_ghz = 1.545;
+        s.regs_per_sm = 65'536;
+        // Turing: 1024 threads/SM — register pressure bites much later
+        // than on Pascal, which is how the paper's Rush Larsen kernel
+        // (255 regs/thread) keeps the 2080 Ti busy but starves the 1080 Ti.
+        s.max_threads_per_sm = 1'024;
+        s.max_blocks_per_sm = 16;
+        s.max_regs_per_thread = 255;
+        s.smem_per_sm_kb = 64.0;
+        s.mem_bw_gbs = 616.0;
+        s.fp64_ratio = 1.0 / 13.0;
+        s.pcie_bw_gbs = 6.0;
+        s.pcie_pinned_bw_gbs = 12.0;
+        s.launch_overhead_us = 8.0;
+        s.saturation_occupancy = 0.25; // Turing hides latency with fewer warps
+        s.dependent_chain_efficiency = 0.22;
+        s.compute_efficiency = 0.62;
+        s.tdp_watts = 260.0;
+        return s;
+    }();
+    return spec;
+}
+
+const FpgaSpec& arria10() {
+    static const FpgaSpec spec = [] {
+        FpgaSpec s;
+        s.name = "Intel PAC Arria 10 GX 1150";
+        s.luts = 1'250'000;
+        s.dsps = 1'518;
+        s.bram_kb = 65'000;
+        s.clock_mhz = 240.0;
+        s.ddr_bw_gbs = 17.0;
+        s.pcie_bw_gbs = 8.0;
+        s.supports_usm = false;
+        s.tdp_watts = 66.0; // PAC A10 board budget
+        s.base_luts = 120'000;
+        s.base_dsps = 24;
+        s.base_bram_kb = 4'500;
+        return s;
+    }();
+    return spec;
+}
+
+const FpgaSpec& stratix10() {
+    static const FpgaSpec spec = [] {
+        FpgaSpec s;
+        s.name = "Intel Stratix 10 SX 2800";
+        s.luts = 2'753'000;
+        s.dsps = 5'760;
+        s.bram_kb = 229'000;
+        s.clock_mhz = 300.0;
+        s.ddr_bw_gbs = 32.0;
+        s.pcie_bw_gbs = 8.0;
+        s.supports_usm = true; // zero-copy host memory via USM
+        s.usm_bw_gbs = 16.0;
+        s.tdp_watts = 140.0;
+        s.base_luts = 180'000;
+        s.base_dsps = 32;
+        s.base_bram_kb = 6'000;
+        return s;
+    }();
+    return spec;
+}
+
+const GpuSpec& gpu_spec(DeviceId id) {
+    switch (id) {
+        case DeviceId::Gtx1080Ti: return gtx1080ti();
+        case DeviceId::Rtx2080Ti: return rtx2080ti();
+        default: throw Error("gpu_spec: not a GPU device");
+    }
+}
+
+const FpgaSpec& fpga_spec(DeviceId id) {
+    switch (id) {
+        case DeviceId::Arria10: return arria10();
+        case DeviceId::Stratix10: return stratix10();
+        default: throw Error("fpga_spec: not an FPGA device");
+    }
+}
+
+} // namespace psaflow::platform

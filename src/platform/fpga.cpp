@@ -1,0 +1,272 @@
+#include "platform/fpga.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "ast/walk.hpp"
+#include "meta/query.hpp"
+#include "sema/builtins.hpp"
+#include "support/error.hpp"
+
+namespace psaflow::platform {
+
+using namespace psaflow::ast;
+
+namespace {
+
+struct OpCost {
+    double luts = 0.0;
+    double dsps = 0.0;
+    double depth = 0.0;
+};
+
+/// Single-precision operator area/latency, loosely following Intel HLS
+/// operator libraries. Values matter relatively: exp-class operators are an
+/// order of magnitude larger than adds, double precision costs ~2.3x logic.
+OpCost sp_cost_of_builtin(std::string_view name) {
+    // Strip an 'f' suffix: costs are given for the operation itself.
+    if (!name.empty() && name.back() == 'f') {
+        if (sema::find_builtin(name) != nullptr &&
+            sema::find_builtin(name)->is_single)
+            name = name.substr(0, name.size() - 1);
+    }
+    if (name == "sqrt") return {4'500, 0, 16};
+    if (name == "exp") return {9'000, 8, 20};
+    if (name == "log") return {9'500, 8, 22};
+    if (name == "pow") return {9'000, 10, 28};
+    if (name == "sin" || name == "cos") return {9'000, 8, 20};
+    if (name == "tanh") return {10'000, 8, 22};
+    if (name == "erf" || name == "erfc") return {12'000, 10, 26};
+    if (name == "fabs" || name == "floor" || name == "fmin" ||
+        name == "fmax")
+        return {200, 0, 1};
+    return {500, 0, 4}; // unknown builtin: charge like an adder
+}
+
+constexpr double kDoubleLutFactor = 2.3;
+constexpr double kDoubleDspFactor = 2.0;
+constexpr double kDoubleDepthFactor = 1.5;
+
+class ResourceWalker {
+public:
+    ResourceWalker(const sema::TypeInfo& types, bool force_sp)
+        : types_(types), force_sp_(force_sp) {}
+
+    FpgaResources run(const Function& kernel) {
+        // Local arrays consume on-chip BRAM.
+        walk(static_cast<const Node&>(kernel), [&](const Node& n) {
+            if (const auto* d = dyn_cast<VarDecl>(&n); d != nullptr &&
+                                                       d->is_array) {
+                auto size = meta::fold_int_constant(*d->array_size);
+                const double elems = size ? static_cast<double>(*size) : 2048;
+                acc_.bram_kb += elems * size_of(d->elem) / 1024.0;
+            }
+            return true;
+        });
+
+        walk_stmt(*kernel.body);
+
+        // One load/store unit per distinct global array.
+        acc_.luts += 3'000.0 * static_cast<double>(arrays_.size());
+        acc_.pipeline_depth = 15.0 + 0.3 * depth_sum_;
+        return acc_;
+    }
+
+private:
+    void charge(OpCost cost, bool is_double) {
+        if (force_sp_) is_double = false;
+        if (is_double) {
+            cost.luts *= kDoubleLutFactor;
+            cost.dsps *= kDoubleDspFactor;
+            cost.depth *= kDoubleDepthFactor;
+        }
+        acc_.luts += cost.luts;
+        acc_.dsps += cost.dsps;
+        depth_sum_ += cost.depth;
+    }
+
+    void walk_stmt(const Stmt& s) {
+        switch (s.kind()) {
+            case NodeKind::Block:
+                for (const auto& inner : static_cast<const Block&>(s).stmts)
+                    walk_stmt(*inner);
+                return;
+            case NodeKind::VarDecl: {
+                const auto& d = static_cast<const VarDecl&>(s);
+                if (d.init) walk_expr(*d.init);
+                return;
+            }
+            case NodeKind::Assign: {
+                const auto& a = static_cast<const Assign&>(s);
+                walk_expr(*a.target);
+                walk_expr(*a.value);
+                if (a.op != AssignOp::Set) {
+                    const Type t = types_.type_of(*a.target);
+                    charge(a.op == AssignOp::Div ? OpCost{3'000, 0, 14}
+                                                 : OpCost{500, 0, 4},
+                           t == Type::Double);
+                }
+                return;
+            }
+            case NodeKind::If: {
+                const auto& i = static_cast<const If&>(s);
+                walk_expr(*i.cond);
+                // Both sides are materialised in hardware plus a mux.
+                acc_.luts += 150;
+                walk_stmt(*i.then_body);
+                if (i.else_body) walk_stmt(*i.else_body);
+                return;
+            }
+            case NodeKind::For: {
+                const auto& f = static_cast<const For&>(s);
+                walk_expr(*f.init);
+                walk_expr(*f.limit);
+                walk_expr(*f.step);
+                // Loop control counter/compare.
+                acc_.luts += 250;
+                // A remaining (sequential) inner loop reuses its datapath
+                // every cycle: count the body once.
+                walk_stmt(*f.body);
+                return;
+            }
+            case NodeKind::While: {
+                const auto& w = static_cast<const While&>(s);
+                walk_expr(*w.cond);
+                acc_.luts += 250;
+                acc_.ii_is_one = false; // data-dependent exit blocks pipelining
+                walk_stmt(*w.body);
+                return;
+            }
+            case NodeKind::Return: {
+                const auto& r = static_cast<const Return&>(s);
+                if (r.value) walk_expr(*r.value);
+                return;
+            }
+            case NodeKind::ExprStmt:
+                walk_expr(*static_cast<const ExprStmt&>(s).expr);
+                return;
+            default:
+                return;
+        }
+    }
+
+    void walk_expr(const Expr& e) {
+        switch (e.kind()) {
+            case NodeKind::Binary: {
+                const auto& b = static_cast<const Binary&>(e);
+                walk_expr(*b.lhs);
+                walk_expr(*b.rhs);
+                const Type t = types_.type_of(b);
+                if (is_floating(t)) {
+                    OpCost cost;
+                    switch (b.op) {
+                        case BinaryOp::Mul: cost = {150, 2, 4}; break;
+                        case BinaryOp::Div: cost = {3'000, 0, 14}; break;
+                        case BinaryOp::Add:
+                        case BinaryOp::Sub: cost = {500, 0, 4}; break;
+                        default: cost = {200, 0, 1}; break; // comparisons
+                    }
+                    charge(cost, t == Type::Double);
+                } else {
+                    acc_.luts += 100;
+                    depth_sum_ += 1;
+                }
+                return;
+            }
+            case NodeKind::Unary: {
+                const auto& u = static_cast<const Unary&>(e);
+                walk_expr(*u.operand);
+                acc_.luts += 50;
+                return;
+            }
+            case NodeKind::Call: {
+                const auto& c = static_cast<const Call&>(e);
+                for (const auto& a : c.args) walk_expr(*a);
+                if (const auto* b = sema::find_builtin(c.callee)) {
+                    charge(sp_cost_of_builtin(c.callee),
+                           b->result == Type::Double);
+                }
+                return;
+            }
+            case NodeKind::Index: {
+                const auto& ix = static_cast<const Index&>(e);
+                walk_expr(*ix.index);
+                if (const auto* base = dyn_cast<Ident>(ix.base.get()))
+                    arrays_.insert(base->name);
+                acc_.luts += 300; // access mux / address compute
+                depth_sum_ += 2;
+                return;
+            }
+            default:
+                return;
+        }
+    }
+
+    const sema::TypeInfo& types_;
+    bool force_sp_;
+    FpgaResources acc_;
+    double depth_sum_ = 0.0;
+    std::unordered_set<std::string> arrays_;
+};
+
+} // namespace
+
+double FpgaReport::utilisation() const {
+    return std::max({lut_utilisation, dsp_utilisation, bram_utilisation});
+}
+
+FpgaReport FpgaModel::report(const Function& kernel,
+                             const sema::TypeInfo& types, int unroll,
+                             bool single_precision) const {
+    ensure(unroll >= 1, "FpgaModel: unroll factor must be >= 1");
+    ResourceWalker walker(types, single_precision);
+    FpgaReport out;
+    out.replica = walker.run(kernel);
+    out.unroll = unroll;
+    out.total_luts = spec_.base_luts + unroll * out.replica.luts;
+    out.total_dsps = spec_.base_dsps + unroll * out.replica.dsps;
+    out.total_bram_kb = spec_.base_bram_kb + unroll * out.replica.bram_kb;
+    out.lut_utilisation = out.total_luts / spec_.luts;
+    out.dsp_utilisation = out.total_dsps / spec_.dsps;
+    out.bram_utilisation = out.total_bram_kb / spec_.bram_kb;
+    out.overmapped = out.utilisation() > spec_.overmap_threshold;
+    return out;
+}
+
+FpgaEstimate FpgaModel::estimate(const KernelShape& shape,
+                                 const FpgaReport& report) const {
+    FpgaEstimate out;
+    out.report = report;
+    if (report.overmapped) {
+        out.kernel_seconds = out.total_seconds = 1e30;
+        return out;
+    }
+
+    const double clock = spec_.clock_mhz * 1e6;
+    const double iters = std::max(1.0, shape.parallel_iters);
+    const double cpi = std::max(1.0, shape.sequential_cycles_per_iter);
+    const double ii = report.replica.ii_is_one ? 1.0 : 8.0;
+    const double cycles = (iters / report.unroll) * cpi * ii +
+                          report.replica.pipeline_depth * shape.invocations;
+    const double t_pipe = cycles / clock;
+
+    // DDR bandwidth bound on streamed data.
+    const double t_mem = shape.fpga_traffic() / (spec_.ddr_bw_gbs * 1e9);
+    out.kernel_seconds = std::max(t_pipe, t_mem);
+
+    const double transfer = shape.transfer_bytes();
+    if (spec_.supports_usm) {
+        // Zero-copy: accesses overlap with compute; the kernel streams from
+        // host memory at USM bandwidth instead of paying a bulk copy.
+        const double t_usm = transfer / (spec_.usm_bw_gbs * 1e9);
+        out.transfer_seconds = 0.0;
+        out.kernel_seconds = std::max(out.kernel_seconds, t_usm);
+    } else {
+        out.transfer_seconds = transfer / (spec_.pcie_bw_gbs * 1e9);
+    }
+    out.total_seconds = out.kernel_seconds + out.transfer_seconds;
+    return out;
+}
+
+} // namespace psaflow::platform

@@ -1,0 +1,102 @@
+// FPGA performance and resource model (oneAPI CPU+FPGA designs).
+//
+// This is the substitute for the paper's "run a partial compile with Intel's
+// oneAPI tools and read the estimated LUT usage from the high-level design
+// report" (Fig. 2). `estimate_resources` walks the kernel AST and charges
+// per-operator area costs (double-precision operators roughly double the
+// area of single-precision ones); the unroll factor replicates the pipeline
+// datapath. `estimate` then models the classic HLS pipeline timing:
+//
+//     cycles = (outer_iterations / unroll) * II * inner_cycles + depth
+//
+// Fixed-bound inner loops marked fully-unrollable add area instead of
+// cycles. Transfers ride PCIe on Arria10-class parts; Stratix10-class parts
+// support zero-copy unified shared memory (USM), which overlaps access with
+// compute — exactly the device difference the paper's branch point B
+// exploits.
+#pragma once
+
+#include <string>
+
+#include "ast/nodes.hpp"
+#include "platform/kernel_shape.hpp"
+#include "sema/type_check.hpp"
+
+namespace psaflow::platform {
+
+struct FpgaSpec {
+    std::string name;
+    double luts = 1'150'000;  ///< logic elements (ALMs scaled)
+    double dsps = 1'518;
+    double bram_kb = 65'000;
+    double clock_mhz = 240.0;
+    double ddr_bw_gbs = 19.0; ///< on-board DDR bandwidth
+    double pcie_bw_gbs = 6.0;
+    bool supports_usm = false; ///< zero-copy host memory (Stratix10)
+    double usm_bw_gbs = 12.0;
+    double overmap_threshold = 0.90; ///< DSE stops above this utilisation
+    double tdp_watts = 70.0; ///< board power at full load
+    /// Base infrastructure usage (BSP/shell, kernel interface logic).
+    double base_luts = 120'000;
+    double base_dsps = 24;
+    double base_bram_kb = 4'000;
+};
+
+/// Area/latency summary of one pipeline replica of the kernel, as an HLS
+/// report would estimate it.
+struct FpgaResources {
+    double luts = 0.0;
+    double dsps = 0.0;
+    double bram_kb = 0.0;
+    double pipeline_depth = 0.0;   ///< cycles from first input to first output
+    double cycles_per_iter = 1.0;  ///< II * sequential inner-loop cycles
+    bool ii_is_one = true;         ///< initiation interval of the outer pipeline
+};
+
+struct FpgaReport {
+    FpgaResources replica;     ///< one copy of the datapath
+    double total_luts = 0.0;   ///< base + unroll * replica (same for others)
+    double total_dsps = 0.0;
+    double total_bram_kb = 0.0;
+    double lut_utilisation = 0.0;
+    double dsp_utilisation = 0.0;
+    double bram_utilisation = 0.0;
+    bool overmapped = false;
+    int unroll = 1;
+
+    /// Highest utilisation across resource classes — the DSE criterion.
+    [[nodiscard]] double utilisation() const;
+};
+
+struct FpgaEstimate {
+    double kernel_seconds = 0.0;
+    double transfer_seconds = 0.0; ///< zero when USM overlaps transfers
+    double total_seconds = 0.0;
+    FpgaReport report;
+};
+
+class FpgaModel {
+public:
+    explicit FpgaModel(FpgaSpec spec) : spec_(std::move(spec)) {}
+
+    [[nodiscard]] const FpgaSpec& spec() const { return spec_; }
+
+    /// Area estimate for `kernel` unrolled by `unroll`. This is the stand-in
+    /// for the oneAPI partial-compile report of the paper's Fig. 2 DSE.
+    /// `single_precision` charges SP operator costs regardless of the HLC
+    /// types (the SP transforms leave pointer parameters declared double;
+    /// the emitted design converts on transfer).
+    [[nodiscard]] FpgaReport report(const ast::Function& kernel,
+                                    const sema::TypeInfo& types, int unroll,
+                                    bool single_precision = false) const;
+
+    /// Execution-time estimate for `shape` on a design unrolled by
+    /// `report.unroll`. Returns ~infinite time when the design overmaps.
+    [[nodiscard]] FpgaEstimate estimate(const KernelShape& shape,
+                                        const FpgaReport& report) const;
+
+private:
+    FpgaSpec spec_;
+};
+
+} // namespace psaflow::platform

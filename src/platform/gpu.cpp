@@ -1,0 +1,112 @@
+#include "platform/gpu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace psaflow::platform {
+
+double GpuModel::occupancy(int block_size, int regs_per_thread,
+                           double smem_kb) const {
+    ensure(block_size >= 1, "GpuModel: block size must be >= 1");
+    // Register allocation granularity: warps of 32 threads.
+    const int warps_per_block = (block_size + 31) / 32;
+    const int threads_rounded = warps_per_block * 32;
+
+    int blocks = spec_.max_blocks_per_sm;
+    blocks = std::min(blocks, spec_.max_threads_per_sm / threads_rounded);
+
+    const int regs_per_block = std::max(1, regs_per_thread) * threads_rounded;
+    blocks = std::min(blocks, spec_.regs_per_sm / std::max(1, regs_per_block));
+
+    if (smem_kb > 0.0) {
+        blocks = std::min(
+            blocks, static_cast<int>(spec_.smem_per_sm_kb / smem_kb));
+    }
+
+    if (blocks <= 0) return 0.0;
+    const int max_warps = spec_.max_threads_per_sm / 32;
+    const int active_warps = blocks * warps_per_block;
+    return std::min(1.0, static_cast<double>(active_warps) /
+                             static_cast<double>(max_warps));
+}
+
+GpuEstimate GpuModel::estimate(const KernelShape& shape,
+                               const LaunchConfig& config) const {
+    GpuEstimate out;
+    if (shape.regs_per_thread > spec_.max_regs_per_thread) {
+        // The compiler would spill; model spilling as a throughput hit
+        // rather than rejecting, but flag it.
+        out.config_valid = false;
+    }
+    const int regs =
+        std::min(shape.regs_per_thread, spec_.max_regs_per_thread);
+    out.occupancy =
+        occupancy(config.block_size, regs, config.smem_per_block_kb);
+    if (out.occupancy <= 0.0) {
+        out.kernel_seconds = out.total_seconds = 1e30; // unlaunchable config
+        return out;
+    }
+
+    // --- compute time --------------------------------------------------
+    // FP32 work sustains a fraction of theoretical FMA peak; FP64 runs on
+    // the (few) dedicated double units at the raw fp64 rate.
+    const double raw_peak = static_cast<double>(spec_.sms) *
+                            spec_.cores_per_sm * spec_.clock_ghz * 1e9 * 2.0;
+    const double peak = shape.double_precision
+                            ? raw_peak * spec_.fp64_ratio
+                            : raw_peak * 0.5 * spec_.compute_efficiency;
+
+    // Latency hiding: throughput ramps with occupancy until saturation.
+    const double occ_factor =
+        std::min(1.0, out.occupancy / spec_.saturation_occupancy);
+
+    // Dependent chains keep ILP low: the dependent fraction of the work
+    // runs at a fixed fraction of peak.
+    const double dep = std::clamp(shape.dependent_fraction, 0.0, 1.0);
+    const double ilp_factor =
+        (1.0 - dep) + dep * spec_.dependent_chain_efficiency;
+
+    // Transcendentals run on special-function units at a lower rate.
+    const double tf =
+        std::clamp(shape.transcendental_fraction, 0.0, 1.0);
+    const double sfu_factor = 1.0 / ((1.0 - tf) + tf * spec_.sfu_cost);
+
+    // Two compute regimes, combined additively (a smooth max):
+    //  - throughput: enough resident warps to saturate the SMs;
+    //  - latency: each wave of threads pays its dependent-chain latency,
+    //    which dominates for small grids (the paper's "neither GPU is
+    //    fully saturated" Bezier case) and is device-similar.
+    const double resident_threads = std::max(
+        32.0, out.occupancy * spec_.max_threads_per_sm * spec_.sms);
+    const double waves =
+        std::ceil(std::max(1.0, shape.parallel_iters) / resident_threads);
+    const double per_thread_ipc =
+        shape.double_precision ? spec_.fp64_thread_ipc : spec_.fp32_thread_ipc;
+    const double t_latency = shape.flops_per_iter() * waves /
+                             (spec_.clock_ghz * 1e9 * per_thread_ipc);
+
+    const double throughput = peak * occ_factor * ilp_factor * sfu_factor;
+    const double t_compute =
+        t_latency + shape.flops / std::max(1.0, throughput);
+
+    // --- memory time -----------------------------------------------------
+    const double traffic =
+        shape.footprint_bytes * (1.0 - shape.shared_mem_reuse);
+    const double t_memory = traffic / (spec_.mem_bw_gbs * 1e9);
+
+    out.kernel_seconds = std::max(t_compute, t_memory) +
+                         shape.invocations * spec_.launch_overhead_us * 1e-6;
+
+    // --- transfers ---------------------------------------------------------
+    const double bw = (config.pinned_host_memory ? spec_.pcie_pinned_bw_gbs
+                                                 : spec_.pcie_bw_gbs) *
+                      1e9;
+    out.transfer_seconds = shape.gpu_transfer() / bw;
+
+    out.total_seconds = out.kernel_seconds + out.transfer_seconds;
+    return out;
+}
+
+} // namespace psaflow::platform

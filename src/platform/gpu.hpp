@@ -1,0 +1,86 @@
+// GPU performance model (HIP CPU+GPU designs).
+//
+// The model has two halves:
+//   1. an *occupancy calculator* in the style of the CUDA occupancy
+//      spreadsheet: blocks resident per SM are limited by the register
+//      file, shared memory, max threads and max blocks; and
+//   2. a roofline execution-time model whose compute throughput is scaled
+//      by achieved occupancy, instruction-level parallelism (dependent
+//      chains) and the FP64 penalty of consumer parts.
+//
+// Host<->device transfers ride PCIe at a pageable or pinned bandwidth (the
+// "Employ HIP Pinned Memory" task flips the latter). The blocksize DSE in
+// src/dse sweeps launch configurations against exactly this model, which is
+// the substitute for timing real kernels on a GTX 1080 Ti / RTX 2080 Ti.
+#pragma once
+
+#include <string>
+
+#include "platform/kernel_shape.hpp"
+
+namespace psaflow::platform {
+
+struct GpuSpec {
+    std::string name;
+    int sms = 28;
+    int cores_per_sm = 128;
+    double clock_ghz = 1.5;
+    int regs_per_sm = 65536;
+    int max_threads_per_sm = 2048;
+    int max_blocks_per_sm = 32;
+    int max_regs_per_thread = 255;
+    double smem_per_sm_kb = 96.0;
+    double mem_bw_gbs = 484.0;
+    double fp64_ratio = 1.0 / 32.0;  ///< FP64 : FP32 throughput
+    double pcie_bw_gbs = 6.0;        ///< pageable host memory
+    double pcie_pinned_bw_gbs = 12.0;///< pinned host memory
+    double launch_overhead_us = 8.0;
+    /// Occupancy at which latency is fully hidden for streaming kernels.
+    double saturation_occupancy = 0.4;
+    /// Throughput fraction retained by fully dependent instruction chains.
+    double dependent_chain_efficiency = 0.12;
+    /// Sustained fraction of non-FMA fp32 peak on real kernels.
+    double compute_efficiency = 0.55;
+    /// Relative cost of a transcendental-weighted flop (SFU-executed)
+    /// versus FMA-class work.
+    double sfu_cost = 1.5;
+    /// Per-thread sustained flops/cycle on dependent chains (latency regime).
+    double fp32_thread_ipc = 0.5;
+    double fp64_thread_ipc = 0.09;
+    double tdp_watts = 250.0; ///< board power at full load
+};
+
+struct LaunchConfig {
+    int block_size = 256;
+    double smem_per_block_kb = 0.0;
+    bool pinned_host_memory = false;
+};
+
+struct GpuEstimate {
+    double occupancy = 0.0;      ///< achieved / max resident warps
+    double kernel_seconds = 0.0; ///< device execution time
+    double transfer_seconds = 0.0;
+    double total_seconds = 0.0;
+    bool config_valid = true;    ///< false when regs/thread exceeds the ISA cap
+};
+
+class GpuModel {
+public:
+    explicit GpuModel(GpuSpec spec) : spec_(std::move(spec)) {}
+
+    [[nodiscard]] const GpuSpec& spec() const { return spec_; }
+
+    /// Occupancy (0..1] for a launch of `block_size` threads needing
+    /// `regs_per_thread` registers and `smem_kb` shared memory per block.
+    [[nodiscard]] double occupancy(int block_size, int regs_per_thread,
+                                   double smem_kb) const;
+
+    /// Full time estimate for `shape` launched with `config`.
+    [[nodiscard]] GpuEstimate estimate(const KernelShape& shape,
+                                       const LaunchConfig& config) const;
+
+private:
+    GpuSpec spec_;
+};
+
+} // namespace psaflow::platform

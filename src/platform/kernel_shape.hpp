@@ -1,0 +1,80 @@
+// KernelShape: the device-independent summary of an offload candidate that
+// every device model consumes. Produced by the performance layer (src/perf)
+// from the dynamic characterisation plus static kernel structure; kept here
+// so the platform models have no dependency on the analysis pipeline.
+#pragma once
+
+namespace psaflow::platform {
+
+struct KernelShape {
+    // Work at evaluation scale, per application run.
+    double flops = 0.0;           ///< weighted floating-point operations
+    double footprint_bytes = 0.0; ///< unique bytes the kernel touches
+    double stream_bytes = 0.0;    ///< raw bytes moved by array accesses
+                                  ///< (cache-less DDR traffic; >= footprint)
+    double bytes_in = 0.0;        ///< host->device bytes per run
+    double bytes_out = 0.0;       ///< device->host bytes per run
+
+    /// Iterations of the parallel (outer) loop — the available concurrency.
+    double parallel_iters = 1.0;
+
+    /// Fraction of flops inside sequential dependence chains (inner loops
+    /// with carried scalar state). High values starve GPUs of instruction-
+    /// level parallelism; FPGAs pipeline through them.
+    double dependent_fraction = 0.0;
+
+    /// Estimated registers per GPU thread (live scalars + expression
+    /// temporaries). Drives the occupancy model — e.g. the paper's Rush
+    /// Larsen kernel needs 255 registers/thread and saturates a GTX 1080 Ti.
+    int regs_per_thread = 32;
+
+    /// True when arithmetic is (still) double precision; consumer GPUs pay
+    /// a large FP64 throughput penalty, FPGAs a ~2x resource penalty.
+    bool double_precision = true;
+
+    /// Fraction of memory traffic eliminated by staging broadcast arrays in
+    /// GPU shared memory (the "Introduce Shared Mem Buf" task).
+    double shared_mem_reuse = 0.0;
+
+    /// Fraction of flops coming from transcendental builtins (exp, pow,
+    /// erfc, ...). GPUs execute these on special-function units at a lower
+    /// rate than FMA-class work.
+    double transcendental_fraction = 0.0;
+
+    /// Bytes the generated GPU design actually moves: it stages every
+    /// array parameter both ways (hipMemcpy in and out), unlike FPGA USM
+    /// designs which stream exactly what is accessed. Defaults to
+    /// transfer_bytes() when never set.
+    double gpu_transfer_bytes = -1.0;
+
+    [[nodiscard]] double gpu_transfer() const {
+        return gpu_transfer_bytes >= 0.0 ? gpu_transfer_bytes
+                                         : transfer_bytes();
+    }
+
+    /// Kernel launches per application run (e.g. time steps).
+    double invocations = 1.0;
+
+    /// FPGA pipeline: cycles one replica spends per outer-loop iteration —
+    /// 1 for a flat (or fully unrolled) body, the inner trip count when a
+    /// sequential inner loop remains.
+    double sequential_cycles_per_iter = 1.0;
+
+    /// FPGA DDR traffic after on-chip buffering of small arrays; computed
+    /// by the perf layer from per-buffer footprints. Defaults to
+    /// stream_bytes when never set.
+    double fpga_stream_bytes = -1.0;
+
+    [[nodiscard]] double fpga_traffic() const {
+        return fpga_stream_bytes >= 0.0 ? fpga_stream_bytes : stream_bytes;
+    }
+
+    [[nodiscard]] double flops_per_iter() const {
+        return parallel_iters > 0.0 ? flops / parallel_iters : flops;
+    }
+    [[nodiscard]] double transfer_bytes() const {
+        return bytes_in + bytes_out;
+    }
+};
+
+} // namespace psaflow::platform

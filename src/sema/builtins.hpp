@@ -1,0 +1,39 @@
+// The HLC builtin math library. One catalog shared by the type checker, the
+// interpreter, the arithmetic-intensity analysis (flop costs) and the
+// single-precision transforms (double->float equivalents, mirroring the
+// paper's "Employ SP Math Fns" task).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ast/type.hpp"
+
+namespace psaflow::sema {
+
+struct BuiltinInfo {
+    std::string_view name;
+    int arity;
+    ast::Type result;              ///< Double or Float
+    int flop_cost;                 ///< cost charged per evaluation
+    std::string_view sp_variant;   ///< float equivalent ("" if none / already SP)
+    bool is_single;                ///< true for the *f variants
+};
+
+/// Catalog lookup; null when `name` is not a builtin.
+[[nodiscard]] const BuiltinInfo* find_builtin(std::string_view name);
+
+/// All builtins, for enumeration in tests/docs.
+[[nodiscard]] std::span<const BuiltinInfo> all_builtins();
+
+/// Evaluate a builtin on concrete arguments (used by the interpreter). For
+/// single-precision variants the computation is performed in float, so SP
+/// transforms are observable in results. Throws on arity mismatch or domain
+/// errors the real libm would trap (sqrt of negative, log of non-positive).
+[[nodiscard]] double eval_builtin(const BuiltinInfo& info,
+                                  std::span<const double> args);
+
+} // namespace psaflow::sema

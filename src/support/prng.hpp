@@ -1,0 +1,40 @@
+// Deterministic pseudo-random numbers for workload generators. The benchmark
+// inputs must be reproducible across runs and platforms, so we use a fixed
+// splitmix64 generator rather than std::mt19937's unspecified seeding paths.
+#pragma once
+
+#include <cstdint>
+
+namespace psaflow {
+
+/// splitmix64: tiny, fast, well-distributed; used to seed benchmark inputs.
+class SplitMix64 {
+public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    /// Next 64 raw bits.
+    std::uint64_t next_u64() {
+        std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform double in [0, 1).
+    double next_double() {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) {
+        return lo + (hi - lo) * next_double();
+    }
+
+    /// Uniform integer in [0, n).
+    std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+private:
+    std::uint64_t state_;
+};
+
+} // namespace psaflow

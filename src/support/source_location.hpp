@@ -1,0 +1,28 @@
+// Source positions for HLC source text. Every token and AST node carries one
+// so diagnostics, query results and instrumentation edits can be reported in
+// terms of the user's original source.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace psaflow {
+
+/// A (line, column) position in an HLC source buffer. Lines and columns are
+/// 1-based; a default-constructed location (0,0) means "unknown".
+struct SrcLoc {
+    std::uint32_t line = 0;
+    std::uint32_t col  = 0;
+
+    [[nodiscard]] bool known() const { return line != 0; }
+
+    friend bool operator==(const SrcLoc&, const SrcLoc&) = default;
+};
+
+/// Render "line:col" (or "?" when unknown) for diagnostics.
+[[nodiscard]] inline std::string to_string(SrcLoc loc) {
+    if (!loc.known()) return "?";
+    return std::to_string(loc.line) + ":" + std::to_string(loc.col);
+}
+
+} // namespace psaflow

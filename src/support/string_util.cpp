@@ -1,0 +1,89 @@
+#include "support/string_util.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace psaflow {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t pos = text.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.emplace_back(text.substr(start));
+            return out;
+        }
+        out.emplace_back(text.substr(start, pos - start));
+        start = pos + 1;
+    }
+}
+
+std::string_view trim(std::string_view text) {
+    std::size_t b = 0;
+    std::size_t e = text.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+    return text.substr(b, e - b);
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i != 0) out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+int count_loc(std::string_view text) {
+    int loc = 0;
+    for (const auto& line : split(text, '\n')) {
+        const std::string_view body = trim(line);
+        if (body.empty()) continue;
+        if (starts_with(body, "//")) continue; // comment-only line
+        ++loc;
+    }
+    return loc;
+}
+
+std::string indent_lines(std::string_view text, int spaces) {
+    const std::string pad(static_cast<std::size_t>(spaces), ' ');
+    std::string out;
+    auto lines = split(text, '\n');
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (!lines[i].empty()) out += pad;
+        out += lines[i];
+        if (i + 1 < lines.size()) out += '\n';
+    }
+    return out;
+}
+
+std::string format_compact(double value, int digits) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*g", digits, value);
+    return buf;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+    return text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+    return text.size() >= suffix.size() &&
+           text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string replace_all(std::string text, std::string_view from,
+                        std::string_view to) {
+    if (from.empty()) return text;
+    std::size_t pos = 0;
+    while ((pos = text.find(from, pos)) != std::string::npos) {
+        text.replace(pos, from.size(), to);
+        pos += to.size();
+    }
+    return text;
+}
+
+} // namespace psaflow

@@ -1,0 +1,40 @@
+// Small string helpers used by the printer, report tables and code emitters.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psaflow {
+
+/// Split `text` on `sep`, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// Strip ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// Join `parts` with `sep` between consecutive elements.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// Number of non-blank, non-comment lines in `text` — the LOC metric used
+/// by Table I. A line is blank if it contains only whitespace; lines whose
+/// first token is `//` are comments.
+[[nodiscard]] int count_loc(std::string_view text);
+
+/// Indent every non-empty line of `text` by `spaces` spaces.
+[[nodiscard]] std::string indent_lines(std::string_view text, int spaces);
+
+/// Render `value` with `digits` significant decimal digits, trimming
+/// trailing zeros ("12.5", "0.0042", "751").
+[[nodiscard]] std::string format_compact(double value, int digits = 4);
+
+/// True if `text` starts with / ends with the given prefix or suffix.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Replace all occurrences of `from` with `to` in `text`.
+[[nodiscard]] std::string replace_all(std::string text, std::string_view from,
+                                      std::string_view to);
+
+} // namespace psaflow

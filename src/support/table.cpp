@@ -1,0 +1,92 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace psaflow {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+    cells.resize(header_.size());
+    rows_.push_back(Row{std::move(cells), false});
+}
+
+void TablePrinter::add_separator() { rows_.push_back(Row{{}, true}); }
+
+void TablePrinter::print(std::ostream& os) const { os << to_string(); }
+
+std::string TablePrinter::to_string() const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const Row& row : rows_) {
+        if (row.separator) continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+
+    auto emit_line = [&](const std::vector<std::string>& cells,
+                         std::ostringstream& os) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << "| " << cells[c]
+               << std::string(widths[c] - cells[c].size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+    auto emit_rule = [&](std::ostringstream& os) {
+        for (std::size_t c = 0; c < widths.size(); ++c)
+            os << "+" << std::string(widths[c] + 2, '-');
+        os << "+\n";
+    };
+
+    std::ostringstream os;
+    emit_rule(os);
+    emit_line(header_, os);
+    emit_rule(os);
+    for (const Row& row : rows_) {
+        if (row.separator) {
+            emit_rule(os);
+        } else {
+            emit_line(row.cells, os);
+        }
+    }
+    emit_rule(os);
+    return os.str();
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void CsvWriter::add_row(std::vector<std::string> cells) {
+    cells.resize(header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"') out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+std::string CsvWriter::to_string() const {
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c != 0) os << ',';
+            os << escape(cells[c]);
+        }
+        os << '\n';
+    };
+    emit(header_);
+    for (const auto& row : rows_) emit(row);
+    return os.str();
+}
+
+} // namespace psaflow

@@ -1,0 +1,61 @@
+// Column-aligned text tables for the benchmark harness output. Every bench
+// binary prints the same rows/series the paper's tables and figures report,
+// and this printer keeps that output readable and diffable.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace psaflow {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+///
+///     TablePrinter t({"Application", "OMP", "HIP 1080"});
+///     t.add_row({"N-Body", "30.1x", "337x"});
+///     t.print(std::cout);
+class TablePrinter {
+public:
+    explicit TablePrinter(std::vector<std::string> header);
+
+    /// Append one row. Rows shorter than the header are padded with "".
+    void add_row(std::vector<std::string> cells);
+
+    /// Append a horizontal separator line.
+    void add_separator();
+
+    void print(std::ostream& os) const;
+
+    [[nodiscard]] std::string to_string() const;
+
+    [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+private:
+    struct Row {
+        std::vector<std::string> cells;
+        bool separator = false;
+    };
+
+    std::vector<std::string> header_;
+    std::vector<Row> rows_;
+};
+
+/// Minimal CSV emission for machine-readable experiment logs.
+class CsvWriter {
+public:
+    explicit CsvWriter(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> cells);
+
+    /// Render the full document, quoting cells that contain separators.
+    [[nodiscard]] std::string to_string() const;
+
+private:
+    static std::string escape(const std::string& cell);
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace psaflow

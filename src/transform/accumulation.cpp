@@ -1,0 +1,129 @@
+#include "transform/accumulation.hpp"
+
+#include <string>
+#include <vector>
+
+#include "ast/builder.hpp"
+#include "ast/clone.hpp"
+#include "ast/printer.hpp"
+#include "ast/walk.hpp"
+#include "meta/instrument.hpp"
+#include "support/error.hpp"
+
+namespace psaflow::transform {
+
+using namespace psaflow::ast;
+
+namespace {
+
+/// Does `node` reference identifier `name` anywhere?
+bool mentions(const Node& node, const std::string& name) {
+    bool found = false;
+    walk(node, [&](const Node& n) {
+        if (const auto* id = dyn_cast<Ident>(&n)) {
+            if (id->name == name) found = true;
+        }
+        return !found;
+    });
+    return found;
+}
+
+/// Names of all variables assigned (scalar or array) in `body`.
+std::vector<std::string> assigned_names(const Block& body) {
+    std::vector<std::string> out;
+    walk(static_cast<const Node&>(body), [&](const Node& n) {
+        if (const auto* a = dyn_cast<Assign>(&n)) {
+            const Expr* t = a->target.get();
+            if (const auto* id = dyn_cast<Ident>(t)) out.push_back(id->name);
+            if (const auto* ix = dyn_cast<Index>(t)) {
+                if (const auto* base = dyn_cast<Ident>(ix->base.get()))
+                    out.push_back(base->name);
+            }
+        }
+        return true;
+    });
+    return out;
+}
+
+} // namespace
+
+int remove_array_accumulation(Module& module, For& loop) {
+    // Find candidate accumulation statements.
+    struct Candidate {
+        Assign* assign;
+        std::string array;
+    };
+    std::vector<Candidate> candidates;
+    const auto mutated = assigned_names(*loop.body);
+    auto is_mutated = [&](const std::string& name) {
+        for (const auto& m : mutated) {
+            if (m == name) return true;
+        }
+        return false;
+    };
+
+    walk(static_cast<Node&>(*loop.body), [&](Node& n) {
+        auto* a = dyn_cast<Assign>(&n);
+        if (a == nullptr) return true;
+        if (a->op != AssignOp::Add && a->op != AssignOp::Sub) return true;
+        auto* ix = dyn_cast<Index>(a->target.get());
+        if (ix == nullptr) return true;
+        const auto* base = dyn_cast<Ident>(ix->base.get());
+        if (base == nullptr) return true;
+
+        // Index must be loop-invariant: no induction variable, no mutated
+        // state, no array reads of mutated arrays.
+        const Expr& index = *ix->index;
+        if (mentions(index, loop.var)) return true;
+        bool invariant = true;
+        walk(static_cast<const Node&>(index), [&](const Node& sub) {
+            if (const auto* id = dyn_cast<Ident>(&sub)) {
+                if (is_mutated(id->name)) invariant = false;
+            }
+            return invariant;
+        });
+        if (!invariant) return true;
+
+        candidates.push_back({a, base->name});
+        return true;
+    });
+
+    // An array qualifies only if its sole access in the loop is its one
+    // accumulation statement.
+    int applied = 0;
+    for (const auto& cand : candidates) {
+        int array_uses = 0;
+        walk(static_cast<const Node&>(*loop.body), [&](const Node& n) {
+            if (const auto* id = dyn_cast<Ident>(&n)) {
+                if (id->name == cand.array) ++array_uses;
+            }
+            return true;
+        });
+        if (array_uses != 1) continue; // accessed elsewhere: unsafe
+
+        // Rewrite. The node id makes the accumulator name unique even
+        // across repeated invocations on the same function.
+        const std::string acc =
+            cand.array + "_acc" + std::to_string(cand.assign->id);
+
+        ParentMap parents(module);
+        // double <acc> = 0.0;  (before the loop)
+        meta::insert_before(parents, loop,
+                            build::var_decl(Type::Double, acc,
+                                            build::float_lit(0.0)));
+        // A[e] += <acc>;  (after the loop; Sub-accumulations still *add*
+        // the scalarised total because the sign lives in the accumulator)
+        auto writeback = std::make_unique<Assign>();
+        writeback->op = AssignOp::Add;
+        writeback->target = clone_expr(*cand.assign->target);
+        writeback->value = build::ident(acc);
+        meta::insert_after(parents, loop, std::move(writeback));
+
+        // Inside the loop: acc += rhs (or acc -= rhs).
+        cand.assign->target = build::ident(acc);
+        ++applied;
+    }
+    return applied;
+}
+
+} // namespace psaflow::transform

@@ -1,0 +1,28 @@
+// "Remove Array += Dependency" — the paper's target-independent transform
+// that eliminates loop-carried accumulation into array cells whose index is
+// loop-invariant, by scalarising the accumulator:
+//
+//     for (int i = 0; i < n; i++) { ... a[k] += f(i); ... }
+// ==> double a_acc0 = 0.0;
+//     for (int i = 0; i < n; i++) { ... a_acc0 += f(i); ... }
+//     a[k] += a_acc0;
+//
+// After the rewrite the loop carries only a *scalar reduction*, which the
+// dependence analysis recognises and every backend can parallelise (OpenMP
+// reduction clause, GPU tree reduction, FPGA accumulator register).
+#pragma once
+
+#include "ast/nodes.hpp"
+
+namespace psaflow::transform {
+
+/// Apply the rewrite to every eligible accumulation in `loop`. An
+/// accumulation `A[e] op= rhs` is eligible when:
+///   - op is += or -=;
+///   - `e` does not involve the induction variable or any state mutated by
+///     the loop body;
+///   - array A is not accessed anywhere else in the loop.
+/// Returns the number of accumulations scalarised.
+int remove_array_accumulation(ast::Module& module, ast::For& loop);
+
+} // namespace psaflow::transform

@@ -1,0 +1,64 @@
+#include "transform/extract.hpp"
+
+#include "ast/builder.hpp"
+#include "ast/walk.hpp"
+#include "meta/instrument.hpp"
+#include "meta/query.hpp"
+#include "support/error.hpp"
+
+namespace psaflow::transform {
+
+using namespace psaflow::ast;
+
+ExtractResult extract_hotspot(Module& module, const sema::TypeInfo& types,
+                              For& loop, const std::string& kernel_name) {
+    ensure(module.find_function(kernel_name) == nullptr,
+           "extract_hotspot: function '" + kernel_name + "' already exists");
+
+    ParentMap parents(module);
+    auto* host = parents.enclosing<Function>(loop);
+    ensure(host != nullptr, "extract_hotspot: loop is not inside a function");
+
+    // Free variables of the loop become kernel parameters.
+    const auto free = meta::free_variables(loop);
+    std::vector<ParamPtr> params;
+    std::vector<ExprPtr> args;
+    for (const auto& name : free) {
+        const ValueType vt = types.var_type(*host, name);
+        if (!vt.is_pointer && meta::writes_variable(loop, name)) {
+            throw Error("extract_hotspot: scalar '" + name +
+                        "' is written by the hotspot loop and would be lost "
+                        "across the kernel boundary");
+        }
+        params.push_back(build::param(vt, name));
+        args.push_back(build::ident(name));
+    }
+
+    // Replace the loop with the kernel call, then move the loop into the
+    // new function's body.
+    StmtPtr call_stmt =
+        build::expr_stmt(build::call(kernel_name, std::move(args)));
+    StmtPtr detached = meta::replace_stmt(parents, loop, std::move(call_stmt));
+
+    auto kernel = std::make_unique<Function>();
+    kernel->ret = Type::Void;
+    kernel->name = kernel_name;
+    kernel->params = std::move(params);
+    kernel->body = build::block({});
+    kernel->body->stmts.push_back(std::move(detached));
+
+    // Insert the kernel directly before its host function for readable
+    // output ordering.
+    Function* kernel_raw = kernel.get();
+    for (std::size_t i = 0; i < module.functions.size(); ++i) {
+        if (module.functions[i].get() == host) {
+            module.functions.insert(
+                module.functions.begin() + static_cast<std::ptrdiff_t>(i),
+                std::move(kernel));
+            return ExtractResult{kernel_raw, host};
+        }
+    }
+    throw Error("extract_hotspot: host function not found in module");
+}
+
+} // namespace psaflow::transform

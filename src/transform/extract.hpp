@@ -1,0 +1,34 @@
+// Hotspot loop extraction — the paper's "Hotspot Loop Extraction" task.
+// The detected hotspot loop is moved into a new kernel function (arrays
+// become pointer parameters, read scalars become value parameters) and the
+// original loop is replaced by a call. This is the partitioning step: the
+// kernel function is what later gets offloaded.
+#pragma once
+
+#include <string>
+
+#include "ast/nodes.hpp"
+#include "sema/type_check.hpp"
+
+namespace psaflow::transform {
+
+struct ExtractResult {
+    ast::Function* kernel = nullptr; ///< the new kernel function
+    ast::Function* host = nullptr;   ///< function the loop was extracted from
+};
+
+/// Extract `loop` (a statement inside some function of `module`) into a new
+/// void function `kernel_name`, replacing the loop with a call.
+///
+/// Preconditions (checked, throwing Error):
+///  - `kernel_name` is not already defined;
+///  - no scalar that outlives the loop is written inside it (the kernel
+///    could not communicate it back without out-parameters).
+///
+/// `types` must be current for `module`; the caller re-runs sema::check
+/// afterwards (the module changed).
+ExtractResult extract_hotspot(ast::Module& module,
+                              const sema::TypeInfo& types, ast::For& loop,
+                              const std::string& kernel_name);
+
+} // namespace psaflow::transform

@@ -1,0 +1,54 @@
+// Kernel fission ("loop splitting") — the finer-partitioning strategy the
+// paper names as the fix for its Rush Larsen result ("additional
+// strategies, like finer partitioning (e.g. loop splitting) ... need to be
+// incorporated into the PSA-flow. However, these adjustments may
+// potentially impact performance negatively").
+//
+// split_kernel cuts a single-loop kernel function into two kernel
+// functions at a top-level statement boundary:
+//
+//     void k(P...) { for (i) { S0..Sc-1; Sc..Sn } }
+// ==> void k_part1(P..., T* x_spill) { for (i) { S0..Sc-1; x_spill[i]=x; } }
+//     void k_part2(P..., T* x_spill) { for (i) { T x = x_spill[i]; Sc..Sn } }
+//
+// and rewrites the (single) call site into spill-array allocations plus two
+// calls. Scalars live across the cut are spilled through per-iteration
+// arrays — the "negative performance impact" the paper predicts: extra
+// buffers and an extra pass over the data, in exchange for each part
+// fitting the FPGA.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ast/nodes.hpp"
+#include "sema/type_check.hpp"
+
+namespace psaflow::transform {
+
+struct SplitResult {
+    std::string part1; ///< name of the first kernel part
+    std::string part2; ///< name of the second kernel part
+    std::vector<std::string> spilled; ///< scalars routed through arrays
+};
+
+/// Split kernel `kernel_name` of `module` at top-level body statement index
+/// `cut` (0 < cut < #statements). Preconditions (checked, throwing Error):
+///  - the kernel body is a single canonical outer loop;
+///  - the loop is parallel (no carried or accumulation dependencies) —
+///    splitting a sequential loop would reorder cross-iteration effects;
+///  - the kernel is called exactly once in the module;
+///  - array-typed values never need spilling (arrays are shared anyway).
+///
+/// `types` must be current; the caller re-runs sema::check afterwards.
+SplitResult split_kernel(ast::Module& module, const sema::TypeInfo& types,
+                         const std::string& kernel_name, std::size_t cut);
+
+/// Heuristic cut point: the top-level statement index that divides the
+/// loop body into halves of roughly equal estimated FPGA area. Returns 0
+/// when the body has fewer than 2 top-level statements.
+[[nodiscard]] std::size_t balanced_cut_point(const ast::Module& module,
+                                             const sema::TypeInfo& types,
+                                             const std::string& kernel_name);
+
+} // namespace psaflow::transform

@@ -1,0 +1,75 @@
+#include "transform/parallel.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "ast/walk.hpp"
+#include "meta/instrument.hpp"
+#include "meta/query.hpp"
+#include "support/string_util.hpp"
+
+namespace psaflow::transform {
+
+using namespace psaflow::ast;
+
+void insert_omp_parallel_for(For& loop, int num_threads,
+                             const std::vector<analysis::Reduction>& reductions) {
+    meta::remove_pragmas(loop, "omp ");
+    std::string text =
+        "omp parallel for num_threads(" + std::to_string(num_threads) + ")";
+    for (const auto& r : reductions) {
+        text += " reduction(";
+        text += r.op;
+        text += ":" + r.var + ")";
+    }
+    meta::add_pragma(loop, std::move(text));
+}
+
+std::vector<std::string> shared_mem_candidates(const For& outer) {
+    std::set<std::string> out;
+    for (const For* inner : meta::inner_for_loops(const_cast<For&>(outer))) {
+        walk(static_cast<const Node&>(*inner->body), [&](const Node& n) {
+            const auto* ix = dyn_cast<Index>(&n);
+            if (ix == nullptr) return true;
+            const auto* base = dyn_cast<Ident>(ix->base.get());
+            if (base == nullptr) return true;
+            // Read-only within the nest and independent of the outer var.
+            bool uses_outer = false;
+            walk(static_cast<const Node&>(*ix->index), [&](const Node& sub) {
+                if (const auto* id = dyn_cast<Ident>(&sub)) {
+                    if (id->name == outer.var) uses_outer = true;
+                }
+                return !uses_outer;
+            });
+            if (!uses_outer &&
+                !meta::writes_variable(const_cast<For&>(outer), base->name)) {
+                out.insert(base->name);
+            }
+            return true;
+        });
+    }
+    return {out.begin(), out.end()};
+}
+
+void annotate_shared_mem(For& outer, const std::vector<std::string>& arrays) {
+    meta::remove_pragmas(outer, "gpu shared(");
+    if (arrays.empty()) return;
+    meta::add_pragma(outer, "gpu shared(" + join(arrays, ",") + ")");
+}
+
+std::vector<std::string> shared_mem_annotation(const For& outer) {
+    auto pragma = meta::find_pragma(outer, "gpu shared(");
+    if (!pragma.has_value()) return {};
+    const auto open = pragma->find('(');
+    const auto close = pragma->rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close <= open)
+        return {};
+    std::vector<std::string> out;
+    for (auto& part : split(pragma->substr(open + 1, close - open - 1), ',')) {
+        if (!trim(part).empty()) out.emplace_back(trim(part));
+    }
+    return out;
+}
+
+} // namespace psaflow::transform

@@ -1,0 +1,38 @@
+// Parallelisation annotations:
+//  - "Multi-Thread Parallel Loops": attach the OpenMP work-sharing pragma
+//    (with reduction clauses from the dependence analysis) to a loop;
+//  - "Introduce Shared Mem Buf": detect arrays whose inner-loop reads are
+//    independent of the parallel (outer) dimension — every GPU thread block
+//    re-reads the same data, so staging them in shared memory pays — and
+//    annotate the loop for the HIP design emitter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/dependence.hpp"
+#include "ast/nodes.hpp"
+
+namespace psaflow::transform {
+
+/// Attach `#pragma omp parallel for num_threads(N) [reduction(op:var)...]`.
+/// Replaces any previous OpenMP pragma on the loop.
+void insert_omp_parallel_for(ast::For& loop, int num_threads,
+                             const std::vector<analysis::Reduction>& reductions);
+
+/// Arrays read inside inner loops of `outer` whose subscripts never mention
+/// `outer`'s induction variable — the N-Body `pos[j]` pattern. Sorted,
+/// deduplicated.
+[[nodiscard]] std::vector<std::string>
+shared_mem_candidates(const ast::For& outer);
+
+/// Record the staging decision on the loop as `#pragma gpu shared(<a,b,..>)`
+/// for the HIP emitter and the performance model.
+void annotate_shared_mem(ast::For& outer,
+                         const std::vector<std::string>& arrays);
+
+/// Parse back the annotation (empty when absent).
+[[nodiscard]] std::vector<std::string>
+shared_mem_annotation(const ast::For& outer);
+
+} // namespace psaflow::transform

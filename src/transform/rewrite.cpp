@@ -1,0 +1,112 @@
+#include "transform/rewrite.hpp"
+
+#include "ast/clone.hpp"
+#include "support/error.hpp"
+
+namespace psaflow::transform {
+
+using namespace psaflow::ast;
+
+namespace {
+
+void visit_expr_slots(ExprPtr& slot,
+                      const std::function<void(ExprPtr&)>& fn) {
+    if (!slot) return;
+    switch (slot->kind()) {
+        case NodeKind::Unary:
+            visit_expr_slots(static_cast<Unary&>(*slot).operand, fn);
+            break;
+        case NodeKind::Binary: {
+            auto& b = static_cast<Binary&>(*slot);
+            visit_expr_slots(b.lhs, fn);
+            visit_expr_slots(b.rhs, fn);
+            break;
+        }
+        case NodeKind::Call: {
+            auto& c = static_cast<Call&>(*slot);
+            for (auto& a : c.args) visit_expr_slots(a, fn);
+            break;
+        }
+        case NodeKind::Index: {
+            auto& ix = static_cast<Index&>(*slot);
+            // Deliberately skip ix.base: array names are not rewriteable
+            // scalar expressions.
+            visit_expr_slots(ix.index, fn);
+            break;
+        }
+        default:
+            break;
+    }
+    fn(slot);
+}
+
+void visit_stmt(Stmt& stmt, const std::function<void(ExprPtr&)>& fn) {
+    switch (stmt.kind()) {
+        case NodeKind::Block:
+            for (auto& s : static_cast<Block&>(stmt).stmts) visit_stmt(*s, fn);
+            break;
+        case NodeKind::VarDecl: {
+            auto& d = static_cast<VarDecl&>(stmt);
+            visit_expr_slots(d.array_size, fn);
+            visit_expr_slots(d.init, fn);
+            break;
+        }
+        case NodeKind::Assign: {
+            auto& a = static_cast<Assign&>(stmt);
+            visit_expr_slots(a.target, fn);
+            visit_expr_slots(a.value, fn);
+            break;
+        }
+        case NodeKind::If: {
+            auto& i = static_cast<If&>(stmt);
+            visit_expr_slots(i.cond, fn);
+            visit_stmt(*i.then_body, fn);
+            if (i.else_body) visit_stmt(*i.else_body, fn);
+            break;
+        }
+        case NodeKind::For: {
+            auto& f = static_cast<For&>(stmt);
+            visit_expr_slots(f.init, fn);
+            visit_expr_slots(f.limit, fn);
+            visit_expr_slots(f.step, fn);
+            visit_stmt(*f.body, fn);
+            break;
+        }
+        case NodeKind::While: {
+            auto& w = static_cast<While&>(stmt);
+            visit_expr_slots(w.cond, fn);
+            visit_stmt(*w.body, fn);
+            break;
+        }
+        case NodeKind::Return:
+            visit_expr_slots(static_cast<Return&>(stmt).value, fn);
+            break;
+        case NodeKind::ExprStmt:
+            visit_expr_slots(static_cast<ExprStmt&>(stmt).expr, fn);
+            break;
+        default:
+            throw Error("for_each_expr_slot: unexpected statement node");
+    }
+}
+
+} // namespace
+
+void for_each_expr_slot(Stmt& stmt,
+                        const std::function<void(ExprPtr&)>& fn) {
+    visit_stmt(stmt, fn);
+}
+
+int substitute_ident(Stmt& stmt, const std::string& name,
+                     const Expr& replacement) {
+    int count = 0;
+    for_each_expr_slot(stmt, [&](ExprPtr& slot) {
+        if (const auto* id = dyn_cast<Ident>(slot.get());
+            id != nullptr && id->name == name) {
+            slot = clone_expr(replacement);
+            ++count;
+        }
+    });
+    return count;
+}
+
+} // namespace psaflow::transform

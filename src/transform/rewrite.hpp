@@ -1,0 +1,23 @@
+// Expression rewriting utilities shared by the source-to-source transforms.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "ast/nodes.hpp"
+
+namespace psaflow::transform {
+
+/// Visit every owning expression slot under `stmt` (statement operands and
+/// nested sub-expressions, innermost first) and give the callback a chance
+/// to replace the owned expression by assigning to the slot.
+void for_each_expr_slot(ast::Stmt& stmt,
+                        const std::function<void(ast::ExprPtr&)>& fn);
+
+/// Replace every occurrence of scalar identifier `name` under `stmt` with a
+/// clone of `replacement`. Array-subscript bases keep their names (an
+/// induction variable can never name an array). Returns replacements made.
+int substitute_ident(ast::Stmt& stmt, const std::string& name,
+                     const ast::Expr& replacement);
+
+} // namespace psaflow::transform

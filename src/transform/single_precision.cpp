@@ -1,0 +1,59 @@
+#include "transform/single_precision.hpp"
+
+#include "ast/walk.hpp"
+#include "sema/builtins.hpp"
+
+namespace psaflow::transform {
+
+using namespace psaflow::ast;
+
+int employ_sp_math(Function& kernel) {
+    int count = 0;
+    walk(kernel, [&](Node& n) {
+        if (auto* call = dyn_cast<Call>(&n)) {
+            const auto* info = sema::find_builtin(call->callee);
+            if (info != nullptr && !info->is_single &&
+                !info->sp_variant.empty()) {
+                call->callee = std::string(info->sp_variant);
+                ++count;
+            }
+        }
+        return true;
+    });
+    return count;
+}
+
+int employ_sp_literals(Function& kernel) {
+    int count = 0;
+    walk(kernel, [&](Node& n) {
+        if (auto* lit = dyn_cast<FloatLit>(&n)) {
+            if (!lit->single) {
+                lit->single = true;
+                ++count;
+            }
+        }
+        return true;
+    });
+    return count;
+}
+
+int demote_double_locals(Function& kernel) {
+    int count = 0;
+    walk(kernel, [&](Node& n) {
+        if (auto* decl = dyn_cast<VarDecl>(&n)) {
+            if (decl->elem == Type::Double) {
+                decl->elem = Type::Float;
+                ++count;
+            }
+        }
+        return true;
+    });
+    return count;
+}
+
+int employ_single_precision(Function& kernel) {
+    return employ_sp_math(kernel) + employ_sp_literals(kernel) +
+           demote_double_locals(kernel);
+}
+
+} // namespace psaflow::transform

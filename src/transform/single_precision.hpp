@@ -1,0 +1,31 @@
+// Single-precision conversion — the paper's "Employ SP Math Fns" and
+// "Employ SP Numeric Literals" tasks (applied on both the GPU and FPGA
+// paths, where double-precision throughput is scarce).
+//
+// The transforms operate on the kernel function only. Pointer parameters
+// keep their element types (the host owns those buffers); locals, literals
+// and math calls inside the kernel move to single precision, so the bulk of
+// the arithmetic executes in float. Tests verify results stay within
+// single-precision tolerance of the double reference.
+#pragma once
+
+#include "ast/nodes.hpp"
+
+namespace psaflow::transform {
+
+/// Replace double-precision math builtins (sqrt, exp, ...) with their float
+/// variants (sqrtf, expf, ...). Returns the number of calls rewritten.
+int employ_sp_math(ast::Function& kernel);
+
+/// Mark double literals as single precision (1.0 -> 1.0f). Returns the
+/// number of literals rewritten.
+int employ_sp_literals(ast::Function& kernel);
+
+/// Demote double-typed local declarations (scalars and local arrays) to
+/// float. Returns the number of declarations changed.
+int demote_double_locals(ast::Function& kernel);
+
+/// Convenience: all three SP tasks; returns total rewrites.
+int employ_single_precision(ast::Function& kernel);
+
+} // namespace psaflow::transform

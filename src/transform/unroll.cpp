@@ -1,0 +1,107 @@
+#include "transform/unroll.hpp"
+
+#include "ast/builder.hpp"
+#include "ast/clone.hpp"
+#include "ast/walk.hpp"
+#include "meta/instrument.hpp"
+#include "meta/query.hpp"
+#include "transform/rewrite.hpp"
+#include "support/error.hpp"
+
+namespace psaflow::transform {
+
+using namespace psaflow::ast;
+
+namespace {
+
+void check_var_not_written(const For& loop) {
+    ensure(!meta::writes_variable(const_cast<Block&>(*loop.body), loop.var),
+           "unroll: loop body writes the induction variable '" + loop.var +
+               "'");
+}
+
+/// body clone with v := v + offset (offset 0 returns a plain clone).
+BlockPtr offset_body(const For& loop, long long offset) {
+    BlockPtr copy = clone_block(*loop.body);
+    if (offset != 0) {
+        auto replacement = build::binary(BinaryOp::Add, build::ident(loop.var),
+                                         build::int_lit(offset));
+        substitute_ident(*copy, loop.var, *replacement);
+    }
+    return copy;
+}
+
+} // namespace
+
+void unroll_loop(Module& module, For& loop, int factor) {
+    if (factor <= 1) return;
+    check_var_not_written(loop);
+    const auto step = meta::fold_int_constant(*loop.step);
+    ensure(step.has_value() && *step > 0,
+           "unroll: loop step must be a positive constant");
+
+    ParentMap parents(module);
+    const std::string total_name = loop.var + "_total";
+    const std::string main_name = loop.var + "_main";
+    const long long wide = *step * factor;
+
+    // int <v>_total = hi - lo;
+    meta::insert_before(
+        parents, loop,
+        build::var_decl(Type::Int, total_name,
+                        build::sub(clone_expr(*loop.limit),
+                                   clone_expr(*loop.init))));
+    // int <v>_main = lo + <v>_total / wide * wide;
+    meta::insert_before(
+        parents, loop,
+        build::var_decl(
+            Type::Int, main_name,
+            build::add(clone_expr(*loop.init),
+                       build::mul(build::binary(BinaryOp::Div,
+                                                build::ident(total_name),
+                                                build::int_lit(wide)),
+                                  build::int_lit(wide)))));
+
+    // Remainder loop (original body, original bounds starting at _main),
+    // inserted after the main loop.
+    auto remainder =
+        build::for_loop(loop.var, build::ident(main_name),
+                        clone_expr(*loop.limit), clone_block(*loop.body),
+                        build::int_lit(*step));
+    meta::insert_after(parents, loop, std::move(remainder));
+
+    // Rewrite the original loop into the widened main loop.
+    auto widened_body = build::block({});
+    for (int k = 0; k < factor; ++k) {
+        widened_body->stmts.push_back(offset_body(loop, k * *step));
+    }
+    loop.limit = build::ident(main_name);
+    loop.step = build::int_lit(wide);
+    loop.body = std::move(widened_body);
+}
+
+void fully_unroll_loop(Module& module, For& loop, long long max_trip) {
+    ensure(meta::has_fixed_bounds(loop),
+           "fully_unroll: loop bounds are not compile-time constants");
+    check_var_not_written(loop);
+    const long long trips = meta::constant_trip_count(loop);
+    ensure(trips <= max_trip, "fully_unroll: trip count " +
+                                  std::to_string(trips) + " exceeds limit " +
+                                  std::to_string(max_trip));
+    const long long lo = *meta::fold_int_constant(*loop.init);
+    const long long step = *meta::fold_int_constant(*loop.step);
+
+    auto flat = build::block({});
+    flat->pragmas = loop.pragmas;
+    for (long long k = 0; k < trips; ++k) {
+        BlockPtr copy = clone_block(*loop.body);
+        auto constant = build::int_lit(lo + k * step);
+        substitute_ident(*copy, loop.var, *constant);
+        flat->stmts.push_back(std::move(copy));
+    }
+
+    ParentMap parents(module);
+    (void)meta::replace_stmt(parents, loop, std::move(flat));
+}
+
+} // namespace psaflow::transform

@@ -1,0 +1,35 @@
+// Loop unrolling — the structural transform behind the FPGA paths' "Unroll
+// Fixed Loops" task and the semantic ground truth for the "Unroll Until
+// Overmap" DSE (which additionally attaches `#pragma unroll` for the HLS
+// dialect emitter; see src/dse).
+//
+// Both entry points are *real* transforms: the resulting AST is interpreted
+// in tests to prove behaviour is preserved.
+#pragma once
+
+#include "ast/nodes.hpp"
+
+namespace psaflow::transform {
+
+/// Partially unroll `loop` in place by `factor`:
+///
+///     for (int i = lo; i < hi; i += s) body
+/// ==> int i_total = hi - lo;
+///     int i_main  = lo + i_total / (factor*s) * (factor*s);
+///     for (int i = lo; i < i_main; i += factor*s)
+///         { body; body[i+s]; ...; body[i+(factor-1)*s] }
+///     for (int i = i_main; i < hi; i += s) body     // remainder
+///
+/// Requires a constant step and a body that does not write the induction
+/// variable; throws Error otherwise. factor <= 1 is a no-op.
+void unroll_loop(ast::Module& module, ast::For& loop, int factor);
+
+/// Fully unroll a fixed-bound loop: the loop statement is replaced by
+/// `trip_count` copies of the body with the induction variable substituted
+/// by its constant value. Throws if bounds are not compile-time constants.
+/// Refuses (throws) when trip_count exceeds `max_trip` — full unrolling is
+/// meant for the short fixed inner loops of FPGA kernels.
+void fully_unroll_loop(ast::Module& module, ast::For& loop,
+                       long long max_trip = 128);
+
+} // namespace psaflow::transform

@@ -1,0 +1,277 @@
+// Functional correctness of the five benchmark applications: each HLC
+// source is executed by the interpreter on its workload and checked against
+// domain invariants (and, where cheap, a C++ re-implementation).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "frontend/parser.hpp"
+#include "interp/interpreter.hpp"
+#include "sema/type_check.hpp"
+#include "test_util.hpp"
+
+namespace psaflow {
+namespace {
+
+using namespace psaflow::apps;
+
+struct RunState {
+    ast::ModulePtr mod;
+    sema::TypeInfo types;
+    std::vector<interp::Arg> args;
+};
+
+RunState run_app(const Application& app, double scale = 1.0) {
+    RunState st;
+    st.mod = frontend::parse_module(app.source, app.name);
+    st.types = sema::check(*st.mod);
+    st.args = app.workload.make_args(scale);
+    interp::Interpreter in(*st.mod, st.types);
+    in.call(app.workload.entry, st.args);
+    return st;
+}
+
+const interp::BufferPtr& buffer_arg(const RunState& st, std::size_t index) {
+    return std::get<interp::BufferPtr>(st.args[index]);
+}
+
+TEST(Apps, AllFiveParseAndCheck) {
+    for (const Application* app : all_applications()) {
+        EXPECT_NO_THROW({
+            auto mod = frontend::parse_module(app->source, app->name);
+            (void)sema::check(*mod);
+        }) << app->name;
+    }
+}
+
+TEST(Apps, RegistryIsComplete) {
+    EXPECT_EQ(all_applications().size(), 5u);
+    EXPECT_EQ(application_by_name("nbody").name, "nbody");
+    EXPECT_THROW((void)application_by_name("doom"), Error);
+}
+
+TEST(Apps, WorkloadsAreDeterministic) {
+    for (const Application* app : all_applications()) {
+        auto a = app->workload.make_args(1.0);
+        auto b = app->workload.make_args(1.0);
+        ASSERT_EQ(a.size(), b.size()) << app->name;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            const auto* ba = std::get_if<interp::BufferPtr>(&a[i]);
+            const auto* bb = std::get_if<interp::BufferPtr>(&b[i]);
+            if (ba == nullptr) continue;
+            ASSERT_NE(bb, nullptr);
+            EXPECT_EQ((*ba)->raw(), (*bb)->raw()) << app->name << " arg " << i;
+        }
+    }
+}
+
+// ---------------------------------------------------------------- N-Body ---
+
+TEST(NBody, MomentumApproximatelyConserved) {
+    // Symmetric pairwise forces: total momentum drift stays tiny relative
+    // to the momentum scale (softening breaks exact antisymmetry).
+    const auto& app = nbody();
+    auto args = app.workload.make_args(1.0);
+    auto mod = frontend::parse_module(app.source, app.name);
+    auto types = sema::check(*mod);
+
+    auto momentum = [&](const std::vector<interp::Arg>& a) {
+        const auto& vx = std::get<interp::BufferPtr>(a[6]);
+        const auto& m = std::get<interp::BufferPtr>(a[9]);
+        double total = 0.0;
+        for (std::size_t i = 0; i < vx->size(); ++i)
+            total += vx->load(static_cast<long long>(i)) *
+                     m->load(static_cast<long long>(i));
+        return total;
+    };
+
+    const double before = momentum(args);
+    interp::Interpreter in(*mod, types);
+    in.call("run", args);
+    const double after = momentum(args);
+    EXPECT_NEAR(after, before, 1e-6 * 64.0);
+}
+
+TEST(NBody, ParticlesActuallyMove) {
+    const auto& app = nbody();
+    auto fresh = app.workload.make_args(1.0);
+    auto st = run_app(app);
+    const auto& px_before = std::get<interp::BufferPtr>(fresh[3]);
+    const auto& px_after = buffer_arg(st, 3);
+    bool moved = false;
+    for (std::size_t i = 0; i < px_after->size(); ++i) {
+        if (px_after->load(static_cast<long long>(i)) !=
+            px_before->load(static_cast<long long>(i)))
+            moved = true;
+    }
+    EXPECT_TRUE(moved);
+}
+
+// --------------------------------------------------------------- K-Means ---
+
+TEST(KMeans, AssignmentsMatchNearestCentroid) {
+    const auto& app = kmeans();
+    auto st = run_app(app);
+    // run() ends with an update pass, so the stored assignment reflects the
+    // *previous* centroids. Run one more assignment pass against the final
+    // centroids before checking the nearest-centroid invariant.
+    {
+        interp::Interpreter in(*st.mod, st.types);
+        in.call("kmeans_assign",
+                {st.args[0], st.args[1], st.args[2], st.args[4], st.args[5],
+                 st.args[6]});
+    }
+    const auto& points = buffer_arg(st, 4);
+    const auto& centroids = buffer_arg(st, 5);
+    const auto& assignment = buffer_arg(st, 6);
+
+    const int n = 256;
+    const int k = 8;
+    const int dim = 8;
+    for (int i = 0; i < n; ++i) {
+        double best = 1e300;
+        int bestc = 0;
+        for (int c = 0; c < k; ++c) {
+            double dist = 0.0;
+            for (int d = 0; d < dim; ++d) {
+                const double diff = points->load(i * dim + d) -
+                                    centroids->load(c * dim + d);
+                dist += diff * diff;
+            }
+            if (dist < best) {
+                best = dist;
+                bestc = c;
+            }
+        }
+        EXPECT_EQ(static_cast<int>(assignment->load(i)), bestc) << i;
+    }
+}
+
+TEST(KMeans, CentroidsAreClusterMeans) {
+    const auto& app = kmeans();
+    auto st = run_app(app);
+    const auto& points = buffer_arg(st, 4);
+    const auto& centroids = buffer_arg(st, 5);
+    const auto& assignment = buffer_arg(st, 6);
+
+    const int n = 256;
+    const int k = 8;
+    const int dim = 8;
+    std::vector<double> sums(static_cast<std::size_t>(k * dim), 0.0);
+    std::vector<int> counts(static_cast<std::size_t>(k), 0);
+    for (int i = 0; i < n; ++i) {
+        const int c = static_cast<int>(assignment->load(i));
+        ASSERT_GE(c, 0);
+        ASSERT_LT(c, k);
+        ++counts[static_cast<std::size_t>(c)];
+        for (int d = 0; d < dim; ++d)
+            sums[static_cast<std::size_t>(c * dim + d)] +=
+                points->load(i * dim + d);
+    }
+    // NOTE: the final update ran after the last assignment, so centroids
+    // equal the means of the *final* assignment.
+    for (int c = 0; c < k; ++c) {
+        if (counts[static_cast<std::size_t>(c)] == 0) continue;
+        for (int d = 0; d < dim; ++d) {
+            EXPECT_NEAR(centroids->load(c * dim + d),
+                        sums[static_cast<std::size_t>(c * dim + d)] /
+                            counts[static_cast<std::size_t>(c)],
+                        1e-9);
+        }
+    }
+}
+
+// ----------------------------------------------------------- AdPredictor ---
+
+TEST(AdPredictor, PredictionsAreProbabilities) {
+    const auto& app = adpredictor();
+    auto st = run_app(app);
+    const auto& preds = buffer_arg(st, 5);
+    for (std::size_t i = 0; i < preds->size(); ++i) {
+        const double p = preds->load(static_cast<long long>(i));
+        EXPECT_GE(p, 0.0) << i;
+        EXPECT_LE(p, 1.0) << i;
+    }
+}
+
+TEST(AdPredictor, PredictionsVaryAcrossImpressions) {
+    const auto& app = adpredictor();
+    auto st = run_app(app);
+    const auto& preds = buffer_arg(st, 5);
+    double lo = 1.0;
+    double hi = 0.0;
+    for (std::size_t i = 0; i < preds->size(); ++i) {
+        lo = std::min(lo, preds->load(static_cast<long long>(i)));
+        hi = std::max(hi, preds->load(static_cast<long long>(i)));
+    }
+    EXPECT_GT(hi - lo, 0.01); // not a constant function
+}
+
+// ------------------------------------------------------------ Rush Larsen --
+
+TEST(RushLarsen, GatesStayInUnitInterval) {
+    const auto& app = rush_larsen();
+    auto st = run_app(app);
+    const auto& gates = buffer_arg(st, 4);
+    for (std::size_t i = 0; i < gates->size(); ++i) {
+        const double g = gates->load(static_cast<long long>(i));
+        EXPECT_TRUE(std::isfinite(g)) << i;
+        EXPECT_GE(g, -0.1) << i;
+        EXPECT_LE(g, 1.1) << i;
+    }
+}
+
+TEST(RushLarsen, VoltagesStayFiniteAndPlausible) {
+    const auto& app = rush_larsen();
+    auto st = run_app(app);
+    const auto& voltage = buffer_arg(st, 3);
+    for (std::size_t i = 0; i < voltage->size(); ++i) {
+        const double v = voltage->load(static_cast<long long>(i));
+        EXPECT_TRUE(std::isfinite(v)) << i;
+        EXPECT_GT(v, -200.0) << i;
+        EXPECT_LT(v, 200.0) << i;
+    }
+}
+
+// ---------------------------------------------------------------- Bezier ---
+
+TEST(Bezier, CornersInterpolateControlPoints) {
+    // A Bezier patch interpolates its corner control points: the (u=0,v=0)
+    // sample equals control point (0,0), and (u=1,v=1) equals (m,m).
+    const auto& app = bezier();
+    auto st = run_app(app);
+    const auto& cx = buffer_arg(st, 4);
+    const auto& outx = buffer_arg(st, 7);
+
+    const int nu = 8;
+    const int nv = 8;
+    const int m = 15;
+    const int ctrl_stride = m + 1;
+    EXPECT_NEAR(outx->load(0), cx->load(0), 1e-9);
+    EXPECT_NEAR(outx->load(nu * nv - 1),
+                cx->load(m * ctrl_stride + m), 1e-9);
+}
+
+TEST(Bezier, SurfaceWithinControlHull) {
+    // Convex-combination property: every sample lies within the min/max of
+    // the control net (Bernstein weights are a partition of unity).
+    const auto& app = bezier();
+    auto st = run_app(app);
+    const auto& cy = buffer_arg(st, 5);
+    const auto& outy = buffer_arg(st, 8);
+    double lo = 1e300;
+    double hi = -1e300;
+    for (std::size_t i = 0; i < cy->size(); ++i) {
+        lo = std::min(lo, cy->load(static_cast<long long>(i)));
+        hi = std::max(hi, cy->load(static_cast<long long>(i)));
+    }
+    for (std::size_t i = 0; i < outy->size(); ++i) {
+        const double v = outy->load(static_cast<long long>(i));
+        EXPECT_GE(v, lo - 1e-9) << i;
+        EXPECT_LE(v, hi + 1e-9) << i;
+    }
+}
+
+} // namespace
+} // namespace psaflow

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "ast/builder.hpp"
+#include "ast/clone.hpp"
+#include "ast/printer.hpp"
+#include "ast/walk.hpp"
+#include "support/string_util.hpp"
+#include "test_util.hpp"
+
+namespace psaflow {
+namespace {
+
+using namespace psaflow::ast;
+using testing::normalise;
+using testing::parse;
+
+const char* kSample = R"(
+double dot(int n, double* a, double* b) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) {
+        s += a[i] * b[i];
+    }
+    return s;
+}
+
+void scale(int n, double* a, double f) {
+#pragma omp parallel for
+    for (int i = 0; i < n; i++) {
+        a[i] = a[i] * f;
+    }
+}
+)";
+
+// ------------------------------------------------------------- printing ----
+
+TEST(Printer, RoundTripIsIdempotent) {
+    const std::string once = normalise(kSample);
+    const std::string twice = normalise(once);
+    EXPECT_EQ(once, twice);
+}
+
+TEST(Printer, PreservesPragmas) {
+    const std::string out = normalise(kSample);
+    EXPECT_NE(out.find("#pragma omp parallel for"), std::string::npos);
+}
+
+TEST(Printer, PreservesFloatSpelling) {
+    const std::string out =
+        normalise("void f(double* a) { a[0] = 0.5f + 1e-3; }");
+    EXPECT_NE(out.find("0.5f"), std::string::npos);
+    EXPECT_NE(out.find("1e-3"), std::string::npos);
+}
+
+TEST(Printer, ParenthesisesByPrecedence) {
+    auto e = frontend::parse_expression("(a + b) * c");
+    EXPECT_EQ(to_source(*e), "(a + b) * c");
+    auto e2 = frontend::parse_expression("a + b * c");
+    EXPECT_EQ(to_source(*e2), "a + b * c");
+    auto e3 = frontend::parse_expression("a - (b - c)");
+    EXPECT_EQ(to_source(*e3), "a - (b - c)");
+    auto e4 = frontend::parse_expression("-(a + b)");
+    EXPECT_EQ(to_source(*e4), "-(a + b)");
+}
+
+TEST(Printer, SynthesisedFloatLiteralsAreLexable) {
+    auto lit = build::float_lit(2.0);
+    EXPECT_EQ(to_source(*lit), "2.0");
+    auto single = build::float_lit(0.5, /*single=*/true);
+    EXPECT_EQ(to_source(*single), "0.5f");
+}
+
+// ----------------------------------------------------------------- walk ----
+
+TEST(Walk, VisitsAllNodesPreOrder) {
+    auto mod = parse(kSample);
+    int functions = 0;
+    int loops = 0;
+    int idents = 0;
+    walk(*mod, [&](Node& n) {
+        if (n.kind() == NodeKind::Function) ++functions;
+        if (n.kind() == NodeKind::For) ++loops;
+        if (n.kind() == NodeKind::Ident) ++idents;
+        return true;
+    });
+    EXPECT_EQ(functions, 2);
+    EXPECT_EQ(loops, 2);
+    EXPECT_GT(idents, 5);
+}
+
+TEST(Walk, StopsDescendingWhenCallbackReturnsFalse) {
+    auto mod = parse(kSample);
+    int idents = 0;
+    walk(*mod, [&](Node& n) {
+        if (n.kind() == NodeKind::Ident) ++idents;
+        return n.kind() != NodeKind::For; // don't descend into loops
+    });
+    EXPECT_EQ(idents, 1); // only `s` in `return s;` lies outside any loop
+}
+
+TEST(Walk, CollectFiltersByType) {
+    auto mod = parse(kSample);
+    auto loops = collect<For>(*mod);
+    ASSERT_EQ(loops.size(), 2u);
+    EXPECT_EQ(loops[0]->var, "i");
+}
+
+TEST(ParentMapTest, FindsParents) {
+    auto mod = parse(kSample);
+    ParentMap parents(*mod);
+    auto loops = collect<For>(*mod);
+    auto* fn = parents.enclosing<Function>(*loops[0]);
+    ASSERT_NE(fn, nullptr);
+    EXPECT_EQ(fn->name, "dot");
+}
+
+TEST(ParentMapTest, SlotOfLocatesStatementPosition) {
+    auto mod = parse(kSample);
+    ParentMap parents(*mod);
+    auto loops = collect<For>(*mod);
+    auto slot = parents.slot_of(*loops[0]);
+    EXPECT_EQ(slot.index, 1u); // after `double s = 0.0;`
+}
+
+TEST(LoopDepth, CountsEnclosingLoops) {
+    auto mod = parse("void f(int n) {"
+                     " for (int i = 0; i < n; i++) {"
+                     "  for (int j = 0; j < n; j++) { int x = 0; x = x + 1; }"
+                     " } }");
+    auto loops = collect<For>(*mod);
+    ASSERT_EQ(loops.size(), 2u);
+    EXPECT_EQ(loop_depth(*mod, *loops[0]), 0);
+    EXPECT_EQ(loop_depth(*mod, *loops[1]), 1);
+}
+
+// ---------------------------------------------------------------- clone ----
+
+TEST(Clone, ProducesIdenticalSource) {
+    auto mod = parse(kSample);
+    auto copy = clone_module(*mod);
+    EXPECT_EQ(to_source(*mod), to_source(*copy));
+}
+
+TEST(Clone, IsDeep) {
+    auto mod = parse(kSample);
+    auto copy = clone_module(*mod);
+    // Mutate the copy; the original must not change.
+    auto loops = collect<For>(*copy);
+    loops[0]->pragmas.push_back("unroll 8");
+    EXPECT_EQ(to_source(*mod).find("unroll 8"), std::string::npos);
+    EXPECT_NE(to_source(*copy).find("unroll 8"), std::string::npos);
+}
+
+TEST(Clone, AssignsFreshIds) {
+    auto mod = parse(kSample);
+    auto copy = clone_module(*mod);
+    EXPECT_NE(mod->functions[0]->id, copy->functions[0]->id);
+}
+
+// -------------------------------------------------------------- builder ----
+
+TEST(Builder, BuildsPrintableFragments) {
+    using namespace build;
+    auto loop = for_loop("i", int_lit(0), ident("n"),
+                         block([] {
+                             std::vector<StmtPtr> body;
+                             body.push_back(assign(
+                                 index("a", ident("i")),
+                                 mul(index("b", ident("i")), float_lit(2.0))));
+                             return body;
+                         }()));
+    const std::string src = to_source(*loop);
+    EXPECT_NE(src.find("for (int i = 0; i < n; i = i + 1)"),
+              std::string::npos);
+    EXPECT_NE(src.find("a[i] = b[i] * 2.0;"), std::string::npos);
+}
+
+TEST(Builder, FragmentsReparse) {
+    using namespace build;
+    std::vector<StmtPtr> stmts;
+    stmts.push_back(var_decl(Type::Double, "t", float_lit(1.5)));
+    stmts.push_back(ret(ident("t")));
+    auto body = block(std::move(stmts));
+
+    auto fn = std::make_unique<Function>();
+    fn->ret = Type::Double;
+    fn->name = "f";
+    fn->body = std::move(body);
+    auto mod = std::make_unique<Module>();
+    mod->functions.push_back(std::move(fn));
+
+    const std::string src = to_source(*mod);
+    EXPECT_EQ(normalise(src), src);
+}
+
+// ------------------------------------------------------------------ loc ----
+
+TEST(Loc, CountsNonBlankPrintedLines) {
+    auto mod = parse(kSample);
+    const int loc = count_loc(to_source(*mod));
+    EXPECT_EQ(loc, 13); // 2 signatures + bodies + braces + pragma
+}
+
+} // namespace
+} // namespace psaflow

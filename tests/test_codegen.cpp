@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "codegen/codegen.hpp"
+#include "codegen/emit_util.hpp"
+#include "meta/instrument.hpp"
+#include "meta/query.hpp"
+#include "support/string_util.hpp"
+#include "test_util.hpp"
+
+namespace psaflow {
+namespace {
+
+using namespace psaflow::codegen;
+using psaflow::testing::parse_and_check;
+
+const char* kApp = R"(
+void saxpy_kernel(int n, float a, float* x, float* y) {
+    for (int i = 0; i < n; i = i + 1) {
+        y[i] = a * x[i] + y[i];
+    }
+}
+
+void run(int n, float a, float* x, float* y) {
+    saxpy_kernel(n, a, x, y);
+}
+)";
+
+DesignSpec base_spec(TargetKind target, platform::DeviceId device) {
+    DesignSpec spec;
+    spec.app_name = "saxpy";
+    spec.kernel_name = "saxpy_kernel";
+    spec.target = target;
+    spec.device = device;
+    return spec;
+}
+
+// ------------------------------------------------------------- emit util ---
+
+TEST(EmitUtil, CType) {
+    EXPECT_EQ(c_type({ast::Type::Double, true}), "double*");
+    EXPECT_EQ(c_type({ast::Type::Int, false}), "int");
+    EXPECT_EQ(c_type({ast::Type::Float, true}), "float*");
+}
+
+TEST(EmitUtil, ParamSplit) {
+    auto [mod, types] = parse_and_check(kApp);
+    const auto& fn = *mod->find_function("saxpy_kernel");
+    EXPECT_EQ(param_list(fn), "int n, float a, float* x, float* y");
+    EXPECT_EQ(array_params(fn).size(), 2u);
+    EXPECT_EQ(scalar_params(fn).size(), 2u);
+}
+
+TEST(EmitUtil, KernelOuterLoopRequiresExactlyOne) {
+    auto [mod, types] = parse_and_check(kApp);
+    EXPECT_NO_THROW(
+        (void)kernel_outer_loop(*mod->find_function("saxpy_kernel")));
+    auto [mod2, types2] = parse_and_check(R"(
+void two(int n, double* a) {
+    for (int i = 0; i < n; i = i + 1) { a[i] = 0.0; }
+    for (int i = 0; i < n; i = i + 1) { a[i] = 1.0; }
+}
+)");
+    EXPECT_THROW((void)kernel_outer_loop(*mod2->find_function("two")), Error);
+}
+
+// --------------------------------------------------------------- OpenMP ----
+
+TEST(EmitOpenMp, ContainsPragmaAndWholeProgram) {
+    auto [mod, types] = parse_and_check(kApp);
+    auto loops = meta::outermost_for_loops(*mod->find_function("saxpy_kernel"));
+    meta::add_pragma(*loops[0], "omp parallel for num_threads(32)");
+
+    auto spec = base_spec(TargetKind::CpuOpenMp, platform::DeviceId::Epyc7543);
+    spec.omp_threads = 32;
+    const std::string src = emit_design(*mod, types, spec);
+
+    EXPECT_NE(src.find("#include <omp.h>"), std::string::npos);
+    EXPECT_NE(src.find("#pragma omp parallel for num_threads(32)"),
+              std::string::npos);
+    EXPECT_NE(src.find("void run(int n, float a, float* x, float* y)"),
+              std::string::npos);
+}
+
+// ------------------------------------------------------------------ HIP ----
+
+TEST(EmitHip, KernelAndManagementStructure) {
+    auto [mod, types] = parse_and_check(kApp);
+    auto spec = base_spec(TargetKind::CpuGpu, platform::DeviceId::Rtx2080Ti);
+    spec.block_size = 128;
+    spec.pinned_host_memory = true;
+    const std::string src = emit_design(*mod, types, spec);
+
+    EXPECT_NE(src.find("#include <hip/hip_runtime.h>"), std::string::npos);
+    EXPECT_NE(src.find("__global__ void saxpy_kernel_gpu"),
+              std::string::npos);
+    EXPECT_NE(src.find("blockIdx.x * blockDim.x + threadIdx.x"),
+              std::string::npos);
+    EXPECT_NE(src.find("const int block_size = 128;"), std::string::npos);
+    EXPECT_NE(src.find("hipLaunchKernelGGL"), std::string::npos);
+    EXPECT_NE(src.find("HIP_CHECK(hipDeviceSynchronize());"),
+              std::string::npos);
+    // One hipMalloc + one hipFree per array parameter.
+    size_t mallocs = 0;
+    size_t pos = 0;
+    while ((pos = src.find("hipMalloc", pos)) != std::string::npos) {
+        ++mallocs;
+        ++pos;
+    }
+    EXPECT_EQ(mallocs, 2u);
+    EXPECT_NE(src.find("hipFree(d_x)"), std::string::npos);
+    EXPECT_NE(src.find("hipFree(d_y)"), std::string::npos);
+}
+
+TEST(EmitHip, DirectionalCopies) {
+    auto [mod, types] = parse_and_check(kApp);
+    auto spec = base_spec(TargetKind::CpuGpu, platform::DeviceId::Gtx1080Ti);
+    spec.block_size = 256;
+    spec.copy_in = {"x", "y"};
+    spec.copy_out = {"y"}; // x is read-only
+    const std::string src = emit_design(*mod, types, spec);
+
+    EXPECT_NE(src.find("hipMemcpy(d_x, x"), std::string::npos);
+    EXPECT_NE(src.find("hipMemcpy(d_y, y"), std::string::npos);
+    EXPECT_NE(src.find("hipMemcpy(y, d_y"), std::string::npos);
+    EXPECT_EQ(src.find("hipMemcpy(x, d_x"), std::string::npos);
+    EXPECT_NE(src.find("x: read-only on the device"), std::string::npos);
+}
+
+TEST(EmitHip, SharedMemoryTiling) {
+    auto [mod, types] = parse_and_check(R"(
+void nb_kernel(int n, double* pos, double* out) {
+    for (int i = 0; i < n; i = i + 1) {
+        double acc = 0.0;
+        for (int j = 0; j < n; j = j + 1) {
+            acc += pos[j];
+        }
+        out[i] = acc + pos[i];
+    }
+}
+
+void run(int n, double* pos, double* out) {
+    nb_kernel(n, pos, out);
+}
+)");
+    DesignSpec spec;
+    spec.app_name = "nb";
+    spec.kernel_name = "nb_kernel";
+    spec.target = TargetKind::CpuGpu;
+    spec.device = platform::DeviceId::Rtx2080Ti;
+    spec.block_size = 256;
+    spec.shared_arrays = {"pos"};
+    const std::string src = emit_design(*mod, types, spec);
+
+    EXPECT_NE(src.find("__shared__ double pos_tile[256];"),
+              std::string::npos);
+    EXPECT_NE(src.find("__syncthreads();"), std::string::npos);
+    // Tiled inner loop reads the tile, not global memory.
+    EXPECT_NE(src.find("pos_tile[jt]"), std::string::npos);
+    // The cooperative load is guarded.
+    EXPECT_NE(src.find("pos_tile[threadIdx.x] = pos[j0 + threadIdx.x];"),
+              std::string::npos);
+    // Post-inner statements remain guarded by the thread id.
+    EXPECT_NE(src.find("out[i] = acc + pos[i];"), std::string::npos);
+}
+
+TEST(EmitHip, SpecialisedMathMacros) {
+    auto [mod, types] = parse_and_check(kApp);
+    auto spec = base_spec(TargetKind::CpuGpu, platform::DeviceId::Rtx2080Ti);
+    spec.specialised_math = true;
+    const std::string src = emit_design(*mod, types, spec);
+    EXPECT_NE(src.find("__expf"), std::string::npos);
+}
+
+// --------------------------------------------------------------- oneAPI ----
+
+TEST(EmitOneApi, BufferVariantForArria10) {
+    auto [mod, types] = parse_and_check(kApp);
+    auto spec = base_spec(TargetKind::CpuFpga, platform::DeviceId::Arria10);
+    spec.unroll = 8;
+    const std::string src = emit_design(*mod, types, spec);
+
+    EXPECT_NE(src.find("#include <sycl/sycl.hpp>"), std::string::npos);
+    EXPECT_NE(src.find("sycl::buffer<float, 1> x_buf"), std::string::npos);
+    EXPECT_NE(src.find("get_access<sycl::access::mode::read_write>"),
+              std::string::npos);
+    EXPECT_NE(src.find("h.single_task<saxpy_kernel_id>"), std::string::npos);
+    EXPECT_NE(src.find("#pragma unroll 8"), std::string::npos);
+    // Accessor-renamed kernel body.
+    EXPECT_NE(src.find("y_acc[i] = a * x_acc[i] + y_acc[i];"),
+              std::string::npos);
+    EXPECT_EQ(src.find("malloc_host"), std::string::npos);
+}
+
+TEST(EmitOneApi, UsmVariantForStratix10) {
+    auto [mod, types] = parse_and_check(kApp);
+    auto spec = base_spec(TargetKind::CpuFpga, platform::DeviceId::Stratix10);
+    spec.unroll = 16;
+    spec.zero_copy = true;
+    const std::string src = emit_design(*mod, types, spec);
+
+    EXPECT_NE(src.find("sycl::malloc_host<float>"), std::string::npos);
+    EXPECT_NE(src.find("[[intel::kernel_args_restrict]]"),
+              std::string::npos);
+    EXPECT_NE(src.find("#pragma unroll 16"), std::string::npos);
+    EXPECT_NE(src.find("y_usm[i] = a * x_usm[i] + y_usm[i];"),
+              std::string::npos);
+    EXPECT_EQ(src.find("sycl::buffer"), std::string::npos);
+
+    // USM variant carries more management code than the buffer variant
+    // (Table I's S10 > A10 pattern).
+    auto a10_spec = base_spec(TargetKind::CpuFpga,
+                              platform::DeviceId::Arria10);
+    a10_spec.unroll = 16;
+    const std::string a10 = emit_design(*mod, types, a10_spec);
+    EXPECT_GT(count_loc(src), count_loc(a10));
+}
+
+TEST(EmitOneApi, OvermapWarningInHeader) {
+    auto [mod, types] = parse_and_check(kApp);
+    auto spec = base_spec(TargetKind::CpuFpga, platform::DeviceId::Arria10);
+    spec.unroll = 1;
+    spec.synthesizable = false;
+    const std::string src = emit_design(*mod, types, spec);
+    EXPECT_NE(src.find("WARNING: design overmaps"), std::string::npos);
+}
+
+// ------------------------------------------------------------- reference ---
+
+TEST(EmitReference, UnmodifiedProgram) {
+    auto [mod, types] = parse_and_check(kApp);
+    auto spec = base_spec(TargetKind::None, platform::DeviceId::Epyc7543);
+    const std::string src = emit_design(*mod, types, spec);
+    EXPECT_NE(src.find("unmodified reference design"), std::string::npos);
+    EXPECT_NE(src.find("void saxpy_kernel(int n"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ LOC ----
+
+TEST(LocDelta, ComputesAddedFraction) {
+    EXPECT_DOUBLE_EQ(loc_delta("a\nb\nc\nd\n", "a\nb\n"), 1.0); // +100%
+    EXPECT_DOUBLE_EQ(loc_delta("a\nb\n", "a\nb\n"), 0.0);
+    EXPECT_THROW((void)loc_delta("a\n", ""), Error);
+}
+
+TEST(LocDelta, CommentsDoNotCount) {
+    EXPECT_DOUBLE_EQ(loc_delta("// banner\n// banner\na\nb\n", "a\nb\n"),
+                     0.0);
+}
+
+TEST(DesignName, EncodesTargetAndDevice) {
+    auto spec = base_spec(TargetKind::CpuGpu, platform::DeviceId::Gtx1080Ti);
+    EXPECT_EQ(spec.design_name(), "saxpy-hip-gtx1080ti");
+    spec.target = TargetKind::None;
+    EXPECT_EQ(spec.design_name(), "saxpy-reference");
+}
+
+} // namespace
+} // namespace psaflow

@@ -1,0 +1,254 @@
+// Edge cases and randomised property tests for the language substrate:
+// printer/parser round-trip algebra, a small random-program fuzzer, and
+// interpreter corner behaviour.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "ast/builder.hpp"
+#include "ast/clone.hpp"
+#include "ast/printer.hpp"
+#include "frontend/parser.hpp"
+#include "interp/interpreter.hpp"
+#include "support/prng.hpp"
+#include "support/string_util.hpp"
+#include "test_util.hpp"
+
+namespace psaflow {
+namespace {
+
+using namespace psaflow::ast;
+using psaflow::testing::parse_and_check;
+
+// -------------------------------------------------- precedence property ----
+
+/// Evaluate a double-valued expression by wrapping it into a function.
+double eval_expr(ExprPtr expr) {
+    auto fn = std::make_unique<Function>();
+    fn->ret = Type::Double;
+    fn->name = "f";
+    fn->body = build::block({});
+    fn->body->stmts.push_back(build::ret(std::move(expr)));
+    auto mod = std::make_unique<Module>();
+    mod->functions.push_back(std::move(fn));
+
+    auto types = sema::check(*mod);
+    interp::Interpreter in(*mod, types);
+    return in.call("f", {}).as_double();
+}
+
+class PrecedencePairs
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {};
+
+TEST_P(PrecedencePairs, PrintParseRoundTripPreservesTreeShape) {
+    // Build (a op1 b) op2 c and a op1 (b op2 c) explicitly, print them,
+    // reparse, and check the reparsed tree evaluates identically — i.e.
+    // the printer emitted exactly the parentheses the parser needs.
+    const BinaryOp ops[] = {BinaryOp::Add, BinaryOp::Sub, BinaryOp::Mul,
+                            BinaryOp::Div};
+    const auto [i, j, left_grouped] = GetParam();
+    const BinaryOp op1 = ops[i];
+    const BinaryOp op2 = ops[j];
+    const double a = 7.5;
+    const double b = -2.25;
+    const double c = 3.0;
+
+    ExprPtr tree;
+    if (left_grouped) {
+        tree = build::binary(
+            op2,
+            build::binary(op1, build::float_lit(a), build::float_lit(b)),
+            build::float_lit(c));
+    } else {
+        tree = build::binary(
+            op1, build::float_lit(a),
+            build::binary(op2, build::float_lit(b), build::float_lit(c)));
+    }
+    const std::string printed = to_source(*tree);
+    const double direct = eval_expr(clone_expr(*tree));
+    const double reparsed = eval_expr(frontend::parse_expression(printed));
+    EXPECT_DOUBLE_EQ(direct, reparsed) << printed;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, PrecedencePairs,
+                         ::testing::Combine(::testing::Range(0, 4),
+                                            ::testing::Range(0, 4),
+                                            ::testing::Bool()));
+
+// --------------------------------------------------- random-program fuzz ---
+
+/// Tiny generator of valid HLC functions: straight-line arithmetic over a
+/// growing pool of scalar variables plus one array, wrapped in a loop.
+std::string random_program(std::uint64_t seed) {
+    SplitMix64 rng(seed);
+    std::string body;
+    std::vector<std::string> vars = {"x0"};
+    body += "        double x0 = a[i] + 1.5;\n";
+    const int stmts = 3 + static_cast<int>(rng.next_below(8));
+    for (int s = 1; s <= stmts; ++s) {
+        const std::string& lhs_src =
+            vars[rng.next_below(vars.size())];
+        const std::string& rhs_src =
+            vars[rng.next_below(vars.size())];
+        const char* op = nullptr;
+        switch (rng.next_below(4)) {
+            case 0: op = "+"; break;
+            case 1: op = "-"; break;
+            case 2: op = "*"; break;
+            default: op = "+"; break;
+        }
+        const std::string name = "x" + std::to_string(s);
+        body += "        double " + name + " = " + lhs_src + " " + op + " " +
+                rhs_src + " * " +
+                format_compact(rng.uniform(-2.0, 2.0), 6) + ";\n";
+        vars.push_back(name);
+    }
+    body += "        a[i] = " + vars.back() + ";\n";
+
+    std::string src;
+    src += "void f(int n, double* a) {\n";
+    src += "    for (int i = 0; i < n; i = i + 1) {\n";
+    src += body;
+    src += "    }\n";
+    src += "}\n";
+    return src;
+}
+
+std::vector<double> run_random(const Module& mod) {
+    auto types = sema::check(mod);
+    auto a = std::make_shared<interp::Buffer>(Type::Double, 32, "a");
+    for (int i = 0; i < 32; ++i) a->store(i, 0.1 * i - 1.0);
+    interp::Interpreter in(mod, types);
+    in.call("f", {interp::Value::of_int(32), a});
+    return a->raw();
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeeds, RoundTripIsIdempotentOnRandomPrograms) {
+    const std::string src = random_program(GetParam());
+    const std::string once = testing::normalise(src);
+    EXPECT_EQ(testing::normalise(once), once) << src;
+}
+
+TEST_P(FuzzSeeds, ReparsedProgramBehavesIdentically) {
+    const std::string src = random_program(GetParam());
+    auto original = frontend::parse_module(src, "f");
+    auto reparsed = frontend::parse_module(to_source(*original), "f");
+    EXPECT_EQ(run_random(*original), run_random(*reparsed)) << src;
+}
+
+TEST_P(FuzzSeeds, CloneBehavesIdentically) {
+    const std::string src = random_program(GetParam());
+    auto original = frontend::parse_module(src, "f");
+    auto copy = clone_module(*original);
+    EXPECT_EQ(run_random(*original), run_random(*copy)) << src;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// ---------------------------------------------------------- corner cases ---
+
+TEST(EdgeCases, DeeplyNestedExpressionsParse) {
+    std::string expr = "1.0";
+    for (int i = 0; i < 200; ++i) expr = "(" + expr + " + 1.0)";
+    auto e = frontend::parse_expression(expr);
+    EXPECT_DOUBLE_EQ(eval_expr(std::move(e)), 201.0);
+}
+
+TEST(EdgeCases, LargeIntLiterals) {
+    auto [mod, types] =
+        parse_and_check("int f() { return 123456789012345; }");
+    interp::Interpreter in(*mod, types);
+    EXPECT_EQ(in.call("f", {}).as_int(), 123456789012345LL);
+}
+
+TEST(EdgeCases, NegativeArraySizeRejectedAtRuntime) {
+    auto [mod, types] = parse_and_check(R"(
+void f(int n) {
+    double buf[n];
+    buf[0] = 0.0;
+}
+)");
+    interp::Interpreter in(*mod, types);
+    EXPECT_THROW(in.call("f", {interp::Value::of_int(-4)}), Error);
+}
+
+TEST(EdgeCases, BufferElementTypeMismatchRejected) {
+    auto [mod, types] = parse_and_check("void f(float* a) { a[0] = 1.0; }");
+    auto wrong = std::make_shared<interp::Buffer>(Type::Double, 4, "a");
+    interp::Interpreter in(*mod, types);
+    EXPECT_THROW(in.call("f", {wrong}), Error);
+}
+
+TEST(EdgeCases, EntryArityMismatchRejected) {
+    auto [mod, types] = parse_and_check("void f(int a, int b) { a = b; }");
+    interp::Interpreter in(*mod, types);
+    EXPECT_THROW(in.call("f", {interp::Value::of_int(1)}), Error);
+}
+
+TEST(EdgeCases, UnknownEntryRejected) {
+    auto [mod, types] = parse_and_check("void f() { }");
+    interp::Interpreter in(*mod, types);
+    EXPECT_THROW(in.call("nope", {}), Error);
+}
+
+TEST(EdgeCases, ZeroTripLoopsAreFine) {
+    auto [mod, types] = parse_and_check(R"(
+int f(int n) {
+    int count = 0;
+    for (int i = 5; i < n; i = i + 1) {
+        count = count + 1;
+    }
+    return count;
+}
+)");
+    interp::Interpreter in(*mod, types);
+    EXPECT_EQ(in.call("f", {interp::Value::of_int(3)}).as_int(), 0);
+    EXPECT_EQ(in.call("f", {interp::Value::of_int(5)}).as_int(), 0);
+    EXPECT_EQ(in.call("f", {interp::Value::of_int(6)}).as_int(), 1);
+}
+
+TEST(EdgeCases, RecursionWorksWithinStepBudget) {
+    auto [mod, types] = parse_and_check(R"(
+int fib(int n) {
+    if (n < 2) {
+        return n;
+    }
+    return fib(n - 1) + fib(n - 2);
+}
+)");
+    interp::Interpreter in(*mod, types);
+    EXPECT_EQ(in.call("fib", {interp::Value::of_int(15)}).as_int(), 610);
+}
+
+TEST(EdgeCases, PragmaOnlyAtStatementPositionSurvivesRoundTrip) {
+    const char* src = "void f(int n, double* a) {\n"
+                      "#pragma omp parallel for\n"
+                      "#pragma unroll 2\n"
+                      "    for (int i = 0; i < n; i = i + 1) {\n"
+                      "        a[i] = 0.0;\n"
+                      "    }\n"
+                      "}\n";
+    const std::string once = testing::normalise(src);
+    EXPECT_EQ(testing::normalise(once), once);
+    EXPECT_NE(once.find("#pragma omp parallel for"), std::string::npos);
+    EXPECT_NE(once.find("#pragma unroll 2"), std::string::npos);
+}
+
+TEST(EdgeCases, FloatLiteralPrecisionSurvivesRoundTrip) {
+    // A value with no short decimal representation must survive
+    // parse -> print -> parse exactly (spelling preservation).
+    const char* src = "double f() { return 0.1234567890123456789; }";
+    auto mod1 = frontend::parse_module(src, "m");
+    auto mod2 = frontend::parse_module(to_source(*mod1), "m");
+    auto t1 = sema::check(*mod1);
+    auto t2 = sema::check(*mod2);
+    interp::Interpreter i1(*mod1, t1);
+    interp::Interpreter i2(*mod2, t2);
+    EXPECT_EQ(i1.call("f", {}).as_double(), i2.call("f", {}).as_double());
+}
+
+} // namespace
+} // namespace psaflow

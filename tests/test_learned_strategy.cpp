@@ -1,0 +1,123 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "flow/engine.hpp"
+#include "flow/learned_strategy.hpp"
+#include "flow/standard_flow.hpp"
+#include "frontend/parser.hpp"
+#include "test_util.hpp"
+
+namespace psaflow {
+namespace {
+
+using namespace psaflow::flow;
+
+StrategyFeatures features(double intensity, bool parallel, bool inner_deps,
+                          bool unrollable) {
+    StrategyFeatures f;
+    f.log_intensity = std::log10(intensity);
+    f.log_compute_transfer = 1.0;
+    f.outer_parallel = parallel ? 1.0 : 0.0;
+    f.inner_with_deps = inner_deps ? 1.0 : 0.0;
+    f.inner_fully_unrollable = unrollable ? 1.0 : 0.0;
+    f.log_parallel_iters = 6.0;
+    return f;
+}
+
+std::vector<TrainingExample> synthetic_corpus() {
+    // A textbook-shaped corpus: low-intensity kernels label cpu,
+    // high-intensity ones gpu, fully-unrollable dependent inners fpga.
+    std::vector<TrainingExample> out;
+    out.push_back({features(0.5, true, false, false), "cpu"});
+    out.push_back({features(1.0, true, false, false), "cpu"});
+    out.push_back({features(2.0, true, true, false), "cpu"});
+    out.push_back({features(30.0, true, false, false), "gpu"});
+    out.push_back({features(80.0, true, true, false), "gpu"});
+    out.push_back({features(200.0, true, false, false), "gpu"});
+    out.push_back({features(40.0, true, true, true), "fpga"});
+    out.push_back({features(90.0, true, true, true), "fpga"});
+    out.push_back({features(25.0, false, true, true), "fpga"});
+    return out;
+}
+
+TEST(LearnedStrategy, MemorisesTrainingExamples) {
+    LearnedStrategy knn(synthetic_corpus(), 1);
+    for (const auto& ex : synthetic_corpus()) {
+        EXPECT_EQ(knn.classify(ex.features), ex.label);
+    }
+}
+
+TEST(LearnedStrategy, InterpolatesBetweenNeighbours) {
+    LearnedStrategy knn(synthetic_corpus(), 3);
+    // Unseen high-intensity parallel kernel without unrollable inners.
+    EXPECT_EQ(knn.classify(features(120.0, true, false, false)), "gpu");
+    // Unseen low-intensity kernel.
+    EXPECT_EQ(knn.classify(features(0.8, true, false, false)), "cpu");
+    // Unseen unrollable dependent inner structure.
+    EXPECT_EQ(knn.classify(features(60.0, true, true, true)), "fpga");
+}
+
+TEST(LearnedStrategy, RejectsEmptyCorpus) {
+    EXPECT_THROW(LearnedStrategy({}, 1), Error);
+}
+
+TEST(LearnedStrategy, OracleTrainingLabelsMatchPaperTargets) {
+    const auto corpus = train_from_oracle(apps::all_applications());
+    ASSERT_EQ(corpus.size(), 5u);
+    // Paper order: rushlarsen, nbody, bezier, adpredictor, kmeans.
+    EXPECT_EQ(corpus[0].label, "gpu");
+    EXPECT_EQ(corpus[1].label, "gpu");
+    EXPECT_EQ(corpus[2].label, "gpu");
+    EXPECT_EQ(corpus[3].label, "fpga");
+    EXPECT_EQ(corpus[4].label, "cpu");
+}
+
+TEST(LearnedStrategy, LeaveOneOutOnBenchmarks) {
+    // Train on four benchmarks, predict the fifth. Folds whose held-out
+    // label does not occur in the remaining corpus (K-Means is the only
+    // "cpu" app, AdPredictor the only "fpga" one) are impossible by
+    // construction and therefore skipped; the three GPU apps must mostly
+    // classify each other correctly.
+    const auto all = apps::all_applications();
+    const auto corpus = train_from_oracle(all);
+    int correct = 0;
+    int evaluable = 0;
+    for (std::size_t hold = 0; hold < corpus.size(); ++hold) {
+        std::vector<TrainingExample> train;
+        bool label_present = false;
+        for (std::size_t i = 0; i < corpus.size(); ++i) {
+            if (i == hold) continue;
+            train.push_back(corpus[i]);
+            if (corpus[i].label == corpus[hold].label) label_present = true;
+        }
+        if (!label_present) continue;
+        ++evaluable;
+        LearnedStrategy knn(train, 1);
+        if (knn.classify(corpus[hold].features) == corpus[hold].label)
+            ++correct;
+    }
+    ASSERT_EQ(evaluable, 3); // the three GPU-labelled apps
+    EXPECT_GE(correct, 2) << "leave-one-out accuracy collapsed";
+}
+
+TEST(LearnedStrategy, DrivesTheFlowEndToEnd) {
+    // Swap the learned strategy into branch point A and compile K-Means:
+    // trained on the benchmark corpus it must reproduce the informed
+    // choice (multi-thread CPU).
+    const auto corpus = train_from_oracle(apps::all_applications());
+
+    DesignFlow flow = standard_flow(Mode::Informed);
+    flow.branch->strategy = std::make_shared<LearnedStrategy>(corpus, 3);
+
+    const auto& app = apps::kmeans();
+    FlowContext ctx(app.name, frontend::parse_module(app.source, app.name),
+                    app.workload);
+    ctx.allow_single_precision = app.allow_single_precision;
+    auto result = run_flow(flow, std::move(ctx));
+    ASSERT_EQ(result.designs.size(), 1u);
+    EXPECT_EQ(result.designs[0].spec.target, codegen::TargetKind::CpuOpenMp);
+}
+
+} // namespace
+} // namespace psaflow

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "ast/builder.hpp"
+#include "ast/printer.hpp"
+#include "meta/instrument.hpp"
+#include "meta/query.hpp"
+#include "test_util.hpp"
+
+namespace psaflow {
+namespace {
+
+using namespace psaflow::ast;
+using namespace psaflow::meta;
+using psaflow::testing::parse;
+
+const char* kNested = R"(
+void knl(int n, double* a) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < 8; j++) {
+            a[i] = a[i] + 1.0;
+        }
+    }
+    for (int k = 0; k < 4; k++) {
+        a[k] = 0.0;
+    }
+}
+
+void main_fn(int n, double* a) {
+    for (int t = 0; t < 10; t++) {
+        knl(n, a);
+    }
+}
+)";
+
+// ---------------------------------------------------------------- query ----
+
+TEST(Query, OutermostLoopsOfKernelOnly) {
+    // The Fig. 2 query: outermost for-loops enclosed in the kernel function.
+    auto mod = parse(kNested);
+    Function* knl = mod->find_function("knl");
+    ASSERT_NE(knl, nullptr);
+    auto loops = outermost_for_loops(*knl);
+    ASSERT_EQ(loops.size(), 2u); // i-loop and k-loop; not j (nested)
+    EXPECT_EQ(loops[0]->var, "i");
+    EXPECT_EQ(loops[1]->var, "k");
+}
+
+TEST(Query, InnerLoops) {
+    auto mod = parse(kNested);
+    auto loops = outermost_for_loops(*mod->find_function("knl"));
+    auto inner = inner_for_loops(*loops[0]);
+    ASSERT_EQ(inner.size(), 1u);
+    EXPECT_EQ(inner[0]->var, "j");
+    EXPECT_TRUE(inner_for_loops(*loops[1]).empty());
+}
+
+TEST(Query, LoopNestDepth) {
+    auto mod = parse(kNested);
+    auto loops = outermost_for_loops(*mod->find_function("knl"));
+    EXPECT_EQ(loop_nest_depth(*loops[0]), 2);
+    EXPECT_EQ(loop_nest_depth(*loops[1]), 1);
+}
+
+TEST(Query, FixedBoundsDetection) {
+    auto mod = parse(kNested);
+    auto all = for_loops(*mod->find_function("knl"));
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_FALSE(has_fixed_bounds(*all[0])); // i < n
+    EXPECT_TRUE(has_fixed_bounds(*all[1]));  // j < 8
+    EXPECT_EQ(constant_trip_count(*all[1]), 8);
+    EXPECT_TRUE(has_fixed_bounds(*all[2])); // k < 4
+    EXPECT_EQ(constant_trip_count(*all[2]), 4);
+}
+
+TEST(Query, ConstantFolding) {
+    auto e = frontend::parse_expression("2 * (3 + 4) - 1");
+    EXPECT_EQ(fold_int_constant(*e), 13);
+    auto e2 = frontend::parse_expression("2 * n");
+    EXPECT_EQ(fold_int_constant(*e2), std::nullopt);
+    auto e3 = frontend::parse_expression("-8");
+    EXPECT_EQ(fold_int_constant(*e3), -8);
+}
+
+TEST(Query, ConstantTripCountWithStep) {
+    auto mod =
+        parse("void f() { for (int i = 0; i < 10; i += 3) { int x = 0; x = x; } }");
+    auto loops = for_loops(*mod);
+    EXPECT_EQ(constant_trip_count(*loops[0]), 4); // 0,3,6,9
+}
+
+TEST(Query, FreeVariablesExcludeDeclared) {
+    auto mod = parse(kNested);
+    auto loops = outermost_for_loops(*mod->find_function("knl"));
+    auto free = free_variables(*loops[0]);
+    // Free: n, a. Not free: i, j (declared by the loops).
+    EXPECT_EQ(free, (std::vector<std::string>{"n", "a"}));
+}
+
+TEST(Query, WritesVariable) {
+    auto mod = parse(kNested);
+    Function* knl = mod->find_function("knl");
+    EXPECT_TRUE(writes_variable(*knl, "a"));
+    EXPECT_FALSE(writes_variable(*knl, "n"));
+}
+
+TEST(Query, CallsTo) {
+    auto mod = parse(kNested);
+    EXPECT_EQ(calls_to(*mod, "knl").size(), 1u);
+    EXPECT_EQ(calls_to(*mod, "nothing").size(), 0u);
+    EXPECT_EQ(calls_to(*mod).size(), 1u);
+}
+
+// ----------------------------------------------------------- instrument ----
+
+TEST(Instrument, InsertBeforeAndAfter) {
+    auto mod = parse(kNested);
+    Function* knl = mod->find_function("knl");
+    auto loops = outermost_for_loops(*knl);
+
+    ParentMap parents(*mod);
+    insert_before(parents, *loops[0],
+                  build::expr_stmt(build::call("timer_start")));
+    // ParentMap is stale after the edit for indices, but the anchor's block
+    // membership still holds for insert_after of the same anchor only if we
+    // rebuild; rebuild to be safe.
+    ParentMap parents2(*mod);
+    insert_after(parents2, *loops[0],
+                 build::expr_stmt(build::call("timer_stop")));
+
+    const std::string src = to_source(*knl);
+    const auto start = src.find("timer_start()");
+    const auto loop = src.find("for (int i");
+    const auto stop = src.find("timer_stop()");
+    ASSERT_NE(start, std::string::npos);
+    ASSERT_NE(stop, std::string::npos);
+    EXPECT_LT(start, loop);
+    EXPECT_GT(stop, loop);
+}
+
+TEST(Instrument, ReplaceStmtReturnsOriginal) {
+    auto mod = parse(kNested);
+    Function* knl = mod->find_function("knl");
+    auto loops = outermost_for_loops(*knl);
+    ParentMap parents(*mod);
+
+    auto original = replace_stmt(
+        parents, *loops[0],
+        build::expr_stmt(build::call(
+            "knl_hotspot", [] {
+                std::vector<ExprPtr> args;
+                args.push_back(build::ident("n"));
+                args.push_back(build::ident("a"));
+                return args;
+            }())));
+
+    EXPECT_EQ(original->kind(), NodeKind::For);
+    const std::string src = to_source(*knl);
+    EXPECT_NE(src.find("knl_hotspot(n, a);"), std::string::npos);
+    // The j-loop left with the detached original.
+    EXPECT_EQ(src.find("for (int j"), std::string::npos);
+}
+
+TEST(Instrument, DetachStmt) {
+    auto mod = parse(kNested);
+    Function* knl = mod->find_function("knl");
+    auto loops = outermost_for_loops(*knl);
+    ParentMap parents(*mod);
+    auto detached = detach_stmt(parents, *loops[1]);
+    EXPECT_EQ(detached->kind(), NodeKind::For);
+    EXPECT_EQ(to_source(*knl).find("for (int k"), std::string::npos);
+}
+
+TEST(Instrument, PragmaEditing) {
+    auto mod = parse(kNested);
+    auto loops = outermost_for_loops(*mod->find_function("knl"));
+    add_pragma(*loops[0], "unroll 2");
+    add_pragma(*loops[0], "omp parallel for");
+    EXPECT_TRUE(find_pragma(*loops[0], "unroll").has_value());
+    EXPECT_EQ(*find_pragma(*loops[0], "unroll"), "unroll 2");
+    EXPECT_FALSE(find_pragma(*loops[0], "ivdep").has_value());
+
+    EXPECT_EQ(remove_pragmas(*loops[0], "unroll"), 1);
+    EXPECT_FALSE(find_pragma(*loops[0], "unroll").has_value());
+    EXPECT_TRUE(find_pragma(*loops[0], "omp").has_value());
+}
+
+TEST(Instrument, Fig2UnrollPragmaInsertion) {
+    // Reproduce the Fig. 2 instrumentation step: query outermost kernel
+    // loops, attach `#pragma unroll <n>`, and confirm the exported source.
+    auto mod = parse(kNested);
+    Function* knl = mod->find_function("knl");
+    for (For* loop : outermost_for_loops(*knl)) {
+        add_pragma(*loop, "unroll 2");
+    }
+    const std::string src = to_source(*mod);
+    // Both outermost loops instrumented; the nested j-loop untouched.
+    size_t first = src.find("#pragma unroll 2");
+    ASSERT_NE(first, std::string::npos);
+    size_t second = src.find("#pragma unroll 2", first + 1);
+    ASSERT_NE(second, std::string::npos);
+    EXPECT_EQ(src.find("#pragma unroll 2", second + 1), std::string::npos);
+}
+
+} // namespace
+} // namespace psaflow

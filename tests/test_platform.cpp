@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include "platform/cpu.hpp"
+#include "platform/devices.hpp"
+#include "platform/fpga.hpp"
+#include "platform/gpu.hpp"
+#include "test_util.hpp"
+
+namespace psaflow {
+namespace {
+
+using namespace psaflow::platform;
+using psaflow::testing::parse_and_check;
+
+KernelShape compute_bound_shape() {
+    KernelShape s;
+    s.flops = 1e12;
+    s.footprint_bytes = 1e6;
+    s.stream_bytes = 1e6;
+    s.bytes_in = 5e5;
+    s.bytes_out = 5e5;
+    s.parallel_iters = 1e7;
+    s.double_precision = false;
+    s.regs_per_thread = 32;
+    return s;
+}
+
+KernelShape memory_bound_shape() {
+    KernelShape s;
+    s.flops = 1e8;
+    s.footprint_bytes = 4e9;
+    s.stream_bytes = 8e9;
+    s.bytes_in = 2e9;
+    s.bytes_out = 2e9;
+    s.parallel_iters = 1e7;
+    s.double_precision = false;
+    s.regs_per_thread = 32;
+    return s;
+}
+
+// ------------------------------------------------------------------ CPU ----
+
+TEST(CpuModel, SingleThreadRoofline) {
+    CpuModel cpu(epyc7543());
+    const double t_compute = cpu.time_single_thread(compute_bound_shape());
+    // 1e12 flops at 5.6 GF/s ~ 178 s.
+    EXPECT_NEAR(t_compute, 1e12 / (2.8e9 * 2.0), 1.0);
+
+    const double t_memory = cpu.time_single_thread(memory_bound_shape());
+    EXPECT_NEAR(t_memory, 4e9 / (epyc7543().mem_bw_core_gbs * 1e9), 0.05);
+}
+
+TEST(CpuModel, MultiThreadScalesUntilBandwidth) {
+    CpuModel cpu(epyc7543());
+    const auto shape = compute_bound_shape();
+    const double t1 = cpu.time_single_thread(shape);
+    const double t32 = cpu.time_multi_thread(shape, 32);
+    const double speedup = t1 / t32;
+    EXPECT_GT(speedup, 25.0);
+    EXPECT_LE(speedup, 32.0);
+
+    // Memory-bound work saturates the socket: speedup well below cores.
+    const auto mem = memory_bound_shape();
+    const double m1 = cpu.time_single_thread(mem);
+    const double m32 = cpu.time_multi_thread(mem, 32);
+    EXPECT_LT(m1 / m32, 20.0);
+}
+
+TEST(CpuModel, ThreadsMonotoneUpToConcurrency) {
+    CpuModel cpu(epyc7543());
+    const auto shape = compute_bound_shape();
+    double prev = cpu.time_multi_thread(shape, 1);
+    for (int t = 2; t <= 32; t *= 2) {
+        const double cur = cpu.time_multi_thread(shape, t);
+        EXPECT_LT(cur, prev) << t;
+        prev = cur;
+    }
+}
+
+TEST(CpuModel, ConcurrencyCappedByParallelIters) {
+    CpuModel cpu(epyc7543());
+    auto shape = compute_bound_shape();
+    shape.parallel_iters = 4.0; // only four outer iterations
+    const double t4 = cpu.time_multi_thread(shape, 4);
+    const double t32 = cpu.time_multi_thread(shape, 32);
+    EXPECT_NEAR(t4, t32, t4 * 0.05); // extra threads buy nothing
+}
+
+TEST(CpuModel, RejectsBadThreadCount) {
+    CpuModel cpu(epyc7543());
+    EXPECT_THROW((void)cpu.time_multi_thread(compute_bound_shape(), 0),
+                 Error);
+}
+
+// ------------------------------------------------------------------ GPU ----
+
+TEST(GpuOccupancy, FullAtModestRegisters) {
+    GpuModel gpu(rtx2080ti());
+    EXPECT_NEAR(gpu.occupancy(256, 32, 0.0), 1.0, 1e-9);
+}
+
+TEST(GpuOccupancy, RegisterPressureLimits) {
+    // The paper's Rush Larsen observation: 255 regs/thread saturates the
+    // 1080 Ti (2048 threads/SM) but leaves the 2080 Ti (1024 threads/SM)
+    // at a workable occupancy.
+    GpuModel gtx(gtx1080ti());
+    GpuModel rtx(rtx2080ti());
+    const double occ_gtx = gtx.occupancy(64, 255, 0.0);
+    const double occ_rtx = rtx.occupancy(64, 255, 0.0);
+    EXPECT_LT(occ_gtx, 0.15);
+    EXPECT_GT(occ_rtx, 0.2);
+    EXPECT_GT(occ_rtx, occ_gtx);
+}
+
+TEST(GpuOccupancy, SharedMemoryLimits) {
+    GpuModel gpu(rtx2080ti());
+    const double free_occ = gpu.occupancy(256, 32, 0.0);
+    const double smem_occ = gpu.occupancy(256, 32, 32.0); // 32 KB/block
+    EXPECT_LT(smem_occ, free_occ);
+}
+
+TEST(GpuOccupancy, HugeBlockUnlaunchable) {
+    GpuModel gpu(rtx2080ti());
+    // 1024-thread blocks with 255 regs need 261k regs/SM: zero blocks fit.
+    EXPECT_EQ(gpu.occupancy(1024, 255, 0.0), 0.0);
+    KernelShape shape = compute_bound_shape();
+    shape.regs_per_thread = 255;
+    LaunchConfig config;
+    config.block_size = 1024;
+    const auto est = gpu.estimate(shape, config);
+    EXPECT_GT(est.total_seconds, 1e20); // sentinel: unlaunchable
+}
+
+TEST(GpuModel, Fp64PaysThroughputPenalty) {
+    GpuModel gpu(rtx2080ti());
+    LaunchConfig config;
+    auto sp = compute_bound_shape();
+    auto dp = sp;
+    dp.double_precision = true;
+    const double t_sp = gpu.estimate(sp, config).kernel_seconds;
+    const double t_dp = gpu.estimate(dp, config).kernel_seconds;
+    EXPECT_GT(t_dp, 2.0 * t_sp);
+}
+
+TEST(GpuModel, PinnedMemorySpeedsTransfers) {
+    GpuModel gpu(rtx2080ti());
+    auto shape = memory_bound_shape();
+    LaunchConfig pageable;
+    LaunchConfig pinned;
+    pinned.pinned_host_memory = true;
+    const auto slow = gpu.estimate(shape, pageable);
+    const auto fast = gpu.estimate(shape, pinned);
+    EXPECT_LT(fast.transfer_seconds, slow.transfer_seconds);
+    EXPECT_NEAR(slow.transfer_seconds / fast.transfer_seconds,
+                rtx2080ti().pcie_pinned_bw_gbs / rtx2080ti().pcie_bw_gbs,
+                0.01);
+}
+
+TEST(GpuModel, SharedMemReuseCutsMemoryTime) {
+    GpuModel gpu(rtx2080ti());
+    auto shape = memory_bound_shape();
+    LaunchConfig config;
+    const double base = gpu.estimate(shape, config).kernel_seconds;
+    shape.shared_mem_reuse = 0.9;
+    const double staged = gpu.estimate(shape, config).kernel_seconds;
+    EXPECT_LT(staged, base * 0.5);
+}
+
+TEST(GpuModel, DependentChainsSlowCompute) {
+    GpuModel gpu(rtx2080ti());
+    LaunchConfig config;
+    auto independent = compute_bound_shape();
+    auto dependent = independent;
+    dependent.dependent_fraction = 1.0;
+    EXPECT_GT(gpu.estimate(dependent, config).kernel_seconds,
+              3.0 * gpu.estimate(independent, config).kernel_seconds);
+}
+
+TEST(GpuModel, SmallGridsAreLatencyBoundAndDeviceSimilar) {
+    // The paper's Bezier observation: when neither GPU is saturated the
+    // performance difference is small.
+    auto shape = compute_bound_shape();
+    shape.parallel_iters = 4096; // far below resident thread counts
+    shape.flops = shape.parallel_iters * 1e4;
+    LaunchConfig config;
+    const double t_gtx =
+        GpuModel(gtx1080ti()).estimate(shape, config).kernel_seconds;
+    const double t_rtx =
+        GpuModel(rtx2080ti()).estimate(shape, config).kernel_seconds;
+    EXPECT_LT(std::max(t_gtx, t_rtx) / std::min(t_gtx, t_rtx), 1.6);
+}
+
+// ----------------------------------------------------------------- FPGA ----
+
+const char* kSmallKernel = R"(
+void knl(int n, double* a, double* b) {
+    for (int i = 0; i < n; i = i + 1) {
+        a[i] = b[i] * 2.0 + 1.0;
+    }
+}
+)";
+
+const char* kHugeKernel = R"(
+void knl(int n, double* a) {
+    for (int i = 0; i < n; i = i + 1) {
+        double x = a[i];
+        double r = exp(x) + exp(x * 2.0) + exp(x * 3.0) + exp(x * 4.0)
+                 + exp(x * 5.0) + exp(x * 6.0) + exp(x * 7.0) + exp(x * 8.0)
+                 + exp(x * 9.0) + exp(x * 10.0) + exp(x * 11.0)
+                 + exp(x * 12.0) + exp(x * 13.0) + exp(x * 14.0)
+                 + exp(x * 15.0) + exp(x * 16.0) + exp(x * 17.0)
+                 + exp(x * 18.0) + exp(x * 19.0) + exp(x * 20.0)
+                 + pow(x, 3.0) + pow(x, 4.0) + pow(x, 5.0)
+                 + exp(x * 21.0) + exp(x * 22.0) + exp(x * 23.0)
+                 + exp(x * 24.0) + exp(x * 25.0) + exp(x * 26.0)
+                 + exp(x * 27.0) + exp(x * 28.0) + exp(x * 29.0)
+                 + exp(x * 30.0) + exp(x * 31.0) + exp(x * 32.0)
+                 + exp(x * 33.0) + exp(x * 34.0) + exp(x * 35.0)
+                 + exp(x * 36.0) + exp(x * 37.0) + exp(x * 38.0)
+                 + exp(x * 39.0) + exp(x * 40.0) + exp(x * 41.0)
+                 + exp(x * 42.0) + exp(x * 43.0) + exp(x * 44.0)
+                 + exp(x * 45.0) + exp(x * 46.0) + exp(x * 47.0)
+                 + exp(x * 48.0) + exp(x * 49.0) + exp(x * 50.0)
+                 + exp(x * 51.0) + exp(x * 52.0) + exp(x * 53.0)
+                 + exp(x * 54.0) + exp(x * 55.0) + exp(x * 56.0)
+                 + exp(x * 57.0) + exp(x * 58.0) + exp(x * 59.0)
+                 + exp(x * 60.0) + exp(x * 61.0) + exp(x * 62.0);
+        a[i] = r;
+    }
+}
+)";
+
+TEST(FpgaModel, ResourcesScaleWithUnroll) {
+    auto [mod, types] = parse_and_check(kSmallKernel);
+    FpgaModel fpga(arria10());
+    const auto r1 = fpga.report(*mod->find_function("knl"), types, 1);
+    const auto r4 = fpga.report(*mod->find_function("knl"), types, 4);
+    EXPECT_GT(r4.total_luts, r1.total_luts);
+    EXPECT_NEAR(r4.total_luts - arria10().base_luts,
+                4.0 * (r1.total_luts - arria10().base_luts), 1.0);
+    EXPECT_FALSE(r1.overmapped);
+}
+
+TEST(FpgaModel, DoublePrecisionCostsMoreArea) {
+    auto [mod, types] = parse_and_check(kSmallKernel);
+    FpgaModel fpga(arria10());
+    const auto dp = fpga.report(*mod->find_function("knl"), types, 1, false);
+    const auto sp = fpga.report(*mod->find_function("knl"), types, 1, true);
+    EXPECT_GT(dp.replica.luts, sp.replica.luts);
+}
+
+TEST(FpgaModel, HugeKernelOvermapsAtUnrollOne) {
+    // The Rush Larsen scenario: a transcendental-saturated kernel exceeds
+    // the Arria10 even without replication.
+    auto [mod, types] = parse_and_check(kHugeKernel);
+    FpgaModel fpga(arria10());
+    const auto report =
+        fpga.report(*mod->find_function("knl"), types, 1, false);
+    EXPECT_TRUE(report.overmapped);
+}
+
+TEST(FpgaModel, StratixIsLargerThanArria) {
+    auto [mod, types] = parse_and_check(kHugeKernel);
+    const auto a10 =
+        FpgaModel(arria10()).report(*mod->find_function("knl"), types, 1,
+                                    true);
+    const auto s10 =
+        FpgaModel(stratix10()).report(*mod->find_function("knl"), types, 1,
+                                      true);
+    EXPECT_GT(a10.lut_utilisation, s10.lut_utilisation);
+}
+
+TEST(FpgaModel, LocalArraysUseBram) {
+    auto [mod, types] = parse_and_check(R"(
+void knl(int n, double* a) {
+    for (int i = 0; i < n; i = i + 1) {
+        double scratch[4096];
+        scratch[0] = a[i];
+        a[i] = scratch[0];
+    }
+}
+)");
+    FpgaModel fpga(arria10());
+    const auto report = fpga.report(*mod->find_function("knl"), types, 1);
+    EXPECT_GE(report.replica.bram_kb, 32.0); // 4096 doubles = 32 KB
+}
+
+TEST(FpgaModel, PipelineTimeDropsWithUnroll) {
+    auto [mod, types] = parse_and_check(kSmallKernel);
+    FpgaModel fpga(stratix10());
+    KernelShape shape;
+    shape.flops = 1e9;
+    shape.parallel_iters = 1e8;
+    shape.fpga_stream_bytes = 0.0;
+    shape.bytes_in = 0.0;
+    shape.bytes_out = 0.0;
+
+    const auto r1 = fpga.report(*mod->find_function("knl"), types, 1);
+    const auto r8 = fpga.report(*mod->find_function("knl"), types, 8);
+    const double t1 = fpga.estimate(shape, r1).kernel_seconds;
+    const double t8 = fpga.estimate(shape, r8).kernel_seconds;
+    EXPECT_NEAR(t1 / t8, 8.0, 0.5);
+}
+
+TEST(FpgaModel, OvermappedDesignGetsSentinelTime) {
+    auto [mod, types] = parse_and_check(kHugeKernel);
+    FpgaModel fpga(arria10());
+    const auto report = fpga.report(*mod->find_function("knl"), types, 1);
+    KernelShape shape;
+    shape.flops = 1e9;
+    EXPECT_GT(fpga.estimate(shape, report).total_seconds, 1e20);
+}
+
+TEST(FpgaModel, UsmOverlapsTransfers) {
+    auto [mod, types] = parse_and_check(kSmallKernel);
+    KernelShape shape;
+    shape.flops = 1e9;
+    shape.parallel_iters = 1e6;
+    shape.bytes_in = 4e9;
+    shape.bytes_out = 1e9;
+    shape.fpga_stream_bytes = 5e9;
+
+    const auto a10_rep =
+        FpgaModel(arria10()).report(*mod->find_function("knl"), types, 1);
+    const auto a10 = FpgaModel(arria10()).estimate(shape, a10_rep);
+    // Arria10: bulk PCIe copies add to kernel time.
+    EXPECT_GT(a10.transfer_seconds, 0.0);
+    EXPECT_NEAR(a10.transfer_seconds, 5e9 / (arria10().pcie_bw_gbs * 1e9),
+                1e-3);
+
+    const auto s10_rep =
+        FpgaModel(stratix10()).report(*mod->find_function("knl"), types, 1);
+    const auto s10 = FpgaModel(stratix10()).estimate(shape, s10_rep);
+    // Stratix10 USM: no separate transfer phase; accesses overlap compute.
+    EXPECT_EQ(s10.transfer_seconds, 0.0);
+    EXPECT_LT(s10.total_seconds, a10.total_seconds);
+}
+
+TEST(Devices, RegistryLookups) {
+    EXPECT_EQ(gpu_spec(DeviceId::Gtx1080Ti).name, gtx1080ti().name);
+    EXPECT_EQ(fpga_spec(DeviceId::Stratix10).name, stratix10().name);
+    EXPECT_THROW((void)gpu_spec(DeviceId::Arria10), Error);
+    EXPECT_THROW((void)fpga_spec(DeviceId::Rtx2080Ti), Error);
+    EXPECT_TRUE(stratix10().supports_usm);
+    EXPECT_FALSE(arria10().supports_usm);
+}
+
+} // namespace
+} // namespace psaflow

@@ -1,0 +1,187 @@
+// Property-based suites (parameterised over the five benchmark
+// applications): printer round-trips, clone equivalence and semantic
+// preservation of the source-to-source transforms, verified by interpreting
+// original vs. transformed programs on the real workloads.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/hotspot.hpp"
+#include "apps/apps.hpp"
+#include "ast/clone.hpp"
+#include "ast/printer.hpp"
+#include "frontend/parser.hpp"
+#include "interp/interpreter.hpp"
+#include "meta/query.hpp"
+#include "transform/extract.hpp"
+#include "transform/single_precision.hpp"
+#include "transform/unroll.hpp"
+#include "test_util.hpp"
+
+namespace psaflow {
+namespace {
+
+using apps::Application;
+
+class PerApplication : public ::testing::TestWithParam<std::string> {
+protected:
+    const Application& app() const {
+        return apps::application_by_name(GetParam());
+    }
+
+    /// Run `module` on the app's workload and return all buffer contents.
+    std::vector<std::vector<double>>
+    run_buffers(const ast::Module& module) const {
+        auto types = sema::check(module);
+        auto args = app().workload.make_args(1.0);
+        interp::Interpreter in(module, types);
+        in.call(app().workload.entry, args);
+        std::vector<std::vector<double>> out;
+        for (const auto& arg : args) {
+            if (const auto* buf = std::get_if<interp::BufferPtr>(&arg))
+                out.push_back((*buf)->raw());
+        }
+        return out;
+    }
+
+    /// Parse the app and extract its hotspot kernel.
+    struct Extracted {
+        ast::ModulePtr module;
+        std::string kernel;
+    };
+    Extracted extracted() const {
+        Extracted out;
+        out.module = frontend::parse_module(app().source, app().name);
+        auto types = sema::check(*out.module);
+        auto report =
+            analysis::detect_hotspots(*out.module, types, app().workload);
+        out.kernel = app().name + "_kernel";
+        transform::extract_hotspot(*out.module, types, *report.top()->loop,
+                                   out.kernel);
+        return out;
+    }
+};
+
+TEST_P(PerApplication, PrinterRoundTripIsIdempotent) {
+    const std::string once = testing::normalise(app().source);
+    EXPECT_EQ(testing::normalise(once), once);
+}
+
+TEST_P(PerApplication, CloneBehavesIdentically) {
+    auto module = frontend::parse_module(app().source, app().name);
+    auto copy = ast::clone_module(*module);
+    EXPECT_EQ(run_buffers(*module), run_buffers(*copy));
+}
+
+TEST_P(PerApplication, HotspotExtractionPreservesBehaviour) {
+    auto reference = frontend::parse_module(app().source, app().name);
+    auto ex = extracted();
+    EXPECT_EQ(run_buffers(*reference), run_buffers(*ex.module));
+}
+
+TEST_P(PerApplication, OuterUnrollPreservesBehaviour) {
+    auto reference = frontend::parse_module(app().source, app().name);
+    auto ex = extracted();
+    auto& kernel = *ex.module->find_function(ex.kernel);
+    auto loops = meta::outermost_for_loops(kernel);
+    ASSERT_FALSE(loops.empty());
+    transform::unroll_loop(*ex.module, *loops.front(), 3);
+    EXPECT_EQ(run_buffers(*reference), run_buffers(*ex.module));
+}
+
+TEST_P(PerApplication, FixedInnerLoopFullUnrollPreservesBehaviour) {
+    auto reference = frontend::parse_module(app().source, app().name);
+    auto ex = extracted();
+    auto& kernel = *ex.module->find_function(ex.kernel);
+    auto loops = meta::outermost_for_loops(kernel);
+    ASSERT_FALSE(loops.empty());
+    bool any = false;
+    for (ast::For* inner : meta::inner_for_loops(*loops.front())) {
+        if (meta::has_fixed_bounds(*inner) &&
+            meta::constant_trip_count(*inner) <= 64) {
+            transform::fully_unroll_loop(*ex.module, *inner);
+            any = true;
+            break; // pointers into the nest are stale after the rewrite
+        }
+    }
+    if (!any) GTEST_SKIP() << "no fixed-bound inner loop in this kernel";
+    EXPECT_EQ(run_buffers(*reference), run_buffers(*ex.module));
+}
+
+TEST_P(PerApplication, SinglePrecisionWithinTolerance) {
+    if (!app().allow_single_precision)
+        GTEST_SKIP() << "application is precision-sensitive";
+
+    auto reference = frontend::parse_module(app().source, app().name);
+    auto ex = extracted();
+    transform::employ_single_precision(*ex.module->find_function(ex.kernel));
+
+    const auto ref = run_buffers(*reference);
+    const auto got = run_buffers(*ex.module);
+    ASSERT_EQ(ref.size(), got.size());
+    for (std::size_t b = 0; b < ref.size(); ++b) {
+        ASSERT_EQ(ref[b].size(), got[b].size());
+        for (std::size_t i = 0; i < ref[b].size(); ++i) {
+            const double scale = std::max(1.0, std::abs(ref[b][i]));
+            EXPECT_NEAR(got[b][i], ref[b][i], 2e-4 * scale)
+                << "buffer " << b << " element " << i;
+        }
+    }
+}
+
+TEST_P(PerApplication, WorkloadScalesAreExactlyRepresentable) {
+    // The scaling-law fit assumes make_args(2s) doubles the problem size.
+    auto a1 = app().workload.make_args(1.0);
+    auto a2 = app().workload.make_args(2.0);
+    // First scalar argument is the problem size in every benchmark.
+    const auto n1 = std::get<interp::Value>(a1[0]).as_int();
+    const auto n2 = std::get<interp::Value>(a2[0]).as_int();
+    EXPECT_EQ(n2, 2 * n1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, PerApplication,
+                         ::testing::Values("nbody", "kmeans", "adpredictor",
+                                           "rushlarsen", "bezier"),
+                         [](const auto& info) { return info.param; });
+
+// ---------------------------------------------------------------------------
+// Unroll-factor sweep on a synthetic kernel with awkward bounds.
+// ---------------------------------------------------------------------------
+
+class UnrollSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(UnrollSweep, ExactForAllFactorBoundStepCombos) {
+    const auto [factor, n, step] = GetParam();
+    std::string src = "void f(int n, double* buf) {\n"
+                      "    for (int i = 1; i < n; i += " +
+                      std::to_string(step) +
+                      ") {\n"
+                      "        buf[i] = buf[i] * 3.0 + buf[i - 1];\n"
+                      "    }\n"
+                      "}\n";
+    auto run = [&](bool unrolled) {
+        auto mod = frontend::parse_module(src, "f");
+        if (unrolled) {
+            auto loops = meta::outermost_for_loops(*mod->find_function("f"));
+            transform::unroll_loop(*mod, *loops.front(), factor);
+        }
+        auto types = sema::check(*mod);
+        auto buf = std::make_shared<interp::Buffer>(ast::Type::Double, 128,
+                                                    "buf");
+        for (int i = 0; i < 128; ++i) buf->store(i, 0.125 * i - 4.0);
+        interp::Interpreter in(*mod, types);
+        in.call("f", {interp::Value::of_int(n), buf});
+        return buf->raw();
+    };
+    EXPECT_EQ(run(false), run(true));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, UnrollSweep,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8),
+                       ::testing::Values(0, 1, 17, 64, 127),
+                       ::testing::Values(1, 2, 3)));
+
+} // namespace
+} // namespace psaflow

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "support/prng.hpp"
+#include "support/string_util.hpp"
+#include "support/table.hpp"
+
+namespace psaflow {
+namespace {
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+    auto parts = split("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtil, SplitSingleField) {
+    auto parts = split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtil, TrimBothEnds) {
+    EXPECT_EQ(trim("  x y  "), "x y");
+    EXPECT_EQ(trim("\t\n"), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(StringUtil, JoinWithSeparator) {
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(StringUtil, CountLocSkipsBlankLines) {
+    EXPECT_EQ(count_loc("a\n\n  \nb\n"), 2);
+    EXPECT_EQ(count_loc(""), 0);
+    EXPECT_EQ(count_loc("single"), 1);
+}
+
+TEST(StringUtil, IndentLines) {
+    EXPECT_EQ(indent_lines("a\nb", 2), "  a\n  b");
+    EXPECT_EQ(indent_lines("a\n\nb", 2), "  a\n\n  b");
+}
+
+TEST(StringUtil, FormatCompact) {
+    EXPECT_EQ(format_compact(751.0), "751");
+    EXPECT_EQ(format_compact(1.5), "1.5");
+    EXPECT_EQ(format_compact(0.25), "0.25");
+}
+
+TEST(StringUtil, StartsEndsWith) {
+    EXPECT_TRUE(starts_with("omp parallel", "omp"));
+    EXPECT_FALSE(starts_with("om", "omp"));
+    EXPECT_TRUE(ends_with("file.cpp", ".cpp"));
+    EXPECT_FALSE(ends_with("cpp", "file.cpp"));
+}
+
+TEST(StringUtil, ReplaceAll) {
+    EXPECT_EQ(replace_all("a.b.c", ".", "::"), "a::b::c");
+    EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+    EXPECT_EQ(replace_all("x", "", "y"), "x");
+}
+
+TEST(Table, AlignsColumns) {
+    TablePrinter t({"App", "Speedup"});
+    t.add_row({"N-Body", "751x"});
+    t.add_row({"K", "30x"});
+    const std::string s = t.to_string();
+    EXPECT_NE(s.find("| App    |"), std::string::npos);
+    EXPECT_NE(s.find("| N-Body | 751x"), std::string::npos);
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, ShortRowsPad) {
+    TablePrinter t({"a", "b", "c"});
+    t.add_row({"1"});
+    EXPECT_NE(t.to_string().find("| 1 |"), std::string::npos);
+}
+
+TEST(Csv, EscapesSpecialCells) {
+    CsvWriter w({"name", "value"});
+    w.add_row({"with,comma", "with\"quote"});
+    const std::string s = w.to_string();
+    EXPECT_NE(s.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(s.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Prng, DeterministicSequences) {
+    SplitMix64 a(42);
+    SplitMix64 b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, DoublesInUnitInterval) {
+    SplitMix64 g(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = g.next_double();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Prng, UniformRespectsRange) {
+    SplitMix64 g(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = g.uniform(-2.0, 3.0);
+        EXPECT_GE(d, -2.0);
+        EXPECT_LT(d, 3.0);
+    }
+}
+
+} // namespace
+} // namespace psaflow

@@ -1,0 +1,442 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analysis/dependence.hpp"
+#include "ast/clone.hpp"
+#include "ast/printer.hpp"
+#include "interp/interpreter.hpp"
+#include "meta/query.hpp"
+#include "transform/accumulation.hpp"
+#include "transform/extract.hpp"
+#include "transform/parallel.hpp"
+#include "transform/rewrite.hpp"
+#include "transform/single_precision.hpp"
+#include "transform/unroll.hpp"
+#include "test_util.hpp"
+
+namespace psaflow {
+namespace {
+
+using namespace psaflow::ast;
+using namespace psaflow::transform;
+using psaflow::testing::parse_and_check;
+
+interp::Arg integer(long long v) { return interp::Value::of_int(v); }
+
+/// Runs `fn(n, buf)` on a fresh deterministic buffer and returns the buffer
+/// contents — the workhorse for behaviour-preservation checks.
+std::vector<double> run_on_buffer(const Module& mod, const std::string& fn,
+                                  int n, std::size_t buf_size = 256) {
+    auto types = sema::check(mod);
+    auto buf = std::make_shared<interp::Buffer>(Type::Double, buf_size, "buf");
+    for (std::size_t i = 0; i < buf_size; ++i)
+        buf->store(static_cast<long long>(i), 0.25 * static_cast<double>(i) + 1.0);
+    interp::Interpreter in(mod, types);
+    in.call(fn, {integer(n), buf});
+    return buf->raw();
+}
+
+// -------------------------------------------------------------- rewrite ----
+
+TEST(Rewrite, SubstituteIdentReplacesScalarUses) {
+    auto [mod, types] = parse_and_check(R"(
+void f(int i, double* a) {
+    a[i] = a[i + 1] * (i * 1.0);
+}
+)");
+    auto& body = *mod->functions[0]->body;
+    auto replacement = frontend::parse_expression("i + 8");
+    int count = 0;
+    for (auto& stmt : body.stmts)
+        count += substitute_ident(*stmt, "i", *replacement);
+    EXPECT_EQ(count, 3);
+    const std::string src = to_source(*mod->functions[0]);
+    EXPECT_NE(src.find("a[i + 8]"), std::string::npos);
+    EXPECT_NE(src.find("a[i + 8 + 1]"), std::string::npos);
+}
+
+TEST(Rewrite, LeavesArrayNamesAlone) {
+    auto [mod, types] = parse_and_check("void f(double* a) { a[0] = 1.0; }");
+    auto replacement = frontend::parse_expression("b");
+    int count = 0;
+    for (auto& stmt : mod->functions[0]->body->stmts)
+        count += substitute_ident(*stmt, "a", *replacement);
+    EXPECT_EQ(count, 0);
+}
+
+// -------------------------------------------------------------- extract ----
+
+const char* kApp = R"(
+void app(int n, double* buf) {
+    for (int i = 0; i < n; i++) {
+        buf[i] = buf[i] * 1.5;
+    }
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            buf[i] = buf[i] + buf[j] * 0.125;
+        }
+    }
+}
+)";
+
+TEST(Extract, MovesLoopIntoKernelFunction) {
+    auto [mod, types] = parse_and_check(kApp);
+    auto reference = run_on_buffer(*mod, "app", 24);
+
+    auto loops = meta::outermost_for_loops(*mod->find_function("app"));
+    auto result = extract_hotspot(*mod, types, *loops[1], "app_hotspot");
+    ASSERT_NE(result.kernel, nullptr);
+    EXPECT_EQ(result.kernel->name, "app_hotspot");
+    EXPECT_EQ(result.host->name, "app");
+
+    // Module still type checks and the kernel call is in place.
+    auto types2 = sema::check(*mod);
+    const std::string src = to_source(*mod);
+    EXPECT_NE(src.find("app_hotspot(n, buf);"), std::string::npos);
+    EXPECT_NE(src.find("void app_hotspot(int n, double* buf)"),
+              std::string::npos);
+
+    // Behaviour preserved.
+    EXPECT_EQ(run_on_buffer(*mod, "app", 24), reference);
+}
+
+TEST(Extract, KernelParamsAreTheFreeVariables) {
+    auto [mod, types] = parse_and_check(R"(
+void app(int n, double f, double* buf) {
+    for (int i = 0; i < n; i++) {
+        buf[i] = buf[i] * f;
+    }
+}
+)");
+    auto loops = meta::outermost_for_loops(*mod->find_function("app"));
+    auto result = extract_hotspot(*mod, types, *loops[0], "knl");
+    ASSERT_EQ(result.kernel->params.size(), 3u);
+    EXPECT_EQ(result.kernel->params[0]->name, "n");
+    EXPECT_EQ(result.kernel->params[1]->name, "buf");
+    EXPECT_EQ(result.kernel->params[2]->name, "f");
+    EXPECT_TRUE(result.kernel->params[1]->type.is_pointer);
+}
+
+TEST(Extract, RefusesEscapingScalarWrites) {
+    auto [mod, types] = parse_and_check(R"(
+double app(int n, double* buf) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) {
+        s += buf[i];
+    }
+    return s;
+}
+)");
+    auto loops = meta::outermost_for_loops(*mod->find_function("app"));
+    EXPECT_THROW(extract_hotspot(*mod, types, *loops[0], "knl"), Error);
+}
+
+TEST(Extract, RefusesDuplicateKernelName) {
+    auto [mod, types] = parse_and_check(kApp);
+    auto loops = meta::outermost_for_loops(*mod->find_function("app"));
+    EXPECT_THROW(extract_hotspot(*mod, types, *loops[0], "app"), Error);
+}
+
+// --------------------------------------------------------------- unroll ----
+
+TEST(Unroll, PartialUnrollPreservesBehaviour) {
+    for (int factor : {2, 3, 4, 8}) {
+        for (int n : {0, 1, 7, 24, 25}) {
+            auto [mod, types] = parse_and_check(R"(
+void f(int n, double* buf) {
+    for (int i = 0; i < n; i++) {
+        buf[i] = buf[i] * 2.0 + 1.0;
+    }
+}
+)");
+            auto reference = run_on_buffer(*mod, "f", n);
+            auto loops = meta::outermost_for_loops(*mod->find_function("f"));
+            unroll_loop(*mod, *loops[0], factor);
+            EXPECT_EQ(run_on_buffer(*mod, "f", n), reference)
+                << "factor=" << factor << " n=" << n;
+        }
+    }
+}
+
+TEST(Unroll, WidensMainLoopStep) {
+    auto [mod, types] = parse_and_check(R"(
+void f(int n, double* buf) {
+    for (int i = 0; i < n; i++) {
+        buf[i] = buf[i] + 1.0;
+    }
+}
+)");
+    auto loops = meta::outermost_for_loops(*mod->find_function("f"));
+    unroll_loop(*mod, *loops[0], 4);
+    const std::string src = to_source(*mod);
+    EXPECT_NE(src.find("i = i + 4"), std::string::npos);
+    EXPECT_NE(src.find("buf[i + 1]"), std::string::npos);
+    EXPECT_NE(src.find("buf[i + 3]"), std::string::npos);
+    EXPECT_NE(src.find("int i_main"), std::string::npos);
+    // Still type checks after the structural edit.
+    EXPECT_NO_THROW((void)sema::check(*mod));
+}
+
+TEST(Unroll, SequentialDependenceStillCorrect) {
+    // Unrolling must preserve order even with a carried dependence.
+    auto [mod, types] = parse_and_check(R"(
+void f(int n, double* buf) {
+    for (int i = 0; i < n; i++) {
+        buf[i + 1] = buf[i + 1] + buf[i];
+    }
+}
+)");
+    auto reference = run_on_buffer(*mod, "f", 33);
+    auto loops = meta::outermost_for_loops(*mod->find_function("f"));
+    unroll_loop(*mod, *loops[0], 4);
+    EXPECT_EQ(run_on_buffer(*mod, "f", 33), reference);
+}
+
+TEST(Unroll, FactorOneIsNoOp) {
+    auto [mod, types] = parse_and_check(kApp);
+    const std::string before = to_source(*mod);
+    auto loops = meta::outermost_for_loops(*mod->find_function("app"));
+    unroll_loop(*mod, *loops[0], 1);
+    EXPECT_EQ(to_source(*mod), before);
+}
+
+TEST(Unroll, RejectsNonConstantStep) {
+    auto [mod, types] = parse_and_check(R"(
+void f(int n, int s, double* buf) {
+    for (int i = 0; i < n; i += s) {
+        buf[i] = 0.0;
+    }
+}
+)");
+    auto loops = meta::outermost_for_loops(*mod->find_function("f"));
+    EXPECT_THROW(unroll_loop(*mod, *loops[0], 2), Error);
+}
+
+TEST(FullUnroll, ReplacesLoopWithConstantBodies) {
+    auto [mod, types] = parse_and_check(R"(
+void f(int n, double* buf) {
+    for (int j = 0; j < 4; j++) {
+        buf[j] = buf[j] * 2.0;
+    }
+}
+)");
+    auto reference = run_on_buffer(*mod, "f", 4);
+    auto loops = meta::outermost_for_loops(*mod->find_function("f"));
+    fully_unroll_loop(*mod, *loops[0]);
+    const std::string src = to_source(*mod);
+    EXPECT_EQ(src.find("for (int j"), std::string::npos);
+    EXPECT_NE(src.find("buf[0]"), std::string::npos);
+    EXPECT_NE(src.find("buf[3]"), std::string::npos);
+    EXPECT_EQ(run_on_buffer(*mod, "f", 4), reference);
+}
+
+TEST(FullUnroll, RejectsDynamicBounds) {
+    auto [mod, types] = parse_and_check(R"(
+void f(int n, double* buf) {
+    for (int i = 0; i < n; i++) {
+        buf[i] = 0.0;
+    }
+}
+)");
+    auto loops = meta::outermost_for_loops(*mod->find_function("f"));
+    EXPECT_THROW(fully_unroll_loop(*mod, *loops[0]), Error);
+}
+
+TEST(FullUnroll, RespectsTripLimit) {
+    auto [mod, types] = parse_and_check(R"(
+void f(int n, double* buf) {
+    for (int i = 0; i < 64; i++) {
+        buf[i] = 0.0;
+    }
+}
+)");
+    auto loops = meta::outermost_for_loops(*mod->find_function("f"));
+    EXPECT_THROW(fully_unroll_loop(*mod, *loops[0], 16), Error);
+}
+
+// --------------------------------------------------- single precision ----
+
+TEST(SinglePrecision, RewritesMathLiteralsAndLocals) {
+    auto [mod, types] = parse_and_check(R"(
+void knl(int n, double* buf) {
+    for (int i = 0; i < n; i++) {
+        double x = buf[i] * 0.5;
+        buf[i] = sqrt(x) + exp(x) * 1.25;
+    }
+}
+)");
+    Function& knl = *mod->find_function("knl");
+    EXPECT_EQ(employ_sp_math(knl), 2);      // sqrt, exp
+    EXPECT_EQ(employ_sp_literals(knl), 2);  // 0.5, 1.25
+    EXPECT_EQ(demote_double_locals(knl), 1); // x
+
+    const std::string src = to_source(knl);
+    EXPECT_NE(src.find("sqrtf("), std::string::npos);
+    EXPECT_NE(src.find("expf("), std::string::npos);
+    EXPECT_NE(src.find("0.5f"), std::string::npos);
+    EXPECT_NE(src.find("float x"), std::string::npos);
+    EXPECT_NO_THROW((void)sema::check(*mod));
+}
+
+TEST(SinglePrecision, IsIdempotent) {
+    auto [mod, types] = parse_and_check(
+        "void knl(double* buf) { buf[0] = sqrt(buf[1]) * 2.0; }");
+    Function& knl = *mod->find_function("knl");
+    EXPECT_GT(employ_single_precision(knl), 0);
+    EXPECT_EQ(employ_single_precision(knl), 0);
+}
+
+TEST(SinglePrecision, ResultsWithinFloatTolerance) {
+    const char* src = R"(
+void knl(int n, double* buf) {
+    for (int i = 0; i < n; i++) {
+        buf[i] = sqrt(buf[i]) * 0.5 + exp(buf[i] * 0.01);
+    }
+}
+)";
+    auto [mod_d, types_d] = parse_and_check(src);
+    auto reference = run_on_buffer(*mod_d, "knl", 64);
+
+    auto [mod_f, types_f] = parse_and_check(src);
+    employ_single_precision(*mod_f->find_function("knl"));
+    auto converted = run_on_buffer(*mod_f, "knl", 64);
+
+    ASSERT_EQ(reference.size(), converted.size());
+    bool any_difference = false;
+    for (std::size_t i = 0; i < 64; ++i) {
+        const double rel = std::abs(converted[i] - reference[i]) /
+                           std::max(1.0, std::abs(reference[i]));
+        EXPECT_LT(rel, 1e-5) << "element " << i;
+        if (converted[i] != reference[i]) any_difference = true;
+    }
+    EXPECT_TRUE(any_difference); // precision really changed
+}
+
+// ----------------------------------------------------------- accumulation --
+
+/// Variant of run_on_buffer for `f(n, buf, out)` kernels; returns `out`.
+std::vector<double> run_two_buffers(const Module& mod, const std::string& fn,
+                                    int n) {
+    auto types = sema::check(mod);
+    auto buf = std::make_shared<interp::Buffer>(Type::Double, 256, "buf");
+    auto out = std::make_shared<interp::Buffer>(Type::Double, 8, "out");
+    for (int i = 0; i < 256; ++i) buf->store(i, 0.25 * i + 1.0);
+    for (int i = 0; i < 8; ++i) out->store(i, 100.0 + i);
+    interp::Interpreter in(mod, types);
+    in.call(fn, {integer(n), buf, out});
+    return out->raw();
+}
+
+TEST(Accumulation, ScalarisesInvariantIndexedSum) {
+    auto [mod, types] = parse_and_check(R"(
+void f(int n, double* buf, double* out) {
+    for (int i = 0; i < n; i++) {
+        out[3] += buf[i] * 0.5;
+    }
+}
+)");
+    auto reference = run_two_buffers(*mod, "f", 100);
+
+    auto [mod2, types2] = parse_and_check(to_source(*mod));
+    auto loops = meta::outermost_for_loops(*mod2->find_function("f"));
+    EXPECT_EQ(remove_array_accumulation(*mod2, *loops[0]), 1);
+
+    // The loop now carries only a scalar reduction.
+    auto types3 = sema::check(*mod2);
+    auto info = analysis::analyze_dependence(*mod2, *loops[0]);
+    EXPECT_TRUE(info.parallel);
+    EXPECT_TRUE(info.has_reductions());
+
+    EXPECT_EQ(run_two_buffers(*mod2, "f", 100), reference);
+}
+
+TEST(Accumulation, SubtractionForm) {
+    auto [mod, types] = parse_and_check(R"(
+void f(int n, double* buf, double* out) {
+    for (int i = 0; i < n; i++) {
+        out[2] -= buf[i];
+    }
+}
+)");
+    auto reference = run_two_buffers(*mod, "f", 64);
+    auto loops = meta::outermost_for_loops(*mod->find_function("f"));
+    EXPECT_EQ(remove_array_accumulation(*mod, *loops[0]), 1);
+    EXPECT_EQ(run_two_buffers(*mod, "f", 64), reference);
+}
+
+TEST(Accumulation, SkipsInductionDependentIndex) {
+    auto [mod, types] = parse_and_check(R"(
+void f(int n, double* buf) {
+    for (int i = 0; i < n; i++) {
+        buf[i] += 1.0;
+    }
+}
+)");
+    auto loops = meta::outermost_for_loops(*mod->find_function("f"));
+    EXPECT_EQ(remove_array_accumulation(*mod, *loops[0]), 0);
+}
+
+TEST(Accumulation, SkipsWhenArrayReadElsewhere) {
+    auto [mod, types] = parse_and_check(R"(
+void f(int n, double* buf, double* out) {
+    for (int i = 0; i < n; i++) {
+        out[0] += buf[i];
+        buf[i] = out[0];
+    }
+}
+)");
+    auto loops = meta::outermost_for_loops(*mod->find_function("f"));
+    EXPECT_EQ(remove_array_accumulation(*mod, *loops[0]), 0);
+}
+
+// -------------------------------------------------------------- parallel ---
+
+TEST(Parallel, OmpPragmaWithReductions) {
+    auto [mod, types] = parse_and_check(R"(
+double f(int n, double* a) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) {
+        s += a[i];
+    }
+    return s;
+}
+)");
+    auto loops = meta::outermost_for_loops(*mod->find_function("f"));
+    auto info = analysis::analyze_dependence(*mod, *loops[0]);
+    insert_omp_parallel_for(*loops[0], 32, info.reductions);
+    const std::string src = to_source(*mod);
+    EXPECT_NE(
+        src.find("#pragma omp parallel for num_threads(32) reduction(+:s)"),
+        std::string::npos);
+
+    // Re-inserting replaces rather than stacks.
+    insert_omp_parallel_for(*loops[0], 16, {});
+    EXPECT_EQ(loops[0]->pragmas.size(), 1u);
+}
+
+TEST(Parallel, SharedMemCandidatesNBodyPattern) {
+    auto [mod, types] = parse_and_check(R"(
+void knl(int n, double* px, double* py, double* vx) {
+    for (int i = 0; i < n; i++) {
+        double ax = 0.0;
+        for (int j = 0; j < n; j++) {
+            ax += px[j] * py[j];
+        }
+        vx[i] = vx[i] + ax * px[i];
+    }
+}
+)");
+    auto loops = meta::outermost_for_loops(*mod->find_function("knl"));
+    auto cands = shared_mem_candidates(*loops[0]);
+    EXPECT_EQ(cands, (std::vector<std::string>{"px", "py"}));
+
+    annotate_shared_mem(*loops[0], cands);
+    EXPECT_EQ(shared_mem_annotation(*loops[0]),
+              (std::vector<std::string>{"px", "py"}));
+    annotate_shared_mem(*loops[0], {});
+    EXPECT_TRUE(shared_mem_annotation(*loops[0]).empty());
+}
+
+} // namespace
+} // namespace psaflow

@@ -1,0 +1,39 @@
+// Shared helpers for the psaflow test suite.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "ast/nodes.hpp"
+#include "ast/printer.hpp"
+#include "frontend/parser.hpp"
+#include "sema/type_check.hpp"
+
+namespace psaflow::testing {
+
+/// Parse, returning the module (throws on error).
+inline ast::ModulePtr parse(std::string_view src,
+                            std::string name = "test") {
+    return frontend::parse_module(src, std::move(name));
+}
+
+/// Parse and type-check.
+struct Checked {
+    ast::ModulePtr module;
+    sema::TypeInfo types;
+};
+
+inline Checked parse_and_check(std::string_view src,
+                               std::string name = "test") {
+    auto mod = frontend::parse_module(src, std::move(name));
+    auto types = sema::check(*mod);
+    return Checked{std::move(mod), std::move(types)};
+}
+
+/// Normalised source text: parse then print.
+inline std::string normalise(std::string_view src) {
+    return ast::to_source(*frontend::parse_module(src));
+}
+
+} // namespace psaflow::testing
