@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_learned_psa.dir/ext_learned_psa.cpp.o"
+  "CMakeFiles/ext_learned_psa.dir/ext_learned_psa.cpp.o.d"
+  "ext_learned_psa"
+  "ext_learned_psa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_learned_psa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

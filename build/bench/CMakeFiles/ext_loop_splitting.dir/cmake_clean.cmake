@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_loop_splitting.dir/ext_loop_splitting.cpp.o"
+  "CMakeFiles/ext_loop_splitting.dir/ext_loop_splitting.cpp.o.d"
+  "ext_loop_splitting"
+  "ext_loop_splitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_loop_splitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

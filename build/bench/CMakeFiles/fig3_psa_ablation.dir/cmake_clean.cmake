@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_psa_ablation.dir/fig3_psa_ablation.cpp.o"
+  "CMakeFiles/fig3_psa_ablation.dir/fig3_psa_ablation.cpp.o.d"
+  "fig3_psa_ablation"
+  "fig3_psa_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_psa_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_repository.dir/fig4_repository.cpp.o"
+  "CMakeFiles/fig4_repository.dir/fig4_repository.cpp.o.d"
+  "fig4_repository"
+  "fig4_repository.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_repository.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_speedups.dir/fig5_speedups.cpp.o"
+  "CMakeFiles/fig5_speedups.dir/fig5_speedups.cpp.o.d"
+  "fig5_speedups"
+  "fig5_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

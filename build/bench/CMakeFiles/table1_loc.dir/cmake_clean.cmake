@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_loc.dir/table1_loc.cpp.o"
+  "CMakeFiles/table1_loc.dir/table1_loc.cpp.o.d"
+  "table1_loc"
+  "table1_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

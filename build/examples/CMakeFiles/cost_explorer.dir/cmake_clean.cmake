@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_explorer.dir/cost_explorer.cpp.o"
+  "CMakeFiles/cost_explorer.dir/cost_explorer.cpp.o.d"
+  "cost_explorer"
+  "cost_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

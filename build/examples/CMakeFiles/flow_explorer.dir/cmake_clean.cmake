@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_explorer.dir/flow_explorer.cpp.o"
+  "CMakeFiles/flow_explorer.dir/flow_explorer.cpp.o.d"
+  "flow_explorer"
+  "flow_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("frontend")
+subdirs("ast")
+subdirs("sema")
+subdirs("meta")
+subdirs("interp")
+subdirs("analysis")
+subdirs("transform")
+subdirs("platform")
+subdirs("perf")
+subdirs("dse")
+subdirs("codegen")
+subdirs("flow")
+subdirs("apps")
+subdirs("core")

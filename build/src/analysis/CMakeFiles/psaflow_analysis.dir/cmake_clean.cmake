@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psaflow_analysis.dir/characterize.cpp.o"
+  "CMakeFiles/psaflow_analysis.dir/characterize.cpp.o.d"
+  "CMakeFiles/psaflow_analysis.dir/dependence.cpp.o"
+  "CMakeFiles/psaflow_analysis.dir/dependence.cpp.o.d"
+  "CMakeFiles/psaflow_analysis.dir/hotspot.cpp.o"
+  "CMakeFiles/psaflow_analysis.dir/hotspot.cpp.o.d"
+  "CMakeFiles/psaflow_analysis.dir/intensity.cpp.o"
+  "CMakeFiles/psaflow_analysis.dir/intensity.cpp.o.d"
+  "libpsaflow_analysis.a"
+  "libpsaflow_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psaflow_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

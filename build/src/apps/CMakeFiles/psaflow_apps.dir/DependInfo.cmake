@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/adpredictor.cpp" "src/apps/CMakeFiles/psaflow_apps.dir/adpredictor.cpp.o" "gcc" "src/apps/CMakeFiles/psaflow_apps.dir/adpredictor.cpp.o.d"
+  "/root/repo/src/apps/bezier.cpp" "src/apps/CMakeFiles/psaflow_apps.dir/bezier.cpp.o" "gcc" "src/apps/CMakeFiles/psaflow_apps.dir/bezier.cpp.o.d"
+  "/root/repo/src/apps/kmeans.cpp" "src/apps/CMakeFiles/psaflow_apps.dir/kmeans.cpp.o" "gcc" "src/apps/CMakeFiles/psaflow_apps.dir/kmeans.cpp.o.d"
+  "/root/repo/src/apps/nbody.cpp" "src/apps/CMakeFiles/psaflow_apps.dir/nbody.cpp.o" "gcc" "src/apps/CMakeFiles/psaflow_apps.dir/nbody.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/apps/CMakeFiles/psaflow_apps.dir/registry.cpp.o" "gcc" "src/apps/CMakeFiles/psaflow_apps.dir/registry.cpp.o.d"
+  "/root/repo/src/apps/rush_larsen.cpp" "src/apps/CMakeFiles/psaflow_apps.dir/rush_larsen.cpp.o" "gcc" "src/apps/CMakeFiles/psaflow_apps.dir/rush_larsen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/psaflow_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/psaflow_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psaflow_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/psaflow_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/psaflow_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/psaflow_ast.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

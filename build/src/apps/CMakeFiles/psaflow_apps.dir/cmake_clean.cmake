@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psaflow_apps.dir/adpredictor.cpp.o"
+  "CMakeFiles/psaflow_apps.dir/adpredictor.cpp.o.d"
+  "CMakeFiles/psaflow_apps.dir/bezier.cpp.o"
+  "CMakeFiles/psaflow_apps.dir/bezier.cpp.o.d"
+  "CMakeFiles/psaflow_apps.dir/kmeans.cpp.o"
+  "CMakeFiles/psaflow_apps.dir/kmeans.cpp.o.d"
+  "CMakeFiles/psaflow_apps.dir/nbody.cpp.o"
+  "CMakeFiles/psaflow_apps.dir/nbody.cpp.o.d"
+  "CMakeFiles/psaflow_apps.dir/registry.cpp.o"
+  "CMakeFiles/psaflow_apps.dir/registry.cpp.o.d"
+  "CMakeFiles/psaflow_apps.dir/rush_larsen.cpp.o"
+  "CMakeFiles/psaflow_apps.dir/rush_larsen.cpp.o.d"
+  "libpsaflow_apps.a"
+  "libpsaflow_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psaflow_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

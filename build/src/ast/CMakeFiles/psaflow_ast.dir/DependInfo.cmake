@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/clone.cpp" "src/ast/CMakeFiles/psaflow_ast.dir/clone.cpp.o" "gcc" "src/ast/CMakeFiles/psaflow_ast.dir/clone.cpp.o.d"
+  "/root/repo/src/ast/nodes.cpp" "src/ast/CMakeFiles/psaflow_ast.dir/nodes.cpp.o" "gcc" "src/ast/CMakeFiles/psaflow_ast.dir/nodes.cpp.o.d"
+  "/root/repo/src/ast/printer.cpp" "src/ast/CMakeFiles/psaflow_ast.dir/printer.cpp.o" "gcc" "src/ast/CMakeFiles/psaflow_ast.dir/printer.cpp.o.d"
+  "/root/repo/src/ast/walk.cpp" "src/ast/CMakeFiles/psaflow_ast.dir/walk.cpp.o" "gcc" "src/ast/CMakeFiles/psaflow_ast.dir/walk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/psaflow_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

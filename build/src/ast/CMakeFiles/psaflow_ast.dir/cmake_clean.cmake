@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psaflow_ast.dir/clone.cpp.o"
+  "CMakeFiles/psaflow_ast.dir/clone.cpp.o.d"
+  "CMakeFiles/psaflow_ast.dir/nodes.cpp.o"
+  "CMakeFiles/psaflow_ast.dir/nodes.cpp.o.d"
+  "CMakeFiles/psaflow_ast.dir/printer.cpp.o"
+  "CMakeFiles/psaflow_ast.dir/printer.cpp.o.d"
+  "CMakeFiles/psaflow_ast.dir/walk.cpp.o"
+  "CMakeFiles/psaflow_ast.dir/walk.cpp.o.d"
+  "libpsaflow_ast.a"
+  "libpsaflow_ast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psaflow_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

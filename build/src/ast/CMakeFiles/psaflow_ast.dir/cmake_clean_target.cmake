@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpsaflow_ast.a"
+)

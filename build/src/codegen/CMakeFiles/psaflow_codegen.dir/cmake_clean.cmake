@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psaflow_codegen.dir/emit_util.cpp.o"
+  "CMakeFiles/psaflow_codegen.dir/emit_util.cpp.o.d"
+  "CMakeFiles/psaflow_codegen.dir/emitters.cpp.o"
+  "CMakeFiles/psaflow_codegen.dir/emitters.cpp.o.d"
+  "libpsaflow_codegen.a"
+  "libpsaflow_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psaflow_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/psaflow.cpp" "src/core/CMakeFiles/psaflow_core.dir/psaflow.cpp.o" "gcc" "src/core/CMakeFiles/psaflow_core.dir/psaflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/psaflow_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/psaflow_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/psaflow_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/psaflow_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/psaflow_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/dse/CMakeFiles/psaflow_dse.dir/DependInfo.cmake"
+  "/root/repo/build/src/perf/CMakeFiles/psaflow_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/psaflow_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/psaflow_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/psaflow_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/psaflow_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/psaflow_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/psaflow_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psaflow_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psaflow_core.dir/psaflow.cpp.o"
+  "CMakeFiles/psaflow_core.dir/psaflow.cpp.o.d"
+  "libpsaflow_core.a"
+  "libpsaflow_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psaflow_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

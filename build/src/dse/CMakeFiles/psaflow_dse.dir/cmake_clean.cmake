@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psaflow_dse.dir/dse.cpp.o"
+  "CMakeFiles/psaflow_dse.dir/dse.cpp.o.d"
+  "libpsaflow_dse.a"
+  "libpsaflow_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psaflow_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psaflow_flow.dir/context.cpp.o"
+  "CMakeFiles/psaflow_flow.dir/context.cpp.o.d"
+  "CMakeFiles/psaflow_flow.dir/engine.cpp.o"
+  "CMakeFiles/psaflow_flow.dir/engine.cpp.o.d"
+  "CMakeFiles/psaflow_flow.dir/learned_strategy.cpp.o"
+  "CMakeFiles/psaflow_flow.dir/learned_strategy.cpp.o.d"
+  "CMakeFiles/psaflow_flow.dir/standard_flow.cpp.o"
+  "CMakeFiles/psaflow_flow.dir/standard_flow.cpp.o.d"
+  "CMakeFiles/psaflow_flow.dir/strategy.cpp.o"
+  "CMakeFiles/psaflow_flow.dir/strategy.cpp.o.d"
+  "CMakeFiles/psaflow_flow.dir/tasks.cpp.o"
+  "CMakeFiles/psaflow_flow.dir/tasks.cpp.o.d"
+  "libpsaflow_flow.a"
+  "libpsaflow_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psaflow_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psaflow_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/psaflow_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/psaflow_frontend.dir/parser.cpp.o"
+  "CMakeFiles/psaflow_frontend.dir/parser.cpp.o.d"
+  "libpsaflow_frontend.a"
+  "libpsaflow_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psaflow_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

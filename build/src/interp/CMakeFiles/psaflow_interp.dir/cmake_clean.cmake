@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psaflow_interp.dir/interpreter.cpp.o"
+  "CMakeFiles/psaflow_interp.dir/interpreter.cpp.o.d"
+  "libpsaflow_interp.a"
+  "libpsaflow_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psaflow_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

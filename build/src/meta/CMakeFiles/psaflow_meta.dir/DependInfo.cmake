@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/meta/instrument.cpp" "src/meta/CMakeFiles/psaflow_meta.dir/instrument.cpp.o" "gcc" "src/meta/CMakeFiles/psaflow_meta.dir/instrument.cpp.o.d"
+  "/root/repo/src/meta/query.cpp" "src/meta/CMakeFiles/psaflow_meta.dir/query.cpp.o" "gcc" "src/meta/CMakeFiles/psaflow_meta.dir/query.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/psaflow_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psaflow_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

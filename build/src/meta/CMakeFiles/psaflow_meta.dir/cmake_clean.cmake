@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psaflow_meta.dir/instrument.cpp.o"
+  "CMakeFiles/psaflow_meta.dir/instrument.cpp.o.d"
+  "CMakeFiles/psaflow_meta.dir/query.cpp.o"
+  "CMakeFiles/psaflow_meta.dir/query.cpp.o.d"
+  "libpsaflow_meta.a"
+  "libpsaflow_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psaflow_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for psaflow_meta.
+# This may be replaced when dependencies are built.

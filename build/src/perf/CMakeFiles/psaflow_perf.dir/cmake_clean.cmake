@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psaflow_perf.dir/estimator.cpp.o"
+  "CMakeFiles/psaflow_perf.dir/estimator.cpp.o.d"
+  "CMakeFiles/psaflow_perf.dir/shape_builder.cpp.o"
+  "CMakeFiles/psaflow_perf.dir/shape_builder.cpp.o.d"
+  "libpsaflow_perf.a"
+  "libpsaflow_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psaflow_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

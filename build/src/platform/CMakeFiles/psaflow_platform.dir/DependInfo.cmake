@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/cpu.cpp" "src/platform/CMakeFiles/psaflow_platform.dir/cpu.cpp.o" "gcc" "src/platform/CMakeFiles/psaflow_platform.dir/cpu.cpp.o.d"
+  "/root/repo/src/platform/devices.cpp" "src/platform/CMakeFiles/psaflow_platform.dir/devices.cpp.o" "gcc" "src/platform/CMakeFiles/psaflow_platform.dir/devices.cpp.o.d"
+  "/root/repo/src/platform/fpga.cpp" "src/platform/CMakeFiles/psaflow_platform.dir/fpga.cpp.o" "gcc" "src/platform/CMakeFiles/psaflow_platform.dir/fpga.cpp.o.d"
+  "/root/repo/src/platform/gpu.cpp" "src/platform/CMakeFiles/psaflow_platform.dir/gpu.cpp.o" "gcc" "src/platform/CMakeFiles/psaflow_platform.dir/gpu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/psaflow_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/psaflow_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/psaflow_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psaflow_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

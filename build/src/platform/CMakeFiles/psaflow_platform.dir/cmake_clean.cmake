@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psaflow_platform.dir/cpu.cpp.o"
+  "CMakeFiles/psaflow_platform.dir/cpu.cpp.o.d"
+  "CMakeFiles/psaflow_platform.dir/devices.cpp.o"
+  "CMakeFiles/psaflow_platform.dir/devices.cpp.o.d"
+  "CMakeFiles/psaflow_platform.dir/fpga.cpp.o"
+  "CMakeFiles/psaflow_platform.dir/fpga.cpp.o.d"
+  "CMakeFiles/psaflow_platform.dir/gpu.cpp.o"
+  "CMakeFiles/psaflow_platform.dir/gpu.cpp.o.d"
+  "libpsaflow_platform.a"
+  "libpsaflow_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psaflow_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

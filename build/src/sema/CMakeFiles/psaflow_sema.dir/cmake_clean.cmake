@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psaflow_sema.dir/builtins.cpp.o"
+  "CMakeFiles/psaflow_sema.dir/builtins.cpp.o.d"
+  "CMakeFiles/psaflow_sema.dir/type_check.cpp.o"
+  "CMakeFiles/psaflow_sema.dir/type_check.cpp.o.d"
+  "libpsaflow_sema.a"
+  "libpsaflow_sema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psaflow_sema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psaflow_support.dir/string_util.cpp.o"
+  "CMakeFiles/psaflow_support.dir/string_util.cpp.o.d"
+  "CMakeFiles/psaflow_support.dir/table.cpp.o"
+  "CMakeFiles/psaflow_support.dir/table.cpp.o.d"
+  "libpsaflow_support.a"
+  "libpsaflow_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psaflow_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/accumulation.cpp" "src/transform/CMakeFiles/psaflow_transform.dir/accumulation.cpp.o" "gcc" "src/transform/CMakeFiles/psaflow_transform.dir/accumulation.cpp.o.d"
+  "/root/repo/src/transform/extract.cpp" "src/transform/CMakeFiles/psaflow_transform.dir/extract.cpp.o" "gcc" "src/transform/CMakeFiles/psaflow_transform.dir/extract.cpp.o.d"
+  "/root/repo/src/transform/fission.cpp" "src/transform/CMakeFiles/psaflow_transform.dir/fission.cpp.o" "gcc" "src/transform/CMakeFiles/psaflow_transform.dir/fission.cpp.o.d"
+  "/root/repo/src/transform/parallel.cpp" "src/transform/CMakeFiles/psaflow_transform.dir/parallel.cpp.o" "gcc" "src/transform/CMakeFiles/psaflow_transform.dir/parallel.cpp.o.d"
+  "/root/repo/src/transform/rewrite.cpp" "src/transform/CMakeFiles/psaflow_transform.dir/rewrite.cpp.o" "gcc" "src/transform/CMakeFiles/psaflow_transform.dir/rewrite.cpp.o.d"
+  "/root/repo/src/transform/single_precision.cpp" "src/transform/CMakeFiles/psaflow_transform.dir/single_precision.cpp.o" "gcc" "src/transform/CMakeFiles/psaflow_transform.dir/single_precision.cpp.o.d"
+  "/root/repo/src/transform/unroll.cpp" "src/transform/CMakeFiles/psaflow_transform.dir/unroll.cpp.o" "gcc" "src/transform/CMakeFiles/psaflow_transform.dir/unroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ast/CMakeFiles/psaflow_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/psaflow_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/psaflow_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/psaflow_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psaflow_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/psaflow_interp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

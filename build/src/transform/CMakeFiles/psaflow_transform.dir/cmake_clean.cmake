@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psaflow_transform.dir/accumulation.cpp.o"
+  "CMakeFiles/psaflow_transform.dir/accumulation.cpp.o.d"
+  "CMakeFiles/psaflow_transform.dir/extract.cpp.o"
+  "CMakeFiles/psaflow_transform.dir/extract.cpp.o.d"
+  "CMakeFiles/psaflow_transform.dir/fission.cpp.o"
+  "CMakeFiles/psaflow_transform.dir/fission.cpp.o.d"
+  "CMakeFiles/psaflow_transform.dir/parallel.cpp.o"
+  "CMakeFiles/psaflow_transform.dir/parallel.cpp.o.d"
+  "CMakeFiles/psaflow_transform.dir/rewrite.cpp.o"
+  "CMakeFiles/psaflow_transform.dir/rewrite.cpp.o.d"
+  "CMakeFiles/psaflow_transform.dir/single_precision.cpp.o"
+  "CMakeFiles/psaflow_transform.dir/single_precision.cpp.o.d"
+  "CMakeFiles/psaflow_transform.dir/unroll.cpp.o"
+  "CMakeFiles/psaflow_transform.dir/unroll.cpp.o.d"
+  "libpsaflow_transform.a"
+  "libpsaflow_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psaflow_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ast.dir/test_ast.cpp.o"
+  "CMakeFiles/test_ast.dir/test_ast.cpp.o.d"
+  "test_ast"
+  "test_ast.pdb"
+  "test_ast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

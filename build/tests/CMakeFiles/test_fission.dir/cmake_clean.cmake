@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fission.dir/test_fission.cpp.o"
+  "CMakeFiles/test_fission.dir/test_fission.cpp.o.d"
+  "test_fission"
+  "test_fission.pdb"
+  "test_fission[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

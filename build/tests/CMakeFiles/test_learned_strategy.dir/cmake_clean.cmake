@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_learned_strategy.dir/test_learned_strategy.cpp.o"
+  "CMakeFiles/test_learned_strategy.dir/test_learned_strategy.cpp.o.d"
+  "test_learned_strategy"
+  "test_learned_strategy.pdb"
+  "test_learned_strategy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_learned_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

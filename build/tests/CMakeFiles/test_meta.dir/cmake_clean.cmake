@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_meta.dir/test_meta.cpp.o"
+  "CMakeFiles/test_meta.dir/test_meta.cpp.o.d"
+  "test_meta"
+  "test_meta.pdb"
+  "test_meta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perf_dse.dir/test_perf_dse.cpp.o"
+  "CMakeFiles/test_perf_dse.dir/test_perf_dse.cpp.o.d"
+  "test_perf_dse"
+  "test_perf_dse.pdb"
+  "test_perf_dse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perf_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

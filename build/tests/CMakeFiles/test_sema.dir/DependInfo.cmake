@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sema.cpp" "tests/CMakeFiles/test_sema.dir/test_sema.cpp.o" "gcc" "tests/CMakeFiles/test_sema.dir/test_sema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/frontend/CMakeFiles/psaflow_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/sema/CMakeFiles/psaflow_sema.dir/DependInfo.cmake"
+  "/root/repo/build/src/ast/CMakeFiles/psaflow_ast.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/psaflow_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sema.dir/test_sema.cpp.o"
+  "CMakeFiles/test_sema.dir/test_sema.cpp.o.d"
+  "test_sema"
+  "test_sema.pdb"
+  "test_sema[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

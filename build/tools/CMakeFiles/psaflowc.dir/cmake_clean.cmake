@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psaflowc.dir/psaflowc.cpp.o"
+  "CMakeFiles/psaflowc.dir/psaflowc.cpp.o.d"
+  "psaflowc"
+  "psaflowc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psaflowc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
