@@ -6,6 +6,7 @@
 //                 "Auto-Selected" bar.
 // Also prints the per-claim checks of Section IV-B (RTX vs GTX ratios,
 // Stratix10 vs Arria10, Rush Larsen FPGA overmap, informed = best target).
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -13,6 +14,8 @@
 #include "core/psaflow.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 using namespace psaflow;
 
@@ -35,6 +38,7 @@ double speedup_value(const flow::FlowResult& result,
 int main() {
     std::cout << "=== Fig. 5: accelerated hotspot region speedups vs "
                  "single-thread CPU ===\n\n";
+    const auto wall_start = std::chrono::steady_clock::now();
 
     TablePrinter table({"Application", "Auto-Selected", "OMP", "HIP 1080Ti",
                         "HIP 2080Ti", "oneAPI A10", "oneAPI S10"});
@@ -121,5 +125,19 @@ int main() {
     std::cout << "\ninformed PSA selects the best target for all "
                  "benchmarks: "
               << (informed_always_best ? "yes (paper: yes)" : "NO") << "\n";
+
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    const auto& reg = trace::Registry::global();
+    std::cout << "\n=== harness cost (" << format_compact(wall_s, 4)
+              << " s wall clock, PSAFLOW_JOBS="
+              << ThreadPool::default_jobs() << ") ===\n"
+              << "  interpreter runs: " << reg.counter("interp.runs")
+              << " (" << reg.counter("interp.steps") << " steps)\n"
+              << "  profile cache:    " << reg.counter("profile_cache.hits")
+              << " hits / " << reg.counter("profile_cache.misses")
+              << " misses\n";
     return 0;
 }

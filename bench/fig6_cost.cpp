@@ -15,6 +15,7 @@
 #include "core/psaflow.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
+#include "support/trace.hpp"
 
 using namespace psaflow;
 
@@ -88,5 +89,11 @@ int main() {
     }
     std::cout << "\npaper claims: AdPredictor crossover at FPGA/GPU price "
                  "3.2; Bezier at GPU/FPGA price 2.5\n";
+
+    const auto& reg = trace::Registry::global();
+    std::cout << "\nharness cost: " << reg.counter("interp.runs")
+              << " interpreter runs, " << reg.counter("profile_cache.hits")
+              << " cache hits / " << reg.counter("profile_cache.misses")
+              << " misses\n";
     return 0;
 }

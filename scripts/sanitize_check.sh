@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds the asan preset (-fsanitize=address,undefined) and runs the test
+# binaries that exercise the concurrency and interpreter layers introduced
+# by the parallel engine: support (thread pool, trace, prng), interp, flow
+# and the parallel-engine determinism suite.
+#
+# usage: scripts/sanitize_check.sh [jobs]
+set -euo pipefail
+
+JOBS=${1:-$(nproc)}
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build --preset asan -j "$JOBS"
+
+export ASAN_OPTIONS=detect_leaks=0   # gtest's lazy singletons are not leaks
+export UBSAN_OPTIONS=halt_on_error=1
+
+for bin in test_support test_interp test_flow test_engine_parallel; do
+    echo "== $bin (asan/ubsan) =="
+    "build-asan/tests/$bin"
+done
+
+echo "sanitizer check passed"

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Verifies that the parallel flow engine is byte-identical to the sequential
+# one: runs psaflowc on every bundled app with PSAFLOW_JOBS=1 and again with
+# PSAFLOW_JOBS=N, then diffs every emitted design source and summary CSV.
+# Also runs the test suite under both settings.
+#
+# usage: scripts/verify_determinism.sh [build-dir] [jobs]
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+JOBS=${2:-$(nproc)}
+PSAFLOWC="$BUILD_DIR/tools/psaflowc"
+
+if [[ ! -x "$PSAFLOWC" ]]; then
+    echo "error: $PSAFLOWC not found — build first (cmake --preset default && cmake --build --preset default)" >&2
+    exit 1
+fi
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+APPS=$("$PSAFLOWC" --list | cut -d: -f1)
+
+for app in $APPS; do
+    for mode in informed uninformed; do
+        seq_dir="$WORK/$app-$mode-seq"
+        par_dir="$WORK/$app-$mode-par"
+        PSAFLOW_JOBS=1       "$PSAFLOWC" --app "$app" --mode "$mode" --out "$seq_dir" >/dev/null
+        PSAFLOW_JOBS="$JOBS" "$PSAFLOWC" --app "$app" --mode "$mode" --out "$par_dir" >/dev/null
+        if ! diff -r "$seq_dir" "$par_dir" >/dev/null; then
+            echo "DETERMINISM FAILURE: $app --mode $mode differs between 1 and $JOBS jobs" >&2
+            diff -r "$seq_dir" "$par_dir" | head -40 >&2
+            exit 1
+        fi
+        echo "ok: $app --mode $mode identical with 1 and $JOBS jobs"
+    done
+done
+
+echo
+echo "running test suite with PSAFLOW_JOBS=1..."
+(cd "$BUILD_DIR" && PSAFLOW_JOBS=1 ctest --output-on-failure -j "$JOBS")
+echo "running test suite with PSAFLOW_JOBS=$JOBS..."
+(cd "$BUILD_DIR" && PSAFLOW_JOBS="$JOBS" ctest --output-on-failure -j "$JOBS")
+
+echo
+echo "determinism verified: all designs byte-identical, suite green both ways"

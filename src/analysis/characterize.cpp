@@ -2,9 +2,11 @@
 
 #include <cmath>
 
+#include "analysis/profile_cache.hpp"
 #include "ast/walk.hpp"
 #include "meta/query.hpp"
 #include "support/error.hpp"
+#include "support/trace.hpp"
 
 namespace psaflow::analysis {
 
@@ -53,18 +55,20 @@ KernelCharacterization characterize_kernel(Module& module,
     ensure(kernel_fn != nullptr,
            "characterize_kernel: no function '" + kernel + "' in module");
 
+    trace::ScopedSpan span("characterize:" + kernel, "interp");
+
     auto profile_at = [&](double scale) {
         interp::InterpOptions opt;
         opt.profile = true;
         opt.focus_function = kernel;
-        return interp::run_function(module, types, workload.entry,
-                                    workload.make_args(scale), opt)
-            .profile;
+        return ProfileCache::global().run(module, types, workload.entry,
+                                          workload.make_args(scale), opt);
     };
 
     const double s1 = workload.profile_scale;
     const interp::ExecutionProfile p1 = profile_at(s1);
     const interp::ExecutionProfile p2 = profile_at(2.0 * s1);
+    span.set_work_units(p1.total_cost + p2.total_cost);
 
     ensure(p1.focus_calls > 0, "characterize_kernel: kernel '" + kernel +
                                    "' was never called by the workload");

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "analysis/profile_cache.hpp"
 #include "ast/walk.hpp"
 #include "meta/query.hpp"
+#include "support/trace.hpp"
 
 namespace psaflow::analysis {
 
@@ -11,18 +13,20 @@ using namespace psaflow::ast;
 
 HotspotReport detect_hotspots(Module& module, const sema::TypeInfo& types,
                               const Workload& workload) {
+    trace::ScopedSpan span("detect_hotspots:" + workload.entry, "interp");
     interp::InterpOptions opt;
     opt.profile = true;
-    auto run = interp::run_function(module, types, workload.entry,
-                                    workload.make_args(workload.profile_scale),
-                                    opt);
+    const interp::ExecutionProfile profile = ProfileCache::global().run(
+        module, types, workload.entry,
+        workload.make_args(workload.profile_scale), opt);
+    span.set_work_units(profile.total_cost);
 
     HotspotReport report;
-    report.total_cost = run.profile.total_cost;
+    report.total_cost = profile.total_cost;
 
     for (const auto& fn : module.functions) {
         for (For* loop : meta::outermost_for_loops(*fn)) {
-            const interp::LoopStats* stats = run.profile.loop(loop->id);
+            const interp::LoopStats* stats = profile.loop(loop->id);
             if (stats == nullptr || stats->trips == 0) continue;
             HotspotCandidate cand;
             cand.loop = loop;

@@ -1,0 +1,187 @@
+#include "analysis/profile_cache.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "ast/printer.hpp"
+#include "ast/walk.hpp"
+#include "support/trace.hpp"
+
+namespace psaflow::analysis {
+
+namespace {
+
+void hash_bytes(std::uint64_t& h, const void* data, std::size_t size) {
+    h = fnv1a(data, size, h);
+}
+
+void hash_u64(std::uint64_t& h, std::uint64_t v) {
+    hash_bytes(h, &v, sizeof v);
+}
+
+void hash_double(std::uint64_t& h, double v) {
+    // Bit-pattern hash: distinguishes -0.0/0.0 and NaN payloads, which is
+    // exactly right for "same inputs" memoization.
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    hash_u64(h, bits);
+}
+
+void hash_string(std::uint64_t& h, const std::string& s) {
+    hash_u64(h, s.size());
+    hash_bytes(h, s.data(), s.size());
+}
+
+/// Pre-order For-node ids of the whole module.
+std::vector<ast::Node::Id> loop_id_order(const ast::Module& module) {
+    std::vector<ast::Node::Id> out;
+    ast::walk(static_cast<const ast::Node&>(module),
+              [&](const ast::Node& n) {
+                  if (n.kind() == ast::NodeKind::For) out.push_back(n.id);
+                  return true;
+              });
+    return out;
+}
+
+} // namespace
+
+std::uint64_t fnv1a(const void* data, std::size_t size, std::uint64_t seed) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= bytes[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::uint64_t digest_args(const std::vector<interp::Arg>& args) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    hash_u64(h, args.size());
+    for (const interp::Arg& arg : args) {
+        if (const auto* value = std::get_if<interp::Value>(&arg)) {
+            hash_u64(h, 0x5163414c41435321ULL); // scalar marker
+            hash_u64(h, static_cast<std::uint64_t>(value->type()));
+            switch (value->type()) {
+                case ast::Type::Int:
+                    hash_u64(h, static_cast<std::uint64_t>(value->as_int()));
+                    break;
+                case ast::Type::Bool:
+                    hash_u64(h, value->as_bool() ? 1 : 0);
+                    break;
+                case ast::Type::Float:
+                case ast::Type::Double:
+                    hash_double(h, value->as_double());
+                    break;
+                default: break; // void: type tag alone suffices
+            }
+        } else {
+            const interp::BufferPtr& buf = std::get<interp::BufferPtr>(arg);
+            hash_u64(h, 0x425546464552211fULL); // buffer marker
+            hash_u64(h, static_cast<std::uint64_t>(buf->elem_type()));
+            hash_u64(h, buf->size());
+            const std::vector<double>& raw = buf->raw();
+            hash_bytes(h, raw.data(), raw.size() * sizeof(double));
+        }
+    }
+    return h;
+}
+
+ProfileCache::ProfileCache() {
+    if (const char* env = std::getenv("PSAFLOW_CACHE"))
+        enabled_ = std::string(env) != "0";
+}
+
+ProfileCache& ProfileCache::global() {
+    static ProfileCache cache;
+    return cache;
+}
+
+void ProfileCache::set_enabled(bool on) {
+    std::lock_guard lock(mu_);
+    enabled_ = on;
+}
+
+bool ProfileCache::enabled() const {
+    std::lock_guard lock(mu_);
+    return enabled_;
+}
+
+void ProfileCache::clear() {
+    std::lock_guard lock(mu_);
+    entries_.clear();
+    stats_ = {};
+}
+
+ProfileCacheStats ProfileCache::stats() const {
+    std::lock_guard lock(mu_);
+    return stats_;
+}
+
+void ProfileCache::set_max_entries(std::size_t n) {
+    std::lock_guard lock(mu_);
+    max_entries_ = n;
+}
+
+interp::ExecutionProfile
+ProfileCache::run(const ast::Module& module, const sema::TypeInfo& types,
+                  const std::string& entry,
+                  const std::vector<interp::Arg>& args,
+                  interp::InterpOptions options) {
+    options.profile = true;
+
+    if (!enabled()) {
+        auto result = interp::run_function(module, types, entry, args, options);
+        return std::move(result.profile);
+    }
+
+    std::uint64_t key = 0xcbf29ce484222325ULL;
+    hash_string(key, ast::to_source(module));
+    hash_string(key, entry);
+    hash_string(key, options.focus_function);
+    hash_u64(key, static_cast<std::uint64_t>(options.max_steps));
+    hash_u64(key, digest_args(args));
+
+    {
+        std::lock_guard lock(mu_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            // Remap loop stats onto this module's (possibly re-cloned) node
+            // ids by pre-order position.
+            interp::ExecutionProfile profile = it->second.profile;
+            const std::vector<ast::Node::Id> current = loop_id_order(module);
+            if (current.size() == it->second.loop_order.size()) {
+                std::unordered_map<ast::Node::Id, interp::LoopStats> remapped;
+                remapped.reserve(profile.loops.size());
+                for (std::size_t i = 0; i < current.size(); ++i) {
+                    auto stats =
+                        profile.loops.find(it->second.loop_order[i]);
+                    if (stats != profile.loops.end())
+                        remapped.emplace(current[i], stats->second);
+                }
+                profile.loops = std::move(remapped);
+                ++stats_.hits;
+                trace::Registry::global().count("profile_cache.hits", 1);
+                return profile;
+            }
+            // Structure mismatch despite equal source text should be
+            // impossible; recompute defensively.
+        }
+    }
+
+    auto result = interp::run_function(module, types, entry, args, options);
+
+    {
+        std::lock_guard lock(mu_);
+        ++stats_.misses;
+        if (max_entries_ != 0 && entries_.size() >= max_entries_)
+            entries_.clear();
+        Entry& slot = entries_[key];
+        slot.profile = result.profile;
+        slot.loop_order = loop_id_order(module);
+    }
+    trace::Registry::global().count("profile_cache.misses", 1);
+    return std::move(result.profile);
+}
+
+} // namespace psaflow::analysis

@@ -1,0 +1,92 @@
+// Memoization of profiling interpreter runs.
+//
+// Every dynamic design-flow task executes the application under the
+// tree-walking interpreter, which pays a ~100x constant factor versus
+// native execution. Branched PSA-flows fork the FlowContext per path, and
+// each fork lazily recomputes its kernel characterisation — re-running the
+// *same* program on the *same* inputs whenever no transform has touched the
+// module yet. DSE loops and the fig5/fig6 harnesses (which compile each app
+// in both PSA modes) repeat the identical runs again.
+//
+// The cache keys a profiled run by
+//   (module content hash, entry/focus function, argument digest, step limit)
+// where the content hash covers the printed module source (the printer is
+// source-faithful, so equal text implies an isomorphic AST) and the argument
+// digest covers scalar values and full buffer contents. Profiles keyed this
+// way are safe to share across AST clones with one correction: LoopStats are
+// keyed by node id, and clones get fresh ids. Cached entries therefore also
+// record the pre-order For-loop id sequence of the module they were computed
+// on; a hit remaps the stats onto the current module's loop ids by position
+// (equal source text guarantees the same loop structure and order).
+//
+// Process-wide and thread-safe. Disable with PSAFLOW_CACHE=0 (or
+// set_enabled(false)); hits/misses are counted here and mirrored into the
+// trace registry as "profile_cache.hits" / "profile_cache.misses".
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ast/nodes.hpp"
+#include "interp/interpreter.hpp"
+#include "sema/type_check.hpp"
+
+namespace psaflow::analysis {
+
+struct ProfileCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+
+class ProfileCache {
+public:
+    [[nodiscard]] static ProfileCache& global();
+
+    /// Run `entry(args)` on `module` under the profiling interpreter, or
+    /// return the memoized profile of an identical earlier run (with loop
+    /// stats remapped onto this module's node ids). `options.profile` is
+    /// forced on.
+    [[nodiscard]] interp::ExecutionProfile
+    run(const ast::Module& module, const sema::TypeInfo& types,
+        const std::string& entry, const std::vector<interp::Arg>& args,
+        interp::InterpOptions options = {});
+
+    void set_enabled(bool on);
+    [[nodiscard]] bool enabled() const;
+
+    void clear();
+    [[nodiscard]] ProfileCacheStats stats() const;
+
+    /// Entry cap: when the cache grows past this many distinct runs it is
+    /// flushed wholesale (profiles are small; the cap only bounds pathological
+    /// DSE sweeps over ever-changing modules). 0 means unbounded.
+    void set_max_entries(std::size_t n);
+
+private:
+    ProfileCache();
+
+    struct Entry {
+        interp::ExecutionProfile profile;
+        /// Pre-order For-node ids of the module the profile was computed on.
+        std::vector<ast::Node::Id> loop_order;
+    };
+
+    mutable std::mutex mu_;
+    bool enabled_ = true;
+    std::size_t max_entries_ = 4096;
+    std::unordered_map<std::uint64_t, Entry> entries_;
+    ProfileCacheStats stats_;
+};
+
+/// FNV-1a digest of a top-level argument list: scalar type tags and bit
+/// patterns, buffer element types, sizes and full contents.
+[[nodiscard]] std::uint64_t digest_args(const std::vector<interp::Arg>& args);
+
+/// FNV-1a digest of arbitrary bytes, exposed for tests.
+[[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t size,
+                                  std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+} // namespace psaflow::analysis

@@ -22,6 +22,7 @@ flow::FlowResult compile(const std::string& app_name, std::string_view source,
     flow::EngineOptions engine;
     engine.budget = options.budget;
     engine.cost_model = options.cost_model;
+    engine.jobs = options.jobs;
 
     const flow::DesignFlow design_flow = flow::standard_flow(options.mode);
     return flow::run_flow(design_flow, std::move(ctx), engine);

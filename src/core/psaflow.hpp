@@ -26,6 +26,7 @@ struct RunOptions {
     flow::Budget budget;         ///< Fig. 3 cost feedback (optional)
     flow::CostModel cost_model;  ///< cloud prices for the budget check
     double intensity_threshold_x = 4.0; ///< Fig. 3's tunable X (FLOPs/B)
+    int jobs = 0; ///< branch-path workers; 0 = PSAFLOW_JOBS / hw default
 };
 
 /// Run the standard PSA-flow on one of the bundled applications.

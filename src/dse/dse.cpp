@@ -5,6 +5,7 @@
 #include "perf/estimator.hpp"
 #include "platform/cpu.hpp"
 #include "support/error.hpp"
+#include "support/trace.hpp"
 
 namespace psaflow::dse {
 
@@ -15,6 +16,7 @@ UnrollResult unroll_until_overmap(const FpgaModel& fpga,
                                   const sema::TypeInfo& types, int max_unroll,
                                   bool single_precision) {
     ensure(max_unroll >= 1, "unroll_until_overmap: max_unroll must be >= 1");
+    trace::ScopedSpan span("dse:unroll:" + kernel.name, "dse");
     UnrollResult result;
 
     int unroll = 1;
@@ -29,12 +31,14 @@ UnrollResult unroll_until_overmap(const FpgaModel& fpga,
         if (unroll >= max_unroll) break;
         unroll *= 2; // the Fig. 2 meta-program doubles each DSE iteration
     }
+    span.set_work_units(static_cast<double>(result.trace.size()));
     return result;
 }
 
 BlocksizeResult blocksize_dse(const GpuModel& gpu, const KernelShape& shape,
                               double smem_per_thread_bytes,
                               bool pinned_host_memory) {
+    trace::ScopedSpan span("dse:blocksize", "dse");
     BlocksizeResult result;
     result.seconds = 1e30;
 
@@ -57,10 +61,12 @@ BlocksizeResult blocksize_dse(const GpuModel& gpu, const KernelShape& shape,
             result.seconds = est.total_seconds;
         }
     }
+    span.set_work_units(static_cast<double>(result.trace.size()));
     return result;
 }
 
 ThreadsResult omp_threads_dse(const CpuModel& cpu, const KernelShape& shape) {
+    trace::ScopedSpan span("dse:omp_threads", "dse");
     ThreadsResult result;
     result.seconds = 1e30;
 
@@ -76,6 +82,7 @@ ThreadsResult omp_threads_dse(const CpuModel& cpu, const KernelShape& shape) {
             result.threads = threads;
         }
     }
+    span.set_work_units(static_cast<double>(result.trace.size()));
     return result;
 }
 

@@ -1,10 +1,13 @@
 #include "flow/engine.hpp"
 
 #include <algorithm>
+#include <set>
 
 #include "perf/estimator.hpp"
 #include "support/error.hpp"
 #include "support/string_util.hpp"
+#include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 namespace psaflow::flow {
 
@@ -41,6 +44,7 @@ double smem_per_block_kb(FlowContext& ctx) {
 }
 
 DesignArtifact finalize(FlowContext ctx, double reference_seconds) {
+    trace::ScopedSpan span("finalize:" + ctx.spec.design_name(), "flow");
     DesignArtifact out;
     out.shape = ctx.shape();
 
@@ -94,36 +98,100 @@ DesignArtifact finalize(FlowContext ctx, double reference_seconds) {
     return out;
 }
 
-void descend(const BranchPoint* branch, FlowContext ctx,
-             double reference_seconds, std::vector<DesignArtifact>& out) {
-    if (branch == nullptr) {
-        out.push_back(finalize(std::move(ctx), reference_seconds));
-        return;
+/// Execution plan for one descent. When `pool` is null every path runs
+/// inline on the calling thread — the sequential engine. With a pool,
+/// sibling paths become parallel jobs; each path writes its leaves into its
+/// own pre-allocated slot, and slots are concatenated in path order after
+/// the join, so the merged artifact sequence is identical to the sequential
+/// traversal (stable flow order; design names are unique per flow).
+struct Scheduler {
+    ThreadPool* pool = nullptr; ///< null: run inline
+
+    void descend(const BranchPoint* branch, FlowContext ctx,
+                 double reference_seconds,
+                 std::vector<DesignArtifact>& out) {
+        if (branch == nullptr) {
+            out.push_back(finalize(std::move(ctx), reference_seconds));
+            return;
+        }
+        const auto indices = branch->strategy->select(ctx, *branch);
+        if (indices.empty()) {
+            // Fig. 3's terminate outcome: the design leaves unmodified.
+            ctx.spec.target = TargetKind::None;
+            out.push_back(finalize(std::move(ctx), reference_seconds));
+            return;
+        }
+
+        // Fork every selected path up front, on this thread: forking clones
+        // the parent module, and doing it before any sibling job starts
+        // keeps the parent context immutable while jobs run.
+        struct PendingPath {
+            const FlowPath* path = nullptr;
+            FlowContext ctx;
+            std::vector<DesignArtifact> leaves;
+        };
+        std::vector<PendingPath> pending;
+        pending.reserve(indices.size());
+        for (std::size_t idx : indices) {
+            ensure(idx < branch->paths.size(),
+                   "run_flow: strategy selected an out-of-range path");
+            const FlowPath& path = branch->paths[idx];
+            FlowContext forked = ctx.fork();
+            forked.note("entering path '" + path.name + "' at branch '" +
+                        branch->name + "'");
+            pending.push_back(PendingPath{&path, std::move(forked), {}});
+        }
+
+        auto run_path = [this, reference_seconds](PendingPath& job) {
+            trace::ScopedSpan span("path:" + job.path->name, "flow");
+            for (const TaskPtr& task : job.path->tasks) {
+                trace::ScopedSpan task_span("task:" + task->name(),
+                                            task->dynamic() ? "task.dynamic"
+                                                            : "task");
+                task->run(job.ctx);
+            }
+            descend(job.path->next.get(), std::move(job.ctx),
+                    reference_seconds, job.leaves);
+        };
+
+        if (pool == nullptr || pending.size() == 1) {
+            for (PendingPath& job : pending) run_path(job);
+        } else {
+            TaskGroup group(*pool);
+            for (PendingPath& job : pending)
+                group.run([&run_path, &job] { run_path(job); });
+            // Helping wait: nested branch points schedule sub-jobs through
+            // the same pool, so a waiting parent executes pending work
+            // instead of parking a thread. Rethrows the first failed path's
+            // exception (in path order), matching the sequential engine's
+            // first-failure semantics.
+            group.wait();
+        }
+
+        for (PendingPath& job : pending) {
+            out.insert(out.end(),
+                       std::make_move_iterator(job.leaves.begin()),
+                       std::make_move_iterator(job.leaves.end()));
+        }
     }
-    const auto indices = branch->strategy->select(ctx, *branch);
-    if (indices.empty()) {
-        // Fig. 3's terminate outcome: the design leaves unmodified.
-        ctx.spec.target = TargetKind::None;
-        out.push_back(finalize(std::move(ctx), reference_seconds));
-        return;
-    }
-    for (std::size_t idx : indices) {
-        ensure(idx < branch->paths.size(),
-               "run_flow: strategy selected an out-of-range path");
-        const FlowPath& path = branch->paths[idx];
-        FlowContext forked = ctx.fork();
-        forked.note("entering path '" + path.name + "' at branch '" +
-                    branch->name + "'");
-        for (const TaskPtr& task : path.tasks) task->run(forked);
-        descend(path.next.get(), std::move(forked), reference_seconds, out);
-    }
-}
+};
 
 } // namespace
 
 FlowResult run_flow(const DesignFlow& flow, FlowContext ctx,
                     const EngineOptions& options) {
-    for (const TaskPtr& task : flow.prologue) task->run(ctx);
+    trace::ScopedSpan flow_span("run_flow:" + ctx.app_name(), "flow");
+
+    const int jobs =
+        options.jobs > 0 ? options.jobs : ThreadPool::default_jobs();
+    Scheduler scheduler;
+    if (jobs > 1) scheduler.pool = &ThreadPool::shared();
+
+    for (const TaskPtr& task : flow.prologue) {
+        trace::ScopedSpan task_span("task:" + task->name(),
+                                    task->dynamic() ? "task.dynamic" : "task");
+        task->run(ctx);
+    }
 
     FlowResult result;
     result.reference_seconds =
@@ -146,8 +214,8 @@ FlowResult run_flow(const DesignFlow& flow, FlowContext ctx,
             branch.strategy = informed_strategy(excluded);
 
         result.designs.clear();
-        descend(&branch, ctx.fork(), result.reference_seconds,
-                result.designs);
+        scheduler.descend(&branch, ctx.fork(), result.reference_seconds,
+                          result.designs);
 
         if (!options.budget.constrained() ||
             iteration >= options.max_feedback_iterations)

@@ -46,6 +46,13 @@ struct EngineOptions {
     Budget budget;       ///< Fig. 3 cost feedback (informed mode only)
     CostModel cost_model;
     int max_feedback_iterations = 3;
+
+    /// Worker threads for independent branch paths. 1 runs strictly
+    /// sequentially on the calling thread; 0 picks the process default
+    /// (PSAFLOW_JOBS or hardware concurrency). Any setting produces a
+    /// byte-identical FlowResult: paths fork deterministically before they
+    /// are scheduled and leaves merge back in flow order.
+    int jobs = 0;
 };
 
 /// Execute `flow` on `ctx`. The context is consumed (paths fork from it).

@@ -1,9 +1,11 @@
 #include "interp/interpreter.hpp"
 
+#include <atomic>
 #include <unordered_map>
 
 #include "sema/builtins.hpp"
 #include "support/error.hpp"
+#include "support/trace.hpp"
 
 namespace psaflow::interp {
 
@@ -31,8 +33,9 @@ int flop_weight(BinaryOp op) {
 } // namespace
 
 int Buffer::next_id() {
-    static int counter = 0;
-    return ++counter;
+    // Atomic: buffers are allocated from concurrent flow-engine paths.
+    static std::atomic<int> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 struct Interpreter::Impl {
@@ -579,7 +582,12 @@ Value Interpreter::call(const std::string& name, const std::vector<Arg>& args) {
             slots.emplace_back(std::get<BufferPtr>(a));
         }
     }
-    return impl_->call_function(*fn, std::move(slots));
+    const long long steps_before = impl_->steps;
+    Value out = impl_->call_function(*fn, std::move(slots));
+    trace::Registry::global().count(
+        "interp.steps",
+        static_cast<std::uint64_t>(impl_->steps - steps_before));
+    return out;
 }
 
 const ExecutionProfile& Interpreter::profile() const { return impl_->prof; }
@@ -590,6 +598,10 @@ RunResult run_function(const ast::Module& module, const sema::TypeInfo& types,
     options.profile = true;
     Interpreter interp(module, types, options);
     Value result = interp.call(fn, args);
+    trace::Registry::global().count("interp.runs", 1);
+    trace::Registry::global().count(
+        "interp.cost_units",
+        static_cast<std::uint64_t>(interp.profile().total_cost));
     return RunResult{result, interp.profile()};
 }
 

@@ -30,8 +30,15 @@ public:
         return lo + (hi - lo) * next_double();
     }
 
-    /// Uniform integer in [0, n).
-    std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+    /// Uniform integer in [0, n); returns 0 when n == 0 (an empty range has
+    /// no valid draw, and `x % 0` is UB). Uses plain modulo reduction: the
+    /// bias is < n/2^64, negligible for the small ranges the workload
+    /// generators draw, and rejection sampling would change the draw
+    /// sequence every deterministic benchmark input depends on.
+    std::uint64_t next_below(std::uint64_t n) {
+        if (n == 0) return 0;
+        return next_u64() % n;
+    }
 
 private:
     std::uint64_t state_;

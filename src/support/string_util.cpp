@@ -1,8 +1,10 @@
 #include "support/string_util.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace psaflow {
 
@@ -84,6 +86,28 @@ std::string replace_all(std::string text, std::string_view from,
         pos += to.size();
     }
     return text;
+}
+
+std::optional<double> parse_double(std::string_view text) {
+    const std::string buf(trim(text));
+    if (buf.empty()) return std::nullopt;
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(buf.c_str(), &end);
+    if (end != buf.c_str() + buf.size()) return std::nullopt;
+    if (errno == ERANGE || !std::isfinite(value)) return std::nullopt;
+    return value;
+}
+
+std::optional<long long> parse_int(std::string_view text) {
+    const std::string buf(trim(text));
+    if (buf.empty()) return std::nullopt;
+    errno = 0;
+    char* end = nullptr;
+    const long long value = std::strtoll(buf.c_str(), &end, 10);
+    if (end != buf.c_str() + buf.size()) return std::nullopt;
+    if (errno == ERANGE) return std::nullopt;
+    return value;
 }
 
 } // namespace psaflow

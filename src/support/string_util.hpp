@@ -1,6 +1,7 @@
 // Small string helpers used by the printer, report tables and code emitters.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -36,5 +37,11 @@ namespace psaflow {
 /// Replace all occurrences of `from` with `to` in `text`.
 [[nodiscard]] std::string replace_all(std::string text, std::string_view from,
                                       std::string_view to);
+
+/// Checked numeric parsing for CLI flags: the whole (trimmed) string must
+/// be consumed and the value must be finite / in range, else nullopt.
+/// Unlike std::stod/stoll these never throw.
+[[nodiscard]] std::optional<double> parse_double(std::string_view text);
+[[nodiscard]] std::optional<long long> parse_int(std::string_view text);
 
 } // namespace psaflow

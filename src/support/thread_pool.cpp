@@ -1,0 +1,125 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+namespace psaflow {
+
+int ThreadPool::default_jobs() {
+    if (const char* env = std::getenv("PSAFLOW_JOBS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed >= 1) return static_cast<int>(std::min(parsed, 256L));
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool& ThreadPool::shared() {
+    static ThreadPool pool(default_jobs());
+    return pool;
+}
+
+ThreadPool::ThreadPool(int threads) {
+    if (threads <= 0) threads = default_jobs();
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mu_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock lock(mu_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (stop_ && queue_.empty()) return;
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job.fn();
+    }
+}
+
+bool ThreadPool::try_run_one() {
+    Job job;
+    {
+        std::lock_guard lock(mu_);
+        if (queue_.empty()) return false;
+        job = std::move(queue_.front());
+        queue_.pop_front();
+    }
+    job.fn();
+    return true;
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+    std::size_t index;
+    {
+        std::lock_guard lock(mu_);
+        index = submitted_++;
+    }
+    {
+        std::lock_guard lock(pool_.mu_);
+        pool_.queue_.push_back(ThreadPool::Job{
+            [this, index, fn = std::move(fn)]() noexcept {
+                std::exception_ptr error;
+                try {
+                    fn();
+                } catch (...) {
+                    error = std::current_exception();
+                }
+                finish_one(index, error);
+            }});
+    }
+    pool_.cv_.notify_one();
+}
+
+void TaskGroup::finish_one(std::size_t index,
+                           std::exception_ptr error) noexcept {
+    std::lock_guard lock(mu_);
+    if (error != nullptr && index < first_error_index_) {
+        first_error_index_ = index;
+        first_error_ = error;
+    }
+    ++completed_;
+    done_cv_.notify_all();
+}
+
+void TaskGroup::wait_no_throw() noexcept {
+    for (;;) {
+        {
+            std::unique_lock lock(mu_);
+            if (completed_ == submitted_) return;
+        }
+        if (pool_.try_run_one()) continue;
+        // Queue drained but some of our jobs still run on workers: sleep
+        // until one finishes (or a nested job refills the queue — finish
+        // notifications wake us either way, and we re-poll the queue).
+        std::unique_lock lock(mu_);
+        if (completed_ == submitted_) return;
+        done_cv_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+}
+
+void TaskGroup::wait() {
+    wait_no_throw();
+    std::lock_guard lock(mu_);
+    if (first_error_ != nullptr) {
+        std::exception_ptr error = first_error_;
+        first_error_ = nullptr;
+        first_error_index_ = SIZE_MAX;
+        std::rethrow_exception(error);
+    }
+}
+
+} // namespace psaflow

@@ -1,0 +1,95 @@
+// A small fixed-size thread-pool executor with cooperative fork/join.
+//
+// The flow engine runs independent design-flow branches as parallel jobs.
+// Branches nest (target branch A forks into device branches B/C), so a job
+// waiting for its children must not park a pool thread: TaskGroup::wait()
+// *helps* — it pops and executes pending jobs from the shared queue until
+// its own group has drained. This keeps nested fork/join deadlock-free with
+// any pool size, including a pool of one.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace psaflow {
+
+class ThreadPool {
+public:
+    /// A pool with `threads` workers. `threads == 0` means default_jobs().
+    explicit ThreadPool(int threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Worker count configured for this process: the PSAFLOW_JOBS
+    /// environment variable if set (clamped to [1, 256]), otherwise
+    /// std::thread::hardware_concurrency().
+    [[nodiscard]] static int default_jobs();
+
+    /// The process-wide pool, created on first use with default_jobs()
+    /// workers. Callers that want strictly sequential execution simply do
+    /// not submit to it.
+    [[nodiscard]] static ThreadPool& shared();
+
+    [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+private:
+    friend class TaskGroup;
+
+    struct Job {
+        std::function<void()> fn;
+    };
+
+    void worker_loop();
+    /// Pop one job if available; returns false when the queue is empty.
+    bool try_run_one();
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<Job> queue_;
+    std::vector<std::thread> workers_;
+    bool stop_ = false;
+};
+
+/// A batch of jobs submitted to a pool; `wait()` blocks (helping) until all
+/// jobs of this group have finished. Exceptions thrown by jobs are captured;
+/// the first one (in submission order) is rethrown from wait().
+class TaskGroup {
+public:
+    explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+    ~TaskGroup() {
+        // A group must not outlive its pending jobs (they capture `this`).
+        wait_no_throw();
+    }
+
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+
+    /// Enqueue `fn` on the pool.
+    void run(std::function<void()> fn);
+
+    /// Help execute queued jobs until every job of this group is done, then
+    /// rethrow the first captured exception, if any.
+    void wait();
+
+private:
+    void wait_no_throw() noexcept;
+    void finish_one(std::size_t index, std::exception_ptr error) noexcept;
+
+    ThreadPool& pool_;
+    std::mutex mu_;
+    std::condition_variable done_cv_;
+    std::size_t submitted_ = 0;
+    std::size_t completed_ = 0;
+    /// Lowest submission index that failed, and its exception.
+    std::size_t first_error_index_ = SIZE_MAX;
+    std::exception_ptr first_error_;
+};
+
+} // namespace psaflow

@@ -1,0 +1,190 @@
+#include "support/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace psaflow::trace {
+
+namespace {
+
+std::int64_t steady_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/// Small stable ordinal for the calling thread (1, 2, 3, ... in first-use
+/// order) — friendlier in reports than std::thread::id hashes.
+std::uint64_t thread_ordinal() {
+    static std::atomic<std::uint64_t> next{1};
+    thread_local std::uint64_t mine = next.fetch_add(1);
+    return mine;
+}
+
+/// JSON string escaping for span names (quotes, backslashes, control chars).
+void append_escaped(std::string& out, const std::string& text) {
+    for (char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+}
+
+std::string format_work_units(double units) {
+    // Counters-as-doubles: print integral values without an exponent, keep
+    // the rest in shortest-round-trip form.
+    std::ostringstream os;
+    if (std::isfinite(units) && units == std::floor(units) &&
+        std::abs(units) < 1e15) {
+        os << static_cast<long long>(units);
+    } else {
+        os.precision(17);
+        os << units;
+    }
+    return os.str();
+}
+
+} // namespace
+
+Registry::Registry() {
+    epoch_ns_ = steady_ns();
+    if (const char* env = std::getenv("PSAFLOW_TRACE"))
+        enabled_ = std::string(env) != "0";
+}
+
+Registry& Registry::global() {
+    static Registry registry;
+    return registry;
+}
+
+void Registry::set_enabled(bool on) {
+    std::lock_guard lock(mu_);
+    enabled_ = on;
+}
+
+bool Registry::enabled() const {
+    std::lock_guard lock(mu_);
+    return enabled_;
+}
+
+void Registry::clear() {
+    std::lock_guard lock(mu_);
+    spans_.clear();
+    counters_.clear();
+    epoch_ns_ = steady_ns();
+}
+
+void Registry::add_span(Span span) {
+    std::lock_guard lock(mu_);
+    if (!enabled_) return;
+    spans_.push_back(std::move(span));
+}
+
+std::vector<Span> Registry::spans() const {
+    std::lock_guard lock(mu_);
+    return spans_;
+}
+
+void Registry::count(const std::string& name, std::uint64_t delta) {
+    std::lock_guard lock(mu_);
+    counters_[name] += delta;
+}
+
+std::uint64_t Registry::counter(const std::string& name) const {
+    std::lock_guard lock(mu_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+std::map<std::string, std::uint64_t> Registry::counters() const {
+    std::lock_guard lock(mu_);
+    return counters_;
+}
+
+std::uint64_t Registry::now_us() const {
+    std::int64_t epoch;
+    {
+        std::lock_guard lock(mu_);
+        epoch = epoch_ns_;
+    }
+    const std::int64_t delta = steady_ns() - epoch;
+    return delta <= 0 ? 0 : static_cast<std::uint64_t>(delta / 1000);
+}
+
+std::string Registry::to_json() const {
+    std::vector<Span> spans;
+    std::map<std::string, std::uint64_t> counters;
+    {
+        std::lock_guard lock(mu_);
+        spans = spans_;
+        counters = counters_;
+    }
+
+    std::string out = "{\n  \"spans\": [";
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+        const Span& s = spans[i];
+        out += i == 0 ? "\n" : ",\n";
+        out += "    {\"name\": \"";
+        append_escaped(out, s.name);
+        out += "\", \"category\": \"";
+        append_escaped(out, s.category);
+        out += "\", \"thread\": " + std::to_string(s.thread);
+        out += ", \"start_us\": " + std::to_string(s.start_us);
+        out += ", \"duration_us\": " + std::to_string(s.duration_us);
+        out += ", \"work_units\": " + format_work_units(s.work_units);
+        out += "}";
+    }
+    out += spans.empty() ? "],\n" : "\n  ],\n";
+    out += "  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : counters) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"";
+        append_escaped(out, name);
+        out += "\": " + std::to_string(value);
+    }
+    out += counters.empty() ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+}
+
+ScopedSpan::ScopedSpan(std::string name, std::string category)
+    : name_(std::move(name)), category_(std::move(category)) {
+    Registry& reg = Registry::global();
+    active_ = reg.enabled();
+    if (active_) start_us_ = reg.now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+    if (!active_) return;
+    Registry& reg = Registry::global();
+    Span span;
+    span.name = std::move(name_);
+    span.category = std::move(category_);
+    span.thread = thread_ordinal();
+    span.start_us = start_us_;
+    const std::uint64_t end = reg.now_us();
+    span.duration_us = end > start_us_ ? end - start_us_ : 0;
+    span.work_units = work_units_;
+    reg.add_span(std::move(span));
+}
+
+} // namespace psaflow::trace

@@ -1,0 +1,95 @@
+// Task tracing and metrics.
+//
+// The flow engine, the DSE engines and the interpreter report into a
+// process-wide registry: per-task *spans* (name, category, thread, wall
+// clock, work units) and named *counters* (interpreter steps, profile-cache
+// hits/misses, ...). psaflowc exports the registry as JSON (--trace-out);
+// the fig5/fig6 harnesses print a summary. Span collection can be disabled
+// with PSAFLOW_TRACE=0; counters are always live (they are a handful of
+// relaxed atomics per run, and tests assert on them).
+//
+// JSON schema (stable; see README "Tracing and the profile cache"):
+//   {
+//     "spans": [
+//       {"name": str, "category": str, "thread": int,
+//        "start_us": int, "duration_us": int, "work_units": num}
+//     ],
+//     "counters": {"<name>": int, ...}
+//   }
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace psaflow::trace {
+
+struct Span {
+    std::string name;     ///< e.g. "task:Identify Hotspot Loops"
+    std::string category; ///< "flow" | "task" | "dse" | "interp" | ...
+    std::uint64_t thread = 0;      ///< small per-thread ordinal, stable per run
+    std::uint64_t start_us = 0;    ///< offset from registry creation/clear
+    std::uint64_t duration_us = 0; ///< wall-clock microseconds
+    double work_units = 0.0;       ///< domain cost (interp cost units, steps)
+};
+
+class Registry {
+public:
+    [[nodiscard]] static Registry& global();
+
+    /// Span collection toggle (counters stay on). Initialised from the
+    /// PSAFLOW_TRACE environment variable ("0" disables).
+    void set_enabled(bool on);
+    [[nodiscard]] bool enabled() const;
+
+    /// Drop all spans and zero all counters; restarts the span clock.
+    void clear();
+
+    void add_span(Span span);
+    [[nodiscard]] std::vector<Span> spans() const;
+
+    /// Add `delta` to the named counter (creates it at zero).
+    void count(const std::string& name, std::uint64_t delta);
+    [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+    [[nodiscard]] std::map<std::string, std::uint64_t> counters() const;
+
+    /// Microseconds since creation/clear (the span time base).
+    [[nodiscard]] std::uint64_t now_us() const;
+
+    /// Serialise spans + counters using the schema above.
+    [[nodiscard]] std::string to_json() const;
+
+private:
+    Registry();
+
+    mutable std::mutex mu_;
+    bool enabled_ = true;
+    std::int64_t epoch_ns_ = 0;
+    std::vector<Span> spans_;
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+/// RAII span: measures construction-to-destruction wall clock and registers
+/// the span on destruction (no-op when span collection is disabled).
+class ScopedSpan {
+public:
+    ScopedSpan(std::string name, std::string category);
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+    /// Attach a domain work measure (interpreter cost units, DSE points).
+    void set_work_units(double units) { work_units_ = units; }
+
+private:
+    bool active_ = false;
+    std::string name_;
+    std::string category_;
+    std::uint64_t start_us_ = 0;
+    double work_units_ = 0.0;
+};
+
+} // namespace psaflow::trace

@@ -1,0 +1,240 @@
+// Determinism and caching of the parallel flow engine: any worker count must
+// produce a FlowResult byte-identical to the sequential engine, repeated
+// identical interpreter runs must hit the profile cache, and the trace
+// registry must record the run.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/profile_cache.hpp"
+#include "ast/clone.hpp"
+#include "ast/walk.hpp"
+#include "core/psaflow.hpp"
+#include "support/trace.hpp"
+#include "test_util.hpp"
+
+namespace psaflow {
+namespace {
+
+using analysis::ProfileCache;
+using psaflow::testing::parse_and_check;
+
+interp::Arg integer(long long v) { return interp::Value::of_int(v); }
+
+analysis::Workload small_workload() {
+    analysis::Workload w;
+    w.entry = "app";
+    w.make_args = [](double scale) {
+        const int n = static_cast<int>(16 * scale);
+        return std::vector<interp::Arg>{
+            integer(n),
+            std::make_shared<interp::Buffer>(ast::Type::Double, 64, "a")};
+    };
+    return w;
+}
+
+constexpr const char* kSmallApp = R"(
+void app(int n, double* a) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            a[i] = a[i] + a[j] * 0.5;
+        }
+    }
+}
+)";
+
+void expect_identical(const flow::FlowResult& seq,
+                      const flow::FlowResult& par, const std::string& what) {
+    SCOPED_TRACE(what);
+    EXPECT_DOUBLE_EQ(seq.reference_seconds, par.reference_seconds);
+    EXPECT_EQ(seq.log, par.log);
+    ASSERT_EQ(seq.designs.size(), par.designs.size());
+    for (std::size_t i = 0; i < seq.designs.size(); ++i) {
+        const auto& a = seq.designs[i];
+        const auto& b = par.designs[i];
+        SCOPED_TRACE("design #" + std::to_string(i) + " = " + a.name());
+        EXPECT_EQ(a.name(), b.name());
+        EXPECT_EQ(a.source, b.source);
+        EXPECT_DOUBLE_EQ(a.hotspot_seconds, b.hotspot_seconds);
+        EXPECT_DOUBLE_EQ(a.speedup, b.speedup);
+        EXPECT_DOUBLE_EQ(a.loc_delta, b.loc_delta);
+        EXPECT_EQ(a.synthesizable, b.synthesizable);
+        EXPECT_EQ(a.log, b.log);
+    }
+}
+
+// ------------------------------------------------- parallel determinism ----
+
+class EngineDeterminism : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EngineDeterminism, ParallelMatchesSequentialBothModes) {
+    const apps::Application& app = apps::application_by_name(GetParam());
+    for (flow::Mode mode : {flow::Mode::Informed, flow::Mode::Uninformed}) {
+        RunOptions sequential;
+        sequential.mode = mode;
+        sequential.jobs = 1;
+        RunOptions parallel = sequential;
+        parallel.jobs = 4;
+
+        const auto seq = compile(app, sequential);
+        const auto par = compile(app, parallel);
+        expect_identical(
+            seq, par,
+            app.name + (mode == flow::Mode::Informed ? "/informed"
+                                                     : "/uninformed"));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, EngineDeterminism,
+                         ::testing::Values("nbody", "adpredictor", "kmeans",
+                                           "rushlarsen", "bezier"),
+                         [](const auto& info) {
+                             return std::string(info.param);
+                         });
+
+TEST(EngineParallel, RepeatedRunsIdenticalUnderSharedCache) {
+    // Back-to-back runs share the process-wide profile cache; the second
+    // run (mostly cache hits) must still produce the identical result.
+    const apps::Application& app = apps::application_by_name("nbody");
+    RunOptions options;
+    options.jobs = 4;
+    const auto first = compile(app, options);
+    const auto second = compile(app, options);
+    expect_identical(first, second, "nbody repeat");
+}
+
+// ------------------------------------------------------- profile cache -----
+
+TEST(ProfileCacheTest, SecondIdenticalRunHits) {
+    auto [mod, types] = parse_and_check(kSmallApp);
+    auto& cache = ProfileCache::global();
+    cache.clear();
+    const analysis::Workload w = small_workload();
+
+    const auto before = cache.stats();
+    const auto p1 = cache.run(*mod, types, w.entry, w.make_args(1.0));
+    const auto p2 = cache.run(*mod, types, w.entry, w.make_args(1.0));
+    const auto after = cache.stats();
+
+    EXPECT_EQ(after.misses, before.misses + 1);
+    EXPECT_EQ(after.hits, before.hits + 1);
+    EXPECT_DOUBLE_EQ(p1.total_cost, p2.total_cost);
+}
+
+TEST(ProfileCacheTest, CloneHitsAndLoopStatsRemapOntoFreshNodeIds) {
+    auto [mod, types] = parse_and_check(kSmallApp);
+    auto& cache = ProfileCache::global();
+    cache.clear();
+    const analysis::Workload w = small_workload();
+
+    const auto p1 = cache.run(*mod, types, w.entry, w.make_args(1.0));
+
+    // A clone prints to identical source but carries fresh node ids.
+    auto clone = ast::clone_module(*mod);
+    auto clone_types = sema::check(*clone);
+    const auto p2 =
+        cache.run(*clone, clone_types, w.entry, w.make_args(1.0));
+
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_DOUBLE_EQ(p1.total_cost, p2.total_cost);
+
+    // The hit's loop stats must be keyed by the *clone's* For-node ids.
+    int loops_found = 0;
+    ast::walk(static_cast<const ast::Node&>(*clone),
+              [&](const ast::Node& n) {
+                  if (n.kind() == ast::NodeKind::For &&
+                      p2.loops.count(n.id) != 0)
+                      ++loops_found;
+                  return true;
+              });
+    EXPECT_EQ(loops_found, 2);
+}
+
+TEST(ProfileCacheTest, MutatedModuleMisses) {
+    auto [mod, types] = parse_and_check(kSmallApp);
+    auto& cache = ProfileCache::global();
+    cache.clear();
+    const analysis::Workload w = small_workload();
+
+    (void)cache.run(*mod, types, w.entry, w.make_args(1.0));
+
+    // Same shape, different constant: the content hash must differ.
+    auto [mutated, mutated_types] = parse_and_check(R"(
+void app(int n, double* a) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            a[i] = a[i] + a[j] * 0.25;
+        }
+    }
+}
+)");
+    (void)cache.run(*mutated, mutated_types, w.entry, w.make_args(1.0));
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(ProfileCacheTest, DifferentArgsMiss) {
+    auto [mod, types] = parse_and_check(kSmallApp);
+    auto& cache = ProfileCache::global();
+    cache.clear();
+    const analysis::Workload w = small_workload();
+
+    (void)cache.run(*mod, types, w.entry, w.make_args(1.0));
+    (void)cache.run(*mod, types, w.entry, w.make_args(2.0));
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(ProfileCacheTest, DisabledCacheNeverHits) {
+    auto [mod, types] = parse_and_check(kSmallApp);
+    auto& cache = ProfileCache::global();
+    cache.clear();
+    cache.set_enabled(false);
+    const analysis::Workload w = small_workload();
+
+    (void)cache.run(*mod, types, w.entry, w.make_args(1.0));
+    (void)cache.run(*mod, types, w.entry, w.make_args(1.0));
+    EXPECT_EQ(cache.stats().hits, 0u);
+    cache.set_enabled(true);
+}
+
+// ---------------------------------------------------------------- trace ----
+
+TEST(TraceIntegration, BranchedFlowEmitsSpansAndCacheHits) {
+    auto& registry = trace::Registry::global();
+    registry.set_enabled(true);
+    registry.clear();
+    ProfileCache::global().clear();
+
+    RunOptions options;
+    options.mode = flow::Mode::Uninformed; // 5 designs: branched flow
+    options.jobs = 4;
+    const auto result =
+        compile(apps::application_by_name("nbody"), options);
+    EXPECT_EQ(result.designs.size(), 5u);
+
+    const auto spans = registry.spans();
+    bool saw_flow = false, saw_task = false, saw_finalize = false;
+    for (const auto& s : spans) {
+        if (s.name.rfind("run_flow:", 0) == 0) saw_flow = true;
+        if (s.name.rfind("task:", 0) == 0) saw_task = true;
+        if (s.name.rfind("finalize:", 0) == 0) saw_finalize = true;
+    }
+    EXPECT_TRUE(saw_flow);
+    EXPECT_TRUE(saw_task);
+    EXPECT_TRUE(saw_finalize);
+
+    // Uninformed branching forks identical contexts down sibling paths; the
+    // re-characterisations must be served from the cache.
+    EXPECT_GT(registry.counter("profile_cache.hits"), 0u);
+    EXPECT_GT(registry.counter("interp.runs"), 0u);
+    EXPECT_GT(registry.counter("interp.steps"), 0u);
+
+    const std::string json = registry.to_json();
+    EXPECT_NE(json.find("\"spans\""), std::string::npos);
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("profile_cache.hits"), std::string::npos);
+}
+
+} // namespace
+} // namespace psaflow

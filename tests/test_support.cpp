@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <stdexcept>
+
 #include "support/prng.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 namespace psaflow {
 namespace {
@@ -109,6 +114,143 @@ TEST(Prng, UniformRespectsRange) {
         EXPECT_GE(d, -2.0);
         EXPECT_LT(d, 3.0);
     }
+}
+
+TEST(Prng, NextBelowZeroReturnsZero) {
+    SplitMix64 g(1);
+    EXPECT_EQ(g.next_below(0), 0u);
+    // The n == 0 guard must not consume a draw: the sequence continues as
+    // if the call never happened.
+    SplitMix64 h(1);
+    EXPECT_EQ(g.next_u64(), h.next_u64());
+}
+
+TEST(Prng, NextBelowStaysInRange) {
+    SplitMix64 g(3);
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(g.next_below(7), 7u);
+    EXPECT_EQ(g.next_below(1), 0u);
+}
+
+TEST(StringUtil, ParseDoubleAcceptsValidNumbers) {
+    EXPECT_EQ(parse_double("1.5"), 1.5);
+    EXPECT_EQ(parse_double("  -3e2 "), -300.0);
+    EXPECT_EQ(parse_double("0"), 0.0);
+}
+
+TEST(StringUtil, ParseDoubleRejectsGarbage) {
+    EXPECT_FALSE(parse_double("abc").has_value());
+    EXPECT_FALSE(parse_double("1.5x").has_value());
+    EXPECT_FALSE(parse_double("").has_value());
+    EXPECT_FALSE(parse_double("  ").has_value());
+    EXPECT_FALSE(parse_double("nan").has_value());
+    EXPECT_FALSE(parse_double("inf").has_value());
+    EXPECT_FALSE(parse_double("1e9999").has_value());
+}
+
+TEST(StringUtil, ParseIntAcceptsAndRejects) {
+    EXPECT_EQ(parse_int("42"), 42);
+    EXPECT_EQ(parse_int(" -7 "), -7);
+    EXPECT_FALSE(parse_int("4.2").has_value());
+    EXPECT_FALSE(parse_int("x").has_value());
+    EXPECT_FALSE(parse_int("").has_value());
+    EXPECT_FALSE(parse_int("99999999999999999999999").has_value());
+}
+
+TEST(ThreadPool, DefaultJobsRespectsEnv) {
+    EXPECT_GE(ThreadPool::default_jobs(), 1);
+}
+
+TEST(ThreadPool, TaskGroupRunsAllJobs) {
+    ThreadPool pool(4);
+    std::atomic<int> sum{0};
+    TaskGroup group(pool);
+    for (int i = 1; i <= 100; ++i)
+        group.run([&sum, i] { sum.fetch_add(i); });
+    group.wait();
+    EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, NestedGroupsDoNotDeadlock) {
+    // A single-worker pool forces the outer wait() to help execute the
+    // inner jobs — the deadlock scenario for a naive blocking join.
+    ThreadPool pool(1);
+    std::atomic<int> leaves{0};
+    TaskGroup outer(pool);
+    for (int i = 0; i < 4; ++i) {
+        outer.run([&pool, &leaves] {
+            TaskGroup inner(pool);
+            for (int j = 0; j < 4; ++j)
+                inner.run([&leaves] { leaves.fetch_add(1); });
+            inner.wait();
+        });
+    }
+    outer.wait();
+    EXPECT_EQ(leaves.load(), 16);
+}
+
+TEST(ThreadPool, WaitRethrowsFirstSubmittedException) {
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    group.run([] { throw std::runtime_error("first"); });
+    group.run([] { throw std::runtime_error("second"); });
+    try {
+        group.wait();
+        FAIL() << "wait() must rethrow";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "first");
+    }
+}
+
+TEST(Trace, CountersAccumulate) {
+    auto& reg = trace::Registry::global();
+    reg.clear();
+    reg.count("unit.test", 2);
+    reg.count("unit.test", 3);
+    EXPECT_EQ(reg.counter("unit.test"), 5u);
+    EXPECT_EQ(reg.counter("never.touched"), 0u);
+}
+
+TEST(Trace, SpansRecordWhenEnabled) {
+    auto& reg = trace::Registry::global();
+    reg.set_enabled(true);
+    reg.clear();
+    {
+        trace::ScopedSpan span("unit:span", "test");
+        span.set_work_units(12.0);
+    }
+    const auto spans = reg.spans();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].name, "unit:span");
+    EXPECT_EQ(spans[0].category, "test");
+    EXPECT_EQ(spans[0].work_units, 12.0);
+}
+
+TEST(Trace, DisabledSuppressesSpansNotCounters) {
+    auto& reg = trace::Registry::global();
+    reg.clear();
+    reg.set_enabled(false);
+    {
+        trace::ScopedSpan span("unit:hidden", "test");
+    }
+    reg.count("still.counted", 1);
+    EXPECT_TRUE(reg.spans().empty());
+    EXPECT_EQ(reg.counter("still.counted"), 1u);
+    reg.set_enabled(true);
+}
+
+TEST(Trace, JsonHasSchemaAndEscapes) {
+    auto& reg = trace::Registry::global();
+    reg.set_enabled(true);
+    reg.clear();
+    {
+        trace::ScopedSpan span("quote\"back\\slash", "test");
+    }
+    reg.count("c", 7);
+    const std::string json = reg.to_json();
+    EXPECT_NE(json.find("\"spans\""), std::string::npos);
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
+    EXPECT_NE(json.find("\"c\": 7"), std::string::npos);
 }
 
 } // namespace

@@ -8,6 +8,7 @@
 //   psaflowc --list
 //   psaflowc --app nbody --mode informed --out designs/
 //   psaflowc --app kmeans --mode uninformed --out designs/ --budget 0.001
+//   psaflowc --app nbody --jobs 4 --trace-out trace.json
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -17,6 +18,7 @@
 #include "core/psaflow.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
+#include "support/trace.hpp"
 
 using namespace psaflow;
 
@@ -27,7 +29,8 @@ int usage(const char* argv0) {
         << "usage: " << argv0 << " --list\n"
         << "       " << argv0
         << " --app <name> [--mode informed|uninformed] [--out <dir>]\n"
-        << "             [--budget <usd-per-run>] [--threshold-x <flops/B>]\n";
+        << "             [--budget <usd-per-run>] [--threshold-x <flops/B>]\n"
+        << "             [--jobs <n>] [--trace-out <file.json>]\n";
     return 2;
 }
 
@@ -37,8 +40,10 @@ int main(int argc, char** argv) {
     std::string app_name;
     std::string mode = "informed";
     std::string out_dir = "designs";
+    std::string trace_out;
     double budget = -1.0;
     double threshold_x = 4.0;
+    long long jobs = 0;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -48,6 +53,21 @@ int main(int argc, char** argv) {
                 std::exit(2);
             }
             return argv[++i];
+        };
+        // Checked numeric flags: std::stod would abort with an uncaught
+        // exception on "--budget abc"; reject with usage instead.
+        auto next_double = [&]() -> double {
+            const char* raw = next();
+            if (auto value = parse_double(raw)) return *value;
+            std::cerr << "invalid number '" << raw << "' for " << arg << "\n";
+            std::exit(usage(argv[0]));
+        };
+        auto next_int = [&]() -> long long {
+            const char* raw = next();
+            if (auto value = parse_int(raw)) return *value;
+            std::cerr << "invalid integer '" << raw << "' for " << arg
+                      << "\n";
+            std::exit(usage(argv[0]));
         };
         if (arg == "--list") {
             for (const apps::Application* app : apps::all_applications())
@@ -60,9 +80,17 @@ int main(int argc, char** argv) {
         } else if (arg == "--out") {
             out_dir = next();
         } else if (arg == "--budget") {
-            budget = std::stod(next());
+            budget = next_double();
         } else if (arg == "--threshold-x") {
-            threshold_x = std::stod(next());
+            threshold_x = next_double();
+        } else if (arg == "--jobs") {
+            jobs = next_int();
+            if (jobs < 0) {
+                std::cerr << "--jobs must be >= 0\n";
+                return usage(argv[0]);
+            }
+        } else if (arg == "--trace-out") {
+            trace_out = next();
         } else if (arg == "--help" || arg == "-h") {
             return usage(argv[0]);
         } else {
@@ -89,6 +117,9 @@ int main(int argc, char** argv) {
                                       : flow::Mode::Uninformed;
     options.budget.max_run_cost = budget;
     options.intensity_threshold_x = threshold_x;
+    options.jobs = static_cast<int>(jobs);
+
+    if (!trace_out.empty()) trace::Registry::global().set_enabled(true);
 
     std::cout << "running the " << mode << " PSA-flow on '" << app->name
               << "'...\n";
@@ -148,5 +179,15 @@ int main(int argc, char** argv) {
               << format_compact(result.reference_seconds, 4) << " s\n";
     std::cout << "wrote " << result.designs.size() << " design(s) and "
               << summary_path.string() << "\n";
+
+    if (!trace_out.empty()) {
+        std::ofstream trace_file(trace_out);
+        if (!trace_file) {
+            std::cerr << "cannot write " << trace_out << "\n";
+            return 1;
+        }
+        trace_file << trace::Registry::global().to_json() << "\n";
+        std::cout << "wrote trace to " << trace_out << "\n";
+    }
     return 0;
 }
