@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# 60-second fixed-seed fuzzing smoke: builds the asan preset
+# (-fsanitize=address,undefined) and runs psaflow-fuzz under it with a
+# wall-clock budget, so memory errors anywhere in the
+# generate -> transform -> interpret -> emit -> flow pipeline surface as
+# sanitizer reports rather than silent corruption. The seed is fixed, so a
+# failure here is reproducible with:
+#
+#   build-asan/tools/psaflow-fuzz --seed <reported seed> --runs 1 --shrink
+#
+# usage: scripts/fuzz_smoke.sh [seconds] [jobs]
+set -euo pipefail
+
+SECONDS_BUDGET=${1:-60}
+JOBS=${2:-$(nproc)}
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build --preset asan -j "$JOBS" --target psaflow-fuzz
+
+export ASAN_OPTIONS=detect_leaks=0
+export UBSAN_OPTIONS=halt_on_error=1
+
+echo "== psaflow-fuzz (asan/ubsan, ${SECONDS_BUDGET}s budget) =="
+build-asan/tools/psaflow-fuzz --seed 1 --runs 1000000 \
+    --max-seconds "$SECONDS_BUDGET" \
+    --shrink --corpus-dir build-asan/fuzz-failures
+
+echo "fuzz smoke passed"

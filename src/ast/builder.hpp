@@ -24,6 +24,18 @@ namespace psaflow::ast::build {
     return e;
 }
 
+/// Float literal with an explicit source spelling (e.g. "0.125"); the
+/// printer re-emits the spelling verbatim, so built modules round-trip
+/// byte-identically through print -> parse -> print.
+[[nodiscard]] inline ExprPtr float_lit(double v, std::string spelling,
+                                       bool single = false) {
+    auto e = std::make_unique<FloatLit>();
+    e->value = v;
+    e->single = single;
+    e->spelling = std::move(spelling);
+    return e;
+}
+
 [[nodiscard]] inline ExprPtr bool_lit(bool v) {
     auto e = std::make_unique<BoolLit>();
     e->value = v;
@@ -143,11 +155,46 @@ namespace psaflow::ast::build {
     return s;
 }
 
+[[nodiscard]] inline StmtPtr while_loop(ExprPtr cond, BlockPtr body) {
+    auto s = std::make_unique<While>();
+    s->cond = std::move(cond);
+    s->body = std::move(body);
+    return s;
+}
+
+[[nodiscard]] inline StmtPtr if_stmt(ExprPtr cond, BlockPtr then_body,
+                                     BlockPtr else_body = nullptr) {
+    auto s = std::make_unique<If>();
+    s->cond = std::move(cond);
+    s->then_body = std::move(then_body);
+    s->else_body = std::move(else_body);
+    return s;
+}
+
 [[nodiscard]] inline ParamPtr param(ValueType type, std::string name) {
     auto p = std::make_unique<Param>();
     p->type = type;
     p->name = std::move(name);
     return p;
+}
+
+[[nodiscard]] inline FunctionPtr function(Type ret, std::string name,
+                                          std::vector<ParamPtr> params,
+                                          BlockPtr body) {
+    auto f = std::make_unique<Function>();
+    f->ret = ret;
+    f->name = std::move(name);
+    f->params = std::move(params);
+    f->body = std::move(body);
+    return f;
+}
+
+[[nodiscard]] inline ModulePtr module(std::string name,
+                                      std::vector<FunctionPtr> functions) {
+    auto m = std::make_unique<Module>();
+    m->name = std::move(name);
+    m->functions = std::move(functions);
+    return m;
 }
 
 } // namespace psaflow::ast::build

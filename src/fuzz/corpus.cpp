@@ -1,0 +1,74 @@
+#include "fuzz/corpus.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace psaflow::fuzz {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Flatten a detail message onto one comment line.
+std::string one_line(const std::string& text) {
+    std::string out = text;
+    for (char& c : out)
+        if (c == '\n' || c == '\r') c = ' ';
+    return out;
+}
+
+/// Filesystem-safe oracle tag ("transform:unroll2" -> "transform-unroll2").
+std::string slug(const std::string& oracle) {
+    std::string out = oracle.empty() ? std::string("seed") : oracle;
+    for (char& c : out)
+        if (std::isalnum(static_cast<unsigned char>(c)) == 0) c = '-';
+    return out;
+}
+
+} // namespace
+
+std::string save_corpus_entry(const std::string& dir, std::uint64_t seed,
+                              const std::string& oracle,
+                              const std::string& detail,
+                              const std::string& source) {
+    fs::create_directories(dir);
+    const fs::path path =
+        fs::path(dir) / (slug(oracle) + "-seed" + std::to_string(seed) +
+                         ".psa");
+    std::ofstream out(path);
+    ensure(out.good(), "corpus: cannot write " + path.string());
+    out << "// psaflow-fuzz reproducer\n";
+    out << "// seed: " << seed << "\n";
+    if (!oracle.empty()) out << "// oracle: " << oracle << "\n";
+    if (!detail.empty()) out << "// detail: " << one_line(detail) << "\n";
+    out << "\n" << source;
+    ensure(out.good(), "corpus: write failed for " + path.string());
+    return path.string();
+}
+
+std::vector<CorpusEntry> load_corpus(const std::string& dir) {
+    std::vector<CorpusEntry> entries;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) return entries;
+    for (const auto& de : fs::directory_iterator(dir)) {
+        if (!de.is_regular_file() || de.path().extension() != ".psa")
+            continue;
+        std::ifstream in(de.path());
+        ensure(in.good(), "corpus: cannot read " + de.path().string());
+        std::ostringstream text;
+        text << in.rdbuf();
+        entries.push_back({de.path().string(), text.str()});
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const CorpusEntry& a, const CorpusEntry& b) {
+                  return a.path < b.path;
+              });
+    return entries;
+}
+
+} // namespace psaflow::fuzz

@@ -1,0 +1,33 @@
+// Replayable failure corpus.
+//
+// Every failure the fuzzer finds is persisted as a plain `.psa` source file
+// with a `//`-comment header recording the seed, the failing oracle and the
+// mismatch detail. The lexer skips comments, so a corpus file feeds straight
+// back into run_oracles — `psaflow-fuzz --replay <dir>` and the checked-in
+// tests/corpus/ regression suite both work off this format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psaflow::fuzz {
+
+struct CorpusEntry {
+    std::string path;   ///< file the entry was loaded from
+    std::string source; ///< full file contents (header comments included)
+};
+
+/// Write `source` under `dir` (created if missing) with a reproducer
+/// header. Returns the path written. `oracle` and `detail` may be empty
+/// for seed-corpus entries.
+std::string save_corpus_entry(const std::string& dir, std::uint64_t seed,
+                              const std::string& oracle,
+                              const std::string& detail,
+                              const std::string& source);
+
+/// All `.psa` files under `dir`, sorted by filename for deterministic
+/// replay order. Returns empty when the directory does not exist.
+[[nodiscard]] std::vector<CorpusEntry> load_corpus(const std::string& dir);
+
+} // namespace psaflow::fuzz

@@ -1,0 +1,68 @@
+// Deterministic random-program generation for the fuzzing harness.
+//
+// The generator emits well-typed HLC modules through ast::build, drawing
+// every choice from a SplitMix64 stream so a seed identifies a program
+// byte-for-byte. Programs follow the shape of the paper's benchmark
+// applications — one or two kernel functions full of canonical loop nests
+// over runtime bounds, an entry `run` that calls them — while sweeping the
+// full grammar: nested and fixed-bound loops, scalar reductions, array
+// accumulations at invariant indices, float and double buffers, local
+// arrays, if/while statements, builtin math calls and user helper calls.
+//
+// Runtime safety is part of well-typedness here: every generated subscript
+// is provably in [0, n), loop steps are positive constants, while loops
+// count to a constant bound, and math builtins are wrapped so their domain
+// preconditions hold (sqrt(fabs(x)), log(fabs(x) + 1.0), clamped exp/pow).
+// A generated program therefore parses, type-checks and interprets without
+// error — any deviation is a toolchain bug, which is exactly what the
+// differential oracles in oracle.hpp test for.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/workload.hpp"
+#include "ast/nodes.hpp"
+
+namespace psaflow::fuzz {
+
+struct GenOptions {
+    /// Base problem size bound to the entry's `n` at workload scale 1.0.
+    /// Loops over `n` execute this many iterations per level.
+    int problem_size = 24;
+
+    /// Kernel functions generated besides the entry (1 or 2 are drawn in
+    /// [1, max_kernels]).
+    int max_kernels = 2;
+
+    /// Maximum loop-nest depth inside a kernel.
+    int max_loop_depth = 3;
+
+    /// Maximum statements drawn per block (at least 1).
+    int max_block_stmts = 4;
+
+    /// Maximum expression depth (atoms are depth 0).
+    int max_expr_depth = 3;
+};
+
+struct GeneratedProgram {
+    ast::ModulePtr module;
+    std::string source; ///< printed module (the canonical form)
+    std::uint64_t seed = 0;
+};
+
+/// Generate the program identified by `seed`. Identical (seed, options)
+/// produce byte-identical source on every platform and run.
+[[nodiscard]] GeneratedProgram generate_program(std::uint64_t seed,
+                                                const GenOptions& options = {});
+
+/// Deterministic workload for a generated (or corpus-replayed) module:
+/// arguments are derived from the `run` entry signature alone — the first
+/// int parameter receives round(problem_size * scale), further scalars and
+/// buffer contents are seeded from FNV-1a hashes of the parameter names.
+/// Programs emitted by generate_program are guaranteed to execute crash-free
+/// under exactly this workload.
+[[nodiscard]] analysis::Workload fuzz_workload(const ast::Module& module,
+                                               int problem_size = 24);
+
+} // namespace psaflow::fuzz

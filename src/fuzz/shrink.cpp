@@ -1,0 +1,233 @@
+#include "fuzz/shrink.hpp"
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ast/builder.hpp"
+#include "ast/clone.hpp"
+#include "ast/nodes.hpp"
+#include "ast/printer.hpp"
+#include "ast/walk.hpp"
+#include "frontend/parser.hpp"
+#include "meta/query.hpp"
+#include "transform/rewrite.hpp"
+
+namespace psaflow::fuzz {
+
+namespace {
+
+using namespace ast;
+
+enum class EditKind {
+    RemoveFunction, ///< drop a function and any call statements to it
+    RemoveStmt,     ///< drop one statement from a block
+    InlineBody,     ///< replace a For/While/If with its (then-)body
+    LimitTwo,       ///< pin a loop limit to the constant 2
+    Literalize,     ///< replace a non-literal subexpression with 1
+};
+
+struct Edit {
+    EditKind kind;
+    std::size_t ordinal;
+};
+
+struct StmtSlot {
+    Block* block;
+    std::size_t index;
+};
+
+std::vector<Block*> blocks_of(Module& m) {
+    std::vector<Block*> out;
+    walk(static_cast<Node&>(m), [&](Node& n) {
+        if (auto* b = dyn_cast<Block>(&n)) out.push_back(b);
+        return true;
+    });
+    return out;
+}
+
+std::vector<StmtSlot> stmt_slots(Module& m) {
+    std::vector<StmtSlot> out;
+    for (Block* b : blocks_of(m))
+        for (std::size_t i = 0; i < b->stmts.size(); ++i)
+            out.push_back({b, i});
+    return out;
+}
+
+bool is_literal(const Expr& e) {
+    const NodeKind k = e.kind();
+    return k == NodeKind::IntLit || k == NodeKind::FloatLit ||
+           k == NodeKind::BoolLit;
+}
+
+/// Remove `ExprStmt` calls to `name` everywhere (used after dropping the
+/// callee so the program still resolves).
+void prune_calls(Module& m, const std::string& name) {
+    for (Block* b : blocks_of(m)) {
+        auto& stmts = b->stmts;
+        for (std::size_t i = stmts.size(); i-- > 0;) {
+            const auto* es = dyn_cast<ExprStmt>(stmts[i].get());
+            if (es == nullptr) continue;
+            const auto* call = dyn_cast<Call>(es->expr.get());
+            if (call != nullptr && call->callee == name)
+                stmts.erase(stmts.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        }
+    }
+}
+
+/// Apply `edit` to `m`; false when the ordinal is stale or the edit would
+/// be a no-op.
+bool apply_edit(Module& m, const Edit& edit) {
+    switch (edit.kind) {
+        case EditKind::RemoveFunction: {
+            if (m.functions.size() <= 1 ||
+                edit.ordinal >= m.functions.size())
+                return false;
+            const std::string name = m.functions[edit.ordinal]->name;
+            m.functions.erase(m.functions.begin() +
+                              static_cast<std::ptrdiff_t>(edit.ordinal));
+            prune_calls(m, name);
+            return true;
+        }
+        case EditKind::RemoveStmt: {
+            auto slots = stmt_slots(m);
+            if (edit.ordinal >= slots.size()) return false;
+            auto [block, index] = slots[edit.ordinal];
+            block->stmts.erase(block->stmts.begin() +
+                               static_cast<std::ptrdiff_t>(index));
+            return true;
+        }
+        case EditKind::InlineBody: {
+            auto slots = stmt_slots(m);
+            if (edit.ordinal >= slots.size()) return false;
+            auto [block, index] = slots[edit.ordinal];
+            Stmt* stmt = block->stmts[index].get();
+            Block* body = nullptr;
+            if (auto* f = dyn_cast<For>(stmt)) body = f->body.get();
+            else if (auto* w = dyn_cast<While>(stmt)) body = w->body.get();
+            else if (auto* i = dyn_cast<If>(stmt)) body = i->then_body.get();
+            if (body == nullptr) return false;
+            std::vector<StmtPtr> moved = std::move(body->stmts);
+            block->stmts.erase(block->stmts.begin() +
+                               static_cast<std::ptrdiff_t>(index));
+            block->stmts.insert(block->stmts.begin() +
+                                    static_cast<std::ptrdiff_t>(index),
+                                std::make_move_iterator(moved.begin()),
+                                std::make_move_iterator(moved.end()));
+            return true;
+        }
+        case EditKind::LimitTwo: {
+            auto loops = meta::for_loops(m);
+            if (edit.ordinal >= loops.size()) return false;
+            For* loop = loops[edit.ordinal];
+            if (const auto* lit = dyn_cast<IntLit>(loop->limit.get()))
+                if (lit->value <= 2) return false;
+            loop->limit = build::int_lit(2);
+            return true;
+        }
+        case EditKind::Literalize: {
+            std::size_t count = 0;
+            bool replaced = false;
+            for (auto& fn : m.functions) {
+                for (auto& stmt : fn->body->stmts) {
+                    transform::for_each_expr_slot(
+                        *stmt, [&](ExprPtr& slot) {
+                            if (replaced || !slot || is_literal(*slot))
+                                return;
+                            if (count++ == edit.ordinal) {
+                                slot = build::int_lit(1);
+                                replaced = true;
+                            }
+                        });
+                    if (replaced) return true;
+                }
+            }
+            return replaced;
+        }
+    }
+    return false;
+}
+
+/// All candidate edits for the current module, coarse to fine. Statement
+/// removal and body inlining run back-to-front so dropping a value's users
+/// is attempted before dropping its definition.
+std::vector<Edit> enumerate_edits(Module& m) {
+    std::vector<Edit> out;
+    for (std::size_t i = 0; i < m.functions.size(); ++i)
+        out.push_back({EditKind::RemoveFunction, i});
+    const std::size_t nslots = stmt_slots(m).size();
+    for (std::size_t i = nslots; i-- > 0;)
+        out.push_back({EditKind::RemoveStmt, i});
+    for (std::size_t i = nslots; i-- > 0;)
+        out.push_back({EditKind::InlineBody, i});
+    const std::size_t nloops = meta::for_loops(m).size();
+    for (std::size_t i = 0; i < nloops; ++i)
+        out.push_back({EditKind::LimitTwo, i});
+    std::size_t nexprs = 0;
+    for (auto& fn : m.functions)
+        for (auto& stmt : fn->body->stmts)
+            transform::for_each_expr_slot(*stmt, [&](ExprPtr& slot) {
+                if (slot && !is_literal(*slot)) ++nexprs;
+            });
+    for (std::size_t i = 0; i < nexprs; ++i)
+        out.push_back({EditKind::Literalize, i});
+    return out;
+}
+
+} // namespace
+
+ShrinkResult shrink_source(const std::string& source,
+                           const FailurePredicate& still_fails,
+                           const ShrinkOptions& options) {
+    ShrinkResult res;
+    res.source = source;
+
+    bool progress = true;
+    while (progress && res.checks_used < options.max_checks) {
+        progress = false;
+        ModulePtr module;
+        try {
+            module = frontend::parse_module(res.source, "shrink");
+        } catch (const std::exception&) {
+            break; // unparseable input: nothing structural to reduce
+        }
+        for (const Edit& edit : enumerate_edits(*module)) {
+            if (res.checks_used >= options.max_checks) break;
+            auto candidate = clone_module(*module);
+            if (!apply_edit(*candidate, edit)) continue;
+            const std::string text = to_source(*candidate);
+            if (text == res.source) continue;
+            ++res.checks_used;
+            if (still_fails(text)) {
+                res.source = text;
+                ++res.edits_applied;
+                progress = true;
+                break; // restart enumeration on the reduced program
+            }
+        }
+    }
+    return res;
+}
+
+FailurePredicate make_failure_predicate(const std::string& oracle,
+                                        OracleOptions base) {
+    const auto starts = [](const std::string& s, const char* prefix) {
+        return s.rfind(prefix, 0) == 0;
+    };
+    // Only the family that produced the failure needs to run; the always-on
+    // parse/sema/baseline/roundtrip stages are cheap and keep candidates
+    // honest.
+    base.check_transforms = starts(oracle, "transform:");
+    base.check_codegen = starts(oracle, "codegen:");
+    base.check_flow = starts(oracle, "flow:");
+    return [oracle, base](const std::string& src) {
+        const OracleOutcome outcome = run_oracles(src, base);
+        for (const auto& f : outcome.failures)
+            if (f.oracle == oracle) return true;
+        return false;
+    };
+}
+
+} // namespace psaflow::fuzz

@@ -1,0 +1,48 @@
+// Greedy delta-reduction of failing fuzz programs.
+//
+// Given a program and a predicate "does this still exhibit the failure",
+// the shrinker enumerates structural simplifications from coarse to fine —
+// drop a function, drop a statement, inline a loop/branch body, pin a loop
+// bound to 2, replace a subexpression with a literal — and greedily commits
+// every edit that keeps the predicate true, restarting enumeration after
+// each success until a full pass makes no progress. Candidates that break
+// parsing or typing simply fail the predicate (the failure changes oracle),
+// so no edit needs its own validity check.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "fuzz/oracle.hpp"
+
+namespace psaflow::fuzz {
+
+/// Does `source` still exhibit the failure being reduced?
+using FailurePredicate = std::function<bool(const std::string& source)>;
+
+struct ShrinkOptions {
+    /// Upper bound on predicate evaluations; each evaluation re-runs the
+    /// oracles, so this caps the total shrinking cost.
+    std::size_t max_checks = 1500;
+};
+
+struct ShrinkResult {
+    std::string source;          ///< the reduced program
+    int edits_applied = 0;       ///< committed simplifications
+    std::size_t checks_used = 0; ///< predicate evaluations consumed
+};
+
+/// Reduce `source` while `still_fails(candidate)` holds. `source` itself
+/// must satisfy the predicate; the result always does.
+[[nodiscard]] ShrinkResult shrink_source(const std::string& source,
+                                         const FailurePredicate& still_fails,
+                                         const ShrinkOptions& options = {});
+
+/// Predicate matching "run_oracles reports a failure named `oracle`", with
+/// oracle families that cannot produce `oracle` disabled for speed (e.g.
+/// shrinking a transform failure skips the flow engine entirely).
+[[nodiscard]] FailurePredicate
+make_failure_predicate(const std::string& oracle, OracleOptions base);
+
+} // namespace psaflow::fuzz

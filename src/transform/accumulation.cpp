@@ -8,6 +8,7 @@
 #include "ast/printer.hpp"
 #include "ast/walk.hpp"
 #include "meta/instrument.hpp"
+#include "meta/query.hpp"
 #include "support/error.hpp"
 
 namespace psaflow::transform {
@@ -54,7 +55,13 @@ int remove_array_accumulation(Module& module, For& loop) {
         std::string array;
     };
     std::vector<Candidate> candidates;
-    const auto mutated = assigned_names(*loop.body);
+    // Loop-varying state: anything assigned in the body, plus anything
+    // *bound* inside it — inner-loop induction variables and local
+    // declarations take a fresh (iteration-dependent) value each trip, and
+    // are out of scope at the post-loop write-back site.
+    auto mutated = assigned_names(*loop.body);
+    const auto bound = meta::declared_names(static_cast<Node&>(*loop.body));
+    mutated.insert(mutated.end(), bound.begin(), bound.end());
     auto is_mutated = [&](const std::string& name) {
         for (const auto& m : mutated) {
             if (m == name) return true;
@@ -101,10 +108,20 @@ int remove_array_accumulation(Module& module, For& loop) {
         });
         if (array_uses != 1) continue; // accessed elsewhere: unsafe
 
-        // Rewrite. The node id makes the accumulator name unique even
-        // across repeated invocations on the same function.
-        const std::string acc =
-            cand.array + "_acc" + std::to_string(cand.assign->id);
+        // Rewrite. The accumulator name must be unique even across repeated
+        // invocations on the same function, and must depend only on module
+        // content: node-id-derived names differ between equal clones, which
+        // would break the flow engine's byte-identical-result guarantee.
+        const auto taken = [&module](const std::string& name) {
+            if (mentions(module, name)) return true;
+            for (const auto& d :
+                 meta::declared_names(static_cast<Node&>(module)))
+                if (d == name) return true;
+            return false;
+        };
+        std::string acc = cand.array + "_acc";
+        for (int k = 1; taken(acc); ++k)
+            acc = cand.array + "_acc" + std::to_string(k);
 
         ParentMap parents(module);
         // double <acc> = 0.0;  (before the loop)

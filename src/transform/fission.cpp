@@ -105,6 +105,14 @@ SplitResult split_kernel(Module& module, const sema::TypeInfo& types,
     ensure(kernel != nullptr,
            "split_kernel: unknown kernel '" + kernel_name + "'");
     For& outer = only_outer_loop(*kernel);
+    // The parts are rebuilt from the loop alone, so any statement outside
+    // it (a prologue declaration, a trailing store) would be dropped — and
+    // with it the names the loop body depends on. Extracted kernels always
+    // satisfy this; reject anything else instead of miscompiling.
+    ensure(kernel->body->stmts.size() == 1 &&
+               kernel->body->stmts.front().get() == &outer,
+           "split_kernel: kernel body must consist of exactly its outer "
+           "loop");
     ensure(cut > 0 && cut < outer.body->stmts.size(),
            "split_kernel: cut index out of range");
 

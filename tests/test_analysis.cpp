@@ -4,6 +4,8 @@
 #include "analysis/dependence.hpp"
 #include "analysis/hotspot.hpp"
 #include "analysis/intensity.hpp"
+#include "analysis/profile_cache.hpp"
+#include "ast/clone.hpp"
 #include "ast/walk.hpp"
 #include "meta/query.hpp"
 #include "test_util.hpp"
@@ -475,6 +477,68 @@ void app(int n) { }
         return std::vector<interp::Arg>{integer(1)};
     };
     EXPECT_THROW((void)characterize_kernel(*mod, types, "kernel", w), Error);
+}
+
+// --------------------------------------------------------- profile cache ----
+
+TEST(ProfileCache, RemapsLoopStatsOntoClonedNodeIds) {
+    auto [mod, types] = parse_and_check(R"(
+void run(int n, double* a) {
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < 4; j++) {
+            a[i] = a[i] * 2.0 + 1.0;
+        }
+    }
+}
+)");
+    const auto make_args = [] {
+        std::vector<interp::Arg> args;
+        args.push_back(integer(6));
+        args.emplace_back(
+            std::make_shared<interp::Buffer>(Type::Double, 6, "a"));
+        return args;
+    };
+
+    auto& cache = ProfileCache::global();
+    cache.clear();
+    const auto before = cache.stats();
+
+    const auto first = cache.run(*mod, types, "run", make_args());
+    EXPECT_EQ(cache.stats().misses, before.misses + 1);
+
+    // A clone prints identically but all nodes carry fresh ids, so a naive
+    // cache hit would hand back stats keyed by ids that do not occur in the
+    // clone at all.
+    auto clone = ast::clone_module(*mod);
+    auto clone_types = sema::check(*clone);
+    const auto second = cache.run(*clone, clone_types, "run", make_args());
+    EXPECT_EQ(cache.stats().hits, before.hits + 1);
+
+    const auto orig_loops = meta::for_loops(*mod);
+    const auto clone_loops = meta::for_loops(*clone);
+    ASSERT_EQ(orig_loops.size(), 2u);
+    ASSERT_EQ(clone_loops.size(), 2u);
+    for (std::size_t i = 0; i < clone_loops.size(); ++i) {
+        ASSERT_NE(orig_loops[i]->id, clone_loops[i]->id);
+        const auto* orig = first.loop(orig_loops[i]->id);
+        const auto* remapped = second.loop(clone_loops[i]->id);
+        ASSERT_NE(orig, nullptr);
+        ASSERT_NE(remapped, nullptr) << "stats not remapped onto clone ids";
+        EXPECT_EQ(remapped->entries, orig->entries);
+        EXPECT_EQ(remapped->trips, orig->trips);
+        EXPECT_DOUBLE_EQ(remapped->cost, orig->cost);
+        EXPECT_DOUBLE_EQ(remapped->self_cost, orig->self_cost);
+        // Stale original ids must not leak into the remapped profile.
+        EXPECT_EQ(second.loop(orig_loops[i]->id), nullptr);
+    }
+    EXPECT_EQ(second.loops.size(), first.loops.size());
+    EXPECT_DOUBLE_EQ(second.total_cost, first.total_cost);
+
+    // The outer loop enters once and trips n times; the fixed inner loop
+    // enters n times — a sanity anchor that the stats are the real ones.
+    EXPECT_EQ(first.loop(orig_loops[0]->id)->entries, 1);
+    EXPECT_EQ(first.loop(orig_loops[1]->id)->entries, 6);
+    cache.clear();
 }
 
 } // namespace

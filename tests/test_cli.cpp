@@ -1,0 +1,78 @@
+// End-to-end error-path tests for the psaflowc driver: every malformed
+// invocation must exit with status 2 and print the usage banner, never
+// crash or silently proceed. The binary path comes from CMake
+// ($<TARGET_FILE:psaflowc>), so the test always runs the freshly built
+// driver.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+struct CliResult {
+    int exit_code = -1;
+    std::string output; ///< stdout and stderr, interleaved
+};
+
+CliResult run_cli(const std::string& flags) {
+    const std::string cmd =
+        std::string(PSAFLOW_PSAFLOWC_PATH) + " " + flags + " 2>&1";
+    CliResult result;
+    FILE* pipe = popen(cmd.c_str(), "r");
+    if (pipe == nullptr) return result;
+    std::array<char, 4096> buf{};
+    std::size_t n = 0;
+    while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+        result.output.append(buf.data(), n);
+    const int status = pclose(pipe);
+    if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+    return result;
+}
+
+void expect_usage_error(const std::string& flags) {
+    const CliResult r = run_cli(flags);
+    EXPECT_EQ(r.exit_code, 2) << "flags: " << flags << "\n" << r.output;
+    EXPECT_NE(r.output.find("usage:"), std::string::npos)
+        << "flags: " << flags << "\n" << r.output;
+}
+
+TEST(Cli, NoArgumentsPrintsUsage) { expect_usage_error(""); }
+
+TEST(Cli, UnknownFlagPrintsUsage) { expect_usage_error("--frobnicate"); }
+
+TEST(Cli, MalformedJobsValue) {
+    expect_usage_error("--app nbody --jobs abc");
+}
+
+TEST(Cli, NegativeJobsValue) {
+    const CliResult r = run_cli("--app nbody --jobs -1");
+    EXPECT_EQ(r.exit_code, 2) << r.output;
+    EXPECT_NE(r.output.find("--jobs must be >= 0"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST(Cli, MalformedBudgetValue) {
+    expect_usage_error("--app nbody --budget nope");
+}
+
+TEST(Cli, TraceOutMissingValue) {
+    expect_usage_error("--app nbody --trace-out");
+}
+
+TEST(Cli, UnknownAppFails) {
+    const CliResult r = run_cli("--app no_such_app");
+    EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(Cli, ListSucceeds) {
+    const CliResult r = run_cli("--list");
+    EXPECT_EQ(r.exit_code, 0) << r.output;
+    EXPECT_NE(r.output.find("nbody"), std::string::npos) << r.output;
+}
+
+} // namespace

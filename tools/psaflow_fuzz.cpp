@@ -1,0 +1,244 @@
+// psaflow-fuzz — generative fuzzing driver for the whole toolchain.
+//
+// Generates deterministic random HLC programs (one per seed) and checks
+// every differential oracle over each: frontend round-trip, sema
+// acceptance, transform equivalence under the interpreter, crash-free
+// codegen through all three emitters, and flow-engine determinism at
+// jobs=1 vs jobs=N. Failures can be delta-reduced (--shrink) and are
+// persisted as replayable .psa files (--corpus-dir).
+//
+//   psaflow-fuzz --seed 1 --runs 200
+//   psaflow-fuzz --seed 7 --runs 50 --shrink --corpus-dir corpus/
+//   psaflow-fuzz --replay tests/corpus
+//   psaflow-fuzz --emit-seeds tests/corpus --seed 1 --runs 20
+//   psaflow-fuzz --seed 1 --max-seconds 60 --runs 1000000   # smoke budget
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "fuzz/corpus.hpp"
+#include "fuzz/generator.hpp"
+#include "fuzz/oracle.hpp"
+#include "fuzz/shrink.hpp"
+#include "support/string_util.hpp"
+
+using namespace psaflow;
+
+namespace {
+
+int usage(const char* argv0) {
+    std::cerr
+        << "usage: " << argv0
+        << " [--seed <n>] [--runs <n>] [--shrink] [--corpus-dir <dir>]\n"
+        << "       " << argv0 << " --replay <dir>\n"
+        << "       " << argv0 << " --emit-seeds <dir> [--seed <n>] [--runs "
+           "<n>]\n"
+        << "options:\n"
+        << "  --seed <n>         base seed; run i uses seed + i (default 1)\n"
+        << "  --runs <n>         programs to generate (default 100)\n"
+        << "  --shrink           delta-reduce each failure before saving\n"
+        << "  --corpus-dir <dir> persist failures as replayable .psa files\n"
+        << "  --replay <dir>     re-check every .psa file in <dir>\n"
+        << "  --emit-seeds <dir> write the generated programs as a seed "
+           "corpus\n"
+        << "  --problem-size <n> workload base size (default 24)\n"
+        << "  --flow-jobs <n>    parallel jobs compared against 1 (default "
+           "3)\n"
+        << "  --max-seconds <n>  stop fuzzing after a wall-clock budget\n"
+        << "  --no-transforms / --no-codegen / --no-flow / --no-roundtrip\n";
+    return 2;
+}
+
+void print_failure(std::uint64_t seed, const fuzz::OracleFailure& f) {
+    std::cerr << "FAIL seed=" << seed << " oracle=" << f.oracle << "\n"
+              << "     " << f.detail << "\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::uint64_t seed = 1;
+    long long runs = 100;
+    bool shrink = false;
+    std::string corpus_dir;
+    std::string replay_dir;
+    std::string emit_dir;
+    long long max_seconds = 0;
+    fuzz::OracleOptions oracle_options;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for " << arg << "\n";
+                std::exit(usage(argv[0]));
+            }
+            return argv[++i];
+        };
+        auto next_int = [&]() -> long long {
+            const char* raw = next();
+            if (auto value = parse_int(raw)) return *value;
+            std::cerr << "invalid integer '" << raw << "' for " << arg
+                      << "\n";
+            std::exit(usage(argv[0]));
+        };
+        if (arg == "--seed") {
+            const long long v = next_int();
+            if (v < 0) {
+                std::cerr << "--seed must be >= 0\n";
+                return usage(argv[0]);
+            }
+            seed = static_cast<std::uint64_t>(v);
+        } else if (arg == "--runs") {
+            runs = next_int();
+            if (runs <= 0) {
+                std::cerr << "--runs must be > 0\n";
+                return usage(argv[0]);
+            }
+        } else if (arg == "--shrink") {
+            shrink = true;
+        } else if (arg == "--corpus-dir") {
+            corpus_dir = next();
+        } else if (arg == "--replay") {
+            replay_dir = next();
+        } else if (arg == "--emit-seeds") {
+            emit_dir = next();
+        } else if (arg == "--problem-size") {
+            const long long v = next_int();
+            if (v < 8) { // fixed-bound loops index buffers up to 8
+                std::cerr << "--problem-size must be >= 8\n";
+                return usage(argv[0]);
+            }
+            oracle_options.problem_size = static_cast<int>(v);
+        } else if (arg == "--flow-jobs") {
+            const long long v = next_int();
+            if (v < 2) {
+                std::cerr << "--flow-jobs must be >= 2\n";
+                return usage(argv[0]);
+            }
+            oracle_options.flow_jobs = static_cast<int>(v);
+        } else if (arg == "--max-seconds") {
+            max_seconds = next_int();
+            if (max_seconds <= 0) {
+                std::cerr << "--max-seconds must be > 0\n";
+                return usage(argv[0]);
+            }
+        } else if (arg == "--no-transforms") {
+            oracle_options.check_transforms = false;
+        } else if (arg == "--no-codegen") {
+            oracle_options.check_codegen = false;
+        } else if (arg == "--no-flow") {
+            oracle_options.check_flow = false;
+        } else if (arg == "--no-roundtrip") {
+            oracle_options.check_roundtrip = false;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(argv[0]);
+        } else {
+            std::cerr << "unknown option '" << arg << "'\n";
+            return usage(argv[0]);
+        }
+    }
+
+    // ---- replay mode -------------------------------------------------
+    if (!replay_dir.empty()) {
+        const auto corpus = fuzz::load_corpus(replay_dir);
+        if (corpus.empty()) {
+            std::cerr << "no .psa files under '" << replay_dir << "'\n";
+            return 2;
+        }
+        int failed = 0;
+        for (const auto& entry : corpus) {
+            const auto outcome = fuzz::run_oracles(entry.source,
+                                                   oracle_options);
+            if (!outcome.ok()) {
+                ++failed;
+                for (const auto& f : outcome.failures)
+                    std::cerr << "FAIL " << entry.path << " oracle="
+                              << f.oracle << "\n     " << f.detail << "\n";
+            }
+        }
+        std::cout << "replayed " << corpus.size() << " corpus file(s), "
+                  << failed << " failing\n";
+        return failed == 0 ? 0 : 1;
+    }
+
+    // ---- emit-seeds mode ---------------------------------------------
+    fuzz::GenOptions gen_options;
+    gen_options.problem_size = oracle_options.problem_size;
+    if (!emit_dir.empty()) {
+        for (long long i = 0; i < runs; ++i) {
+            const std::uint64_t s = seed + static_cast<std::uint64_t>(i);
+            const auto program = fuzz::generate_program(s, gen_options);
+            const std::string path = fuzz::save_corpus_entry(
+                emit_dir, s, "", "", program.source);
+            std::cout << "wrote " << path << "\n";
+        }
+        return 0;
+    }
+
+    // ---- fuzzing loop ------------------------------------------------
+    const auto start = std::chrono::steady_clock::now();
+    auto out_of_budget = [&] {
+        if (max_seconds <= 0) return false;
+        const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::steady_clock::now() - start);
+        return elapsed.count() >= max_seconds;
+    };
+
+    long long executed = 0;
+    long long failures = 0;
+    long long oracles = 0;
+    long long applied = 0;
+    long long skipped = 0;
+    for (long long i = 0; i < runs && !out_of_budget(); ++i) {
+        const std::uint64_t s = seed + static_cast<std::uint64_t>(i);
+        const auto program = fuzz::generate_program(s, gen_options);
+        ++executed;
+
+        // Generator determinism is itself an acceptance criterion.
+        const auto again = fuzz::generate_program(s, gen_options);
+        if (again.source != program.source) {
+            ++failures;
+            print_failure(s, {"determinism",
+                              "same seed generated different programs"});
+            continue;
+        }
+
+        const auto outcome = fuzz::run_oracles(program.source,
+                                               oracle_options);
+        oracles += outcome.oracles_run;
+        applied += outcome.transforms_applied;
+        skipped += outcome.transforms_skipped;
+        if (outcome.ok()) continue;
+
+        failures += static_cast<long long>(outcome.failures.size());
+        for (const auto& f : outcome.failures) print_failure(s, f);
+
+        // Reduce and persist the first failure of the run.
+        const auto& first = outcome.failures.front();
+        std::string reproducer = program.source;
+        if (shrink) {
+            const auto predicate =
+                fuzz::make_failure_predicate(first.oracle, oracle_options);
+            const auto reduced =
+                fuzz::shrink_source(program.source, predicate);
+            std::cerr << "     shrunk by " << reduced.edits_applied
+                      << " edit(s) in " << reduced.checks_used
+                      << " check(s)\n";
+            reproducer = reduced.source;
+        }
+        if (!corpus_dir.empty()) {
+            const std::string path = fuzz::save_corpus_entry(
+                corpus_dir, s, first.oracle, first.detail, reproducer);
+            std::cerr << "     saved " << path << "\n";
+        } else if (shrink) {
+            std::cerr << "----- reduced reproducer -----\n"
+                      << reproducer << "------------------------------\n";
+        }
+    }
+
+    std::cout << executed << " run(s), " << oracles << " oracle(s), "
+              << applied << " transform(s) applied, " << skipped
+              << " skipped, " << failures << " failure(s)\n";
+    return failures == 0 ? 0 : 1;
+}

@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
         auto next = [&]() -> const char* {
             if (i + 1 >= argc) {
                 std::cerr << "missing value for " << arg << "\n";
-                std::exit(2);
+                std::exit(usage(argv[0]));
             }
             return argv[++i];
         };
