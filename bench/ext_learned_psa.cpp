@@ -15,6 +15,7 @@
 
 #include "core/psaflow.hpp"
 #include "flow/learned_strategy.hpp"
+#include "flow/session.hpp"
 #include "frontend/parser.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
@@ -79,6 +80,7 @@ int main() {
     // End-to-end: drive the standard flow with the learned strategy.
     std::cout << "\nend-to-end with the learned strategy at branch point A "
                  "(trained on the full corpus):\n";
+    FlowSession session;
     for (const apps::Application* app : all) {
         DesignFlow flow = standard_flow(Mode::Informed);
         flow.branch->strategy = std::make_shared<LearnedStrategy>(corpus, 3);
@@ -86,7 +88,7 @@ int main() {
                         frontend::parse_module(app->source, app->name),
                         app->workload);
         ctx.allow_single_precision = app->allow_single_precision;
-        auto result = run_flow(flow, std::move(ctx));
+        auto result = session.run(flow, std::move(ctx));
         const auto* best = result.best();
         std::cout << "  " << app->name << " -> "
                   << (best != nullptr ? best->name() + " (" +

@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "core/psaflow.hpp"
+#include "flow/session.hpp"
 #include "flow/strategy.hpp"
 #include "flow/tasks.hpp"
 #include "frontend/parser.hpp"
@@ -88,7 +89,10 @@ int main() {
     auto module = frontend::parse_module(app.source, app.name);
     flow::FlowContext ctx(app.name, std::move(module), app.workload);
 
-    auto result = flow::run_flow(custom, std::move(ctx));
+    // FlowSession is the engine's front door; a default session inherits
+    // jobs/cache settings from the environment.
+    flow::FlowSession session;
+    auto result = session.run(custom, std::move(ctx));
 
     std::cout << "=== custom PSA-flow on " << app.name << " ===\n\n";
     for (const auto& design : result.designs) {

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Cold/warm/corrupt smoke for the persistent content-addressed store: runs
+# psaflowc three times against the same --cache-dir —
+#
+#   1. cold   (empty store; fills it),
+#   2. warm   (every profile and design artifact served from disk),
+#   3. after flipping one byte in every cached entry (checksums reject the
+#      corrupted entries, the run silently recomputes and repairs),
+#
+# and requires all three runs to write byte-identical designs and summaries.
+# This is the end-to-end form of the guarantee the engine tests pin down:
+# the disk cache may only ever change *when* results are computed, never
+# *what* is computed.
+#
+# usage: scripts/cache_smoke.sh [psaflowc-binary] [app]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PSAFLOWC=${1:-build/tools/psaflowc}
+APP=${2:-adpredictor}
+
+if [ ! -x "$PSAFLOWC" ]; then
+    echo "psaflowc binary not found at '$PSAFLOWC' (build it first," \
+         "or pass the path as the first argument)" >&2
+    exit 1
+fi
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/psaflow-cache-smoke.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+CACHE="$WORK/cache"
+
+run() { # run <outdir>
+    "$PSAFLOWC" --app "$APP" --cache-dir "$CACHE" --out "$WORK/$1" \
+        > "$WORK/$1.stdout"
+}
+
+echo "== cache smoke: $APP via $PSAFLOWC =="
+run cold
+ENTRIES=$(find "$CACHE" -name '*.cas' | wc -l)
+echo "cold run populated $ENTRIES cache entries"
+test "$ENTRIES" -gt 0
+
+run warm
+
+# Flip one byte in the middle of every entry; the checksum must catch it.
+for entry in $(find "$CACHE" -name '*.cas'); do
+    size=$(stat -c %s "$entry")
+    printf '\xff' | dd of="$entry" bs=1 seek=$((size / 2)) conv=notrunc \
+        status=none
+done
+run corrupt
+
+for outdir in warm corrupt; do
+    for file in "$WORK/cold"/*; do
+        diff -q "$file" "$WORK/$outdir/$(basename "$file")" > /dev/null || {
+            echo "FAIL: $outdir run differs from cold run on" \
+                 "$(basename "$file")" >&2
+            exit 1
+        }
+    done
+    # stdout must match too, modulo the differing --out directory names.
+    if ! diff <(sed "s|$WORK/cold|<out>|g" "$WORK/cold.stdout") \
+              <(sed "s|$WORK/$outdir|<out>|g" "$WORK/$outdir.stdout"); then
+        echo "FAIL: $outdir run stdout differs from cold run" >&2
+        exit 1
+    fi
+done
+
+echo "cache smoke passed: cold, warm and corrupt-repair runs identical"

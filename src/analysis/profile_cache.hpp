@@ -19,14 +19,26 @@
 // on; a hit remaps the stats onto the current module's loop ids by position
 // (equal source text guarantees the same loop structure and order).
 //
+// When the process-wide content-addressed store (support/cas) is
+// configured — via --cache-dir or PSAFLOW_CACHE_DIR — profiles also
+// persist on disk: an in-memory miss falls back to a checksum-verified
+// disk read before recomputing, and fresh profiles are written through.
+// Disk entries store loop stats keyed by *pre-order position* (not node
+// id), with bit-exact doubles, so any later process — whose clones carry
+// different node ids — can remap them onto its own module and reproduce
+// the computed profile exactly.
+//
 // Process-wide and thread-safe. Disable with PSAFLOW_CACHE=0 (or
 // set_enabled(false)); hits/misses are counted here and mirrored into the
-// trace registry as "profile_cache.hits" / "profile_cache.misses".
+// trace registry as "profile_cache.hits" / "profile_cache.misses" /
+// "profile_cache.disk_hits".
 #pragma once
 
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -37,8 +49,9 @@
 namespace psaflow::analysis {
 
 struct ProfileCacheStats {
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
+    std::uint64_t hits = 0;      ///< in-memory hits
+    std::uint64_t disk_hits = 0; ///< served from the content-addressed store
+    std::uint64_t misses = 0;    ///< recomputed under the interpreter
 };
 
 class ProfileCache {
@@ -74,6 +87,12 @@ private:
         std::vector<ast::Node::Id> loop_order;
     };
 
+    /// Remap `entry`'s loop stats onto `module`'s current node ids by
+    /// pre-order position; nullopt when the loop structure differs (which
+    /// equal source text should make impossible — recompute defensively).
+    [[nodiscard]] static std::optional<interp::ExecutionProfile>
+    remap_onto(const Entry& entry, const ast::Module& module);
+
     mutable std::mutex mu_;
     bool enabled_ = true;
     std::size_t max_entries_ = 4096;
@@ -88,5 +107,21 @@ private:
 /// FNV-1a digest of arbitrary bytes, exposed for tests.
 [[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t size,
                                   std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Serialise a profile for the content-addressed store. Loop stats are
+/// keyed by their position in `loop_order` (the pre-order For-node ids of
+/// the module the profile was computed on); doubles are stored as bit
+/// patterns, so a reload reproduces the profile exactly. Exposed for the
+/// CAS round-trip tests.
+[[nodiscard]] std::string
+serialize_profile_payload(const interp::ExecutionProfile& profile,
+                          const std::vector<ast::Node::Id>& loop_order);
+
+/// Parse a payload written by serialize_profile_payload. On success the
+/// profile's loop stats are keyed by pre-order *position* (0..n-1) and
+/// `loop_count` is the serialised module's For-loop count.
+[[nodiscard]] bool parse_profile_payload(std::string_view payload,
+                                         interp::ExecutionProfile& profile,
+                                         std::size_t& loop_count);
 
 } // namespace psaflow::analysis

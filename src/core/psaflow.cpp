@@ -6,11 +6,28 @@ namespace psaflow {
 
 flow::FlowResult compile(const apps::Application& app,
                          const RunOptions& options) {
-    return compile(app.name, app.source, app.workload,
-                   app.allow_single_precision, options);
+    flow::FlowSession session;
+    return compile(session, app, options);
 }
 
 flow::FlowResult compile(const std::string& app_name, std::string_view source,
+                         analysis::Workload workload,
+                         bool allow_single_precision,
+                         const RunOptions& options) {
+    flow::FlowSession session;
+    return compile(session, app_name, source, std::move(workload),
+                   allow_single_precision, options);
+}
+
+flow::FlowResult compile(flow::FlowSession& session,
+                         const apps::Application& app,
+                         const RunOptions& options) {
+    return compile(session, app.name, app.source, app.workload,
+                   app.allow_single_precision, options);
+}
+
+flow::FlowResult compile(flow::FlowSession& session,
+                         const std::string& app_name, std::string_view source,
                          analysis::Workload workload,
                          bool allow_single_precision,
                          const RunOptions& options) {
@@ -25,7 +42,7 @@ flow::FlowResult compile(const std::string& app_name, std::string_view source,
     engine.jobs = options.jobs;
 
     const flow::DesignFlow design_flow = flow::standard_flow(options.mode);
-    return flow::run_flow(design_flow, std::move(ctx), engine);
+    return session.run(design_flow, std::move(ctx), engine);
 }
 
 const char* version() { return "psaflow 1.0.0"; }

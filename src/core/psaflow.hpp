@@ -17,6 +17,7 @@
 #include "analysis/workload.hpp"
 #include "apps/apps.hpp"
 #include "flow/engine.hpp"
+#include "flow/session.hpp"
 #include "flow/standard_flow.hpp"
 
 namespace psaflow {
@@ -36,6 +37,20 @@ struct RunOptions {
 /// Run the standard PSA-flow on arbitrary HLC source. `workload` drives the
 /// dynamic analyses; `allow_single_precision` gates the SP transforms.
 [[nodiscard]] flow::FlowResult compile(const std::string& app_name,
+                                       std::string_view source,
+                                       analysis::Workload workload,
+                                       bool allow_single_precision = true,
+                                       const RunOptions& options = {});
+
+/// Session-aware variants: run through the caller's FlowSession so many
+/// compiles share one pool/cache/trace wiring (the batch driver's fast
+/// path). `options.jobs == 0` defers to the session's jobs setting.
+[[nodiscard]] flow::FlowResult compile(flow::FlowSession& session,
+                                       const apps::Application& app,
+                                       const RunOptions& options = {});
+
+[[nodiscard]] flow::FlowResult compile(flow::FlowSession& session,
+                                       const std::string& app_name,
                                        std::string_view source,
                                        analysis::Workload workload,
                                        bool allow_single_precision = true,

@@ -1,10 +1,12 @@
 #include "flow/context.hpp"
 
 #include "analysis/hotspot.hpp"
+#include "analysis/profile_cache.hpp"
 #include "ast/clone.hpp"
 #include "ast/printer.hpp"
 #include "codegen/emit_util.hpp"
 #include "perf/estimator.hpp"
+#include "support/cas/cas.hpp"
 #include "support/error.hpp"
 
 namespace psaflow::flow {
@@ -27,6 +29,7 @@ FlowContext FlowContext::fork() const {
     out.allow_single_precision = allow_single_precision;
     out.intensity_threshold_x = intensity_threshold_x;
     out.reference_seconds_ = reference_seconds_;
+    out.workload_digest_ = workload_digest_;
     out.log_ = log_;
     // ch_/outer_dep_ are keyed by node ids, which the clone regenerated:
     // recomputed lazily on demand.
@@ -73,6 +76,25 @@ platform::KernelShape FlowContext::shape() {
     opt.shared_arrays = spec.shared_arrays;
     return perf::build_kernel_shape(kernel(), types_, *module_,
                                     characterization(), opt);
+}
+
+std::uint64_t FlowContext::workload_digest() {
+    if (workload_digest_ == 0) {
+        cas::Hasher h;
+        h.str("workload");
+        h.str(workload_.entry);
+        h.real(workload_.profile_scale);
+        h.real(workload_.eval_scale);
+        // Hash the argument contents at the two scales the dynamic analyses
+        // actually execute (scaling-law fitting runs at 2x profile scale).
+        h.u64(analysis::digest_args(
+            workload_.make_args(workload_.profile_scale)));
+        h.u64(analysis::digest_args(
+            workload_.make_args(2.0 * workload_.profile_scale)));
+        workload_digest_ = h.digest();
+        if (workload_digest_ == 0) workload_digest_ = 1; // keep memoizable
+    }
+    return workload_digest_;
 }
 
 double FlowContext::reference_seconds() {

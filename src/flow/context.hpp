@@ -4,6 +4,7 @@
 // "increasingly specialized designs".
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -76,6 +77,13 @@ public:
     /// characterisation of the pristine kernel; stable across transforms).
     [[nodiscard]] double reference_seconds();
 
+    /// Content digest of the workload: entry, scales and the full argument
+    /// contents at the scales the dynamic analyses run (profile and 2x
+    /// profile). The module print alone does not identify a flow's inputs,
+    /// so persistent artifact-cache keys mix this in. Memoized; forks
+    /// inherit the digest (the workload is shared).
+    [[nodiscard]] std::uint64_t workload_digest();
+
     void note(std::string line) { log_.push_back(std::move(line)); }
     [[nodiscard]] const std::vector<std::string>& log() const { return log_; }
 
@@ -104,6 +112,7 @@ private:
     std::optional<analysis::KernelCharacterization> ch_;
     std::optional<analysis::DependenceInfo> outer_dep_;
     double reference_seconds_ = 0.0;
+    std::uint64_t workload_digest_ = 0;
     std::vector<std::string> log_;
 };
 

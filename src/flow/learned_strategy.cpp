@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "flow/engine.hpp"
+#include "flow/session.hpp"
 #include "flow/standard_flow.hpp"
 #include "flow/strategy.hpp"
 #include "frontend/parser.hpp"
@@ -140,7 +141,8 @@ train_from_oracle(const std::vector<const apps::Application*>& training_apps) {
 
         DesignFlow branch_only;
         branch_only.branch = flow.branch;
-        auto result = run_flow(branch_only, ctx.fork());
+        FlowSession session;
+        auto result = session.run(branch_only, ctx.fork());
         const DesignArtifact* best = result.best();
         ensure(best != nullptr, "train_from_oracle: no synthesizable design "
                                 "for '" + app->name + "'");

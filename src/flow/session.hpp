@@ -1,0 +1,58 @@
+// FlowSession: the front door of the flow engine.
+//
+// A session owns the cross-cutting wiring one flow execution needs — the
+// worker-pool width, the persistent content-addressed store configuration
+// and the trace accounting — so embedders (psaflowc, the batch driver, the
+// fuzz harness, the bench programs) configure these once instead of
+// plumbing environment variables and EngineOptions fields individually.
+// Running many flows through one session shares the warm in-process caches
+// and the store index: that is what makes `psaflowc --batch` cheap.
+//
+// The legacy free function `run_flow` (engine.hpp) remains as a thin
+// wrapper over a default-configured session.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "flow/engine.hpp"
+
+namespace psaflow::flow {
+
+struct SessionOptions {
+    /// Worker threads for independent branch paths; 0 picks the process
+    /// default (PSAFLOW_JOBS or hardware concurrency). Any setting yields
+    /// a byte-identical FlowResult.
+    int jobs = 0;
+
+    /// Root directory of the persistent content-addressed store. Empty
+    /// keeps the process-wide configuration (PSAFLOW_CACHE_DIR, or
+    /// disabled when unset).
+    std::string cache_dir;
+
+    /// Size cap for the store in bytes; 0 keeps the PSAFLOW_CACHE_MAX_MB /
+    /// built-in default. Only consulted when `cache_dir` is set.
+    std::uint64_t cache_max_bytes = 0;
+};
+
+class FlowSession {
+public:
+    FlowSession() : FlowSession(SessionOptions{}) {}
+    /// Applies `options` eagerly: a non-empty cache_dir (re)configures the
+    /// process-wide store before the first run.
+    explicit FlowSession(SessionOptions options);
+
+    /// Execute `flow` over `ctx` (the context is consumed; paths fork from
+    /// it). `engine.jobs == 0` inherits the session's jobs setting. Counts
+    /// "flow.runs" and the flow-phase wall clock "flow.wall_us" into the
+    /// trace registry.
+    [[nodiscard]] FlowResult run(const DesignFlow& flow, FlowContext ctx,
+                                 EngineOptions engine = {});
+
+    [[nodiscard]] const SessionOptions& options() const { return options_; }
+
+private:
+    SessionOptions options_;
+};
+
+} // namespace psaflow::flow

@@ -1,25 +1,30 @@
 #include "flow/standard_flow.hpp"
 
 #include "flow/strategy.hpp"
-#include "flow/tasks.hpp"
+#include "flow/task_registry.hpp"
 
 namespace psaflow::flow {
 
-using platform::DeviceId;
-
 DesignFlow standard_flow(Mode mode) {
+    // Assembled by stable task id: the registry is the single source of
+    // truth for the repository, and these ids double as persistent-cache
+    // key components, so the flow layout here is pinned by the cache.
+    const auto task = [](const char* id) {
+        return TaskRegistry::global().make(id);
+    };
+
     DesignFlow flow;
 
     // ---- target-independent tasks (Fig. 4 top) -------------------------
     flow.prologue = {
-        identify_hotspot_loops(),
-        hotspot_loop_extraction(),
-        pointer_analysis(),
-        arithmetic_intensity_analysis(),
-        data_inout_analysis(),
-        loop_dependence_analysis(),
-        loop_tripcount_analysis(),
-        remove_array_plus_eq(),
+        task("identify-hotspot-loops"),
+        task("hotspot-loop-extraction"),
+        task("pointer-analysis"),
+        task("arithmetic-intensity-analysis"),
+        task("data-in-out-analysis"),
+        task("loop-dependence-analysis"),
+        task("loop-trip-count-analysis"),
+        task("remove-array-dependency"),
     };
 
     // ---- branch point B: FPGA devices -------------------------------------
@@ -28,12 +33,12 @@ DesignFlow standard_flow(Mode mode) {
     branch_b->strategy = select_all();
     branch_b->paths.push_back(FlowPath{
         "arria10",
-        {unroll_until_overmap_dse(DeviceId::Arria10)},
+        {task("arria10-unroll-until-overmap-dse")},
         nullptr});
     branch_b->paths.push_back(FlowPath{
         "stratix10",
-        {zero_copy_data_transfer(),
-         unroll_until_overmap_dse(DeviceId::Stratix10)},
+        {task("zero-copy-data-transfer"),
+         task("stratix10-unroll-until-overmap-dse")},
         nullptr});
 
     // ---- branch point C: GPU devices ---------------------------------------
@@ -41,9 +46,9 @@ DesignFlow standard_flow(Mode mode) {
     branch_c->name = "C (GPU device)";
     branch_c->strategy = select_all();
     branch_c->paths.push_back(FlowPath{
-        "gtx1080ti", {blocksize_dse(DeviceId::Gtx1080Ti)}, nullptr});
+        "gtx1080ti", {task("gtx-1080-ti-blocksize-dse")}, nullptr});
     branch_c->paths.push_back(FlowPath{
-        "rtx2080ti", {blocksize_dse(DeviceId::Rtx2080Ti)}, nullptr});
+        "rtx2080ti", {task("rtx-2080-ti-blocksize-dse")}, nullptr});
 
     // ---- branch point A: target selection ----------------------------------
     auto branch_a = std::make_shared<BranchPoint>();
@@ -53,18 +58,19 @@ DesignFlow standard_flow(Mode mode) {
 
     branch_a->paths.push_back(FlowPath{
         "gpu",
-        {generate_hip_design(), employ_hip_pinned_memory(),
-         employ_sp_math_fns(), employ_sp_numeric_literals(),
-         introduce_shared_mem_buf(), employ_specialised_math_fns()},
+        {task("generate-hip-design"), task("employ-hip-pinned-memory"),
+         task("employ-sp-math-fns"), task("employ-sp-numeric-literals"),
+         task("introduce-shared-mem-buf"),
+         task("employ-specialised-math-fns")},
         branch_c});
     branch_a->paths.push_back(FlowPath{
         "fpga",
-        {generate_oneapi_design(), unroll_fixed_loops(),
-         employ_sp_math_fns(), employ_sp_numeric_literals()},
+        {task("generate-oneapi-design"), task("unroll-fixed-loops"),
+         task("employ-sp-math-fns"), task("employ-sp-numeric-literals")},
         branch_b});
     branch_a->paths.push_back(FlowPath{
         "cpu",
-        {multi_thread_parallel_loops(), omp_num_threads_dse()},
+        {task("multi-thread-parallel-loops"), task("omp-num-threads-dse")},
         nullptr});
 
     flow.branch = branch_a;

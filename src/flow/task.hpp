@@ -31,6 +31,13 @@ public:
     [[nodiscard]] virtual TaskClass cls() const = 0;
     [[nodiscard]] virtual bool dynamic() const { return false; }
 
+    /// Stable string identifier: the name slugged to lowercase alnum runs
+    /// joined by '-' (e.g. "Arria10 Unroll Until Overmap DSE" ->
+    /// "arria10-unroll-until-overmap-dse"). Used as the TaskRegistry key,
+    /// as trace span names and as the cache-key component of the
+    /// content-addressed store — ids must stay stable across releases.
+    [[nodiscard]] std::string id() const;
+
     virtual void run(FlowContext& ctx) = 0;
 };
 

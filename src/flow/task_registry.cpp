@@ -1,0 +1,80 @@
+#include "flow/task_registry.hpp"
+
+#include "flow/tasks.hpp"
+#include "support/error.hpp"
+
+namespace psaflow::flow {
+
+using platform::DeviceId;
+
+TaskRegistry::TaskRegistry() {
+    const std::vector<Factory> builtins = {
+        identify_hotspot_loops,
+        hotspot_loop_extraction,
+        pointer_analysis,
+        arithmetic_intensity_analysis,
+        data_inout_analysis,
+        loop_dependence_analysis,
+        loop_tripcount_analysis,
+        remove_array_plus_eq,
+        generate_oneapi_design,
+        unroll_fixed_loops,
+        employ_sp_math_fns,
+        employ_sp_numeric_literals,
+        zero_copy_data_transfer,
+        [] { return unroll_until_overmap_dse(DeviceId::Arria10); },
+        [] { return unroll_until_overmap_dse(DeviceId::Stratix10); },
+        generate_hip_design,
+        employ_hip_pinned_memory,
+        introduce_shared_mem_buf,
+        employ_specialised_math_fns,
+        [] { return blocksize_dse(DeviceId::Gtx1080Ti); },
+        [] { return blocksize_dse(DeviceId::Rtx2080Ti); },
+        multi_thread_parallel_loops,
+        omp_num_threads_dse,
+    };
+    for (const Factory& factory : builtins) add(factory);
+}
+
+TaskRegistry& TaskRegistry::global() {
+    static TaskRegistry registry;
+    return registry;
+}
+
+void TaskRegistry::add(const Factory& factory) {
+    ensure(factory != nullptr, "TaskRegistry: null factory");
+    TaskPtr probe = factory();
+    ensure(probe != nullptr, "TaskRegistry: factory produced a null task");
+    const std::string id = probe->id();
+    ensure(!id.empty(), "TaskRegistry: task id is empty");
+    std::lock_guard lock(mu_);
+    ensure(factories_.emplace(id, factory).second,
+           "TaskRegistry: duplicate task id '" + id + "'");
+}
+
+bool TaskRegistry::contains(const std::string& id) const {
+    std::lock_guard lock(mu_);
+    return factories_.count(id) != 0;
+}
+
+TaskPtr TaskRegistry::make(const std::string& id) const {
+    Factory factory;
+    {
+        std::lock_guard lock(mu_);
+        auto it = factories_.find(id);
+        ensure(it != factories_.end(),
+               "TaskRegistry: unknown task id '" + id + "'");
+        factory = it->second;
+    }
+    return factory();
+}
+
+std::vector<std::string> TaskRegistry::ids() const {
+    std::lock_guard lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(factories_.size());
+    for (const auto& [id, factory] : factories_) out.push_back(id);
+    return out;
+}
+
+} // namespace psaflow::flow

@@ -1,0 +1,50 @@
+// TaskRegistry: the codified task repository keyed by stable string ids.
+//
+// Every task in the Fig. 4 repository registers a factory under its
+// Task::id() slug (e.g. "identify-hotspot-loops",
+// "arria10-unroll-until-overmap-dse"). The ids serve three masters that
+// must agree: flow assembly (standard_flow builds its paths by id), the
+// trace registry (span names are "task:<id>") and the persistent
+// content-addressed store (a leaf design's cache key embeds the exact
+// sequence of task ids that produced it). Renaming a task therefore
+// changes its id, which safely invalidates old cache entries.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "flow/task.hpp"
+
+namespace psaflow::flow {
+
+class TaskRegistry {
+public:
+    using Factory = std::function<TaskPtr()>;
+
+    /// The process-wide registry, pre-populated with the built-in
+    /// repository (tasks.hpp) on first use.
+    [[nodiscard]] static TaskRegistry& global();
+
+    /// Register `factory` under the id of the task it produces (one
+    /// instance is created to read the id). Throws if the id is taken.
+    void add(const Factory& factory);
+
+    [[nodiscard]] bool contains(const std::string& id) const;
+
+    /// Instantiate a fresh task; throws on an unknown id.
+    [[nodiscard]] TaskPtr make(const std::string& id) const;
+
+    /// All registered ids, sorted.
+    [[nodiscard]] std::vector<std::string> ids() const;
+
+private:
+    TaskRegistry();
+
+    mutable std::mutex mu_;
+    std::map<std::string, Factory> factories_;
+};
+
+} // namespace psaflow::flow

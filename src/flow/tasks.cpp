@@ -1,6 +1,7 @@
 #include "flow/tasks.hpp"
 
 #include <algorithm>
+#include <cctype>
 
 #include "analysis/hotspot.hpp"
 #include "analysis/intensity.hpp"
@@ -28,6 +29,24 @@ const char* to_string(TaskClass cls) {
         case TaskClass::Optimisation: return "O";
     }
     return "?";
+}
+
+std::string Task::id() const {
+    const std::string display = name();
+    std::string out;
+    out.reserve(display.size());
+    bool pending_dash = false;
+    for (char c : display) {
+        if (std::isalnum(static_cast<unsigned char>(c))) {
+            if (pending_dash && !out.empty()) out.push_back('-');
+            pending_dash = false;
+            out.push_back(static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c))));
+        } else {
+            pending_dash = true;
+        }
+    }
+    return out;
 }
 
 namespace {

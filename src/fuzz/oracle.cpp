@@ -1,8 +1,10 @@
 #include "fuzz/oracle.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstddef>
+#include <filesystem>
 #include <functional>
 #include <optional>
 #include <sstream>
@@ -11,7 +13,10 @@
 #include <variant>
 #include <vector>
 
+#include <unistd.h>
+
 #include "analysis/dependence.hpp"
+#include "analysis/profile_cache.hpp"
 #include "ast/builder.hpp"
 #include "ast/clone.hpp"
 #include "ast/printer.hpp"
@@ -23,6 +28,7 @@
 #include "interp/interpreter.hpp"
 #include "meta/query.hpp"
 #include "sema/type_check.hpp"
+#include "support/cas/cas.hpp"
 #include "support/error.hpp"
 #include "support/prng.hpp"
 #include "transform/accumulation.hpp"
@@ -587,6 +593,60 @@ OracleOutcome run_oracles(const std::string& source,
                      "FlowResult differs between jobs=1 and jobs=" +
                          std::to_string(options.flow_jobs));
             }
+        }
+
+        // ---- cold vs warm persistent cache (flow:cache) --------------
+        // Three states must agree byte for byte: no disk cache (seq,
+        // above), a cold run that populates an empty store, and a warm
+        // run served from the store with the in-memory caches dropped.
+        if (options.check_cache && !seq.crash) {
+            ++out.oracles_run;
+            namespace fs = std::filesystem;
+            static std::atomic<std::uint64_t> cache_serial{0};
+            const bool own_dir = options.cache_dir.empty();
+            const fs::path root =
+                own_dir ? fs::temp_directory_path() /
+                              ("psaflow-fuzz-cache-" +
+                               std::to_string(::getpid()) + "-" +
+                               std::to_string(++cache_serial))
+                        : fs::path(options.cache_dir);
+
+            cas::configure(root.string());
+            analysis::ProfileCache::global().clear();
+            const auto cold = run_flow_at(1);
+            analysis::ProfileCache::global().clear();
+            const auto warm = run_flow_at(1);
+            cas::configure("");
+            if (own_dir) {
+                std::error_code ec;
+                fs::remove_all(root, ec);
+            }
+
+            auto check_against = [&](const char* label,
+                                     const decltype(seq)& run) {
+                if (run.crash) {
+                    fail("flow:crash",
+                         std::string(label) + " cache run: " + run.error);
+                } else if (seq.threw != run.threw) {
+                    fail("flow:cache",
+                         std::string("uncached run ") +
+                             (seq.threw ? "failed" : "succeeded") + " but " +
+                             label + " run " +
+                             (run.threw ? "failed ('" + run.error + "')"
+                                        : "succeeded"));
+                } else if (seq.threw) {
+                    if (seq.error != run.error)
+                        fail("flow:cache",
+                             std::string(label) + " error mismatch: '" +
+                                 seq.error + "' vs '" + run.error + "'");
+                } else if (seq.summary != run.summary) {
+                    fail("flow:cache",
+                         "FlowResult differs between the uncached and the " +
+                             std::string(label) + " cache run");
+                }
+            };
+            check_against("cold", cold);
+            check_against("warm", warm);
         }
     }
 

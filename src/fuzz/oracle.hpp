@@ -18,7 +18,9 @@
 //               throwing on a kernel that satisfies their preconditions
 //   flow:*      the full PSA flow engine at jobs=1 and jobs=N produces
 //               byte-identical results (designs, logs and predictions), or
-//               fails with the identical error
+//               fails with the identical error; with check_cache, a cold
+//               run against an empty content-addressed store and a warm
+//               run served from it must also both match exactly
 //
 // A reported failure means a toolchain bug (or an unsound generated
 // program, which is a generator bug): there are no known false positives.
@@ -41,6 +43,17 @@ struct OracleOptions {
     bool check_transforms = true;
     bool check_codegen = true;
     bool check_flow = true;
+
+    /// Cold-vs-warm persistent-cache oracle ("flow:cache"): run the flow
+    /// once against an empty content-addressed store, then again with only
+    /// the disk entries carried over; all three results (no cache, cold,
+    /// warm) must be byte-identical. Off by default — it triples the flow
+    /// oracle's work and touches the filesystem.
+    bool check_cache = false;
+
+    /// Store root for the cache oracle; empty uses a fresh directory under
+    /// the system temp path, removed afterwards.
+    std::string cache_dir;
 
     /// Worker count compared against jobs=1 in the flow oracle.
     int flow_jobs = 3;

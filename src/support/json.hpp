@@ -1,0 +1,50 @@
+// A minimal JSON reader for machine-readable tool inputs — first consumer:
+// `psaflowc --batch manifest.json`. The trace registry already *writes*
+// JSON (support/trace); this is the matching parse side, deliberately
+// small: UTF-8 pass-through, \uXXXX escapes decoded as Latin-1/BMP code
+// points, numbers as double. Parse errors carry a byte offset.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace psaflow::json {
+
+class Value {
+public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool bool_value = false;
+    double number_value = 0.0;
+    std::string string_value;
+    std::vector<Value> elements;                          ///< Array
+    std::vector<std::pair<std::string, Value>> members;   ///< Object, ordered
+
+    [[nodiscard]] bool is_null() const { return kind == Kind::Null; }
+    [[nodiscard]] bool is_object() const { return kind == Kind::Object; }
+    [[nodiscard]] bool is_array() const { return kind == Kind::Array; }
+    [[nodiscard]] bool is_string() const { return kind == Kind::String; }
+    [[nodiscard]] bool is_number() const { return kind == Kind::Number; }
+    [[nodiscard]] bool is_bool() const { return kind == Kind::Bool; }
+
+    /// Object member lookup; nullptr when absent or not an object.
+    [[nodiscard]] const Value* find(std::string_view key) const;
+
+    // Typed getters with defaults (wrong-kind values yield the default, so
+    // manifest readers can treat "absent" and "mistyped" uniformly).
+    [[nodiscard]] std::string string_or(std::string def) const;
+    [[nodiscard]] double number_or(double def) const;
+    [[nodiscard]] bool bool_or(bool def) const;
+};
+
+/// Parse one JSON document (trailing whitespace allowed, trailing garbage
+/// rejected). On failure returns nullopt and, when `error` is non-null,
+/// stores a message with the byte offset of the problem.
+[[nodiscard]] std::optional<Value> parse(std::string_view text,
+                                         std::string* error = nullptr);
+
+} // namespace psaflow::json

@@ -27,7 +27,7 @@
 namespace psaflow::trace {
 
 struct Span {
-    std::string name;     ///< e.g. "task:Identify Hotspot Loops"
+    std::string name;     ///< e.g. "task:identify-hotspot-loops"
     std::string category; ///< "flow" | "task" | "dse" | "interp" | ...
     std::uint64_t thread = 0;      ///< small per-thread ordinal, stable per run
     std::uint64_t start_us = 0;    ///< offset from registry creation/clear

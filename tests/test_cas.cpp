@@ -1,0 +1,420 @@
+// Tests for the disk-backed content-addressed store (support/cas): key
+// hashing, payload serialisation, frame integrity under corruption, LRU
+// eviction, concurrent writers, and the profile-payload round trip that
+// underpins warm-run byte-identity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "analysis/profile_cache.hpp"
+#include "interp/profile.hpp"
+#include "support/cas/cas.hpp"
+
+using namespace psaflow;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Fresh store root under the gtest temp dir, removed on destruction.
+struct TempRoot {
+    fs::path path;
+
+    explicit TempRoot(const std::string& name) {
+        path = fs::path(testing::TempDir()) / ("psaflow-cas-" + name);
+        fs::remove_all(path);
+    }
+    ~TempRoot() {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+};
+
+/// All .cas entry files currently on disk under `root`.
+std::vector<fs::path> entry_files(const fs::path& root) {
+    std::vector<fs::path> out;
+    if (!fs::exists(root)) return out;
+    for (const auto& e : fs::recursive_directory_iterator(root)) {
+        if (e.is_regular_file() && e.path().extension() == ".cas")
+            out.push_back(e.path());
+    }
+    return out;
+}
+
+void rewrite_file(const fs::path& path, const std::string& blob) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+}
+
+std::string read_file(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+}
+
+} // namespace
+
+// ------------------------------------------------------------------ Hasher --
+
+TEST(CasHasher, LengthPrefixPreventsConcatenationAliasing) {
+    const auto a = cas::Hasher().str("ab").str("c").digest();
+    const auto b = cas::Hasher().str("a").str("bc").digest();
+    EXPECT_NE(a, b);
+}
+
+TEST(CasHasher, SeededWithEngineVersion) {
+    // A default Hasher must already differ from the raw FNV offset basis:
+    // keys may never alias across engine revisions.
+    EXPECT_NE(cas::Hasher().digest(), 0xcbf29ce484222325ULL);
+}
+
+TEST(CasHasher, RealHashesBitPatterns) {
+    const auto pos = cas::Hasher().real(0.0).digest();
+    const auto neg = cas::Hasher().real(-0.0).digest();
+    EXPECT_NE(pos, neg); // -0.0 and 0.0 are distinct inputs
+    EXPECT_EQ(cas::Hasher().real(1.5).digest(),
+              cas::Hasher().real(1.5).digest());
+}
+
+TEST(CasHasher, Deterministic) {
+    const auto one =
+        cas::Hasher().str("interp-profile").u64(7).boolean(true).digest();
+    const auto two =
+        cas::Hasher().str("interp-profile").u64(7).boolean(true).digest();
+    EXPECT_EQ(one, two);
+}
+
+// --------------------------------------------------------- Writer / Reader --
+
+TEST(CasPayload, WriterReaderRoundTrip) {
+    cas::Writer w;
+    w.u32(42);
+    w.u64(0xdeadbeefcafef00dULL);
+    w.i64(-17);
+    w.boolean(true);
+    w.real(-0.0);
+    w.real(std::nan(""));
+    w.str(std::string("hello\0world", 11)); // embedded NUL must survive
+    w.str("");
+
+    cas::Reader r(w.payload());
+    EXPECT_EQ(r.u32(), 42u);
+    EXPECT_EQ(r.u64(), 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(r.i64(), -17);
+    EXPECT_TRUE(r.boolean());
+    const double neg_zero = r.real();
+    EXPECT_EQ(neg_zero, 0.0);
+    EXPECT_TRUE(std::signbit(neg_zero)); // bit-exact, not value-equal
+    EXPECT_TRUE(std::isnan(r.real()));
+    EXPECT_EQ(r.str(), std::string("hello\0world", 11));
+    EXPECT_EQ(r.str(), "");
+    EXPECT_TRUE(r.complete());
+}
+
+TEST(CasPayload, ReaderLatchesFailureOnTruncation) {
+    cas::Writer w;
+    w.u64(1);
+    const std::string payload = w.payload();
+    cas::Reader r(payload.substr(0, payload.size() - 1));
+    (void)r.u64();
+    EXPECT_FALSE(r.ok());
+    EXPECT_FALSE(r.complete());
+}
+
+TEST(CasPayload, ReaderCompleteRequiresFullConsumption) {
+    cas::Writer w;
+    w.u32(1);
+    w.u32(2);
+    cas::Reader r(w.payload());
+    EXPECT_EQ(r.u32(), 1u);
+    EXPECT_TRUE(r.ok());
+    EXPECT_FALSE(r.complete()); // one u32 left unread
+}
+
+// ---------------------------------------------------------------- CasStore --
+
+TEST(CasStore, PutGetRoundTrip) {
+    TempRoot root("roundtrip");
+    cas::CasStore store(root.path);
+    store.put(0x1234, "payload-bytes");
+    const auto got = store.get(0x1234);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, "payload-bytes");
+    EXPECT_EQ(store.stats().writes, 1u);
+    EXPECT_EQ(store.stats().hits, 1u);
+    EXPECT_EQ(store.stats().misses, 0u);
+}
+
+TEST(CasStore, AbsentKeyIsMiss) {
+    TempRoot root("miss");
+    cas::CasStore store(root.path);
+    EXPECT_FALSE(store.get(0x9999).has_value());
+    EXPECT_EQ(store.stats().misses, 1u);
+}
+
+TEST(CasStore, PersistsAcrossReopen) {
+    TempRoot root("reopen");
+    {
+        cas::CasStore store(root.path);
+        store.put(7, "seven");
+        store.put(8, "eight");
+    }
+    cas::CasStore reopened(root.path);
+    EXPECT_EQ(reopened.size_bytes(), 2 * 40u + 5 + 5); // header + payload
+    const auto seven = reopened.get(7);
+    const auto eight = reopened.get(8);
+    ASSERT_TRUE(seven.has_value());
+    ASSERT_TRUE(eight.has_value());
+    EXPECT_EQ(*seven, "seven");
+    EXPECT_EQ(*eight, "eight");
+}
+
+TEST(CasStore, TruncatedEntryIsCorruptMissAndDeleted) {
+    TempRoot root("truncated");
+    cas::CasStore store(root.path);
+    store.put(11, "some payload worth truncating");
+    const auto files = entry_files(root.path);
+    ASSERT_EQ(files.size(), 1u);
+    const std::string blob = read_file(files[0]);
+    rewrite_file(files[0], blob.substr(0, blob.size() / 2));
+
+    EXPECT_FALSE(store.get(11).has_value());
+    EXPECT_EQ(store.stats().corrupt, 1u);
+    EXPECT_EQ(store.stats().misses, 1u);
+    EXPECT_FALSE(fs::exists(files[0])); // corrupt entries are removed
+}
+
+TEST(CasStore, BitFlippedPayloadFailsChecksum) {
+    TempRoot root("bitflip");
+    cas::CasStore store(root.path);
+    store.put(12, "checksummed payload");
+    const auto files = entry_files(root.path);
+    ASSERT_EQ(files.size(), 1u);
+    std::string blob = read_file(files[0]);
+    blob[blob.size() - 1] ^= 0x40; // flip one payload bit
+    rewrite_file(files[0], blob);
+
+    EXPECT_FALSE(store.get(12).has_value());
+    EXPECT_EQ(store.stats().corrupt, 1u);
+    EXPECT_FALSE(fs::exists(files[0]));
+}
+
+TEST(CasStore, FormatVersionMismatchIsMiss) {
+    TempRoot root("version");
+    cas::CasStore store(root.path);
+    store.put(13, "versioned payload");
+    const auto files = entry_files(root.path);
+    ASSERT_EQ(files.size(), 1u);
+    std::string blob = read_file(files[0]);
+    blob[8] = static_cast<char>(cas::CasStore::kFormatVersion + 1);
+    rewrite_file(files[0], blob);
+
+    EXPECT_FALSE(store.get(13).has_value());
+    EXPECT_EQ(store.stats().corrupt, 1u);
+}
+
+TEST(CasStore, LruEvictionUnderSmallCap) {
+    TempRoot root("lru");
+    const std::string payload(100, 'x'); // 140 bytes per entry with header
+    cas::CasStore store(root.path, /*max_bytes=*/3 * 140);
+    store.put(1, payload);
+    store.put(2, payload);
+    store.put(3, payload);
+    EXPECT_EQ(store.stats().evictions, 0u);
+
+    // Touch 1 so 2 becomes the LRU entry, then overflow the cap.
+    ASSERT_TRUE(store.get(1).has_value());
+    store.put(4, payload);
+    EXPECT_EQ(store.stats().evictions, 1u);
+    EXPECT_LE(store.size_bytes(), store.max_bytes());
+
+    EXPECT_FALSE(store.get(2).has_value()); // evicted
+    EXPECT_TRUE(store.get(1).has_value());  // survived (recently used)
+    EXPECT_TRUE(store.get(3).has_value());
+    EXPECT_TRUE(store.get(4).has_value());
+    EXPECT_EQ(entry_files(root.path).size(), 3u);
+}
+
+TEST(CasStore, ReputtingRefreshesRecencyWithoutGrowth) {
+    TempRoot root("reput");
+    const std::string payload(100, 'y');
+    cas::CasStore store(root.path, /*max_bytes=*/2 * 140);
+    store.put(1, payload);
+    store.put(2, payload);
+    store.put(1, payload); // refresh, not a new entry
+    EXPECT_EQ(store.stats().evictions, 0u);
+    store.put(3, payload); // now 2 is LRU and must go
+    EXPECT_FALSE(store.get(2).has_value());
+    EXPECT_TRUE(store.get(1).has_value());
+    EXPECT_TRUE(store.get(3).has_value());
+}
+
+TEST(CasStore, ClearRemovesEverything) {
+    TempRoot root("clear");
+    cas::CasStore store(root.path);
+    store.put(21, "a");
+    store.put(22, "b");
+    store.clear();
+    EXPECT_EQ(store.size_bytes(), 0u);
+    EXPECT_TRUE(entry_files(root.path).empty());
+    EXPECT_FALSE(store.get(21).has_value());
+}
+
+TEST(CasStore, ConcurrentWritersAndReaders) {
+    TempRoot root("concurrent");
+    cas::CasStore store(root.path);
+    constexpr int kThreads = 8;
+    constexpr int kKeysPerThread = 16;
+
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&store, t] {
+            for (int k = 0; k < kKeysPerThread; ++k) {
+                // Half the keys are shared across all threads (racing
+                // writers of identical content), half are private.
+                const bool shared = (k % 2) == 0;
+                const std::uint64_t key =
+                    shared ? static_cast<std::uint64_t>(1000 + k)
+                           : static_cast<std::uint64_t>(2000 + t * 100 + k);
+                const std::string payload =
+                    "payload-" + std::to_string(key);
+                store.put(key, payload);
+                const auto got = store.get(key);
+                ASSERT_TRUE(got.has_value());
+                ASSERT_EQ(*got, payload);
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+
+    // Every key is present with the exact bytes its writers agreed on.
+    for (int k = 0; k < kKeysPerThread; k += 2) {
+        const std::uint64_t key = static_cast<std::uint64_t>(1000 + k);
+        const auto got = store.get(key);
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, "payload-" + std::to_string(key));
+    }
+    EXPECT_EQ(store.stats().corrupt, 0u);
+}
+
+TEST(CasStore, ConfigureGlobalStore) {
+    TempRoot root("global");
+    cas::configure(root.path.string());
+    ASSERT_NE(cas::store(), nullptr);
+    EXPECT_EQ(cas::store()->root(), root.path);
+    cas::store()->put(31, "via-global");
+    const auto got = cas::store()->get(31);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, "via-global");
+
+    cas::configure(""); // disable again so later tests see no disk cache
+    EXPECT_EQ(cas::store(), nullptr);
+}
+
+// -------------------------------------------------- profile payload codec --
+
+namespace {
+
+interp::ExecutionProfile sample_profile() {
+    interp::ExecutionProfile p;
+    interp::LoopStats outer;
+    outer.entries = 1;
+    outer.trips = 64;
+    outer.cost = 1234.5;
+    outer.self_cost = 12.25;
+    outer.flops = 512.0;
+    outer.mem_bytes = 4096.0;
+    interp::LoopStats inner;
+    inner.entries = 64;
+    inner.trips = 4096;
+    inner.cost = 1200.0;
+    inner.self_cost = 1200.0;
+    inner.flops = 500.0;
+    inner.mem_bytes = 4000.0;
+    p.loops[ast::Node::Id{57}] = outer;
+    p.loops[ast::Node::Id{91}] = inner;
+    p.total_cost = 1250.75;
+    p.total_flops = 512.0;
+    p.total_call_flops = 16.0;
+    p.total_mem_bytes = 4096.0;
+    p.focus_function = "kernel";
+    p.focus_calls = 3;
+    p.focus_cost = 1100.0;
+    p.focus_flops = 480.0;
+    p.focus_call_flops = 8.0;
+    p.focus_mem_bytes = 3900.0;
+    interp::BufferAccess buf;
+    buf.buffer_name = "data";
+    buf.elem_bytes = 8;
+    buf.min_read = 0;
+    buf.max_read = 63;
+    buf.min_write = 1;
+    buf.max_write = 62;
+    buf.reads = 64;
+    buf.writes = 62;
+    p.focus_buffers.push_back(buf);
+    p.focus_args_alias = true;
+    return p;
+}
+
+} // namespace
+
+TEST(ProfilePayload, RoundTripKeyedByPosition) {
+    const auto profile = sample_profile();
+    // The module's pre-order For order: node 57 first, node 91 second.
+    const std::vector<ast::Node::Id> loop_order{ast::Node::Id{57},
+                                                ast::Node::Id{91}};
+    const std::string payload =
+        analysis::serialize_profile_payload(profile, loop_order);
+
+    interp::ExecutionProfile loaded;
+    std::size_t loop_count = 0;
+    ASSERT_TRUE(analysis::parse_profile_payload(payload, loaded, loop_count));
+    EXPECT_EQ(loop_count, 2u);
+
+    // Loaded stats are keyed by pre-order position, not original node id.
+    const auto* outer = loaded.loop(ast::Node::Id{0});
+    const auto* inner = loaded.loop(ast::Node::Id{1});
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    EXPECT_EQ(outer->trips, 64);
+    EXPECT_EQ(outer->cost, 1234.5);
+    EXPECT_EQ(inner->entries, 64);
+    EXPECT_EQ(inner->self_cost, 1200.0);
+
+    EXPECT_EQ(loaded.total_cost, profile.total_cost);
+    EXPECT_EQ(loaded.total_call_flops, profile.total_call_flops);
+    EXPECT_EQ(loaded.focus_function, "kernel");
+    EXPECT_EQ(loaded.focus_calls, 3);
+    EXPECT_EQ(loaded.focus_mem_bytes, profile.focus_mem_bytes);
+    ASSERT_EQ(loaded.focus_buffers.size(), 1u);
+    EXPECT_EQ(loaded.focus_buffers[0].buffer_name, "data");
+    EXPECT_EQ(loaded.focus_buffers[0].max_read, 63);
+    EXPECT_EQ(loaded.focus_buffers[0].writes, 62);
+    EXPECT_TRUE(loaded.focus_args_alias);
+}
+
+TEST(ProfilePayload, RejectsTruncatedPayload) {
+    const std::string payload = analysis::serialize_profile_payload(
+        sample_profile(), {ast::Node::Id{57}, ast::Node::Id{91}});
+    interp::ExecutionProfile loaded;
+    std::size_t loop_count = 0;
+    EXPECT_FALSE(analysis::parse_profile_payload(
+        std::string_view(payload).substr(0, payload.size() - 3), loaded,
+        loop_count));
+    EXPECT_FALSE(analysis::parse_profile_payload("", loaded, loop_count));
+}
+
+TEST(ProfilePayload, RejectsVersionMismatch) {
+    std::string payload = analysis::serialize_profile_payload(
+        sample_profile(), {ast::Node::Id{57}});
+    payload[0] = static_cast<char>(payload[0] + 1); // bump the u32 version
+    interp::ExecutionProfile loaded;
+    std::size_t loop_count = 0;
+    EXPECT_FALSE(analysis::parse_profile_payload(payload, loaded, loop_count));
+}

@@ -4,12 +4,14 @@
 // registry must record the run.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <vector>
 
 #include "analysis/profile_cache.hpp"
 #include "ast/clone.hpp"
 #include "ast/walk.hpp"
 #include "core/psaflow.hpp"
+#include "support/cas/cas.hpp"
 #include "support/trace.hpp"
 #include "test_util.hpp"
 
@@ -101,6 +103,39 @@ TEST(EngineParallel, RepeatedRunsIdenticalUnderSharedCache) {
     const auto first = compile(app, options);
     const auto second = compile(app, options);
     expect_identical(first, second, "nbody repeat");
+}
+
+TEST(EngineParallel, WarmDiskCacheIdenticalAcrossJobCounts) {
+    // The cold/warm contract of the content-addressed store: a run against
+    // an empty store, a run served from disk, and a warm parallel run must
+    // all produce byte-identical FlowResults.
+    namespace fs = std::filesystem;
+    const fs::path root =
+        fs::path(::testing::TempDir()) / "psaflow-engine-warm-cache";
+    fs::remove_all(root);
+    cas::configure(root.string());
+    ProfileCache::global().clear();
+
+    const apps::Application& app = apps::application_by_name("nbody");
+    RunOptions sequential;
+    sequential.jobs = 1;
+    const auto cold = compile(app, sequential);
+
+    // Drop the in-memory tier so the rerun can only warm up from disk.
+    ProfileCache::global().clear();
+    const auto warm_seq = compile(app, sequential);
+    expect_identical(cold, warm_seq, "nbody cold vs warm jobs=1");
+    EXPECT_GT(ProfileCache::global().stats().disk_hits, 0u);
+
+    ProfileCache::global().clear();
+    RunOptions parallel;
+    parallel.jobs = 4;
+    const auto warm_par = compile(app, parallel);
+    expect_identical(cold, warm_par, "nbody cold vs warm jobs=4");
+
+    cas::configure(""); // disable disk caching for the remaining tests
+    std::error_code ec;
+    fs::remove_all(root, ec);
 }
 
 // ------------------------------------------------------- profile cache -----

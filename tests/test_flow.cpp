@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "flow/engine.hpp"
+#include "flow/session.hpp"
 #include "flow/standard_flow.hpp"
 #include "flow/strategy.hpp"
+#include "flow/task_registry.hpp"
 #include "flow/tasks.hpp"
+#include "support/error.hpp"
 #include "ast/printer.hpp"
 #include "frontend/parser.hpp"
 #include "meta/instrument.hpp"
@@ -422,6 +427,89 @@ TEST(Engine, CostModelPrices) {
                      model.gpu_per_hour);
     EXPECT_LT(model.run_cost(codegen::TargetKind::CpuFpga, 100.0),
               model.run_cost(codegen::TargetKind::CpuGpu, 100.0));
+}
+
+// --------------------------------------------------------- task registry ----
+
+TEST(TaskIds, StableSlugsFromDisplayNames) {
+    EXPECT_EQ(identify_hotspot_loops()->id(), "identify-hotspot-loops");
+    EXPECT_EQ(remove_array_plus_eq()->id(), "remove-array-dependency");
+    // Device names fold into the slug, so each DSE variant is distinct.
+    EXPECT_EQ(blocksize_dse(platform::DeviceId::Gtx1080Ti)->id(),
+              "gtx-1080-ti-blocksize-dse");
+    EXPECT_EQ(blocksize_dse(platform::DeviceId::Rtx2080Ti)->id(),
+              "rtx-2080-ti-blocksize-dse");
+    EXPECT_EQ(unroll_until_overmap_dse(platform::DeviceId::Arria10)->id(),
+              "arria10-unroll-until-overmap-dse");
+}
+
+TEST(TaskRegistry, BuiltinsRegisteredAndSorted) {
+    const auto ids = TaskRegistry::global().ids();
+    EXPECT_EQ(ids.size(), 23u); // the full Fig. 4 repository
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+    for (const auto& id : ids) {
+        EXPECT_TRUE(TaskRegistry::global().contains(id)) << id;
+        const auto task = TaskRegistry::global().make(id);
+        ASSERT_NE(task, nullptr);
+        EXPECT_EQ(task->id(), id); // make() and id() agree
+    }
+}
+
+TEST(TaskRegistry, UnknownIdThrows) {
+    EXPECT_FALSE(TaskRegistry::global().contains("no-such-task"));
+    EXPECT_THROW((void)TaskRegistry::global().make("no-such-task"), Error);
+}
+
+TEST(TaskRegistry, StandardFlowAssembledFromRegisteredTasks) {
+    // Every task the standard flows reference must resolve through the
+    // registry: a task rename that forgets standard_flow breaks loudly here.
+    for (const Mode mode : {Mode::Informed, Mode::Uninformed}) {
+        const DesignFlow flow = standard_flow(mode);
+        for (const TaskPtr& task : flow.prologue)
+            EXPECT_TRUE(TaskRegistry::global().contains(task->id()))
+                << task->id();
+        for (const FlowPath& path : flow.branch->paths) {
+            for (const TaskPtr& task : path.tasks)
+                EXPECT_TRUE(TaskRegistry::global().contains(task->id()))
+                    << task->id();
+        }
+    }
+}
+
+// ------------------------------------------------------------ FlowSession ----
+
+TEST(Session, RunMatchesDeprecatedRunFlow) {
+    const DesignFlow flow = standard_flow(Mode::Uninformed);
+    auto via_wrapper = run_flow(flow, make_ctx(kGpuish, gpuish_workload()));
+
+    FlowSession session;
+    auto via_session =
+        session.run(flow, make_ctx(kGpuish, gpuish_workload()));
+
+    ASSERT_EQ(via_session.designs.size(), via_wrapper.designs.size());
+    for (std::size_t i = 0; i < via_session.designs.size(); ++i) {
+        EXPECT_EQ(via_session.designs[i].source,
+                  via_wrapper.designs[i].source);
+        EXPECT_EQ(via_session.designs[i].log, via_wrapper.designs[i].log);
+        EXPECT_EQ(via_session.designs[i].speedup,
+                  via_wrapper.designs[i].speedup);
+    }
+}
+
+TEST(Session, JobsDefaultFromSessionOptions) {
+    SessionOptions options;
+    options.jobs = 2;
+    FlowSession session(options);
+    const DesignFlow flow = standard_flow(Mode::Uninformed);
+    auto parallel = session.run(flow, make_ctx(kGpuish, gpuish_workload()));
+
+    auto sequential =
+        FlowSession().run(flow, make_ctx(kGpuish, gpuish_workload()));
+    ASSERT_EQ(parallel.designs.size(), sequential.designs.size());
+    for (std::size_t i = 0; i < parallel.designs.size(); ++i) {
+        EXPECT_EQ(parallel.designs[i].source, sequential.designs[i].source);
+        EXPECT_EQ(parallel.designs[i].log, sequential.designs[i].log);
+    }
 }
 
 } // namespace

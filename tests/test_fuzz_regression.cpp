@@ -43,6 +43,24 @@ TEST(FuzzRegression, DistinctSeedsDiffer) {
               fuzz::generate_program(2, {}).source);
 }
 
+TEST(FuzzRegression, ColdVsWarmCacheOracleHolds) {
+    // The "flow:cache" oracle: an uncached run, a run against an empty
+    // content-addressed store and a run served from that store must produce
+    // byte-identical FlowResults for arbitrary generated programs.
+    fuzz::OracleOptions options;
+    options.check_roundtrip = false; // focus the time budget on the flow
+    options.check_transforms = false;
+    options.check_codegen = false;
+    options.check_cache = true;
+    for (const std::uint64_t seed : {601ULL, 602ULL}) {
+        const auto program = fuzz::generate_program(seed, {});
+        const auto outcome = fuzz::run_oracles(program.source, options);
+        for (const auto& f : outcome.failures)
+            ADD_FAILURE() << "seed " << seed << ": " << f.oracle << ": "
+                          << f.detail;
+    }
+}
+
 TEST(FuzzRegression, GeneratedProgramsPassOracles) {
     // A handful of fresh seeds beyond the stored corpus, so the suite also
     // covers the generator/oracle pair itself, not just the snapshot.

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <stdexcept>
 
+#include "support/cli.hpp"
+#include "support/json.hpp"
 #include "support/prng.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
@@ -251,6 +254,155 @@ TEST(Trace, JsonHasSchemaAndEscapes) {
     EXPECT_NE(json.find("\"counters\""), std::string::npos);
     EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
     EXPECT_NE(json.find("\"c\": 7"), std::string::npos);
+}
+
+// ------------------------------------------------------------------- json ----
+
+TEST(Json, ParsesScalarsArraysAndObjects) {
+    const auto doc = json::parse(
+        R"({"name": "nbody", "budget": 1.5, "deep": {"ok": true},
+            "list": [1, "two", null, false]})");
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->is_object());
+    EXPECT_EQ(doc->find("name")->string_or(""), "nbody");
+    EXPECT_EQ(doc->find("budget")->number_or(0.0), 1.5);
+    EXPECT_TRUE(doc->find("deep")->find("ok")->bool_or(false));
+    const auto* list = doc->find("list");
+    ASSERT_TRUE(list != nullptr && list->is_array());
+    ASSERT_EQ(list->elements.size(), 4u);
+    EXPECT_EQ(list->elements[0].number_or(0.0), 1.0);
+    EXPECT_EQ(list->elements[1].string_or(""), "two");
+    EXPECT_TRUE(list->elements[2].is_null());
+    EXPECT_FALSE(list->elements[3].bool_or(true));
+}
+
+TEST(Json, ObjectMembersStayOrdered) {
+    const auto doc = json::parse(R"({"z": 1, "a": 2, "m": 3})");
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_EQ(doc->members.size(), 3u);
+    EXPECT_EQ(doc->members[0].first, "z");
+    EXPECT_EQ(doc->members[1].first, "a");
+    EXPECT_EQ(doc->members[2].first, "m");
+}
+
+TEST(Json, StringEscapes) {
+    const auto doc = json::parse(R"(["a\"b", "tab\there", "Aé"])");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->elements[0].string_or(""), "a\"b");
+    EXPECT_EQ(doc->elements[1].string_or(""), "tab\there");
+    EXPECT_EQ(doc->elements[2].string_or(""), "A\xc3\xa9"); // UTF-8 e-acute
+}
+
+TEST(Json, RejectsMalformedInputWithOffset) {
+    std::string error;
+    EXPECT_FALSE(json::parse("{\"a\": }", &error).has_value());
+    EXPECT_NE(error.find("at byte"), std::string::npos);
+    EXPECT_FALSE(json::parse("[1, 2,]").has_value());
+    EXPECT_FALSE(json::parse("").has_value());
+    EXPECT_FALSE(json::parse("[1] trailing").has_value()); // no garbage
+}
+
+TEST(Json, TypedGettersDefaultOnWrongKind) {
+    const auto doc = json::parse(R"({"n": "not-a-number"})");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("n")->number_or(-1.0), -1.0);
+    EXPECT_EQ(doc->find("absent"), nullptr);
+    EXPECT_EQ(doc->string_or("def"), "def"); // object, not string
+}
+
+// -------------------------------------------------------------------- cli ----
+
+namespace {
+
+/// Run the parser over a synthetic argv, capturing stderr.
+bool parse_args(cli::OptionParser& parser, std::vector<std::string> args,
+                std::string* err_out = nullptr) {
+    std::vector<char*> argv;
+    static std::string program = "tool";
+    argv.push_back(program.data());
+    for (auto& a : args) argv.push_back(a.data());
+    testing::internal::CaptureStderr();
+    const bool ok =
+        parser.parse(static_cast<int>(argv.size()), argv.data());
+    const std::string err = testing::internal::GetCapturedStderr();
+    if (err_out != nullptr) *err_out = err;
+    return ok;
+}
+
+} // namespace
+
+TEST(Cli, ParsesTypedOptions) {
+    std::string app;
+    long long jobs = 0;
+    double budget = -1.0;
+    bool verbose = false;
+    cli::OptionParser parser("tool", {"--app <name>"});
+    parser.str("--app", "<name>", "application", &app);
+    parser.integer("--jobs", "<n>", "workers", &jobs, /*min=*/0);
+    parser.real("--budget", "<dollars>", "cost cap", &budget);
+    parser.flag("--verbose", "chatty", &verbose);
+
+    EXPECT_TRUE(parse_args(
+        parser, {"--app", "nbody", "--jobs", "4", "--budget", "2.5",
+                 "--verbose"}));
+    EXPECT_EQ(app, "nbody");
+    EXPECT_EQ(jobs, 4);
+    EXPECT_EQ(budget, 2.5);
+    EXPECT_TRUE(verbose);
+}
+
+TEST(Cli, ReportsHistoricalErrorShapes) {
+    auto make_parser = [](long long* jobs) {
+        auto parser =
+            std::make_unique<cli::OptionParser>("tool",
+                                                std::vector<std::string>{""});
+        parser->integer("--jobs", "<n>", "workers", jobs, /*min=*/0);
+        return parser;
+    };
+
+    long long jobs = 0;
+    std::string err;
+    auto p1 = make_parser(&jobs);
+    EXPECT_FALSE(parse_args(*p1, {"--jobs"}, &err));
+    EXPECT_NE(err.find("missing value for --jobs"), std::string::npos);
+    EXPECT_NE(err.find("usage:"), std::string::npos);
+
+    auto p2 = make_parser(&jobs);
+    EXPECT_FALSE(parse_args(*p2, {"--jobs", "abc"}, &err));
+    EXPECT_NE(err.find("invalid integer 'abc' for --jobs"),
+              std::string::npos);
+
+    auto p3 = make_parser(&jobs);
+    EXPECT_FALSE(parse_args(*p3, {"--jobs", "-1"}, &err));
+    EXPECT_NE(err.find("--jobs must be >= 0"), std::string::npos);
+
+    auto p4 = make_parser(&jobs);
+    EXPECT_FALSE(parse_args(*p4, {"--frobnicate"}, &err));
+    EXPECT_NE(err.find("unknown option '--frobnicate'"), std::string::npos);
+}
+
+TEST(Cli, HelpPrintsUsageAndReturnsFalse) {
+    bool flag = false;
+    cli::OptionParser parser("tool", {"[--flag]"});
+    parser.flag("--flag", "a switch", &flag);
+    std::string err;
+    EXPECT_FALSE(parse_args(parser, {"--help"}, &err));
+    EXPECT_NE(err.find("usage: tool [--flag]"), std::string::npos);
+    EXPECT_NE(err.find("--flag"), std::string::npos);
+    EXPECT_FALSE(flag);
+}
+
+TEST(Cli, FlowFlagsRegisterSharedOptions) {
+    cli::FlowFlags flags;
+    cli::OptionParser parser("tool", {""});
+    cli::add_flow_flags(parser, flags);
+    EXPECT_TRUE(parse_args(parser, {"--jobs", "3", "--trace-out", "t.json",
+                                    "--cache-dir", "/tmp/cache",
+                                    "--cache-max-mb", "64"}));
+    EXPECT_EQ(flags.jobs, 3);
+    EXPECT_EQ(flags.trace_out, "t.json");
+    EXPECT_EQ(flags.cache_dir, "/tmp/cache");
+    EXPECT_EQ(flags.cache_max_mb, 64);
 }
 
 } // namespace

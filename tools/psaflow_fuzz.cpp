@@ -3,14 +3,16 @@
 // Generates deterministic random HLC programs (one per seed) and checks
 // every differential oracle over each: frontend round-trip, sema
 // acceptance, transform equivalence under the interpreter, crash-free
-// codegen through all three emitters, and flow-engine determinism at
-// jobs=1 vs jobs=N. Failures can be delta-reduced (--shrink) and are
-// persisted as replayable .psa files (--corpus-dir).
+// codegen through all three emitters, flow-engine determinism at jobs=1 vs
+// jobs=N and (with --check-cache) cold-vs-warm persistent-cache identity.
+// Failures can be delta-reduced (--shrink) and are persisted as replayable
+// .psa files (--corpus-dir).
 //
 //   psaflow-fuzz --seed 1 --runs 200
 //   psaflow-fuzz --seed 7 --runs 50 --shrink --corpus-dir corpus/
 //   psaflow-fuzz --replay tests/corpus
 //   psaflow-fuzz --emit-seeds tests/corpus --seed 1 --runs 20
+//   psaflow-fuzz --seed 1 --runs 25 --check-cache
 //   psaflow-fuzz --seed 1 --max-seconds 60 --runs 1000000   # smoke budget
 #include <chrono>
 #include <iostream>
@@ -20,34 +22,11 @@
 #include "fuzz/generator.hpp"
 #include "fuzz/oracle.hpp"
 #include "fuzz/shrink.hpp"
-#include "support/string_util.hpp"
+#include "support/cli.hpp"
 
 using namespace psaflow;
 
 namespace {
-
-int usage(const char* argv0) {
-    std::cerr
-        << "usage: " << argv0
-        << " [--seed <n>] [--runs <n>] [--shrink] [--corpus-dir <dir>]\n"
-        << "       " << argv0 << " --replay <dir>\n"
-        << "       " << argv0 << " --emit-seeds <dir> [--seed <n>] [--runs "
-           "<n>]\n"
-        << "options:\n"
-        << "  --seed <n>         base seed; run i uses seed + i (default 1)\n"
-        << "  --runs <n>         programs to generate (default 100)\n"
-        << "  --shrink           delta-reduce each failure before saving\n"
-        << "  --corpus-dir <dir> persist failures as replayable .psa files\n"
-        << "  --replay <dir>     re-check every .psa file in <dir>\n"
-        << "  --emit-seeds <dir> write the generated programs as a seed "
-           "corpus\n"
-        << "  --problem-size <n> workload base size (default 24)\n"
-        << "  --flow-jobs <n>    parallel jobs compared against 1 (default "
-           "3)\n"
-        << "  --max-seconds <n>  stop fuzzing after a wall-clock budget\n"
-        << "  --no-transforms / --no-codegen / --no-flow / --no-roundtrip\n";
-    return 2;
-}
 
 void print_failure(std::uint64_t seed, const fuzz::OracleFailure& f) {
     std::cerr << "FAIL seed=" << seed << " oracle=" << f.oracle << "\n"
@@ -57,87 +36,71 @@ void print_failure(std::uint64_t seed, const fuzz::OracleFailure& f) {
 } // namespace
 
 int main(int argc, char** argv) {
-    std::uint64_t seed = 1;
+    long long seed = 1;
     long long runs = 100;
     bool shrink = false;
     std::string corpus_dir;
     std::string replay_dir;
     std::string emit_dir;
     long long max_seconds = 0;
-    fuzz::OracleOptions oracle_options;
+    long long problem_size = 24;
+    long long flow_jobs = 3;
+    bool check_cache = false;
+    std::string cache_dir;
+    bool no_transforms = false;
+    bool no_codegen = false;
+    bool no_flow = false;
+    bool no_roundtrip = false;
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char* {
-            if (i + 1 >= argc) {
-                std::cerr << "missing value for " << arg << "\n";
-                std::exit(usage(argv[0]));
-            }
-            return argv[++i];
-        };
-        auto next_int = [&]() -> long long {
-            const char* raw = next();
-            if (auto value = parse_int(raw)) return *value;
-            std::cerr << "invalid integer '" << raw << "' for " << arg
-                      << "\n";
-            std::exit(usage(argv[0]));
-        };
-        if (arg == "--seed") {
-            const long long v = next_int();
-            if (v < 0) {
-                std::cerr << "--seed must be >= 0\n";
-                return usage(argv[0]);
-            }
-            seed = static_cast<std::uint64_t>(v);
-        } else if (arg == "--runs") {
-            runs = next_int();
-            if (runs <= 0) {
-                std::cerr << "--runs must be > 0\n";
-                return usage(argv[0]);
-            }
-        } else if (arg == "--shrink") {
-            shrink = true;
-        } else if (arg == "--corpus-dir") {
-            corpus_dir = next();
-        } else if (arg == "--replay") {
-            replay_dir = next();
-        } else if (arg == "--emit-seeds") {
-            emit_dir = next();
-        } else if (arg == "--problem-size") {
-            const long long v = next_int();
-            if (v < 8) { // fixed-bound loops index buffers up to 8
-                std::cerr << "--problem-size must be >= 8\n";
-                return usage(argv[0]);
-            }
-            oracle_options.problem_size = static_cast<int>(v);
-        } else if (arg == "--flow-jobs") {
-            const long long v = next_int();
-            if (v < 2) {
-                std::cerr << "--flow-jobs must be >= 2\n";
-                return usage(argv[0]);
-            }
-            oracle_options.flow_jobs = static_cast<int>(v);
-        } else if (arg == "--max-seconds") {
-            max_seconds = next_int();
-            if (max_seconds <= 0) {
-                std::cerr << "--max-seconds must be > 0\n";
-                return usage(argv[0]);
-            }
-        } else if (arg == "--no-transforms") {
-            oracle_options.check_transforms = false;
-        } else if (arg == "--no-codegen") {
-            oracle_options.check_codegen = false;
-        } else if (arg == "--no-flow") {
-            oracle_options.check_flow = false;
-        } else if (arg == "--no-roundtrip") {
-            oracle_options.check_roundtrip = false;
-        } else if (arg == "--help" || arg == "-h") {
-            return usage(argv[0]);
-        } else {
-            std::cerr << "unknown option '" << arg << "'\n";
-            return usage(argv[0]);
-        }
-    }
+    cli::OptionParser parser(
+        argv[0],
+        {"[--seed <n>] [--runs <n>] [--shrink] [--corpus-dir <dir>]",
+         "--replay <dir>",
+         "--emit-seeds <dir> [--seed <n>] [--runs <n>]"});
+    parser.integer("--seed", "<n>",
+                   "base seed; run i uses seed + i (default 1)", &seed,
+                   /*min=*/0);
+    parser.integer("--runs", "<n>", "programs to generate (default 100)",
+                   &runs, /*min=*/1);
+    parser.flag("--shrink", "delta-reduce each failure before saving",
+                &shrink);
+    parser.str("--corpus-dir", "<dir>",
+               "persist failures as replayable .psa files", &corpus_dir);
+    parser.str("--replay", "<dir>", "re-check every .psa file in <dir>",
+               &replay_dir);
+    parser.str("--emit-seeds", "<dir>",
+               "write the generated programs as a seed corpus", &emit_dir);
+    parser.integer("--problem-size", "<n>", "workload base size (default 24)",
+                   &problem_size, /*min=*/8); // fixed-bound loops index to 8
+    parser.integer("--flow-jobs", "<n>",
+                   "parallel jobs compared against 1 (default 3)", &flow_jobs,
+                   /*min=*/2);
+    parser.integer("--max-seconds", "<n>",
+                   "stop fuzzing after a wall-clock budget", &max_seconds,
+                   /*min=*/1);
+    parser.flag("--check-cache",
+                "also check cold-vs-warm persistent-cache identity",
+                &check_cache);
+    parser.str("--cache-dir", "<dir>",
+               "store root for --check-cache (default: fresh temp dir)",
+               &cache_dir);
+    parser.flag("--no-transforms", "skip the transform oracles",
+                &no_transforms);
+    parser.flag("--no-codegen", "skip the codegen oracles", &no_codegen);
+    parser.flag("--no-flow", "skip the flow-engine oracles", &no_flow);
+    parser.flag("--no-roundtrip", "skip the round-trip oracle",
+                &no_roundtrip);
+    if (!parser.parse(argc, argv)) return 2;
+
+    fuzz::OracleOptions oracle_options;
+    oracle_options.problem_size = static_cast<int>(problem_size);
+    oracle_options.flow_jobs = static_cast<int>(flow_jobs);
+    oracle_options.check_transforms = !no_transforms;
+    oracle_options.check_codegen = !no_codegen;
+    oracle_options.check_flow = !no_flow;
+    oracle_options.check_roundtrip = !no_roundtrip;
+    oracle_options.check_cache = check_cache;
+    oracle_options.cache_dir = cache_dir;
 
     // ---- replay mode -------------------------------------------------
     if (!replay_dir.empty()) {
@@ -167,7 +130,9 @@ int main(int argc, char** argv) {
     gen_options.problem_size = oracle_options.problem_size;
     if (!emit_dir.empty()) {
         for (long long i = 0; i < runs; ++i) {
-            const std::uint64_t s = seed + static_cast<std::uint64_t>(i);
+            const std::uint64_t s =
+                static_cast<std::uint64_t>(seed) +
+                static_cast<std::uint64_t>(i);
             const auto program = fuzz::generate_program(s, gen_options);
             const std::string path = fuzz::save_corpus_entry(
                 emit_dir, s, "", "", program.source);
@@ -191,7 +156,8 @@ int main(int argc, char** argv) {
     long long applied = 0;
     long long skipped = 0;
     for (long long i = 0; i < runs && !out_of_budget(); ++i) {
-        const std::uint64_t s = seed + static_cast<std::uint64_t>(i);
+        const std::uint64_t s = static_cast<std::uint64_t>(seed) +
+                                static_cast<std::uint64_t>(i);
         const auto program = fuzz::generate_program(s, gen_options);
         ++executed;
 

@@ -1,6 +1,6 @@
 // psaflowc — command-line driver for the PSA-flow.
 //
-// Runs the paper's implemented design-flow on one of the bundled benchmark
+// Runs the paper's implemented design-flow on the bundled benchmark
 // applications and writes every generated design source to disk, together
 // with a machine-readable summary (CSV) of the predicted performance —
 // i.e. the artefact a developer would take away from the toolflow.
@@ -9,13 +9,38 @@
 //   psaflowc --app nbody --mode informed --out designs/
 //   psaflowc --app kmeans --mode uninformed --out designs/ --budget 0.001
 //   psaflowc --app nbody --jobs 4 --trace-out trace.json
-#include <cstring>
+//   psaflowc --app nbody --cache-dir .psaflow-cache   # warm reruns
+//   psaflowc --batch manifest.json --out designs/     # many apps, one
+//                                                     # process, shared
+//                                                     # pool and caches
+//
+// Batch manifest schema (JSON): either a bare array of request objects or
+//   {
+//     "jobs": 4,                  // optional; --jobs overrides
+//     "cache_dir": ".cache",      // optional; --cache-dir overrides
+//     "out": "designs",           // optional default output root
+//     "requests": [
+//       {"app": "nbody",          // required: bundled application name
+//        "mode": "informed",      // optional (default "informed")
+//        "budget": 0.001,         // optional USD-per-run budget
+//        "threshold_x": 4.0,      // optional Fig. 3 intensity threshold
+//        "out": "designs/nbody"}  // optional (default "<out>/<app>-<i>")
+//     ]
+//   }
+// Requests run sequentially through one FlowSession, so later requests
+// reuse the warm in-process caches and the persistent store; one failed
+// request does not abort the rest (the driver exits 1 if any failed).
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/psaflow.hpp"
+#include "support/cas/cas.hpp"
+#include "support/cli.hpp"
+#include "support/json.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
 #include "support/trace.hpp"
@@ -24,118 +49,57 @@ using namespace psaflow;
 
 namespace {
 
-int usage(const char* argv0) {
-    std::cerr
-        << "usage: " << argv0 << " --list\n"
-        << "       " << argv0
-        << " --app <name> [--mode informed|uninformed] [--out <dir>]\n"
-        << "             [--budget <usd-per-run>] [--threshold-x <flops/B>]\n"
-        << "             [--jobs <n>] [--trace-out <file.json>]\n";
-    return 2;
-}
-
-} // namespace
-
-int main(int argc, char** argv) {
-    std::string app_name;
+/// One (app, mode, budget) compile request — the unit both the single-app
+/// CLI and the batch manifest reduce to.
+struct Request {
+    std::string app;
     std::string mode = "informed";
-    std::string out_dir = "designs";
-    std::string trace_out;
     double budget = -1.0;
     double threshold_x = 4.0;
-    long long jobs = 0;
+    std::string out_dir;
+};
 
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        auto next = [&]() -> const char* {
-            if (i + 1 >= argc) {
-                std::cerr << "missing value for " << arg << "\n";
-                std::exit(usage(argv[0]));
-            }
-            return argv[++i];
-        };
-        // Checked numeric flags: std::stod would abort with an uncaught
-        // exception on "--budget abc"; reject with usage instead.
-        auto next_double = [&]() -> double {
-            const char* raw = next();
-            if (auto value = parse_double(raw)) return *value;
-            std::cerr << "invalid number '" << raw << "' for " << arg << "\n";
-            std::exit(usage(argv[0]));
-        };
-        auto next_int = [&]() -> long long {
-            const char* raw = next();
-            if (auto value = parse_int(raw)) return *value;
-            std::cerr << "invalid integer '" << raw << "' for " << arg
-                      << "\n";
-            std::exit(usage(argv[0]));
-        };
-        if (arg == "--list") {
-            for (const apps::Application* app : apps::all_applications())
-                std::cout << app->name << ": " << app->description << "\n";
-            return 0;
-        } else if (arg == "--app") {
-            app_name = next();
-        } else if (arg == "--mode") {
-            mode = next();
-        } else if (arg == "--out") {
-            out_dir = next();
-        } else if (arg == "--budget") {
-            budget = next_double();
-        } else if (arg == "--threshold-x") {
-            threshold_x = next_double();
-        } else if (arg == "--jobs") {
-            jobs = next_int();
-            if (jobs < 0) {
-                std::cerr << "--jobs must be >= 0\n";
-                return usage(argv[0]);
-            }
-        } else if (arg == "--trace-out") {
-            trace_out = next();
-        } else if (arg == "--help" || arg == "-h") {
-            return usage(argv[0]);
-        } else {
-            std::cerr << "unknown option '" << arg << "'\n";
-            return usage(argv[0]);
-        }
-    }
-    if (app_name.empty()) return usage(argv[0]);
-    if (mode != "informed" && mode != "uninformed") {
-        std::cerr << "--mode must be 'informed' or 'uninformed'\n";
-        return 2;
-    }
+struct RequestOutcome {
+    bool ok = false;
+    std::string error;
+    std::size_t design_count = 0;
+    double best_speedup = 0.0;
+    double reference_seconds = 0.0;
+    std::string summary_path;
+};
+
+/// Compile one request through `session` and write designs + summary CSV.
+/// `table` (when non-null) receives one row per design.
+RequestOutcome run_request(flow::FlowSession& session, const Request& req,
+                           TablePrinter* table) {
+    RequestOutcome outcome;
 
     const apps::Application* app = nullptr;
     try {
-        app = &apps::application_by_name(app_name);
+        app = &apps::application_by_name(req.app);
     } catch (const Error& e) {
-        std::cerr << e.what() << "\n";
-        return 2;
+        outcome.error = e.what();
+        return outcome;
     }
 
     RunOptions options;
-    options.mode = mode == "informed" ? flow::Mode::Informed
-                                      : flow::Mode::Uninformed;
-    options.budget.max_run_cost = budget;
-    options.intensity_threshold_x = threshold_x;
-    options.jobs = static_cast<int>(jobs);
+    options.mode = req.mode == "informed" ? flow::Mode::Informed
+                                          : flow::Mode::Uninformed;
+    options.budget.max_run_cost = req.budget;
+    options.intensity_threshold_x = req.threshold_x;
 
-    if (!trace_out.empty()) trace::Registry::global().set_enabled(true);
-
-    std::cout << "running the " << mode << " PSA-flow on '" << app->name
-              << "'...\n";
     flow::FlowResult result;
     try {
-        result = compile(*app, options);
+        result = compile(session, *app, options);
     } catch (const Error& e) {
-        std::cerr << "flow failed: " << e.what() << "\n";
-        return 1;
+        outcome.error = std::string("flow failed: ") + e.what();
+        return outcome;
     }
 
-    std::filesystem::create_directories(out_dir);
+    std::filesystem::create_directories(req.out_dir);
     CsvWriter summary({"design", "target", "device", "synthesizable",
                        "hotspot_seconds", "speedup_vs_1t", "loc_delta",
                        "source_file"});
-    TablePrinter table({"design", "speedup", "LOC delta", "file"});
 
     for (const auto& design : result.designs) {
         const std::string ext =
@@ -144,11 +108,11 @@ int main(int argc, char** argv) {
                                                                 : ".cpp";
         const std::string filename = design.name() + ext;
         const std::filesystem::path path =
-            std::filesystem::path(out_dir) / filename;
+            std::filesystem::path(req.out_dir) / filename;
         std::ofstream file(path);
         if (!file) {
-            std::cerr << "cannot write " << path << "\n";
-            return 1;
+            outcome.error = "cannot write " + path.string();
+            return outcome;
         }
         file << design.source;
 
@@ -160,34 +124,284 @@ int main(int argc, char** argv) {
                          format_compact(design.speedup, 4),
                          format_compact(design.loc_delta, 4),
                          filename});
-        table.add_row({design.name(),
-                       design.synthesizable
-                           ? format_compact(design.speedup, 4) + "x"
-                           : "overmapped",
-                       "+" + format_compact(100.0 * design.loc_delta, 3) +
-                           "%",
-                       filename});
+        if (table != nullptr) {
+            table->add_row({design.name(),
+                            design.synthesizable
+                                ? format_compact(design.speedup, 4) + "x"
+                                : "overmapped",
+                            "+" + format_compact(100.0 * design.loc_delta, 3) +
+                                "%",
+                            filename});
+        }
+        if (design.synthesizable && design.speedup > outcome.best_speedup)
+            outcome.best_speedup = design.speedup;
     }
 
     const std::filesystem::path summary_path =
-        std::filesystem::path(out_dir) / (app->name + "-summary.csv");
+        std::filesystem::path(req.out_dir) / (app->name + "-summary.csv");
     std::ofstream summary_file(summary_path);
     summary_file << summary.to_string();
 
-    table.print(std::cout);
-    std::cout << "reference 1-thread hotspot time: "
-              << format_compact(result.reference_seconds, 4) << " s\n";
-    std::cout << "wrote " << result.designs.size() << " design(s) and "
-              << summary_path.string() << "\n";
+    outcome.ok = true;
+    outcome.design_count = result.designs.size();
+    outcome.reference_seconds = result.reference_seconds;
+    outcome.summary_path = summary_path.string();
+    return outcome;
+}
 
-    if (!trace_out.empty()) {
-        std::ofstream trace_file(trace_out);
+[[nodiscard]] bool valid_mode(const std::string& mode) {
+    return mode == "informed" || mode == "uninformed";
+}
+
+/// Parse the batch manifest into requests; returns false (with a message
+/// on stderr) on malformed input. `jobs`/`cache_dir`/`default_out` are
+/// only overwritten when the manifest provides them.
+bool load_manifest(const std::string& path, std::vector<Request>& requests,
+                   long long& jobs, std::string& cache_dir,
+                   std::string& default_out) {
+    std::ifstream file(path);
+    if (!file) {
+        std::cerr << "cannot read batch manifest '" << path << "'\n";
+        return false;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+
+    std::string error;
+    const auto doc = json::parse(buffer.str(), &error);
+    if (!doc.has_value()) {
+        std::cerr << "batch manifest '" << path << "': " << error << "\n";
+        return false;
+    }
+
+    const json::Value* list = nullptr;
+    if (doc->kind == json::Value::Kind::Array) {
+        list = &*doc;
+    } else if (doc->kind == json::Value::Kind::Object) {
+        if (const json::Value* v = doc->find("jobs"))
+            jobs = static_cast<long long>(v->number_or(double(jobs)));
+        if (const json::Value* v = doc->find("cache_dir"))
+            cache_dir = v->string_or(cache_dir);
+        if (const json::Value* v = doc->find("out"))
+            default_out = v->string_or(default_out);
+        list = doc->find("requests");
+    }
+    if (list == nullptr || list->kind != json::Value::Kind::Array) {
+        std::cerr << "batch manifest '" << path
+                  << "': expected a top-level array or an object with a "
+                     "\"requests\" array\n";
+        return false;
+    }
+
+    for (std::size_t i = 0; i < list->elements.size(); ++i) {
+        const json::Value& entry = list->elements[i];
+        if (entry.kind != json::Value::Kind::Object) {
+            std::cerr << "batch manifest '" << path << "': request " << i
+                      << " is not an object\n";
+            return false;
+        }
+        Request req;
+        if (const json::Value* v = entry.find("app"))
+            req.app = v->string_or("");
+        if (req.app.empty()) {
+            std::cerr << "batch manifest '" << path << "': request " << i
+                      << " has no \"app\"\n";
+            return false;
+        }
+        if (const json::Value* v = entry.find("mode"))
+            req.mode = v->string_or(req.mode);
+        if (!valid_mode(req.mode)) {
+            std::cerr << "batch manifest '" << path << "': request " << i
+                      << ": mode must be 'informed' or 'uninformed'\n";
+            return false;
+        }
+        if (const json::Value* v = entry.find("budget"))
+            req.budget = v->number_or(req.budget);
+        if (const json::Value* v = entry.find("threshold_x"))
+            req.threshold_x = v->number_or(req.threshold_x);
+        if (const json::Value* v = entry.find("out"))
+            req.out_dir = v->string_or("");
+        if (req.out_dir.empty())
+            req.out_dir = (std::filesystem::path(default_out) /
+                           (req.app + "-" + std::to_string(i)))
+                              .string();
+        requests.push_back(std::move(req));
+    }
+    return true;
+}
+
+int run_batch(const std::string& manifest_path, const cli::FlowFlags& flags,
+              std::string out_dir, bool out_dir_given) {
+    std::vector<Request> requests;
+    long long jobs = 0;
+    std::string cache_dir;
+    std::string default_out = out_dir_given ? out_dir : "designs";
+    if (!load_manifest(manifest_path, requests, jobs, cache_dir,
+                       default_out))
+        return 2;
+    // CLI flags override the manifest's session settings.
+    if (flags.jobs > 0) jobs = flags.jobs;
+    if (!flags.cache_dir.empty()) cache_dir = flags.cache_dir;
+    if (requests.empty()) {
+        std::cerr << "batch manifest '" << manifest_path
+                  << "': no requests\n";
+        return 2;
+    }
+
+    flow::SessionOptions session_options;
+    session_options.jobs = static_cast<int>(jobs);
+    session_options.cache_dir = cache_dir;
+    session_options.cache_max_bytes =
+        static_cast<std::uint64_t>(flags.cache_max_mb) << 20;
+    flow::FlowSession session(session_options);
+
+    std::cout << "running " << requests.size()
+              << " batch request(s) through one flow session...\n";
+    TablePrinter batch_table(
+        {"#", "app", "mode", "designs", "best speedup", "status"});
+    int failures = 0;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const Request& req = requests[i];
+        const RequestOutcome outcome = run_request(session, req, nullptr);
+        if (!outcome.ok) {
+            ++failures;
+            std::cerr << "request " << i << " (" << req.app
+                      << "): " << outcome.error << "\n";
+        }
+        batch_table.add_row(
+            {std::to_string(i), req.app, req.mode,
+             outcome.ok ? std::to_string(outcome.design_count) : "-",
+             outcome.ok && outcome.best_speedup > 0.0
+                 ? format_compact(outcome.best_speedup, 4) + "x"
+                 : "-",
+             outcome.ok ? "ok" : "FAILED"});
+    }
+    batch_table.print(std::cout);
+    std::cout << (requests.size() - failures) << "/" << requests.size()
+              << " request(s) succeeded\n";
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    bool list = false;
+    bool cache_clear = false;
+    std::string app_name;
+    std::string mode = "informed";
+    std::string out_dir = "designs";
+    std::string batch_manifest;
+    double budget = -1.0;
+    double threshold_x = 4.0;
+    cli::FlowFlags flow_flags;
+
+    cli::OptionParser parser(
+        argv[0],
+        {"--list",
+         "--app <name> [--mode informed|uninformed] [--out <dir>]\n"
+         "      [--budget <usd-per-run>] [--threshold-x <flops/B>]\n"
+         "      [--jobs <n>] [--trace-out <file.json>]\n"
+         "      [--cache-dir <dir>] [--cache-max-mb <n>]",
+         "--batch <manifest.json> [--out <dir>] [--jobs <n>] "
+         "[--cache-dir <dir>]"});
+    parser.flag("--list", "list the bundled applications", &list);
+    parser.str("--app", "<name>", "application to compile", &app_name);
+    parser.str("--mode", "<mode>", "informed|uninformed (default informed)",
+               &mode);
+    parser.str("--out", "<dir>", "output directory (default designs)",
+               &out_dir);
+    parser.str("--batch", "<manifest.json>",
+               "run every request of a JSON manifest", &batch_manifest);
+    parser.real("--budget", "<usd-per-run>", "Fig. 3 cost budget", &budget);
+    parser.real("--threshold-x", "<flops/B>",
+                "arithmetic-intensity threshold (default 4)", &threshold_x);
+    parser.flag("--cache-clear", "evict the persistent cache and exit",
+                &cache_clear);
+    cli::add_flow_flags(parser, flow_flags);
+
+    if (!parser.parse(argc, argv)) return 2;
+
+    if (list) {
+        for (const apps::Application* app : apps::all_applications())
+            std::cout << app->name << ": " << app->description << "\n";
+        return 0;
+    }
+
+    if (cache_clear) {
+        if (!flow_flags.cache_dir.empty())
+            cas::configure(flow_flags.cache_dir,
+                           static_cast<std::uint64_t>(flow_flags.cache_max_mb)
+                               << 20);
+        if (cas::CasStore* store = cas::store()) {
+            store->clear();
+            std::cout << "cleared cache at " << store->root().string()
+                      << "\n";
+        } else {
+            std::cerr << "no cache configured (--cache-dir or "
+                         "PSAFLOW_CACHE_DIR)\n";
+            return 2;
+        }
+        if (app_name.empty() && batch_manifest.empty()) return 0;
+    }
+
+    if (!flow_flags.trace_out.empty())
+        trace::Registry::global().set_enabled(true);
+
+    int status = 0;
+    if (!batch_manifest.empty()) {
+        status = run_batch(batch_manifest, flow_flags, out_dir,
+                           /*out_dir_given=*/out_dir != "designs");
+        if (status == 2) {
+            std::cerr << parser.usage();
+            return 2;
+        }
+    } else {
+        if (app_name.empty()) {
+            std::cerr << parser.usage();
+            return 2;
+        }
+        if (!valid_mode(mode)) {
+            std::cerr << "--mode must be 'informed' or 'uninformed'\n";
+            return 2;
+        }
+
+        Request req;
+        req.app = app_name;
+        req.mode = mode;
+        req.budget = budget;
+        req.threshold_x = threshold_x;
+        req.out_dir = out_dir;
+
+        flow::SessionOptions session_options;
+        session_options.jobs = static_cast<int>(flow_flags.jobs);
+        session_options.cache_dir = flow_flags.cache_dir;
+        session_options.cache_max_bytes =
+            static_cast<std::uint64_t>(flow_flags.cache_max_mb) << 20;
+        flow::FlowSession session(session_options);
+
+        std::cout << "running the " << mode << " PSA-flow on '" << app_name
+                  << "'...\n";
+        TablePrinter table({"design", "speedup", "LOC delta", "file"});
+        const RequestOutcome outcome = run_request(session, req, &table);
+        if (!outcome.ok) {
+            std::cerr << outcome.error << "\n";
+            return outcome.error.rfind("flow failed:", 0) == 0 ? 1 : 2;
+        }
+        table.print(std::cout);
+        std::cout << "reference 1-thread hotspot time: "
+                  << format_compact(outcome.reference_seconds, 4) << " s\n";
+        std::cout << "wrote " << outcome.design_count << " design(s) and "
+                  << outcome.summary_path << "\n";
+    }
+
+    if (!flow_flags.trace_out.empty()) {
+        std::ofstream trace_file(flow_flags.trace_out);
         if (!trace_file) {
-            std::cerr << "cannot write " << trace_out << "\n";
+            std::cerr << "cannot write " << flow_flags.trace_out << "\n";
             return 1;
         }
         trace_file << trace::Registry::global().to_json() << "\n";
-        std::cout << "wrote trace to " << trace_out << "\n";
+        std::cout << "wrote trace to " << flow_flags.trace_out << "\n";
     }
-    return 0;
+    return status;
 }
