@@ -275,7 +275,7 @@ ProfileCache::run(const ast::Module& module, const sema::TypeInfo& types,
             // ids by pre-order position.
             if (auto profile = remap_onto(it->second, module)) {
                 ++stats_.hits;
-                trace::Registry::global().count("profile_cache.hits", 1);
+                trace::Registry::current().count("profile_cache.hits", 1);
                 return std::move(*profile);
             }
             // Structure mismatch despite equal source text should be
@@ -301,7 +301,7 @@ ProfileCache::run(const ast::Module& module, const sema::TypeInfo& types,
                     if (max_entries_ != 0 && entries_.size() >= max_entries_)
                         entries_.clear();
                     entries_[key] = std::move(loaded);
-                    trace::Registry::global().count(
+                    trace::Registry::current().count(
                         "profile_cache.disk_hits", 1);
                     return std::move(*profile);
                 }
@@ -324,7 +324,7 @@ ProfileCache::run(const ast::Module& module, const sema::TypeInfo& types,
         slot.profile = result.profile;
         slot.loop_order = loop_order;
     }
-    trace::Registry::global().count("profile_cache.misses", 1);
+    trace::Registry::current().count("profile_cache.misses", 1);
     if (disk != nullptr)
         disk->put(key, serialize_profile_payload(result.profile, loop_order));
     return std::move(result.profile);

@@ -35,6 +35,7 @@ flow::FlowResult compile(flow::FlowSession& session,
     flow::FlowContext ctx(app_name, std::move(module), std::move(workload));
     ctx.allow_single_precision = allow_single_precision;
     ctx.intensity_threshold_x = options.intensity_threshold_x;
+    ctx.cancel = options.cancel;
 
     flow::EngineOptions engine;
     engine.budget = options.budget;

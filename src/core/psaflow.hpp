@@ -19,6 +19,7 @@
 #include "flow/engine.hpp"
 #include "flow/session.hpp"
 #include "flow/standard_flow.hpp"
+#include "support/cancel.hpp"
 
 namespace psaflow {
 
@@ -28,6 +29,11 @@ struct RunOptions {
     flow::CostModel cost_model;  ///< cloud prices for the budget check
     double intensity_threshold_x = 4.0; ///< Fig. 3's tunable X (FLOPs/B)
     int jobs = 0; ///< branch-path workers; 0 = PSAFLOW_JOBS / hw default
+
+    /// Cooperative cancellation (not owned; may be null). When the token
+    /// fires — explicitly or via its deadline — the flow unwinds with
+    /// CancelledError at the next task boundary or interpreter poll.
+    const CancelToken* cancel = nullptr;
 };
 
 /// Run the standard PSA-flow on one of the bundled applications.

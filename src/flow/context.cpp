@@ -31,6 +31,7 @@ FlowContext FlowContext::fork() const {
     out.reference_seconds_ = reference_seconds_;
     out.workload_digest_ = workload_digest_;
     out.log_ = log_;
+    out.cancel = cancel;
     // ch_/outer_dep_ are keyed by node ids, which the clone regenerated:
     // recomputed lazily on demand.
     return out;

@@ -18,6 +18,10 @@
 #include "platform/fpga.hpp"
 #include "sema/type_check.hpp"
 
+namespace psaflow {
+class CancelToken;
+} // namespace psaflow
+
 namespace psaflow::flow {
 
 class FlowContext {
@@ -101,6 +105,13 @@ public:
     std::optional<ast::Node::Id> hotspot_loop_id;
     std::string hotspot_function;
     double hotspot_fraction = 0.0;
+
+    /// Cooperative cancellation token for this flow (not owned; may be
+    /// null). The engine polls it between tasks and installs it as the
+    /// ambient token around every branch-path job so the interpreter's
+    /// periodic poll sees it too; forks inherit the pointer, so one
+    /// request's deadline covers all of its paths.
+    const CancelToken* cancel = nullptr;
 
 private:
     std::string app_name_;

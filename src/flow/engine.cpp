@@ -6,6 +6,7 @@
 #include "analysis/profile_cache.hpp"
 #include "ast/printer.hpp"
 #include "perf/estimator.hpp"
+#include "support/cancel.hpp"
 #include "support/cas/cas.hpp"
 #include "support/error.hpp"
 #include "support/string_util.hpp"
@@ -151,6 +152,7 @@ bool parse_artifact_payload(std::string_view payload, DesignArtifact& a,
 
 DesignArtifact finalize(FlowContext ctx, double reference_seconds,
                         const std::string& signature) {
+    poll_cancellation(ctx.cancel);
     trace::ScopedSpan span("finalize:" + ctx.spec.design_name(), "flow");
 
     // A persistent-cache hit skips the whole evaluation — shape building
@@ -165,14 +167,14 @@ DesignArtifact finalize(FlowContext ctx, double reference_seconds,
             DesignArtifact cached;
             std::string note;
             if (parse_artifact_payload(*payload, cached, note)) {
-                trace::Registry::global().count("artifact_cache.hits", 1);
+                trace::Registry::current().count("artifact_cache.hits", 1);
                 ctx.note(std::move(note));
                 cached.spec = ctx.spec;
                 cached.log = ctx.log();
                 return cached;
             }
         }
-        trace::Registry::global().count("artifact_cache.misses", 1);
+        trace::Registry::current().count("artifact_cache.misses", 1);
     }
 
     DesignArtifact out;
@@ -239,6 +241,10 @@ DesignArtifact finalize(FlowContext ctx, double reference_seconds,
 /// traversal (stable flow order; design names are unique per flow).
 struct Scheduler {
     ThreadPool* pool = nullptr; ///< null: run inline
+    /// The request's trace sink, captured on the thread that entered the
+    /// engine; path jobs re-install it so pool threads record into the
+    /// same registry as the request that spawned them.
+    trace::Registry* sink = &trace::Registry::global();
 
     void descend(const BranchPoint* branch, FlowContext ctx,
                  double reference_seconds, const std::string& signature,
@@ -281,8 +287,15 @@ struct Scheduler {
         }
 
         auto run_path = [this, reference_seconds](PendingPath& job) {
+            // This may run on a pool thread: re-install the request's
+            // trace sink and cancellation token so deep layers (the
+            // interpreter's periodic poll, the cache counters) stay
+            // attributed to — and interruptible by — the right request.
+            trace::ScopedRegistry trace_scope(*sink);
+            CancelScope cancel_scope(job.ctx.cancel);
             trace::ScopedSpan span("path:" + job.path->name, "flow");
             for (const TaskPtr& task : job.path->tasks) {
+                poll_cancellation(job.ctx.cancel);
                 trace::ScopedSpan task_span("task:" + task->id(),
                                             task->dynamic() ? "task.dynamic"
                                                             : "task");
@@ -320,14 +333,17 @@ struct Scheduler {
 FlowResult detail::run_flow_impl(const DesignFlow& flow, FlowContext ctx,
                                  const EngineOptions& options) {
     trace::ScopedSpan flow_span("run_flow:" + ctx.app_name(), "flow");
+    CancelScope cancel_scope(ctx.cancel);
 
     const int jobs =
         options.jobs > 0 ? options.jobs : ThreadPool::default_jobs();
     Scheduler scheduler;
     if (jobs > 1) scheduler.pool = &ThreadPool::shared();
+    scheduler.sink = &trace::Registry::current();
 
     std::string signature = "prologue";
     for (const TaskPtr& task : flow.prologue) {
+        poll_cancellation(ctx.cancel);
         trace::ScopedSpan task_span("task:" + task->id(),
                                     task->dynamic() ? "task.dynamic" : "task");
         task->run(ctx);

@@ -22,8 +22,8 @@ FlowResult FlowSession::run(const DesignFlow& flow, FlowContext ctx,
     const auto wall_us = std::chrono::duration_cast<std::chrono::microseconds>(
                              std::chrono::steady_clock::now() - start)
                              .count();
-    trace::Registry::global().count("flow.runs", 1);
-    trace::Registry::global().count("flow.wall_us",
+    trace::Registry::current().count("flow.runs", 1);
+    trace::Registry::current().count("flow.wall_us",
                                     static_cast<std::uint64_t>(wall_us));
     return result;
 }

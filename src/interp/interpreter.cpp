@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "sema/builtins.hpp"
+#include "support/cancel.hpp"
 #include "support/error.hpp"
 #include "support/trace.hpp"
 
@@ -74,6 +75,11 @@ struct Interpreter::Impl {
     void charge(double cost, double flops = 0.0, double bytes = 0.0) {
         if (++steps > options.max_steps)
             throw InterpError("execution exceeded max_steps (runaway loop?)");
+        // Cooperative cancellation: a serving deadline must be able to
+        // interrupt a long profiling run, so poll the ambient token every
+        // few thousand steps (a TLS read; the clock is only consulted when
+        // a deadline is armed).
+        if ((steps & 0x1fff) == 0) poll_cancellation();
         if (!options.profile) return;
         prof.total_cost += cost;
         prof.total_flops += flops;
@@ -584,7 +590,7 @@ Value Interpreter::call(const std::string& name, const std::vector<Arg>& args) {
     }
     const long long steps_before = impl_->steps;
     Value out = impl_->call_function(*fn, std::move(slots));
-    trace::Registry::global().count(
+    trace::Registry::current().count(
         "interp.steps",
         static_cast<std::uint64_t>(impl_->steps - steps_before));
     return out;
@@ -598,8 +604,8 @@ RunResult run_function(const ast::Module& module, const sema::TypeInfo& types,
     options.profile = true;
     Interpreter interp(module, types, options);
     Value result = interp.call(fn, args);
-    trace::Registry::global().count("interp.runs", 1);
-    trace::Registry::global().count(
+    trace::Registry::current().count("interp.runs", 1);
+    trace::Registry::current().count(
         "interp.cost_units",
         static_cast<std::uint64_t>(interp.profile().total_cost));
     return RunResult{result, interp.profile()};

@@ -1,0 +1,115 @@
+#include "serve/protocol.hpp"
+
+namespace psaflow::serve {
+
+std::optional<std::string> parse_wire_request(const json::Value& doc,
+                                              WireRequest& out) {
+    if (doc.kind != json::Value::Kind::Object)
+        return "request is not an object";
+    std::string type = "compile";
+    if (const json::Value* v = doc.find("type")) type = v->string_or("");
+
+    if (type == "compile") {
+        out.type = RequestType::Compile;
+        return parse_compile_request(doc, out.compile);
+    }
+    if (type == "stats") {
+        out.type = RequestType::Stats;
+        return std::nullopt;
+    }
+    if (type == "ping") {
+        out.type = RequestType::Ping;
+        return std::nullopt;
+    }
+    if (type == "sleep") {
+        out.type = RequestType::Sleep;
+        if (const json::Value* v = doc.find("ms"))
+            out.sleep_ms = static_cast<long long>(v->number_or(0.0));
+        if (const json::Value* v = doc.find("deadline_ms"))
+            out.deadline_ms = static_cast<long long>(v->number_or(0.0));
+        if (out.sleep_ms < 0 || out.deadline_ms < 0)
+            return "sleep: ms and deadline_ms must be >= 0";
+        return std::nullopt;
+    }
+    return "unknown request type '" + type + "'";
+}
+
+json::Value make_error_response(ErrorKind kind, const std::string& message,
+                                long long retry_after_ms) {
+    json::Value response = json::Value::object();
+    response.set("ok", json::Value::boolean(false));
+    response.set("error_kind", json::Value::string(to_string(kind)));
+    response.set("error", json::Value::string(message));
+    if (retry_after_ms > 0)
+        response.set("retry_after_ms",
+                     json::Value::number(double(retry_after_ms)));
+    return response;
+}
+
+json::Value make_compile_response(const CompileRequest& req,
+                                  const CompileOutcome& outcome) {
+    json::Value response = json::Value::object();
+    response.set("ok", json::Value::boolean(true));
+    response.set("type", json::Value::string("compile"));
+    response.set("app", json::Value::string(req.app));
+    response.set("mode", json::Value::string(req.mode));
+    response.set("design_count",
+                 json::Value::number(double(outcome.design_count)));
+    response.set("best_speedup", json::Value::number(outcome.best_speedup));
+    response.set("reference_seconds",
+                 json::Value::number(outcome.reference_seconds));
+    response.set("summary_path", json::Value::string(outcome.summary_path));
+    response.set("wall_us", json::Value::number(double(outcome.wall_us)));
+
+    json::Value designs = json::Value::array();
+    for (const DesignRow& row : outcome.designs) {
+        json::Value design = json::Value::object();
+        design.set("name", json::Value::string(row.name));
+        design.set("target", json::Value::string(row.target));
+        design.set("device", json::Value::string(row.device));
+        design.set("synthesizable", json::Value::boolean(row.synthesizable));
+        design.set("hotspot_seconds",
+                   json::Value::number(row.hotspot_seconds));
+        design.set("speedup", json::Value::number(row.speedup));
+        design.set("loc_delta", json::Value::number(row.loc_delta));
+        design.set("file", json::Value::string(row.filename));
+        designs.push(std::move(design));
+    }
+    response.set("designs", std::move(designs));
+
+    json::Value counters = json::Value::object();
+    for (const auto& [name, value] : outcome.counters)
+        counters.set(name, json::Value::number(double(value)));
+    response.set("counters", std::move(counters));
+    return response;
+}
+
+json::Value make_pong_response() {
+    json::Value response = json::Value::object();
+    response.set("ok", json::Value::boolean(true));
+    response.set("type", json::Value::string("pong"));
+    return response;
+}
+
+std::optional<ResponseView> parse_response(const json::Value& doc) {
+    if (doc.kind != json::Value::Kind::Object) return std::nullopt;
+    const json::Value* ok = doc.find("ok");
+    if (ok == nullptr || ok->kind != json::Value::Kind::Bool)
+        return std::nullopt;
+
+    ResponseView view;
+    view.ok = ok->bool_value;
+    if (view.ok) {
+        view.error_kind = ErrorKind::None;
+        return view;
+    }
+    if (const json::Value* v = doc.find("error_kind"))
+        view.error_kind = error_kind_from_string(v->string_or("internal"));
+    if (const json::Value* v = doc.find("error"))
+        view.error = v->string_or("");
+    if (const json::Value* v = doc.find("retry_after_ms"))
+        view.retry_after_ms = static_cast<long long>(v->number_or(0.0));
+    return view;
+}
+
+} // namespace psaflow::serve

@@ -1,0 +1,71 @@
+// The daemon's wire protocol: what goes inside each frame (support/net
+// provides the framing). One JSON object per frame, one response frame per
+// request frame, connection stays open for pipelined requests.
+//
+// Requests:
+//   {"type":"compile", "app":"nbody", "mode":"informed", "budget":0.001,
+//    "threshold_x":4.0, "out":"designs/nbody", "deadline_ms":500}
+//     — the compile fields are exactly a `psaflowc --batch` manifest
+//       entry, so a manifest request and a daemon request are the same
+//       object (serve/request.hpp).
+//   {"type":"stats"}  — live metrics snapshot (never queued; answered
+//       inline even when every worker is busy).
+//   {"type":"ping"}   — liveness/readiness probe, answered inline.
+//   {"type":"sleep", "ms":200, "deadline_ms":50} — test-only (rejected
+//       unless the daemon enables test endpoints): occupies a worker,
+//       cancellable; exists so tests can fill the queue and trip
+//       deadlines deterministically without depending on compile times.
+//
+// Responses:
+//   {"ok":true, "type":..., ...payload...}
+//   {"ok":false, "error_kind":"bad_request"|"overloaded"|
+//    "deadline_exceeded"|"internal", "error":"...",
+//    "retry_after_ms":N}            — retry_after_ms only on overloaded.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "serve/request.hpp"
+#include "serve/service.hpp"
+#include "support/json.hpp"
+
+namespace psaflow::serve {
+
+enum class RequestType { Compile, Stats, Ping, Sleep };
+
+struct WireRequest {
+    RequestType type = RequestType::Ping;
+    CompileRequest compile;     ///< valid when type == Compile
+    long long sleep_ms = 0;     ///< valid when type == Sleep
+    long long deadline_ms = 0;  ///< Sleep's deadline (Compile carries its own)
+};
+
+/// Parse one request frame. Returns an error message (a bad_request body
+/// for the caller to send back) on malformed input.
+[[nodiscard]] std::optional<std::string>
+parse_wire_request(const json::Value& doc, WireRequest& out);
+
+/// Response builders (serialise with json::dump before framing).
+[[nodiscard]] json::Value make_error_response(ErrorKind kind,
+                                              const std::string& message,
+                                              long long retry_after_ms = 0);
+[[nodiscard]] json::Value make_compile_response(const CompileRequest& req,
+                                                const CompileOutcome& outcome);
+[[nodiscard]] json::Value make_pong_response();
+
+/// The client's view of a response frame: the failure taxonomy decoded,
+/// with the full document kept for payload access.
+struct ResponseView {
+    bool ok = false;
+    ErrorKind error_kind = ErrorKind::Internal;
+    std::string error;
+    long long retry_after_ms = 0;
+};
+
+/// Decode the ok/error envelope of a response document. Returns nullopt
+/// (not a ResponseView) when the document is not a response object at all.
+[[nodiscard]] std::optional<ResponseView>
+parse_response(const json::Value& doc);
+
+} // namespace psaflow::serve

@@ -1,0 +1,78 @@
+// Bounded MPMC admission queue.
+//
+// The daemon's backpressure point: connection threads `try_push` incoming
+// compile jobs and, when the queue is full, the daemon answers with an
+// `overloaded` error and a retry hint instead of buffering unboundedly —
+// admission control happens at the socket, not by OOM. Worker threads
+// block in `pop` until a job or shutdown arrives. `close()` wakes every
+// waiter; a closed queue still drains items already admitted, so graceful
+// shutdown finishes accepted work before the workers exit.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace psaflow::serve {
+
+template <typename T>
+class BoundedQueue {
+public:
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    /// Admit `item` if there is room and the queue is open. Never blocks:
+    /// a full queue is the caller's signal to reject with backpressure.
+    [[nodiscard]] bool try_push(T item) {
+        {
+            std::lock_guard lock(mu_);
+            if (closed_ || items_.size() >= capacity_) return false;
+            items_.push_back(std::move(item));
+        }
+        ready_.notify_one();
+        return true;
+    }
+
+    /// Block until an item is available (returning it) or the queue is
+    /// closed *and* drained (returning nullopt — the worker's exit signal).
+    [[nodiscard]] std::optional<T> pop() {
+        std::unique_lock lock(mu_);
+        ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        if (items_.empty()) return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        return item;
+    }
+
+    /// Stop admitting; wake all poppers. Items already queued still drain.
+    void close() {
+        {
+            std::lock_guard lock(mu_);
+            closed_ = true;
+        }
+        ready_.notify_all();
+    }
+
+    [[nodiscard]] std::size_t depth() const {
+        std::lock_guard lock(mu_);
+        return items_.size();
+    }
+
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+    [[nodiscard]] bool closed() const {
+        std::lock_guard lock(mu_);
+        return closed_;
+    }
+
+private:
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable ready_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+} // namespace psaflow::serve

@@ -1,0 +1,90 @@
+#include "serve/request.hpp"
+
+#include <filesystem>
+
+namespace psaflow::serve {
+
+namespace {
+
+[[nodiscard]] bool valid_mode(const std::string& mode) {
+    return mode == "informed" || mode == "uninformed";
+}
+
+} // namespace
+
+const char* to_string(ErrorKind kind) {
+    switch (kind) {
+    case ErrorKind::None: return "none";
+    case ErrorKind::BadRequest: return "bad_request";
+    case ErrorKind::Overloaded: return "overloaded";
+    case ErrorKind::DeadlineExceeded: return "deadline_exceeded";
+    case ErrorKind::Internal: return "internal";
+    }
+    return "internal";
+}
+
+ErrorKind error_kind_from_string(const std::string& name) {
+    if (name == "none") return ErrorKind::None;
+    if (name == "bad_request") return ErrorKind::BadRequest;
+    if (name == "overloaded") return ErrorKind::Overloaded;
+    if (name == "deadline_exceeded") return ErrorKind::DeadlineExceeded;
+    return ErrorKind::Internal;
+}
+
+std::optional<std::string> parse_compile_request(const json::Value& entry,
+                                                 CompileRequest& out) {
+    if (entry.kind != json::Value::Kind::Object)
+        return "request is not an object";
+    if (const json::Value* v = entry.find("app")) out.app = v->string_or("");
+    if (out.app.empty()) return "request has no \"app\"";
+    if (const json::Value* v = entry.find("mode"))
+        out.mode = v->string_or(out.mode);
+    if (!valid_mode(out.mode))
+        return "mode must be 'informed' or 'uninformed'";
+    if (const json::Value* v = entry.find("budget"))
+        out.budget = v->number_or(out.budget);
+    if (const json::Value* v = entry.find("threshold_x"))
+        out.threshold_x = v->number_or(out.threshold_x);
+    if (const json::Value* v = entry.find("out"))
+        out.out_dir = v->string_or(out.out_dir);
+    if (const json::Value* v = entry.find("deadline_ms"))
+        out.deadline_ms =
+            static_cast<long long>(v->number_or(double(out.deadline_ms)));
+    if (out.deadline_ms < 0) return "deadline_ms must be >= 0";
+    return std::nullopt;
+}
+
+std::optional<std::string> parse_manifest(const json::Value& doc,
+                                          ManifestDefaults& defaults,
+                                          std::vector<CompileRequest>& requests) {
+    const json::Value* list = nullptr;
+    if (doc.kind == json::Value::Kind::Array) {
+        list = &doc;
+    } else if (doc.kind == json::Value::Kind::Object) {
+        if (const json::Value* v = doc.find("jobs"))
+            defaults.jobs =
+                static_cast<long long>(v->number_or(double(defaults.jobs)));
+        if (const json::Value* v = doc.find("cache_dir"))
+            defaults.cache_dir = v->string_or(defaults.cache_dir);
+        if (const json::Value* v = doc.find("out"))
+            defaults.out_root = v->string_or(defaults.out_root);
+        list = doc.find("requests");
+    }
+    if (list == nullptr || list->kind != json::Value::Kind::Array)
+        return "expected a top-level array or an object with a \"requests\" "
+               "array";
+
+    for (std::size_t i = 0; i < list->elements.size(); ++i) {
+        CompileRequest req;
+        if (auto error = parse_compile_request(list->elements[i], req))
+            return "request " + std::to_string(i) + ": " + *error;
+        if (req.out_dir.empty())
+            req.out_dir = (std::filesystem::path(defaults.out_root) /
+                           (req.app + "-" + std::to_string(i)))
+                              .string();
+        requests.push_back(std::move(req));
+    }
+    return std::nullopt;
+}
+
+} // namespace psaflow::serve

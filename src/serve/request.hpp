@@ -1,0 +1,59 @@
+// The unit of work of the serving layer: one (app, mode, budget, workload)
+// compile request, plus its parse from the JSON shapes both entry points
+// share — a `psaflowc --batch` manifest entry and a `psaflowd` wire
+// request are the same object, so the daemon and the batch driver run the
+// exact same requests through the exact same executor (serve/service).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace psaflow::serve {
+
+struct CompileRequest {
+    std::string app;              ///< bundled application name (required)
+    std::string mode = "informed"; ///< "informed" | "uninformed"
+    double budget = -1.0;          ///< USD-per-run budget; < 0 = none
+    double threshold_x = 4.0;      ///< Fig. 3 intensity threshold
+    std::string out_dir;           ///< where design sources + CSV are written
+    long long deadline_ms = 0;     ///< per-request deadline; 0 = none
+};
+
+/// How a request failed — the wire protocol's error taxonomy.
+enum class ErrorKind {
+    None,
+    BadRequest,       ///< malformed/unknown input; retrying is pointless
+    Overloaded,       ///< admission queue full; retry after backoff
+    DeadlineExceeded, ///< cancelled by its own deadline
+    Internal,         ///< the flow failed; poisons only this request
+};
+[[nodiscard]] const char* to_string(ErrorKind kind);
+[[nodiscard]] ErrorKind error_kind_from_string(const std::string& name);
+
+/// Populate `out` from a JSON object (a manifest entry or the fields of a
+/// wire compile request). Returns an error message on invalid input,
+/// nullopt on success. Absent fields keep the defaults already in `out`,
+/// so callers can pre-seed manifest-level defaults.
+[[nodiscard]] std::optional<std::string>
+parse_compile_request(const json::Value& entry, CompileRequest& out);
+
+/// Manifest-level session settings a batch file may carry alongside its
+/// requests. Values are only overwritten when the manifest provides them.
+struct ManifestDefaults {
+    long long jobs = 0;
+    std::string cache_dir;
+    std::string out_root = "designs";
+};
+
+/// Parse a batch manifest document (a bare array of request objects, or an
+/// object with "requests" plus optional "jobs"/"cache_dir"/"out").
+/// Requests without an "out" default to `<out_root>/<app>-<index>`.
+/// Returns an error message on malformed input.
+[[nodiscard]] std::optional<std::string>
+parse_manifest(const json::Value& doc, ManifestDefaults& defaults,
+               std::vector<CompileRequest>& requests);
+
+} // namespace psaflow::serve

@@ -1,0 +1,420 @@
+#include "serve/server.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "serve/service.hpp"
+#include "support/cas/cas.hpp"
+
+namespace psaflow::serve {
+
+namespace {
+
+/// Histogram summary for the stats document (percentiles, not buckets —
+/// stats frames should stay small; Histogram::to_json keeps the buckets
+/// for offline analysis).
+json::Value histogram_value(const Histogram& hist) {
+    json::Value out = json::Value::object();
+    out.set("count", json::Value::number(double(hist.count())));
+    out.set("sum", json::Value::number(double(hist.sum())));
+    out.set("min", json::Value::number(double(hist.min())));
+    out.set("max", json::Value::number(double(hist.max())));
+    out.set("mean", json::Value::number(hist.mean()));
+    out.set("p50", json::Value::number(double(hist.percentile(50))));
+    out.set("p90", json::Value::number(double(hist.percentile(90))));
+    out.set("p99", json::Value::number(double(hist.percentile(99))));
+    return out;
+}
+
+[[nodiscard]] double hit_rate(std::uint64_t hits, std::uint64_t misses) {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+}
+
+std::uint64_t us_since(std::chrono::steady_clock::time_point start) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+}
+
+} // namespace
+
+Daemon::Daemon(DaemonOptions options)
+    : options_(std::move(options)),
+      queue_(options_.queue_depth == 0 ? 1 : options_.queue_depth) {
+    if (options_.workers < 1) options_.workers = 1;
+}
+
+Daemon::~Daemon() {
+    notify_shutdown();
+    // run() performs the orderly drain; this is the fallback for a daemon
+    // that was started but whose run() never ran (tests, early exits).
+    queue_.close();
+    for (std::thread& worker : workers_)
+        if (worker.joinable()) worker.join();
+    std::lock_guard lock(readers_mu_);
+    for (std::thread& reader : readers_)
+        if (reader.joinable()) reader.join();
+}
+
+std::optional<std::string> Daemon::start() {
+    if (!options_.cache_dir.empty())
+        cas::configure(options_.cache_dir, options_.cache_max_bytes);
+
+    int pipe_fds[2] = {-1, -1};
+    if (::pipe(pipe_fds) != 0) return "cannot create self-pipe";
+    wake_read_.reset(pipe_fds[0]);
+    wake_write_.reset(pipe_fds[1]);
+    ::fcntl(wake_write_.get(), F_SETFL, O_NONBLOCK);
+
+    std::string error;
+    listen_fd_ = net::listen_unix(options_.socket_path, /*backlog=*/64,
+                                  &error);
+    if (!listen_fd_.valid()) return error;
+
+    started_ = std::chrono::steady_clock::now();
+    workers_.reserve(static_cast<std::size_t>(options_.workers));
+    for (int i = 0; i < options_.workers; ++i)
+        workers_.emplace_back([this] { worker_loop(); });
+    return std::nullopt;
+}
+
+void Daemon::run() {
+    while (true) {
+        const int ready = net::wait_readable(listen_fd_.get(),
+                                             wake_read_.get(), -1);
+        if (ready != listen_fd_.get()) break; // shutdown (or poll failure)
+        net::Fd conn = net::accept_connection(listen_fd_.get());
+        if (!conn.valid()) continue;
+        {
+            std::lock_guard lock(stats_mu_);
+            ++counters_.connections;
+        }
+        std::lock_guard lock(readers_mu_);
+        readers_.emplace_back(
+            [this, fd = std::move(conn)]() mutable {
+                serve_connection(std::move(fd));
+            });
+    }
+
+    // Drain: stop accepting, finish everything admitted, then leave no
+    // trace on disk — the smoke test asserts the socket file is gone.
+    shutting_down_.store(true);
+    listen_fd_.reset();
+    std::error_code ec;
+    std::filesystem::remove(options_.socket_path, ec);
+    queue_.close();
+    for (std::thread& worker : workers_) worker.join();
+    workers_.clear();
+    std::vector<std::thread> readers;
+    {
+        std::lock_guard lock(readers_mu_);
+        readers.swap(readers_);
+    }
+    for (std::thread& reader : readers) reader.join();
+}
+
+void Daemon::notify_shutdown() noexcept {
+    shutting_down_.store(true);
+    if (wake_write_.valid()) {
+        const char byte = 'q';
+        [[maybe_unused]] ssize_t rc = ::write(wake_write_.get(), &byte, 1);
+    }
+}
+
+void Daemon::serve_connection(net::Fd conn) {
+    net::set_recv_timeout(conn.get(), options_.recv_timeout_ms);
+    while (!shutting_down_.load()) {
+        const int ready =
+            net::wait_readable(conn.get(), wake_read_.get(), -1);
+        if (ready != conn.get()) break; // shutdown wake or poll failure
+
+        std::string payload;
+        const net::FrameStatus status = net::read_frame(conn.get(), payload);
+        if (status == net::FrameStatus::Eof ||
+            status == net::FrameStatus::Error)
+            break;
+        if (status != net::FrameStatus::Ok) {
+            // Torn/oversized frames get a structured complaint; the stream
+            // is unsynchronised afterwards, so the connection closes.
+            const json::Value response = make_error_response(
+                ErrorKind::BadRequest,
+                std::string("malformed frame: ") + net::to_string(status));
+            (void)net::write_frame(conn.get(), json::dump(response));
+            break;
+        }
+
+        std::string parse_error;
+        const auto doc = json::parse(payload, &parse_error);
+        std::string response;
+        if (!doc.has_value()) {
+            {
+                std::lock_guard lock(stats_mu_);
+                ++counters_.requests;
+                ++counters_.bad_requests;
+            }
+            response = json::dump(make_error_response(
+                ErrorKind::BadRequest, "invalid JSON: " + parse_error));
+            if (!net::write_frame(conn.get(), response)) break;
+            continue;
+        }
+
+        WireRequest request;
+        auto request_error = parse_wire_request(*doc, request);
+        if (!request_error.has_value() &&
+            request.type == RequestType::Sleep &&
+            !options_.enable_test_endpoints)
+            request_error = "unknown request type 'sleep'";
+        {
+            std::lock_guard lock(stats_mu_);
+            ++counters_.requests;
+            if (request_error.has_value()) ++counters_.bad_requests;
+        }
+        if (request_error.has_value()) {
+            response = json::dump(make_error_response(ErrorKind::BadRequest,
+                                                      *request_error));
+            if (!net::write_frame(conn.get(), response)) break;
+            continue;
+        }
+
+        if (request.type == RequestType::Ping ||
+            request.type == RequestType::Stats) {
+            response = handle_inline(request);
+            if (!net::write_frame(conn.get(), response)) break;
+            continue;
+        }
+
+        // A queued job: resolve the output directory, arm the deadline at
+        // receipt (queue wait counts against it), and admit or reject.
+        auto job = std::make_shared<Job>();
+        job->request = std::move(request);
+        job->received = std::chrono::steady_clock::now();
+        if (job->request.type == RequestType::Compile) {
+            CompileRequest& compile = job->request.compile;
+            if (compile.deadline_ms == 0)
+                compile.deadline_ms = options_.default_deadline_ms;
+            if (compile.out_dir.empty())
+                compile.out_dir =
+                    (std::filesystem::path(options_.out_root) /
+                     (compile.app + "-" +
+                      std::to_string(request_seq_.fetch_add(1))))
+                        .string();
+            else if (!std::filesystem::path(compile.out_dir).is_absolute())
+                compile.out_dir = (std::filesystem::path(options_.out_root) /
+                                   compile.out_dir)
+                                      .string();
+            if (compile.deadline_ms > 0)
+                job->token.set_deadline_after(
+                    std::chrono::milliseconds(compile.deadline_ms));
+        } else if (job->request.deadline_ms > 0) {
+            job->token.set_deadline_after(
+                std::chrono::milliseconds(job->request.deadline_ms));
+        }
+
+        std::future<std::string> done = job->response.get_future();
+        if (!queue_.try_push(job)) {
+            {
+                std::lock_guard lock(stats_mu_);
+                ++counters_.rejected_overload;
+            }
+            response = json::dump(make_error_response(
+                ErrorKind::Overloaded,
+                queue_.closed() ? "daemon is draining"
+                                : "admission queue is full",
+                retry_after_ms_hint()));
+            if (!net::write_frame(conn.get(), response)) break;
+            continue;
+        }
+        response = done.get();
+        if (!net::write_frame(conn.get(), response)) break;
+    }
+}
+
+void Daemon::worker_loop() {
+    flow::SessionOptions session_options;
+    session_options.jobs = options_.session_jobs;
+    flow::FlowSession session(session_options);
+    while (true) {
+        std::optional<std::shared_ptr<Job>> job = queue_.pop();
+        if (!job.has_value()) break; // queue closed and drained
+        in_flight_.fetch_add(1);
+        execute_job(session, **job);
+        in_flight_.fetch_sub(1);
+    }
+}
+
+void Daemon::execute_job(flow::FlowSession& session, Job& job) {
+    const std::uint64_t queue_wait_us = us_since(job.received);
+
+    // A job whose deadline expired while queued is answered without
+    // running — the worker stays free for requests that can still make it.
+    if (job.token.cancelled()) {
+        {
+            std::lock_guard lock(stats_mu_);
+            ++counters_.deadline_exceeded;
+            queue_wait_us_.record(queue_wait_us);
+            request_latency_us_.record(us_since(job.received));
+        }
+        job.response.set_value(json::dump(make_error_response(
+            ErrorKind::DeadlineExceeded,
+            std::string("flow failed: ") + job.token.reason())));
+        return;
+    }
+
+    if (job.request.type == RequestType::Sleep) {
+        const auto until = job.received +
+                           std::chrono::milliseconds(job.request.sleep_ms);
+        bool cancelled = false;
+        while (std::chrono::steady_clock::now() < until) {
+            if (job.token.cancelled()) {
+                cancelled = true;
+                break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        {
+            std::lock_guard lock(stats_mu_);
+            queue_wait_us_.record(queue_wait_us);
+            request_latency_us_.record(us_since(job.received));
+            if (cancelled)
+                ++counters_.deadline_exceeded;
+            else
+                ++counters_.completed;
+        }
+        if (cancelled) {
+            job.response.set_value(json::dump(make_error_response(
+                ErrorKind::DeadlineExceeded,
+                std::string("flow failed: ") + job.token.reason())));
+        } else {
+            json::Value ok = json::Value::object();
+            ok.set("ok", json::Value::boolean(true));
+            ok.set("type", json::Value::string("sleep"));
+            ok.set("slept_ms",
+                   json::Value::number(double(job.request.sleep_ms)));
+            job.response.set_value(json::dump(ok));
+        }
+        return;
+    }
+
+    const CompileOutcome outcome =
+        execute_request(session, job.request.compile, &job.token);
+    {
+        std::lock_guard lock(stats_mu_);
+        queue_wait_us_.record(queue_wait_us);
+        request_latency_us_.record(us_since(job.received));
+        record_outcome(outcome, queue_wait_us);
+    }
+    if (outcome.ok) {
+        job.response.set_value(
+            json::dump(make_compile_response(job.request.compile, outcome)));
+    } else {
+        job.response.set_value(json::dump(
+            make_error_response(outcome.error_kind, outcome.error)));
+    }
+}
+
+/// Caller holds stats_mu_.
+void Daemon::record_outcome(const CompileOutcome& outcome,
+                            std::uint64_t /*queue_wait_us*/) {
+    if (outcome.ok) {
+        ++counters_.completed;
+    } else if (outcome.error_kind == ErrorKind::DeadlineExceeded) {
+        ++counters_.deadline_exceeded;
+    } else if (outcome.error_kind == ErrorKind::BadRequest) {
+        ++counters_.bad_requests;
+    } else {
+        ++counters_.failed;
+    }
+    for (const auto& [name, value] : outcome.counters)
+        flow_counters_[name] += value;
+    for (const trace::Span& span : outcome.spans)
+        if (span.category == "task")
+            task_latency_us_[span.name].record(span.duration_us);
+}
+
+std::string Daemon::handle_inline(const WireRequest& request) {
+    if (request.type == RequestType::Stats)
+        return json::dump(stats_json());
+    return json::dump(make_pong_response());
+}
+
+long long Daemon::retry_after_ms_hint() {
+    std::uint64_t p50_us;
+    {
+        std::lock_guard lock(stats_mu_);
+        p50_us = request_latency_us_.percentile(50);
+    }
+    long long hint = static_cast<long long>(p50_us / 1000);
+    if (hint < 50) hint = 50;
+    if (hint > 5000) hint = 5000;
+    return hint;
+}
+
+json::Value Daemon::stats_json() {
+    json::Value stats = json::Value::object();
+    stats.set("ok", json::Value::boolean(true));
+    stats.set("type", json::Value::string("stats"));
+    stats.set("uptime_us", json::Value::number(double(us_since(started_))));
+    stats.set("workers", json::Value::number(double(options_.workers)));
+    stats.set("queue_capacity",
+              json::Value::number(double(queue_.capacity())));
+    stats.set("queue_depth", json::Value::number(double(queue_.depth())));
+    stats.set("in_flight", json::Value::number(double(in_flight_.load())));
+    stats.set("draining", json::Value::boolean(shutting_down_.load()));
+
+    std::lock_guard lock(stats_mu_);
+    json::Value requests = json::Value::object();
+    requests.set("received", json::Value::number(double(counters_.requests)));
+    requests.set("completed",
+                 json::Value::number(double(counters_.completed)));
+    requests.set("failed", json::Value::number(double(counters_.failed)));
+    requests.set("bad_request",
+                 json::Value::number(double(counters_.bad_requests)));
+    requests.set("rejected_overload",
+                 json::Value::number(double(counters_.rejected_overload)));
+    requests.set("deadline_exceeded",
+                 json::Value::number(double(counters_.deadline_exceeded)));
+    stats.set("requests", std::move(requests));
+    stats.set("connections",
+              json::Value::number(double(counters_.connections)));
+
+    stats.set("request_latency_us", histogram_value(request_latency_us_));
+    stats.set("queue_wait_us", histogram_value(queue_wait_us_));
+
+    json::Value tasks = json::Value::object();
+    for (const auto& [name, hist] : task_latency_us_)
+        tasks.set(name, histogram_value(hist));
+    stats.set("task_latency_us", std::move(tasks));
+
+    json::Value flow_counters = json::Value::object();
+    for (const auto& [name, value] : flow_counters_)
+        flow_counters.set(name, json::Value::number(double(value)));
+    stats.set("counters", std::move(flow_counters));
+
+    const auto counter = [this](const char* name) {
+        auto it = flow_counters_.find(name);
+        return it == flow_counters_.end() ? std::uint64_t{0} : it->second;
+    };
+    json::Value cache = json::Value::object();
+    cache.set("cas_hit_rate",
+              json::Value::number(
+                  hit_rate(counter("cas.hits"), counter("cas.misses"))));
+    cache.set("profile_cache_hit_rate",
+              json::Value::number(hit_rate(counter("profile_cache.hits"),
+                                           counter("profile_cache.misses"))));
+    stats.set("cache", std::move(cache));
+    return stats;
+}
+
+DaemonCounters Daemon::counters() const {
+    std::lock_guard lock(stats_mu_);
+    return counters_;
+}
+
+} // namespace psaflow::serve

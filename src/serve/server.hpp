@@ -1,0 +1,134 @@
+// psaflowd's engine room: accept loop, admission control, warm workers.
+//
+// Threading model:
+//   * `run()` (the caller's thread) polls {listen socket, self-pipe};
+//     SIGTERM handlers call `notify_shutdown()` (async-signal-safe) to
+//     write the pipe.
+//   * One reader thread per connection. It answers `ping`/`stats` inline
+//     (so the metrics plane stays responsive while every worker is busy)
+//     and admits `compile`/`sleep` jobs into a BoundedQueue; a full or
+//     closed queue yields an `overloaded` response with a retry hint
+//     derived from the observed p50 latency. The reader then blocks on
+//     the job's future — requests on one connection are served in order,
+//     concurrency comes from concurrent connections.
+//   * `workers` worker threads each own a warm FlowSession (engine jobs
+//     default 1: request-level parallelism, not per-request fan-out) and
+//     drain the queue. Each job's deadline token was armed at *receipt*,
+//     so time spent queued counts against the deadline; an expired job is
+//     answered without running. Failures are contained per request —
+//     execute_request never throws.
+//
+// Drain (notify_shutdown): stop accepting (close listener, unlink the
+// socket file), close the queue (admitted jobs still drain), join the
+// workers, then the readers. Every admitted request gets its response
+// before the daemon exits; the CAS needs no flush (entries are published
+// with atomic renames at write time).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/queue.hpp"
+#include "support/cancel.hpp"
+#include "support/histogram.hpp"
+#include "support/net.hpp"
+
+namespace psaflow::serve {
+
+struct DaemonOptions {
+    std::string socket_path;
+    int workers = 2;
+    std::size_t queue_depth = 16;       ///< admission queue capacity
+    long long default_deadline_ms = 0;  ///< applied when a request has none
+    long long recv_timeout_ms = 5000;   ///< cap on mid-frame peer stalls
+    std::string out_root = "designs";   ///< root for relative/absent "out"
+    int session_jobs = 1;               ///< engine jobs per worker session
+    std::string cache_dir;              ///< CAS root ("" = env/default)
+    std::uint64_t cache_max_bytes = 0;
+    bool enable_test_endpoints = false; ///< allow the "sleep" request type
+};
+
+/// Monotonic request/connection tallies, readable while serving.
+struct DaemonCounters {
+    std::uint64_t connections = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;           ///< internal flow failures
+    std::uint64_t bad_requests = 0;
+    std::uint64_t rejected_overload = 0;
+    std::uint64_t deadline_exceeded = 0;
+};
+
+class Daemon {
+public:
+    explicit Daemon(DaemonOptions options);
+    ~Daemon();
+
+    Daemon(const Daemon&) = delete;
+    Daemon& operator=(const Daemon&) = delete;
+
+    /// Bind the socket, create the self-pipe and start the worker pool.
+    /// Returns an error message on failure (daemon unusable afterwards).
+    [[nodiscard]] std::optional<std::string> start();
+
+    /// Accept/serve until notify_shutdown(); returns after a full drain.
+    void run();
+
+    /// Request shutdown. Async-signal-safe (one write(2) to the
+    /// self-pipe); callable from signal handlers and other threads.
+    void notify_shutdown() noexcept;
+
+    /// The stats-endpoint document (also handy for tests and logs).
+    [[nodiscard]] json::Value stats_json();
+
+    [[nodiscard]] DaemonCounters counters() const;
+    [[nodiscard]] const DaemonOptions& options() const { return options_; }
+
+private:
+    struct Job {
+        WireRequest request;
+        CancelToken token; ///< armed at receipt; queue wait counts
+        std::chrono::steady_clock::time_point received;
+        std::promise<std::string> response; ///< serialised response frame
+    };
+
+    void serve_connection(net::Fd conn);
+    void worker_loop();
+    void execute_job(flow::FlowSession& session, Job& job);
+    [[nodiscard]] std::string handle_inline(const WireRequest& request);
+    [[nodiscard]] long long retry_after_ms_hint();
+    void record_outcome(const CompileOutcome& outcome,
+                        std::uint64_t queue_wait_us);
+
+    DaemonOptions options_;
+    net::Fd listen_fd_;
+    net::Fd wake_read_;
+    net::Fd wake_write_;
+    BoundedQueue<std::shared_ptr<Job>> queue_;
+    std::vector<std::thread> workers_;
+    std::vector<std::thread> readers_;
+    std::mutex readers_mu_;
+    std::atomic<bool> shutting_down_{false};
+    std::atomic<std::uint64_t> request_seq_{0};
+    std::atomic<std::size_t> in_flight_{0};
+    std::chrono::steady_clock::time_point started_;
+
+    mutable std::mutex stats_mu_;
+    DaemonCounters counters_;
+    Histogram request_latency_us_;
+    Histogram queue_wait_us_;
+    std::map<std::string, Histogram> task_latency_us_;
+    std::map<std::string, std::uint64_t> flow_counters_;
+};
+
+} // namespace psaflow::serve

@@ -1,0 +1,153 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+
+#include "core/psaflow.hpp"
+#include "support/string_util.hpp"
+#include "support/table.hpp"
+
+namespace psaflow::serve {
+
+namespace {
+
+/// Body of execute_request, running with the request's private registry
+/// already installed; split out so the wrapper can time it and harvest the
+/// registry regardless of how it returns.
+CompileOutcome run_compile(flow::FlowSession& session,
+                           const CompileRequest& req,
+                           const CancelToken* cancel) {
+    CompileOutcome outcome;
+
+    const apps::Application* app = nullptr;
+    try {
+        app = &apps::application_by_name(req.app);
+    } catch (const Error& e) {
+        outcome.error_kind = ErrorKind::BadRequest;
+        outcome.error = e.what();
+        return outcome;
+    }
+
+    RunOptions options;
+    options.mode = req.mode == "informed" ? flow::Mode::Informed
+                                          : flow::Mode::Uninformed;
+    options.budget.max_run_cost = req.budget;
+    options.intensity_threshold_x = req.threshold_x;
+    options.cancel = cancel;
+
+    flow::FlowResult result;
+    try {
+        result = compile(session, *app, options);
+    } catch (const CancelledError& e) {
+        outcome.error_kind = ErrorKind::DeadlineExceeded;
+        outcome.error = std::string("flow failed: ") + e.what();
+        return outcome;
+    } catch (const Error& e) {
+        outcome.error_kind = ErrorKind::Internal;
+        outcome.error = std::string("flow failed: ") + e.what();
+        return outcome;
+    }
+
+    std::filesystem::create_directories(req.out_dir);
+    CsvWriter summary({"design", "target", "device", "synthesizable",
+                       "hotspot_seconds", "speedup_vs_1t", "loc_delta",
+                       "source_file"});
+
+    for (const auto& design : result.designs) {
+        const std::string ext =
+            design.spec.target == codegen::TargetKind::CpuFpga ? ".sycl.cpp"
+            : design.spec.target == codegen::TargetKind::CpuGpu ? ".hip.cpp"
+                                                                : ".cpp";
+        const std::string filename = design.name() + ext;
+        const std::filesystem::path path =
+            std::filesystem::path(req.out_dir) / filename;
+        std::ofstream file(path);
+        if (!file) {
+            outcome.error_kind = ErrorKind::Internal;
+            outcome.error = "cannot write " + path.string();
+            return outcome;
+        }
+        file << design.source;
+
+        summary.add_row({design.name(),
+                         codegen::to_string(design.spec.target),
+                         platform::to_string(design.spec.device),
+                         design.synthesizable ? "yes" : "no",
+                         format_compact(design.hotspot_seconds, 6),
+                         format_compact(design.speedup, 4),
+                         format_compact(design.loc_delta, 4),
+                         filename});
+
+        DesignRow row;
+        row.name = design.name();
+        row.target = codegen::to_string(design.spec.target);
+        row.device = platform::to_string(design.spec.device);
+        row.synthesizable = design.synthesizable;
+        row.hotspot_seconds = design.hotspot_seconds;
+        row.speedup = design.speedup;
+        row.loc_delta = design.loc_delta;
+        row.filename = filename;
+        outcome.designs.push_back(std::move(row));
+
+        if (design.synthesizable && design.speedup > outcome.best_speedup)
+            outcome.best_speedup = design.speedup;
+    }
+
+    const std::filesystem::path summary_path =
+        std::filesystem::path(req.out_dir) / (app->name + "-summary.csv");
+    std::ofstream summary_file(summary_path);
+    summary_file << summary.to_string();
+
+    outcome.ok = true;
+    outcome.error_kind = ErrorKind::None;
+    outcome.design_count = result.designs.size();
+    outcome.reference_seconds = result.reference_seconds;
+    outcome.summary_path = summary_path.string();
+    return outcome;
+}
+
+} // namespace
+
+CompileOutcome execute_request(flow::FlowSession& session,
+                               const CompileRequest& req,
+                               const CancelToken* cancel,
+                               trace::Registry* merge_into) {
+    // A request-armed deadline when no caller token was provided: the CLI
+    // paths land here; the daemon passes its own token, armed at receipt.
+    CancelToken local_token;
+    if (cancel == nullptr && req.deadline_ms > 0) {
+        local_token.set_deadline_after(
+            std::chrono::milliseconds(req.deadline_ms));
+        cancel = &local_token;
+    }
+
+    trace::Registry request_registry;
+    request_registry.set_enabled(trace::Registry::global().enabled());
+
+    const auto start = std::chrono::steady_clock::now();
+    CompileOutcome outcome;
+    {
+        trace::ScopedRegistry scope(request_registry);
+        try {
+            outcome = run_compile(session, req, cancel);
+        } catch (const std::exception& e) {
+            // Belt-and-braces failure isolation: nothing past run_compile's
+            // own handlers may escape into a daemon worker loop.
+            outcome = CompileOutcome{};
+            outcome.error_kind = ErrorKind::Internal;
+            outcome.error = std::string("flow failed: ") + e.what();
+        }
+    }
+    outcome.wall_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+
+    outcome.counters = request_registry.counters();
+    outcome.spans = request_registry.spans();
+    if (merge_into != nullptr) merge_into->merge_from(request_registry);
+    return outcome;
+}
+
+} // namespace psaflow::serve

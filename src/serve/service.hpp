@@ -1,0 +1,73 @@
+// The request executor shared by every entry point.
+//
+// `execute_request` is the single code path that turns a CompileRequest
+// into designs on disk: the daemon's warm workers, `psaflowc --batch` and
+// the single-app CLI all call it, so a request behaves identically however
+// it arrives (satellite: the batch driver and the daemon cannot drift).
+//
+// Each call runs under a private trace::Registry installed as the calling
+// thread's sink, so the outcome carries exactly this request's counters and
+// task spans — concurrent requests in one daemon process cannot bleed
+// metrics into each other — and the private registry is then folded into
+// `merge_into` (typically trace::Registry::global()) so process-wide totals
+// such as `--trace-out` keep accumulating.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "flow/session.hpp"
+#include "serve/request.hpp"
+#include "support/cancel.hpp"
+#include "support/trace.hpp"
+
+namespace psaflow::serve {
+
+/// One generated design, as reported back to the client.
+struct DesignRow {
+    std::string name;
+    std::string target;
+    std::string device;
+    bool synthesizable = false;
+    double hotspot_seconds = 0.0;
+    double speedup = 0.0;
+    double loc_delta = 0.0;
+    std::string filename;
+};
+
+struct CompileOutcome {
+    bool ok = false;
+    ErrorKind error_kind = ErrorKind::None;
+    std::string error;
+
+    std::size_t design_count = 0;
+    double best_speedup = 0.0;
+    double reference_seconds = 0.0;
+    std::string summary_path;
+    std::vector<DesignRow> designs;
+
+    std::uint64_t wall_us = 0; ///< execute_request wall clock
+    /// This request's counters and task spans only (see header comment).
+    std::map<std::string, std::uint64_t> counters;
+    std::vector<trace::Span> spans;
+};
+
+/// Compile `req` through `session`, write the design sources and the
+/// summary CSV under `req.out_dir`, and classify any failure.
+///
+/// `cancel` (nullable, not owned) is threaded through the flow; a fired
+/// token surfaces as ErrorKind::DeadlineExceeded. When `cancel` is null
+/// and `req.deadline_ms > 0`, a token is armed here — entry points that
+/// queue requests (the daemon) instead arm their own token at *receipt*
+/// so queue wait counts against the deadline.
+///
+/// Never throws: all failures land in the outcome, so one bad request
+/// cannot take down a worker (per-request failure isolation).
+[[nodiscard]] CompileOutcome
+execute_request(flow::FlowSession& session, const CompileRequest& req,
+                const CancelToken* cancel = nullptr,
+                trace::Registry* merge_into = &trace::Registry::global());
+
+} // namespace psaflow::serve

@@ -1,0 +1,23 @@
+#include "support/cancel.hpp"
+
+namespace psaflow {
+
+namespace {
+thread_local const CancelToken* tl_token = nullptr;
+} // namespace
+
+void poll_cancellation(const CancelToken* token) {
+    if (token != nullptr && token->cancelled())
+        throw CancelledError(std::string("request ") + token->reason());
+}
+
+const CancelToken* current_cancel_token() noexcept { return tl_token; }
+
+CancelScope::CancelScope(const CancelToken* token) noexcept
+    : previous_(tl_token) {
+    tl_token = token;
+}
+
+CancelScope::~CancelScope() { tl_token = previous_; }
+
+} // namespace psaflow

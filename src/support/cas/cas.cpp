@@ -146,7 +146,7 @@ std::optional<std::uint64_t> parse_hex16(std::string_view s) {
 }
 
 void count(const char* name, std::uint64_t delta) {
-    trace::Registry::global().count(name, delta);
+    trace::Registry::current().count(name, delta);
 }
 
 } // namespace

@@ -1,0 +1,81 @@
+#include "support/histogram.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace psaflow {
+
+namespace {
+int bucket_of(std::uint64_t value) {
+    return value == 0 ? 0 : std::bit_width(value);
+}
+} // namespace
+
+void Histogram::record(std::uint64_t value) {
+    buckets_[static_cast<std::size_t>(bucket_of(value))] += 1;
+    count_ += 1;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void Histogram::merge(const Histogram& other) {
+    for (int b = 0; b < kBuckets; ++b)
+        buckets_[static_cast<std::size_t>(b)] +=
+            other.buckets_[static_cast<std::size_t>(b)];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_ > 0) {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+}
+
+std::uint64_t Histogram::bucket_floor(int bucket) {
+    if (bucket <= 0) return 0;
+    return 1ull << (bucket - 1);
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+    if (count_ == 0) return 0;
+    p = std::clamp(p, 0.0, 100.0);
+    const auto rank = static_cast<std::uint64_t>(
+        p / 100.0 * static_cast<double>(count_ - 1));
+    std::uint64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+        seen += buckets_[static_cast<std::size_t>(b)];
+        if (seen > rank) {
+            // Upper bound of bucket b, clamped to the observed extremes so
+            // p0/p100 report real samples.
+            const std::uint64_t upper =
+                b == 0 ? 0
+                       : (b >= 64 ? UINT64_MAX : (1ull << b) - 1);
+            return std::clamp(upper, min(), max_);
+        }
+    }
+    return max_;
+}
+
+std::string Histogram::to_json() const {
+    std::string out = "{\"count\":" + std::to_string(count_);
+    out += ",\"sum\":" + std::to_string(sum_);
+    out += ",\"min\":" + std::to_string(min());
+    out += ",\"max\":" + std::to_string(max_);
+    out += ",\"p50\":" + std::to_string(percentile(50));
+    out += ",\"p90\":" + std::to_string(percentile(90));
+    out += ",\"p99\":" + std::to_string(percentile(99));
+    out += ",\"buckets\":[";
+    bool first = true;
+    for (int b = 0; b < kBuckets; ++b) {
+        const std::uint64_t n = buckets_[static_cast<std::size_t>(b)];
+        if (n == 0) continue;
+        if (!first) out += ",";
+        first = false;
+        out += "[" + std::to_string(bucket_floor(b)) + "," +
+               std::to_string(n) + "]";
+    }
+    out += "]}";
+    return out;
+}
+
+} // namespace psaflow

@@ -1,0 +1,63 @@
+// Fixed-footprint latency histogram.
+//
+// Power-of-two buckets over unsigned 64-bit samples (microseconds in the
+// serving layer): bucket b holds values whose bit width is b, i.e. the
+// range [2^(b-1), 2^b), with bucket 0 reserved for the value 0. That keeps
+// the whole histogram at 65 counters regardless of range — cheap enough to
+// keep one per flow task in the daemon's metrics plane — while percentile
+// estimates stay within a factor of two of the truth, which is what a
+// "p99 is ~400ms" serving dashboard needs.
+//
+// Not internally synchronised: the daemon mutates histograms under its own
+// stats mutex, and request-local histograms are single-threaded.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace psaflow {
+
+class Histogram {
+public:
+    static constexpr int kBuckets = 65; ///< bit_width(uint64) + 1
+
+    void record(std::uint64_t value);
+    /// Pointwise sum of two histograms (counts, sum, min/max).
+    void merge(const Histogram& other);
+
+    [[nodiscard]] std::uint64_t count() const { return count_; }
+    [[nodiscard]] std::uint64_t sum() const { return sum_; }
+    /// Smallest / largest recorded sample (0 when empty).
+    [[nodiscard]] std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+    [[nodiscard]] std::uint64_t max() const { return max_; }
+    [[nodiscard]] double mean() const {
+        return count_ == 0 ? 0.0
+                           : static_cast<double>(sum_) /
+                                 static_cast<double>(count_);
+    }
+
+    /// Upper bound of the bucket containing the p-th percentile (p in
+    /// [0, 100]); 0 when empty. Exact for the extremes (clamped to the
+    /// recorded min/max), otherwise right to within the bucket's 2x width.
+    [[nodiscard]] std::uint64_t percentile(double p) const;
+
+    [[nodiscard]] std::uint64_t bucket_count(int bucket) const {
+        return buckets_.at(static_cast<std::size_t>(bucket));
+    }
+    /// Inclusive lower bound of a bucket's value range.
+    [[nodiscard]] static std::uint64_t bucket_floor(int bucket);
+
+    /// Compact JSON: {"count":N,"sum":N,"min":N,"max":N,"p50":N,"p90":N,
+    /// "p99":N,"buckets":[[floor,count],...]} with empty buckets elided.
+    [[nodiscard]] std::string to_json() const;
+
+private:
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = UINT64_MAX;
+    std::uint64_t max_ = 0;
+};
+
+} // namespace psaflow

@@ -1,9 +1,67 @@
 #include "support/json.hpp"
 
 #include <cctype>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <sstream>
+
+#include "support/error.hpp"
 
 namespace psaflow::json {
+
+Value Value::null() { return Value{}; }
+
+Value Value::boolean(bool v) {
+    Value out;
+    out.kind = Kind::Bool;
+    out.bool_value = v;
+    return out;
+}
+
+Value Value::number(double v) {
+    Value out;
+    out.kind = Kind::Number;
+    out.number_value = v;
+    return out;
+}
+
+Value Value::string(std::string v) {
+    Value out;
+    out.kind = Kind::String;
+    out.string_value = std::move(v);
+    return out;
+}
+
+Value Value::array() {
+    Value out;
+    out.kind = Kind::Array;
+    return out;
+}
+
+Value Value::object() {
+    Value out;
+    out.kind = Kind::Object;
+    return out;
+}
+
+Value& Value::set(std::string key, Value v) {
+    ensure(kind == Kind::Object, "json::Value::set on a non-object");
+    for (auto& [name, value] : members) {
+        if (name == key) {
+            value = std::move(v);
+            return *this;
+        }
+    }
+    members.emplace_back(std::move(key), std::move(v));
+    return *this;
+}
+
+Value& Value::push(Value v) {
+    ensure(kind == Kind::Array, "json::Value::push on a non-array");
+    elements.push_back(std::move(v));
+    return *this;
+}
 
 const Value* Value::find(std::string_view key) const {
     if (kind != Kind::Object) return nullptr;
@@ -261,6 +319,84 @@ private:
 std::optional<Value> parse(std::string_view text, std::string* error) {
     if (error != nullptr) error->clear();
     return Parser(text, error).run();
+}
+
+namespace {
+
+void dump_string(std::string& out, const std::string& s) {
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+void dump_number(std::string& out, double v) {
+    if (!std::isfinite(v)) {
+        out += "null";
+        return;
+    }
+    if (v == std::floor(v) && std::abs(v) < 1e15) {
+        out += std::to_string(static_cast<long long>(v));
+        return;
+    }
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    out += os.str();
+}
+
+void dump_value(std::string& out, const Value& value) {
+    switch (value.kind) {
+        case Value::Kind::Null: out += "null"; break;
+        case Value::Kind::Bool: out += value.bool_value ? "true" : "false"; break;
+        case Value::Kind::Number: dump_number(out, value.number_value); break;
+        case Value::Kind::String: dump_string(out, value.string_value); break;
+        case Value::Kind::Array: {
+            out += '[';
+            for (std::size_t i = 0; i < value.elements.size(); ++i) {
+                if (i > 0) out += ',';
+                dump_value(out, value.elements[i]);
+            }
+            out += ']';
+            break;
+        }
+        case Value::Kind::Object: {
+            out += '{';
+            for (std::size_t i = 0; i < value.members.size(); ++i) {
+                if (i > 0) out += ',';
+                dump_string(out, value.members[i].first);
+                out += ':';
+                dump_value(out, value.members[i].second);
+            }
+            out += '}';
+            break;
+        }
+    }
+}
+
+} // namespace
+
+std::string dump(const Value& value) {
+    std::string out;
+    dump_value(out, value);
+    return out;
 }
 
 } // namespace psaflow::json

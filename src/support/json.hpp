@@ -1,8 +1,11 @@
-// A minimal JSON reader for machine-readable tool inputs — first consumer:
-// `psaflowc --batch manifest.json`. The trace registry already *writes*
-// JSON (support/trace); this is the matching parse side, deliberately
-// small: UTF-8 pass-through, \uXXXX escapes decoded as Latin-1/BMP code
-// points, numbers as double. Parse errors carry a byte offset.
+// A minimal JSON reader and writer for machine-readable tool I/O — the
+// reader's first consumer was `psaflowc --batch manifest.json`, and the
+// serving layer's wire protocol (serve/protocol) both parses and emits
+// documents through it. Deliberately small: UTF-8 pass-through, \uXXXX
+// escapes decoded as Latin-1/BMP code points, numbers as double. Parse
+// errors carry a byte offset. dump() round-trips through parse(): object
+// member order is preserved, integral numbers print without an exponent,
+// the rest in shortest-round-trip form.
 #pragma once
 
 #include <optional>
@@ -31,6 +34,20 @@ public:
     [[nodiscard]] bool is_number() const { return kind == Kind::Number; }
     [[nodiscard]] bool is_bool() const { return kind == Kind::Bool; }
 
+    // Construction helpers for the write side.
+    [[nodiscard]] static Value null();
+    [[nodiscard]] static Value boolean(bool v);
+    [[nodiscard]] static Value number(double v);
+    [[nodiscard]] static Value string(std::string v);
+    [[nodiscard]] static Value array();
+    [[nodiscard]] static Value object();
+
+    /// Object member insert-or-replace; returns *this for chaining.
+    /// Asserts (via Error) when called on a non-object.
+    Value& set(std::string key, Value v);
+    /// Array append; asserts (via Error) when called on a non-array.
+    Value& push(Value v);
+
     /// Object member lookup; nullptr when absent or not an object.
     [[nodiscard]] const Value* find(std::string_view key) const;
 
@@ -46,5 +63,10 @@ public:
 /// stores a message with the byte offset of the problem.
 [[nodiscard]] std::optional<Value> parse(std::string_view text,
                                          std::string* error = nullptr);
+
+/// Serialise a document: compact single-line output, member order
+/// preserved, strings escaped, NaN/Inf rendered as null (JSON has no
+/// spelling for them).
+[[nodiscard]] std::string dump(const Value& value);
 
 } // namespace psaflow::json

@@ -1,0 +1,215 @@
+#include "support/net.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace psaflow::net {
+
+void Fd::reset(int fd) {
+    if (fd_ >= 0) {
+        // Retrying close on EINTR is wrong on Linux (the fd is gone either
+        // way); a single close is the portable-enough behaviour here.
+        ::close(fd_);
+    }
+    fd_ = fd;
+}
+
+bool read_exact(int fd, void* buf, std::size_t size, std::size_t* got) {
+    auto* out = static_cast<unsigned char*>(buf);
+    std::size_t done = 0;
+    while (done < size) {
+        const ssize_t n = ::read(fd, out + done, size - done);
+        if (n > 0) {
+            done += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n == 0) errno = 0; // clean EOF — read(2) leaves errno untouched
+        break;
+    }
+    if (got != nullptr) *got = done;
+    return done == size;
+}
+
+bool write_exact(int fd, const void* buf, std::size_t size) {
+    const auto* data = static_cast<const unsigned char*>(buf);
+    std::size_t done = 0;
+    while (done < size) {
+        ssize_t n = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+        if (n < 0 && errno == ENOTSOCK)
+            n = ::write(fd, data + done, size - done);
+        if (n > 0) {
+            done += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        return false;
+    }
+    return true;
+}
+
+const char* to_string(FrameStatus status) {
+    switch (status) {
+        case FrameStatus::Ok: return "ok";
+        case FrameStatus::Eof: return "eof";
+        case FrameStatus::Torn: return "torn frame";
+        case FrameStatus::TooLarge: return "frame too large";
+        case FrameStatus::Error: return "read error";
+    }
+    return "?";
+}
+
+namespace {
+void store_u32(unsigned char* out, std::uint32_t v) {
+    out[0] = static_cast<unsigned char>(v);
+    out[1] = static_cast<unsigned char>(v >> 8);
+    out[2] = static_cast<unsigned char>(v >> 16);
+    out[3] = static_cast<unsigned char>(v >> 24);
+}
+
+std::uint32_t load_u32(const unsigned char* in) {
+    return static_cast<std::uint32_t>(in[0]) |
+           static_cast<std::uint32_t>(in[1]) << 8 |
+           static_cast<std::uint32_t>(in[2]) << 16 |
+           static_cast<std::uint32_t>(in[3]) << 24;
+}
+} // namespace
+
+FrameStatus read_frame(int fd, std::string& payload) {
+    unsigned char header[8];
+    std::size_t got = 0;
+    if (!read_exact(fd, header, sizeof header, &got)) {
+        if (got == 0) // errno == 0 marks clean EOF (see read_exact)
+            return errno == 0 ? FrameStatus::Eof : FrameStatus::Error;
+        return FrameStatus::Torn;
+    }
+    if (load_u32(header) != kFrameMagic) return FrameStatus::Torn;
+    const std::uint32_t length = load_u32(header + 4);
+    if (length > kMaxFramePayload) return FrameStatus::TooLarge;
+    payload.resize(length);
+    if (length > 0 && !read_exact(fd, payload.data(), length))
+        return FrameStatus::Torn;
+    return FrameStatus::Ok;
+}
+
+bool write_frame(int fd, std::string_view payload) {
+    if (payload.size() > kMaxFramePayload) return false;
+    unsigned char header[8];
+    store_u32(header, kFrameMagic);
+    store_u32(header + 4, static_cast<std::uint32_t>(payload.size()));
+    return write_exact(fd, header, sizeof header) &&
+           write_exact(fd, payload.data(), payload.size());
+}
+
+namespace {
+bool fill_unix_addr(const std::string& path, sockaddr_un& addr,
+                    std::string* error) {
+    if (path.empty() || path.size() >= sizeof addr.sun_path) {
+        if (error != nullptr)
+            *error = "socket path '" + path + "' is empty or too long (max " +
+                     std::to_string(sizeof addr.sun_path - 1) + " bytes)";
+        return false;
+    }
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+std::string errno_message(const std::string& what) {
+    return what + ": " + std::strerror(errno);
+}
+} // namespace
+
+Fd listen_unix(const std::string& path, int backlog, std::string* error) {
+    sockaddr_un addr;
+    if (!fill_unix_addr(path, addr, error)) return Fd();
+
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        if (error != nullptr) *error = errno_message("socket");
+        return Fd();
+    }
+    ::unlink(path.c_str()); // stale socket file from a crashed daemon
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0) {
+        if (error != nullptr) *error = errno_message("bind '" + path + "'");
+        return Fd();
+    }
+    if (::listen(fd.get(), backlog) != 0) {
+        if (error != nullptr) *error = errno_message("listen '" + path + "'");
+        return Fd();
+    }
+    return fd;
+}
+
+Fd connect_unix(const std::string& path, std::string* error) {
+    sockaddr_un addr;
+    if (!fill_unix_addr(path, addr, error)) return Fd();
+
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        if (error != nullptr) *error = errno_message("socket");
+        return Fd();
+    }
+    int rc;
+    do {
+        rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof addr);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) {
+        if (error != nullptr) *error = errno_message("connect '" + path + "'");
+        return Fd();
+    }
+    return fd;
+}
+
+Fd accept_connection(int listen_fd) {
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0) return Fd(fd);
+        if (errno != EINTR) return Fd();
+    }
+}
+
+bool socket_pair(Fd& a, Fd& b) {
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return false;
+    a.reset(fds[0]);
+    b.reset(fds[1]);
+    return true;
+}
+
+void set_recv_timeout(int fd, long long ms) {
+    timeval tv{};
+    if (ms > 0) {
+        tv.tv_sec = static_cast<time_t>(ms / 1000);
+        tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+    }
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+}
+
+int wait_readable(int fd_a, int fd_b, int timeout_ms) {
+    pollfd fds[2];
+    nfds_t n = 0;
+    if (fd_a >= 0) fds[n++] = pollfd{fd_a, POLLIN, 0};
+    if (fd_b >= 0) fds[n++] = pollfd{fd_b, POLLIN, 0};
+    if (n == 0) return -1;
+    for (;;) {
+        const int rc = ::poll(fds, n, timeout_ms);
+        if (rc < 0 && errno == EINTR) continue;
+        if (rc <= 0) return -1;
+        for (nfds_t i = 0; i < n; ++i) {
+            if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+                return fds[i].fd;
+        }
+        return -1;
+    }
+}
+
+} // namespace psaflow::net

@@ -1,0 +1,106 @@
+// EINTR-safe framed-socket I/O for the serving layer.
+//
+// psaflowd speaks length-prefixed JSON frames over Unix-domain stream
+// sockets. This header owns everything POSIX about that: file-descriptor
+// RAII, full-buffer read/write loops that retry on EINTR and partial
+// transfers, the frame codec (8-byte header: "PSAF" magic + u32 LE payload
+// length, then the payload), and the listen/connect/socketpair plumbing.
+// Nothing here knows about JSON or the request schema — serve/protocol
+// layers that on top.
+//
+// Frame reading is deliberately paranoid: a torn header, a bad magic, an
+// over-long length and a truncated payload are all distinct, non-throwing
+// outcomes (FrameStatus), because a network peer's malformed bytes are an
+// expected input, not a programming error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace psaflow::net {
+
+/// Move-only owner of a POSIX file descriptor.
+class Fd {
+public:
+    Fd() = default;
+    explicit Fd(int fd) : fd_(fd) {}
+    ~Fd() { reset(); }
+
+    Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Fd& operator=(Fd&& other) noexcept {
+        if (this != &other) {
+            reset();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+        }
+        return *this;
+    }
+    Fd(const Fd&) = delete;
+    Fd& operator=(const Fd&) = delete;
+
+    [[nodiscard]] int get() const { return fd_; }
+    [[nodiscard]] bool valid() const { return fd_ >= 0; }
+    /// Give up ownership without closing.
+    [[nodiscard]] int release() {
+        const int fd = fd_;
+        fd_ = -1;
+        return fd;
+    }
+    void reset(int fd = -1);
+
+private:
+    int fd_ = -1;
+};
+
+/// Read exactly `size` bytes, retrying on EINTR and short reads. Returns
+/// false on EOF or error; `*got` (optional) receives the byte count
+/// actually read, so callers can tell clean EOF (0) from a torn transfer.
+/// On clean EOF errno is set to 0 (read(2) leaves it untouched), so
+/// `!ok && got == 0 && errno == 0` identifies an orderly close.
+bool read_exact(int fd, void* buf, std::size_t size,
+                std::size_t* got = nullptr);
+
+/// Write exactly `size` bytes, retrying on EINTR and short writes. Uses
+/// send(MSG_NOSIGNAL) on sockets so a vanished peer yields EPIPE instead
+/// of killing the process.
+bool write_exact(int fd, const void* buf, std::size_t size);
+
+inline constexpr std::uint32_t kFrameMagic = 0x50534146u; ///< "FASP" LE → "PSAF"
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;
+
+enum class FrameStatus {
+    Ok,       ///< payload filled
+    Eof,      ///< clean close before any header byte
+    Torn,     ///< header or payload truncated, or bad magic
+    TooLarge, ///< declared length exceeds kMaxFramePayload
+    Error,    ///< read error (errno preserved), e.g. a receive timeout
+};
+[[nodiscard]] const char* to_string(FrameStatus status);
+
+[[nodiscard]] FrameStatus read_frame(int fd, std::string& payload);
+[[nodiscard]] bool write_frame(int fd, std::string_view payload);
+
+/// Bind + listen on a Unix-domain stream socket at `path` (unlinking a
+/// stale socket file first). Invalid Fd + `*error` message on failure.
+[[nodiscard]] Fd listen_unix(const std::string& path, int backlog,
+                             std::string* error);
+
+/// Connect to the daemon's socket. Invalid Fd + `*error` on failure.
+[[nodiscard]] Fd connect_unix(const std::string& path, std::string* error);
+
+/// accept(2) with EINTR retry; invalid Fd on error.
+[[nodiscard]] Fd accept_connection(int listen_fd);
+
+/// AF_UNIX stream socketpair (tests and in-process loopback).
+[[nodiscard]] bool socket_pair(Fd& a, Fd& b);
+
+/// SO_RCVTIMEO; `ms <= 0` clears the timeout.
+void set_recv_timeout(int fd, long long ms);
+
+/// Block until `fd_a` or `fd_b` (pass -1 to ignore one) is readable.
+/// Returns the readable fd, or -1 on timeout/error. `timeout_ms < 0`
+/// blocks indefinitely. EINTR retries.
+[[nodiscard]] int wait_readable(int fd_a, int fd_b, int timeout_ms);
+
+} // namespace psaflow::net

@@ -27,13 +27,29 @@ ThreadPool::ThreadPool(int threads) {
         workers_.emplace_back([this] { worker_loop(); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+    std::vector<std::thread> workers;
     {
         std::lock_guard lock(mu_);
         stop_ = true;
+        // Claim the workers under the lock so concurrent shutdown calls
+        // cannot double-join.
+        workers.swap(workers_);
     }
     cv_.notify_all();
-    for (std::thread& w : workers_) w.join();
+    for (std::thread& w : workers) w.join();
+    // Belt and braces: a submitter racing the stop flag may have pushed
+    // after the workers drained on their way out — run the leftovers here
+    // so no job is silently dropped.
+    while (try_run_one()) {
+    }
+}
+
+bool ThreadPool::stopped() const {
+    std::lock_guard lock(mu_);
+    return stop_;
 }
 
 void ThreadPool::worker_loop() {
@@ -68,20 +84,28 @@ void TaskGroup::run(std::function<void()> fn) {
         std::lock_guard lock(mu_);
         index = submitted_++;
     }
+    std::function<void()> wrapped =
+        [this, index, fn = std::move(fn)]() noexcept {
+            std::exception_ptr error;
+            try {
+                fn();
+            } catch (...) {
+                error = std::current_exception();
+            }
+            finish_one(index, error);
+        };
     {
-        std::lock_guard lock(pool_.mu_);
-        pool_.queue_.push_back(ThreadPool::Job{
-            [this, index, fn = std::move(fn)]() noexcept {
-                std::exception_ptr error;
-                try {
-                    fn();
-                } catch (...) {
-                    error = std::current_exception();
-                }
-                finish_one(index, error);
-            }});
+        std::unique_lock lock(pool_.mu_);
+        if (!pool_.stop_) {
+            pool_.queue_.push_back(ThreadPool::Job{std::move(wrapped)});
+            lock.unlock();
+            pool_.cv_.notify_one();
+            return;
+        }
     }
-    pool_.cv_.notify_one();
+    // The pool is shutting down (or gone quiet): run the job inline so it
+    // is neither dropped nor left to deadlock a wait() on a dead pool.
+    wrapped();
 }
 
 void TaskGroup::finish_one(std::size_t index,

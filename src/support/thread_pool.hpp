@@ -39,6 +39,17 @@ public:
 
     [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
 
+    /// Stop the workers and drain the queue. Safe to call concurrently with
+    /// TaskGroup::run: jobs enqueued before the stop flag is visible are
+    /// executed by the exiting workers or by the drain below, and jobs
+    /// submitted after it run inline on the submitting thread — no job is
+    /// ever dropped and no waiter can deadlock on a dead pool. Idempotent;
+    /// the destructor calls it.
+    void shutdown();
+
+    /// True once shutdown has begun; submissions now run inline.
+    [[nodiscard]] bool stopped() const;
+
 private:
     friend class TaskGroup;
 
@@ -50,7 +61,7 @@ private:
     /// Pop one job if available; returns false when the queue is empty.
     bool try_run_one();
 
-    std::mutex mu_;
+    mutable std::mutex mu_;
     std::condition_variable cv_;
     std::deque<Job> queue_;
     std::vector<std::thread> workers_;

@@ -63,6 +63,10 @@ std::string format_work_units(double units) {
 
 } // namespace
 
+namespace {
+thread_local Registry* tl_registry = nullptr;
+} // namespace
+
 Registry::Registry() {
     epoch_ns_ = steady_ns();
     if (const char* env = std::getenv("PSAFLOW_TRACE"))
@@ -73,6 +77,17 @@ Registry& Registry::global() {
     static Registry registry;
     return registry;
 }
+
+Registry& Registry::current() {
+    return tl_registry != nullptr ? *tl_registry : global();
+}
+
+ScopedRegistry::ScopedRegistry(Registry& registry) noexcept
+    : previous_(tl_registry) {
+    tl_registry = &registry;
+}
+
+ScopedRegistry::~ScopedRegistry() { tl_registry = previous_; }
 
 void Registry::set_enabled(bool on) {
     std::lock_guard lock(mu_);
@@ -128,6 +143,30 @@ std::uint64_t Registry::now_us() const {
     return delta <= 0 ? 0 : static_cast<std::uint64_t>(delta / 1000);
 }
 
+void Registry::merge_from(const Registry& other) {
+    std::vector<Span> spans;
+    std::map<std::string, std::uint64_t> counters;
+    std::int64_t other_epoch;
+    {
+        std::lock_guard lock(other.mu_);
+        spans = other.spans_;
+        counters = other.counters_;
+        other_epoch = other.epoch_ns_;
+    }
+    std::lock_guard lock(mu_);
+    // Re-base span starts: `other` started its clock later than (or at)
+    // this registry's epoch; shift by the epoch delta so merged spans sit
+    // on this registry's timeline.
+    const std::int64_t delta_us = (other_epoch - epoch_ns_) / 1000;
+    for (Span& span : spans) {
+        const std::int64_t start =
+            static_cast<std::int64_t>(span.start_us) + delta_us;
+        span.start_us = start > 0 ? static_cast<std::uint64_t>(start) : 0;
+        spans_.push_back(std::move(span));
+    }
+    for (const auto& [name, value] : counters) counters_[name] += value;
+}
+
 std::string Registry::to_json() const {
     std::vector<Span> spans;
     std::map<std::string, std::uint64_t> counters;
@@ -167,15 +206,15 @@ std::string Registry::to_json() const {
 }
 
 ScopedSpan::ScopedSpan(std::string name, std::string category)
-    : name_(std::move(name)), category_(std::move(category)) {
-    Registry& reg = Registry::global();
-    active_ = reg.enabled();
-    if (active_) start_us_ = reg.now_us();
+    : registry_(&Registry::current()), name_(std::move(name)),
+      category_(std::move(category)) {
+    active_ = registry_->enabled();
+    if (active_) start_us_ = registry_->now_us();
 }
 
 ScopedSpan::~ScopedSpan() {
     if (!active_) return;
-    Registry& reg = Registry::global();
+    Registry& reg = *registry_;
     Span span;
     span.name = std::move(name_);
     span.category = std::move(category_);

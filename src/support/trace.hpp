@@ -37,7 +37,19 @@ struct Span {
 
 class Registry {
 public:
+    /// A private registry (empty, span clock starting now). The serving
+    /// layer creates one per request so concurrent clients' metrics cannot
+    /// bleed into each other; install it with ScopedRegistry.
+    Registry();
+
     [[nodiscard]] static Registry& global();
+
+    /// The calling thread's recording sink: the innermost ScopedRegistry,
+    /// or global() when none is installed. Every producer (spans, flow/
+    /// interp/cache counters) records through current(), so one request's
+    /// work — including branch-path jobs, which re-install their parent's
+    /// sink on the pool thread — lands in that request's registry.
+    [[nodiscard]] static Registry& current();
 
     /// Span collection toggle (counters stay on). Initialised from the
     /// PSAFLOW_TRACE environment variable ("0" disables).
@@ -61,9 +73,13 @@ public:
     /// Serialise spans + counters using the schema above.
     [[nodiscard]] std::string to_json() const;
 
-private:
-    Registry();
+    /// Fold `other` into this registry: counters add, spans append with
+    /// their start offsets re-based onto this registry's span clock. The
+    /// batch driver and the daemon merge each request's private registry
+    /// into global() so process-wide totals (--trace-out) still accumulate.
+    void merge_from(const Registry& other);
 
+private:
     mutable std::mutex mu_;
     bool enabled_ = true;
     std::int64_t epoch_ns_ = 0;
@@ -85,11 +101,26 @@ public:
     void set_work_units(double units) { work_units_ = units; }
 
 private:
+    Registry* registry_ = nullptr; ///< sink captured at construction
     bool active_ = false;
     std::string name_;
     std::string category_;
     std::uint64_t start_us_ = 0;
     double work_units_ = 0.0;
+};
+
+/// RAII install of `registry` as the calling thread's recording sink
+/// (Registry::current()); restores the previous sink on destruction.
+class ScopedRegistry {
+public:
+    explicit ScopedRegistry(Registry& registry) noexcept;
+    ~ScopedRegistry();
+
+    ScopedRegistry(const ScopedRegistry&) = delete;
+    ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+private:
+    Registry* previous_;
 };
 
 } // namespace psaflow::trace

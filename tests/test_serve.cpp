@@ -1,0 +1,661 @@
+// Serving-layer tests: framing, protocol, admission queue, cancellation,
+// the shared request executor, and a full in-process daemon end-to-end.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "support/cancel.hpp"
+#include "support/histogram.hpp"
+#include "support/net.hpp"
+
+namespace psaflow {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------- framing ----
+
+TEST(Net, FrameRoundTrip) {
+    net::Fd a, b;
+    ASSERT_TRUE(net::socket_pair(a, b));
+    const std::string message = "{\"type\":\"ping\"}";
+    ASSERT_TRUE(net::write_frame(a.get(), message));
+
+    std::string payload;
+    EXPECT_EQ(net::read_frame(b.get(), payload), net::FrameStatus::Ok);
+    EXPECT_EQ(payload, message);
+}
+
+TEST(Net, FrameSurvivesDribbledOneByteWrites) {
+    net::Fd a, b;
+    ASSERT_TRUE(net::socket_pair(a, b));
+    const std::string message = "dribbled payload";
+
+    std::thread writer([&] {
+        // Rebuild the frame by hand and push it one byte at a time, so the
+        // reader sees maximally torn reads.
+        std::string frame;
+        const std::uint32_t magic = net::kFrameMagic;
+        const std::uint32_t length =
+            static_cast<std::uint32_t>(message.size());
+        for (int i = 0; i < 4; ++i)
+            frame.push_back(static_cast<char>((magic >> (8 * i)) & 0xff));
+        for (int i = 0; i < 4; ++i)
+            frame.push_back(static_cast<char>((length >> (8 * i)) & 0xff));
+        frame += message;
+        for (char c : frame) {
+            ASSERT_TRUE(net::write_exact(a.get(), &c, 1));
+            std::this_thread::sleep_for(std::chrono::microseconds(100));
+        }
+        a.reset();
+    });
+
+    std::string payload;
+    EXPECT_EQ(net::read_frame(b.get(), payload), net::FrameStatus::Ok);
+    EXPECT_EQ(payload, message);
+    writer.join();
+}
+
+TEST(Net, CleanCloseIsEofTruncatedFrameIsTorn) {
+    {
+        net::Fd a, b;
+        ASSERT_TRUE(net::socket_pair(a, b));
+        a.reset(); // close without sending anything
+        std::string payload;
+        EXPECT_EQ(net::read_frame(b.get(), payload), net::FrameStatus::Eof);
+    }
+    {
+        net::Fd a, b;
+        ASSERT_TRUE(net::socket_pair(a, b));
+        // Half a header, then close.
+        const char half[4] = {'F', 'A', 'S', 'P'};
+        ASSERT_TRUE(net::write_exact(a.get(), half, sizeof half));
+        a.reset();
+        std::string payload;
+        EXPECT_EQ(net::read_frame(b.get(), payload), net::FrameStatus::Torn);
+    }
+    {
+        net::Fd a, b;
+        ASSERT_TRUE(net::socket_pair(a, b));
+        // A full header promising bytes that never arrive.
+        std::string frame;
+        const std::uint32_t magic = net::kFrameMagic;
+        const std::uint32_t length = 64;
+        for (int i = 0; i < 4; ++i)
+            frame.push_back(static_cast<char>((magic >> (8 * i)) & 0xff));
+        for (int i = 0; i < 4; ++i)
+            frame.push_back(static_cast<char>((length >> (8 * i)) & 0xff));
+        frame += "only a few bytes";
+        ASSERT_TRUE(net::write_exact(a.get(), frame.data(), frame.size()));
+        a.reset();
+        std::string payload;
+        EXPECT_EQ(net::read_frame(b.get(), payload), net::FrameStatus::Torn);
+    }
+}
+
+TEST(Net, BadMagicAndOversizedLengthAreRejected) {
+    {
+        net::Fd a, b;
+        ASSERT_TRUE(net::socket_pair(a, b));
+        const char junk[8] = {'j', 'u', 'n', 'k', 0, 0, 0, 1};
+        ASSERT_TRUE(net::write_exact(a.get(), junk, sizeof junk));
+        std::string payload;
+        EXPECT_EQ(net::read_frame(b.get(), payload), net::FrameStatus::Torn);
+    }
+    {
+        net::Fd a, b;
+        ASSERT_TRUE(net::socket_pair(a, b));
+        std::string frame;
+        const std::uint32_t magic = net::kFrameMagic;
+        const std::uint32_t length = net::kMaxFramePayload + 1;
+        for (int i = 0; i < 4; ++i)
+            frame.push_back(static_cast<char>((magic >> (8 * i)) & 0xff));
+        for (int i = 0; i < 4; ++i)
+            frame.push_back(static_cast<char>((length >> (8 * i)) & 0xff));
+        ASSERT_TRUE(net::write_exact(a.get(), frame.data(), frame.size()));
+        std::string payload;
+        EXPECT_EQ(net::read_frame(b.get(), payload),
+                  net::FrameStatus::TooLarge);
+    }
+}
+
+TEST(Net, PipelinedFramesReadBackInOrder) {
+    net::Fd a, b;
+    ASSERT_TRUE(net::socket_pair(a, b));
+    for (int i = 0; i < 16; ++i)
+        ASSERT_TRUE(net::write_frame(a.get(), "frame-" + std::to_string(i)));
+    for (int i = 0; i < 16; ++i) {
+        std::string payload;
+        ASSERT_EQ(net::read_frame(b.get(), payload), net::FrameStatus::Ok);
+        EXPECT_EQ(payload, "frame-" + std::to_string(i));
+    }
+}
+
+// -------------------------------------------------------------- histogram ----
+
+TEST(Histogram, RecordsCountsSumsAndExtremes) {
+    Histogram hist;
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_EQ(hist.percentile(50), 0u);
+    for (std::uint64_t v : {3u, 5u, 1000u, 0u}) hist.record(v);
+    EXPECT_EQ(hist.count(), 4u);
+    EXPECT_EQ(hist.sum(), 1008u);
+    EXPECT_EQ(hist.min(), 0u);
+    EXPECT_EQ(hist.max(), 1000u);
+}
+
+TEST(Histogram, PercentilesClampToObservedRange) {
+    Histogram hist;
+    for (int i = 0; i < 100; ++i) hist.record(100);
+    // All mass in one bucket: every percentile must report a value between
+    // min and the bucket cap, clamped to max.
+    EXPECT_EQ(hist.percentile(0), 100u);
+    EXPECT_EQ(hist.percentile(100), 100u);
+    EXPECT_LE(hist.percentile(50), 127u);
+    EXPECT_GE(hist.percentile(50), 100u);
+}
+
+TEST(Histogram, MergeIsPointwise) {
+    Histogram a, b;
+    a.record(10);
+    b.record(1000);
+    b.record(2);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.sum(), 1012u);
+    EXPECT_EQ(a.min(), 2u);
+    EXPECT_EQ(a.max(), 1000u);
+}
+
+// ------------------------------------------------------------------ queue ----
+
+TEST(BoundedQueue, RejectsWhenFullAndRecoversAfterPop) {
+    serve::BoundedQueue<int> queue(2);
+    EXPECT_TRUE(queue.try_push(1));
+    EXPECT_TRUE(queue.try_push(2));
+    EXPECT_FALSE(queue.try_push(3)); // full: the backpressure signal
+    EXPECT_EQ(queue.depth(), 2u);
+    EXPECT_EQ(queue.pop().value(), 1);
+    EXPECT_TRUE(queue.try_push(3));
+}
+
+TEST(BoundedQueue, CloseDrainsAdmittedItemsThenSignalsExit) {
+    serve::BoundedQueue<int> queue(4);
+    EXPECT_TRUE(queue.try_push(1));
+    EXPECT_TRUE(queue.try_push(2));
+    queue.close();
+    EXPECT_FALSE(queue.try_push(3)); // no admissions after close
+    EXPECT_EQ(queue.pop().value(), 1);
+    EXPECT_EQ(queue.pop().value(), 2);
+    EXPECT_FALSE(queue.pop().has_value()); // closed and drained
+}
+
+TEST(BoundedQueue, CloseWakesBlockedPoppers) {
+    serve::BoundedQueue<int> queue(1);
+    std::atomic<int> woke{0};
+    std::vector<std::thread> poppers;
+    for (int i = 0; i < 4; ++i)
+        poppers.emplace_back([&] {
+            while (queue.pop().has_value()) {
+            }
+            woke.fetch_add(1);
+        });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    queue.close();
+    for (std::thread& t : poppers) t.join();
+    EXPECT_EQ(woke.load(), 4);
+}
+
+// ----------------------------------------------------------- cancellation ----
+
+TEST(Cancel, TokenFlagAndDeadline) {
+    CancelToken token;
+    EXPECT_FALSE(token.cancelled());
+    token.set_deadline_after(std::chrono::hours(1));
+    EXPECT_FALSE(token.cancelled());
+    token.cancel();
+    EXPECT_TRUE(token.cancelled());
+
+    CancelToken expired;
+    expired.set_deadline_after(std::chrono::nanoseconds(1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    EXPECT_TRUE(expired.cancelled());
+}
+
+TEST(Cancel, PollThrowsForFiredTokenOnly) {
+    EXPECT_NO_THROW(poll_cancellation(nullptr));
+    CancelToken token;
+    EXPECT_NO_THROW(poll_cancellation(&token));
+    token.cancel();
+    EXPECT_THROW(poll_cancellation(&token), CancelledError);
+}
+
+TEST(Cancel, ScopeInstallsAmbientToken) {
+    CancelToken token;
+    token.cancel();
+    EXPECT_NO_THROW(poll_cancellation()); // nothing installed
+    {
+        CancelScope scope(&token);
+        EXPECT_EQ(current_cancel_token(), &token);
+        EXPECT_THROW(poll_cancellation(), CancelledError);
+    }
+    EXPECT_EQ(current_cancel_token(), nullptr);
+}
+
+// --------------------------------------------------------------- protocol ----
+
+TEST(Protocol, ParsesCompileRequestWithManifestFields) {
+    const auto doc = json::parse(
+        R"({"type":"compile","app":"nbody","mode":"uninformed",
+            "budget":0.25,"threshold_x":2.5,"out":"x","deadline_ms":40})");
+    ASSERT_TRUE(doc.has_value());
+    serve::WireRequest request;
+    EXPECT_FALSE(serve::parse_wire_request(*doc, request).has_value());
+    EXPECT_EQ(request.type, serve::RequestType::Compile);
+    EXPECT_EQ(request.compile.app, "nbody");
+    EXPECT_EQ(request.compile.mode, "uninformed");
+    EXPECT_DOUBLE_EQ(request.compile.budget, 0.25);
+    EXPECT_DOUBLE_EQ(request.compile.threshold_x, 2.5);
+    EXPECT_EQ(request.compile.out_dir, "x");
+    EXPECT_EQ(request.compile.deadline_ms, 40);
+}
+
+TEST(Protocol, RejectsUnknownTypeMissingAppAndBadMode) {
+    serve::WireRequest request;
+    auto doc = json::parse(R"({"type":"frobnicate"})");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_TRUE(serve::parse_wire_request(*doc, request).has_value());
+
+    doc = json::parse(R"({"type":"compile"})");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_TRUE(serve::parse_wire_request(*doc, request).has_value());
+
+    doc = json::parse(R"({"type":"compile","app":"nbody","mode":"bogus"})");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_TRUE(serve::parse_wire_request(*doc, request).has_value());
+}
+
+TEST(Protocol, ErrorResponseRoundTripsThroughParseResponse) {
+    const json::Value error = serve::make_error_response(
+        serve::ErrorKind::Overloaded, "queue full", /*retry_after_ms=*/250);
+    const auto doc = json::parse(json::dump(error));
+    ASSERT_TRUE(doc.has_value());
+    const auto view = serve::parse_response(*doc);
+    ASSERT_TRUE(view.has_value());
+    EXPECT_FALSE(view->ok);
+    EXPECT_EQ(view->error_kind, serve::ErrorKind::Overloaded);
+    EXPECT_EQ(view->error, "queue full");
+    EXPECT_EQ(view->retry_after_ms, 250);
+
+    EXPECT_FALSE(serve::parse_response(json::Value::array()).has_value());
+}
+
+// --------------------------------------------------------------- executor ----
+
+/// Scratch directory for one serve test, removed on destruction.
+struct ScratchDir {
+    fs::path path;
+    explicit ScratchDir(const std::string& name) {
+        // PID-suffixed so concurrently running test processes (ctest -j
+        // spawns one per test) can never clobber each other's scratch
+        // trees or live daemon sockets.
+        path = fs::path(testing::TempDir()) /
+               ("psaflow-serve-" + name + "-" + std::to_string(::getpid()));
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~ScratchDir() {
+        std::error_code ec;
+        fs::remove_all(path, ec);
+    }
+};
+
+TEST(ExecuteRequest, CompilesAndIsolatesPerRequestCounters) {
+    ScratchDir dir("executor");
+    flow::FlowSession session;
+
+    serve::CompileRequest req;
+    req.app = "adpredictor";
+    req.out_dir = (dir.path / "one").string();
+    const serve::CompileOutcome first = serve::execute_request(session, req);
+    ASSERT_TRUE(first.ok) << first.error;
+    EXPECT_GT(first.design_count, 0u);
+    EXPECT_FALSE(first.designs.empty());
+    EXPECT_TRUE(fs::exists(first.summary_path));
+
+    req.out_dir = (dir.path / "two").string();
+    const serve::CompileOutcome second =
+        serve::execute_request(session, req);
+    ASSERT_TRUE(second.ok) << second.error;
+
+    // Satellite regression: counters must be scoped to one request, not
+    // accumulated across consecutive runs in the same process.
+    EXPECT_EQ(first.counters.at("flow.runs"), 1u);
+    EXPECT_EQ(second.counters.at("flow.runs"), 1u);
+    EXPECT_GT(first.counters.at("interp.runs"), 0u);
+}
+
+TEST(ExecuteRequest, UnknownAppIsBadRequest) {
+    ScratchDir dir("badapp");
+    flow::FlowSession session;
+    serve::CompileRequest req;
+    req.app = "no_such_app";
+    req.out_dir = (dir.path / "out").string();
+    const serve::CompileOutcome outcome =
+        serve::execute_request(session, req);
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_EQ(outcome.error_kind, serve::ErrorKind::BadRequest);
+    EXPECT_NE(outcome.error.find("no_such_app"), std::string::npos);
+}
+
+TEST(ExecuteRequest, FiredTokenYieldsDeadlineExceeded) {
+    ScratchDir dir("cancelled");
+    flow::FlowSession session;
+    serve::CompileRequest req;
+    req.app = "adpredictor";
+    req.out_dir = (dir.path / "out").string();
+
+    CancelToken token;
+    token.cancel();
+    const serve::CompileOutcome outcome =
+        serve::execute_request(session, req, &token);
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_EQ(outcome.error_kind, serve::ErrorKind::DeadlineExceeded);
+    EXPECT_EQ(outcome.error.rfind("flow failed:", 0), 0u) << outcome.error;
+}
+
+TEST(ExecuteRequest, TightDeadlineCancelsColdCompile) {
+    ScratchDir dir("deadline");
+    flow::FlowSession session;
+    serve::CompileRequest req;
+    req.app = "rushlarsen"; // the slowest bundled app (~0.5 s cold)
+    req.out_dir = (dir.path / "out").string();
+    req.deadline_ms = 1;
+    const serve::CompileOutcome outcome =
+        serve::execute_request(session, req);
+    EXPECT_FALSE(outcome.ok);
+    EXPECT_EQ(outcome.error_kind, serve::ErrorKind::DeadlineExceeded);
+
+    // The session stays healthy for the next request (failure isolation).
+    req.deadline_ms = 0;
+    req.app = "adpredictor";
+    const serve::CompileOutcome after = serve::execute_request(session, req);
+    EXPECT_TRUE(after.ok) << after.error;
+}
+
+// ------------------------------------------------------------- daemon e2e ----
+
+/// One request/response round trip against a daemon socket.
+json::Value client_round_trip(const std::string& socket_path,
+                              const std::string& request_json) {
+    std::string error;
+    net::Fd conn = net::connect_unix(socket_path, &error);
+    EXPECT_TRUE(conn.valid()) << error;
+    if (!conn.valid()) return json::Value::null();
+    EXPECT_TRUE(net::write_frame(conn.get(), request_json));
+    std::string payload;
+    EXPECT_EQ(net::read_frame(conn.get(), payload), net::FrameStatus::Ok);
+    auto doc = json::parse(payload, &error);
+    EXPECT_TRUE(doc.has_value()) << error;
+    return doc.has_value() ? *doc : json::Value::null();
+}
+
+/// A daemon on a scratch socket whose run() loop owns a background thread.
+struct DaemonFixture {
+    ScratchDir dir;
+    serve::Daemon daemon;
+    std::thread runner;
+
+    explicit DaemonFixture(const std::string& name,
+                           serve::DaemonOptions options = {})
+        : dir(name), daemon([&] {
+              options.socket_path = (dir.path / "d.sock").string();
+              if (options.out_root == "designs")
+                  options.out_root = (dir.path / "out").string();
+              options.enable_test_endpoints = true;
+              return options;
+          }()) {}
+
+    void start() {
+        auto error = daemon.start();
+        ASSERT_FALSE(error.has_value()) << *error;
+        runner = std::thread([this] { daemon.run(); });
+    }
+
+    void drain() {
+        daemon.notify_shutdown();
+        if (runner.joinable()) runner.join();
+    }
+
+    ~DaemonFixture() { drain(); }
+
+    [[nodiscard]] const std::string& socket() const {
+        return daemon.options().socket_path;
+    }
+};
+
+TEST(Daemon, ServesConcurrentCompilesIdenticalToDirectExecution) {
+    DaemonFixture fixture("e2e", [] {
+        serve::DaemonOptions options;
+        options.workers = 4;
+        return options;
+    }());
+    fixture.start();
+
+    const std::vector<std::string> apps = {"adpredictor", "kmeans",
+                                           "adpredictor", "kmeans",
+                                           "adpredictor", "kmeans",
+                                           "adpredictor", "kmeans"};
+    std::vector<json::Value> responses(apps.size());
+    std::vector<std::thread> clients;
+    for (std::size_t i = 0; i < apps.size(); ++i)
+        clients.emplace_back([&, i] {
+            const std::string request =
+                "{\"type\":\"compile\",\"app\":\"" + apps[i] +
+                "\",\"out\":\"req-" + std::to_string(i) + "\"}";
+            responses[i] = client_round_trip(fixture.socket(), request);
+        });
+    for (std::thread& t : clients) t.join();
+
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const json::Value* ok = responses[i].find("ok");
+        ASSERT_NE(ok, nullptr) << "request " << i;
+        EXPECT_TRUE(ok->bool_value) << json::dump(responses[i]);
+        // Per-request metrics isolation across daemon workers too.
+        const json::Value* counters = responses[i].find("counters");
+        ASSERT_NE(counters, nullptr);
+        const json::Value* runs = counters->find("flow.runs");
+        ASSERT_NE(runs, nullptr);
+        EXPECT_DOUBLE_EQ(runs->number_value, 1.0);
+    }
+
+    // Byte-identical to running the same request directly in-process.
+    ScratchDir direct("e2e-direct");
+    flow::FlowSession session;
+    serve::CompileRequest req;
+    req.app = "adpredictor";
+    req.out_dir = (direct.path / "out").string();
+    const serve::CompileOutcome outcome =
+        serve::execute_request(session, req);
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+    for (const serve::DesignRow& row : outcome.designs) {
+        const fs::path daemon_file =
+            fs::path(fixture.daemon.options().out_root) / "req-0" /
+            row.filename;
+        ASSERT_TRUE(fs::exists(daemon_file)) << daemon_file;
+        std::ifstream a(fs::path(req.out_dir) / row.filename);
+        std::ifstream b(daemon_file);
+        const std::string direct_bytes(
+            (std::istreambuf_iterator<char>(a)),
+            std::istreambuf_iterator<char>());
+        const std::string daemon_bytes(
+            (std::istreambuf_iterator<char>(b)),
+            std::istreambuf_iterator<char>());
+        EXPECT_EQ(direct_bytes, daemon_bytes) << row.filename;
+    }
+
+    fixture.drain();
+    EXPECT_FALSE(fs::exists(fixture.socket()));
+}
+
+TEST(Daemon, FullQueueRejectsWithRetryHint) {
+    DaemonFixture fixture("overload", [] {
+        serve::DaemonOptions options;
+        options.workers = 1;
+        options.queue_depth = 1;
+        return options;
+    }());
+    fixture.start();
+
+    // Occupy the worker, then the single queue slot, with sleeps — staggered
+    // so the first is already executing (not queued) when the second is
+    // admitted — then poke.
+    std::vector<std::thread> sleepers;
+    for (int i = 0; i < 2; ++i) {
+        sleepers.emplace_back([&] {
+            (void)client_round_trip(fixture.socket(),
+                                    R"({"type":"sleep","ms":800})");
+        });
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+
+    const json::Value response = client_round_trip(
+        fixture.socket(), R"({"type":"sleep","ms":1})");
+    const auto view = serve::parse_response(response);
+    ASSERT_TRUE(view.has_value());
+    EXPECT_FALSE(view->ok);
+    EXPECT_EQ(view->error_kind, serve::ErrorKind::Overloaded);
+    EXPECT_GT(view->retry_after_ms, 0);
+
+    // Stats answer inline even while the worker is saturated.
+    const json::Value stats =
+        client_round_trip(fixture.socket(), R"({"type":"stats"})");
+    const json::Value* requests = stats.find("requests");
+    ASSERT_NE(requests, nullptr);
+    EXPECT_GE(requests->find("rejected_overload")->number_value, 1.0);
+
+    for (std::thread& t : sleepers) t.join();
+}
+
+TEST(Daemon, DeadlineExpiredRequestDoesNotDisturbOthers) {
+    DaemonFixture fixture("deadline", [] {
+        serve::DaemonOptions options;
+        options.workers = 2;
+        return options;
+    }());
+    fixture.start();
+
+    std::vector<json::Value> responses(3);
+    std::vector<std::thread> clients;
+    clients.emplace_back([&] {
+        responses[0] = client_round_trip(
+            fixture.socket(),
+            R"({"type":"sleep","ms":500,"deadline_ms":30})");
+    });
+    clients.emplace_back([&] {
+        responses[1] = client_round_trip(fixture.socket(),
+                                         R"({"type":"sleep","ms":60})");
+    });
+    clients.emplace_back([&] {
+        responses[2] = client_round_trip(
+            fixture.socket(),
+            R"({"type":"compile","app":"adpredictor","out":"iso"})");
+    });
+    for (std::thread& t : clients) t.join();
+
+    const auto timed_out = serve::parse_response(responses[0]);
+    ASSERT_TRUE(timed_out.has_value());
+    EXPECT_FALSE(timed_out->ok);
+    EXPECT_EQ(timed_out->error_kind, serve::ErrorKind::DeadlineExceeded);
+
+    for (int i = 1; i < 3; ++i) {
+        const auto view = serve::parse_response(responses[i]);
+        ASSERT_TRUE(view.has_value());
+        EXPECT_TRUE(view->ok) << json::dump(responses[static_cast<std::size_t>(i)]);
+    }
+
+    const json::Value stats =
+        client_round_trip(fixture.socket(), R"({"type":"stats"})");
+    const json::Value* requests = stats.find("requests");
+    ASSERT_NE(requests, nullptr);
+    EXPECT_GE(requests->find("deadline_exceeded")->number_value, 1.0);
+    EXPECT_GE(requests->find("completed")->number_value, 2.0);
+}
+
+TEST(Daemon, MalformedFramesGetStructuredErrors) {
+    DaemonFixture fixture("malformed");
+    fixture.start();
+
+    // Invalid JSON in a well-formed frame: connection survives, the next
+    // request on the same connection still works.
+    std::string error;
+    net::Fd conn = net::connect_unix(fixture.socket(), &error);
+    ASSERT_TRUE(conn.valid()) << error;
+    ASSERT_TRUE(net::write_frame(conn.get(), "{nope"));
+    std::string payload;
+    ASSERT_EQ(net::read_frame(conn.get(), payload), net::FrameStatus::Ok);
+    auto doc = json::parse(payload);
+    ASSERT_TRUE(doc.has_value());
+    auto view = serve::parse_response(*doc);
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->error_kind, serve::ErrorKind::BadRequest);
+
+    ASSERT_TRUE(net::write_frame(conn.get(), R"({"type":"ping"})"));
+    ASSERT_EQ(net::read_frame(conn.get(), payload), net::FrameStatus::Ok);
+    doc = json::parse(payload);
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_TRUE(doc->find("ok")->bool_value);
+
+    // Garbage bytes (bad magic): structured complaint, then close.
+    net::Fd conn2 = net::connect_unix(fixture.socket(), &error);
+    ASSERT_TRUE(conn2.valid()) << error;
+    const char junk[8] = {'x', 'x', 'x', 'x', 9, 9, 9, 9};
+    ASSERT_TRUE(net::write_exact(conn2.get(), junk, sizeof junk));
+    ASSERT_EQ(net::read_frame(conn2.get(), payload), net::FrameStatus::Ok);
+    doc = json::parse(payload);
+    ASSERT_TRUE(doc.has_value());
+    view = serve::parse_response(*doc);
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(view->error_kind, serve::ErrorKind::BadRequest);
+    EXPECT_EQ(net::read_frame(conn2.get(), payload), net::FrameStatus::Eof);
+}
+
+TEST(Daemon, DrainFinishesAdmittedWorkAndRemovesSocket) {
+    DaemonFixture fixture("drain", [] {
+        serve::DaemonOptions options;
+        options.workers = 1;
+        return options;
+    }());
+    fixture.start();
+
+    // Admit a slow job, then shut down while it is in flight: the client
+    // must still get its response, and the socket file must disappear.
+    json::Value response;
+    std::thread client([&] {
+        response = client_round_trip(fixture.socket(),
+                                     R"({"type":"sleep","ms":150})");
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    fixture.drain();
+    client.join();
+
+    const auto view = serve::parse_response(response);
+    ASSERT_TRUE(view.has_value());
+    EXPECT_TRUE(view->ok);
+    EXPECT_FALSE(fs::exists(fixture.socket()));
+}
+
+} // namespace
+} // namespace psaflow

@@ -392,6 +392,60 @@ TEST(Cli, HelpPrintsUsageAndReturnsFalse) {
     EXPECT_FALSE(flag);
 }
 
+// Regression (serving PR): joining/shutting down a pool while other
+// threads are still enqueueing must neither deadlock nor drop jobs — every
+// submitted job runs exactly once, either on a worker, in the shutdown
+// drain, or inline on the submitter after the stop flag is visible.
+TEST(ThreadPool, ShutdownDuringEnqueueRunsEveryJob) {
+    for (int round = 0; round < 20; ++round) {
+        auto pool = std::make_unique<ThreadPool>(4);
+        constexpr int kSubmitters = 4;
+        constexpr int kJobsPerSubmitter = 200;
+        std::atomic<int> executed{0};
+        std::atomic<bool> go{false};
+
+        std::vector<std::thread> submitters;
+        std::vector<std::unique_ptr<TaskGroup>> groups;
+        groups.reserve(kSubmitters);
+        for (int s = 0; s < kSubmitters; ++s)
+            groups.push_back(std::make_unique<TaskGroup>(*pool));
+        for (int s = 0; s < kSubmitters; ++s) {
+            submitters.emplace_back([&, s] {
+                while (!go.load()) {
+                }
+                for (int j = 0; j < kJobsPerSubmitter; ++j)
+                    groups[static_cast<std::size_t>(s)]->run(
+                        [&executed] { executed.fetch_add(1); });
+            });
+        }
+
+        go.store(true);
+        // Race shutdown against the submitters (vary the interleaving).
+        if (round % 2 == 0) std::this_thread::yield();
+        pool->shutdown();
+        for (std::thread& t : submitters) t.join();
+        for (auto& group : groups) group->wait();
+        EXPECT_EQ(executed.load(), kSubmitters * kJobsPerSubmitter)
+            << "round " << round;
+        EXPECT_TRUE(pool->stopped());
+    }
+}
+
+TEST(ThreadPool, ShutdownIsIdempotentAndSubmitAfterRunsInline) {
+    ThreadPool pool(2);
+    pool.shutdown();
+    pool.shutdown(); // second call must be a no-op, not a crash
+    EXPECT_TRUE(pool.stopped());
+
+    // A group created after shutdown still runs its jobs (inline).
+    std::atomic<int> ran{0};
+    TaskGroup group(pool);
+    group.run([&] { ran.fetch_add(1); });
+    group.run([&] { ran.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(ran.load(), 2);
+}
+
 TEST(Cli, FlowFlagsRegisterSharedOptions) {
     cli::FlowFlags flags;
     cli::OptionParser parser("tool", {""});

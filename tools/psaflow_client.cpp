@@ -1,0 +1,193 @@
+// psaflow-client — thin client for the psaflowd compile service.
+//
+//   psaflow-client --socket /tmp/psaflow.sock --app nbody --out designs/n
+//   psaflow-client --socket /tmp/psaflow.sock --app kmeans --deadline-ms 500
+//   psaflow-client --socket /tmp/psaflow.sock --stats
+//   psaflow-client --socket /tmp/psaflow.sock --ping
+//
+// Exit codes mirror the wire error taxonomy so shell harnesses can branch
+// on failure class without parsing JSON:
+//   0  success
+//   1  internal failure (flow failed, connection/protocol trouble)
+//   2  usage error or bad_request
+//   3  overloaded (after exhausting --retry attempts)
+//   4  deadline_exceeded
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "serve/protocol.hpp"
+#include "support/cli.hpp"
+#include "support/net.hpp"
+#include "support/string_util.hpp"
+
+using namespace psaflow;
+
+namespace {
+
+/// One request/response round-trip on a fresh connection. Returns false on
+/// transport failure (message on stderr).
+bool round_trip(const std::string& socket_path, const json::Value& request,
+                json::Value& response) {
+    std::string error;
+    net::Fd conn = net::connect_unix(socket_path, &error);
+    if (!conn.valid()) {
+        std::cerr << "psaflow-client: " << error << "\n";
+        return false;
+    }
+    if (!net::write_frame(conn.get(), json::dump(request))) {
+        std::cerr << "psaflow-client: cannot send request\n";
+        return false;
+    }
+    std::string payload;
+    const net::FrameStatus status = net::read_frame(conn.get(), payload);
+    if (status != net::FrameStatus::Ok) {
+        std::cerr << "psaflow-client: " << net::to_string(status)
+                  << " while reading response\n";
+        return false;
+    }
+    std::string parse_error;
+    auto doc = json::parse(payload, &parse_error);
+    if (!doc.has_value()) {
+        std::cerr << "psaflow-client: malformed response: " << parse_error
+                  << "\n";
+        return false;
+    }
+    response = std::move(*doc);
+    return true;
+}
+
+int exit_code_for(serve::ErrorKind kind) {
+    switch (kind) {
+    case serve::ErrorKind::None: return 0;
+    case serve::ErrorKind::BadRequest: return 2;
+    case serve::ErrorKind::Overloaded: return 3;
+    case serve::ErrorKind::DeadlineExceeded: return 4;
+    case serve::ErrorKind::Internal: return 1;
+    }
+    return 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string socket_path;
+    std::string app;
+    std::string mode = "informed";
+    std::string out_dir;
+    double budget = -1.0;
+    double threshold_x = 4.0;
+    long long deadline_ms = 0;
+    long long sleep_ms = -1;
+    long long retries = 0;
+    bool stats = false;
+    bool ping = false;
+    bool raw_json = false;
+
+    cli::OptionParser parser(
+        argv[0],
+        {"--socket <path> --app <name> [--mode informed|uninformed]\n"
+         "      [--out <dir>] [--budget <usd-per-run>] "
+         "[--threshold-x <flops/B>]\n"
+         "      [--deadline-ms <n>] [--retry <n>] [--json]",
+         "--socket <path> --stats | --ping"});
+    parser.str("--socket", "<path>", "daemon socket path", &socket_path);
+    parser.str("--app", "<name>", "application to compile", &app);
+    parser.str("--mode", "<mode>", "informed|uninformed (default informed)",
+               &mode);
+    parser.str("--out", "<dir>",
+               "output dir (daemon-relative unless absolute)", &out_dir);
+    parser.real("--budget", "<usd-per-run>", "Fig. 3 cost budget", &budget);
+    parser.real("--threshold-x", "<flops/B>",
+                "arithmetic-intensity threshold (default 4)", &threshold_x);
+    parser.integer("--deadline-ms", "<n>",
+                   "per-request deadline (0 = daemon default)", &deadline_ms,
+                   /*min=*/0);
+    parser.integer("--retry", "<n>",
+                   "retries when overloaded, honouring retry_after_ms",
+                   &retries, /*min=*/0);
+    parser.integer("--sleep-ms", "<n>",
+                   "test-only: occupy a worker for <n> ms", &sleep_ms,
+                   /*min=*/0);
+    parser.flag("--stats", "fetch the daemon's metrics snapshot", &stats);
+    parser.flag("--ping", "liveness probe", &ping);
+    parser.flag("--json", "print the raw response document", &raw_json);
+
+    if (!parser.parse(argc, argv)) return 2;
+    if (socket_path.empty() ||
+        (app.empty() && !stats && !ping && sleep_ms < 0)) {
+        std::cerr << parser.usage();
+        return 2;
+    }
+
+    json::Value request = json::Value::object();
+    if (stats) {
+        request.set("type", json::Value::string("stats"));
+    } else if (ping) {
+        request.set("type", json::Value::string("ping"));
+    } else if (sleep_ms >= 0) {
+        request.set("type", json::Value::string("sleep"));
+        request.set("ms", json::Value::number(double(sleep_ms)));
+        if (deadline_ms > 0)
+            request.set("deadline_ms", json::Value::number(double(deadline_ms)));
+    } else {
+        request.set("type", json::Value::string("compile"));
+        request.set("app", json::Value::string(app));
+        request.set("mode", json::Value::string(mode));
+        if (budget >= 0.0)
+            request.set("budget", json::Value::number(budget));
+        request.set("threshold_x", json::Value::number(threshold_x));
+        if (!out_dir.empty())
+            request.set("out", json::Value::string(out_dir));
+        if (deadline_ms > 0)
+            request.set("deadline_ms", json::Value::number(double(deadline_ms)));
+    }
+
+    json::Value response;
+    serve::ResponseView view;
+    for (long long attempt = 0;; ++attempt) {
+        if (!round_trip(socket_path, request, response)) return 1;
+        auto parsed = serve::parse_response(response);
+        if (!parsed.has_value()) {
+            std::cerr << "psaflow-client: response is not a psaflowd "
+                         "response document\n";
+            return 1;
+        }
+        view = *parsed;
+        if (view.ok || view.error_kind != serve::ErrorKind::Overloaded ||
+            attempt >= retries)
+            break;
+        const long long wait =
+            view.retry_after_ms > 0 ? view.retry_after_ms : 100;
+        std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+    }
+
+    if (!view.ok) {
+        std::cerr << "psaflow-client: " << to_string(view.error_kind) << ": "
+                  << view.error << "\n";
+        return exit_code_for(view.error_kind);
+    }
+
+    if (raw_json || stats) {
+        std::cout << json::dump(response) << "\n";
+        return 0;
+    }
+    if (ping) {
+        std::cout << "pong\n";
+        return 0;
+    }
+    if (sleep_ms >= 0) {
+        std::cout << "slept\n";
+        return 0;
+    }
+
+    const json::Value* count = response.find("design_count");
+    const json::Value* best = response.find("best_speedup");
+    const json::Value* summary = response.find("summary_path");
+    std::cout << app << ": " << (count ? count->number_or(0.0) : 0.0)
+              << " design(s), best speedup "
+              << format_compact(best ? best->number_or(0.0) : 0.0, 4)
+              << "x, summary "
+              << (summary ? summary->string_or("") : std::string()) << "\n";
+    return 0;
+}

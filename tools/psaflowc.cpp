@@ -24,12 +24,16 @@
 //        "mode": "informed",      // optional (default "informed")
 //        "budget": 0.001,         // optional USD-per-run budget
 //        "threshold_x": 4.0,      // optional Fig. 3 intensity threshold
+//        "deadline_ms": 500,      // optional per-request deadline
 //        "out": "designs/nbody"}  // optional (default "<out>/<app>-<i>")
 //     ]
 //   }
-// Requests run sequentially through one FlowSession, so later requests
-// reuse the warm in-process caches and the persistent store; one failed
-// request does not abort the rest (the driver exits 1 if any failed).
+// A manifest entry is exactly a psaflowd compile request: both drivers run
+// requests through serve::execute_request, so a request behaves the same
+// whether it arrives via --batch or over the daemon's socket. Requests run
+// sequentially through one FlowSession, so later requests reuse the warm
+// in-process caches and the persistent store; one failed request does not
+// abort the rest (the driver exits 1 if any failed).
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -37,7 +41,8 @@
 #include <string>
 #include <vector>
 
-#include "core/psaflow.hpp"
+#include "apps/apps.hpp"
+#include "serve/service.hpp"
 #include "support/cas/cas.hpp"
 #include "support/cli.hpp"
 #include "support/json.hpp"
@@ -49,116 +54,15 @@ using namespace psaflow;
 
 namespace {
 
-/// One (app, mode, budget) compile request — the unit both the single-app
-/// CLI and the batch manifest reduce to.
-struct Request {
-    std::string app;
-    std::string mode = "informed";
-    double budget = -1.0;
-    double threshold_x = 4.0;
-    std::string out_dir;
-};
-
-struct RequestOutcome {
-    bool ok = false;
-    std::string error;
-    std::size_t design_count = 0;
-    double best_speedup = 0.0;
-    double reference_seconds = 0.0;
-    std::string summary_path;
-};
-
-/// Compile one request through `session` and write designs + summary CSV.
-/// `table` (when non-null) receives one row per design.
-RequestOutcome run_request(flow::FlowSession& session, const Request& req,
-                           TablePrinter* table) {
-    RequestOutcome outcome;
-
-    const apps::Application* app = nullptr;
-    try {
-        app = &apps::application_by_name(req.app);
-    } catch (const Error& e) {
-        outcome.error = e.what();
-        return outcome;
-    }
-
-    RunOptions options;
-    options.mode = req.mode == "informed" ? flow::Mode::Informed
-                                          : flow::Mode::Uninformed;
-    options.budget.max_run_cost = req.budget;
-    options.intensity_threshold_x = req.threshold_x;
-
-    flow::FlowResult result;
-    try {
-        result = compile(session, *app, options);
-    } catch (const Error& e) {
-        outcome.error = std::string("flow failed: ") + e.what();
-        return outcome;
-    }
-
-    std::filesystem::create_directories(req.out_dir);
-    CsvWriter summary({"design", "target", "device", "synthesizable",
-                       "hotspot_seconds", "speedup_vs_1t", "loc_delta",
-                       "source_file"});
-
-    for (const auto& design : result.designs) {
-        const std::string ext =
-            design.spec.target == codegen::TargetKind::CpuFpga ? ".sycl.cpp"
-            : design.spec.target == codegen::TargetKind::CpuGpu ? ".hip.cpp"
-                                                                : ".cpp";
-        const std::string filename = design.name() + ext;
-        const std::filesystem::path path =
-            std::filesystem::path(req.out_dir) / filename;
-        std::ofstream file(path);
-        if (!file) {
-            outcome.error = "cannot write " + path.string();
-            return outcome;
-        }
-        file << design.source;
-
-        summary.add_row({design.name(),
-                         codegen::to_string(design.spec.target),
-                         platform::to_string(design.spec.device),
-                         design.synthesizable ? "yes" : "no",
-                         format_compact(design.hotspot_seconds, 6),
-                         format_compact(design.speedup, 4),
-                         format_compact(design.loc_delta, 4),
-                         filename});
-        if (table != nullptr) {
-            table->add_row({design.name(),
-                            design.synthesizable
-                                ? format_compact(design.speedup, 4) + "x"
-                                : "overmapped",
-                            "+" + format_compact(100.0 * design.loc_delta, 3) +
-                                "%",
-                            filename});
-        }
-        if (design.synthesizable && design.speedup > outcome.best_speedup)
-            outcome.best_speedup = design.speedup;
-    }
-
-    const std::filesystem::path summary_path =
-        std::filesystem::path(req.out_dir) / (app->name + "-summary.csv");
-    std::ofstream summary_file(summary_path);
-    summary_file << summary.to_string();
-
-    outcome.ok = true;
-    outcome.design_count = result.designs.size();
-    outcome.reference_seconds = result.reference_seconds;
-    outcome.summary_path = summary_path.string();
-    return outcome;
-}
-
 [[nodiscard]] bool valid_mode(const std::string& mode) {
     return mode == "informed" || mode == "uninformed";
 }
 
-/// Parse the batch manifest into requests; returns false (with a message
-/// on stderr) on malformed input. `jobs`/`cache_dir`/`default_out` are
-/// only overwritten when the manifest provides them.
-bool load_manifest(const std::string& path, std::vector<Request>& requests,
-                   long long& jobs, std::string& cache_dir,
-                   std::string& default_out) {
+/// Read + parse the batch manifest; returns false (message on stderr) on
+/// malformed input.
+bool load_manifest(const std::string& path,
+                   serve::ManifestDefaults& defaults,
+                   std::vector<serve::CompileRequest>& requests) {
     std::ifstream file(path);
     if (!file) {
         std::cerr << "cannot read batch manifest '" << path << "'\n";
@@ -173,73 +77,23 @@ bool load_manifest(const std::string& path, std::vector<Request>& requests,
         std::cerr << "batch manifest '" << path << "': " << error << "\n";
         return false;
     }
-
-    const json::Value* list = nullptr;
-    if (doc->kind == json::Value::Kind::Array) {
-        list = &*doc;
-    } else if (doc->kind == json::Value::Kind::Object) {
-        if (const json::Value* v = doc->find("jobs"))
-            jobs = static_cast<long long>(v->number_or(double(jobs)));
-        if (const json::Value* v = doc->find("cache_dir"))
-            cache_dir = v->string_or(cache_dir);
-        if (const json::Value* v = doc->find("out"))
-            default_out = v->string_or(default_out);
-        list = doc->find("requests");
-    }
-    if (list == nullptr || list->kind != json::Value::Kind::Array) {
-        std::cerr << "batch manifest '" << path
-                  << "': expected a top-level array or an object with a "
-                     "\"requests\" array\n";
+    if (auto parse_error = serve::parse_manifest(*doc, defaults, requests)) {
+        std::cerr << "batch manifest '" << path << "': " << *parse_error
+                  << "\n";
         return false;
-    }
-
-    for (std::size_t i = 0; i < list->elements.size(); ++i) {
-        const json::Value& entry = list->elements[i];
-        if (entry.kind != json::Value::Kind::Object) {
-            std::cerr << "batch manifest '" << path << "': request " << i
-                      << " is not an object\n";
-            return false;
-        }
-        Request req;
-        if (const json::Value* v = entry.find("app"))
-            req.app = v->string_or("");
-        if (req.app.empty()) {
-            std::cerr << "batch manifest '" << path << "': request " << i
-                      << " has no \"app\"\n";
-            return false;
-        }
-        if (const json::Value* v = entry.find("mode"))
-            req.mode = v->string_or(req.mode);
-        if (!valid_mode(req.mode)) {
-            std::cerr << "batch manifest '" << path << "': request " << i
-                      << ": mode must be 'informed' or 'uninformed'\n";
-            return false;
-        }
-        if (const json::Value* v = entry.find("budget"))
-            req.budget = v->number_or(req.budget);
-        if (const json::Value* v = entry.find("threshold_x"))
-            req.threshold_x = v->number_or(req.threshold_x);
-        if (const json::Value* v = entry.find("out"))
-            req.out_dir = v->string_or("");
-        if (req.out_dir.empty())
-            req.out_dir = (std::filesystem::path(default_out) /
-                           (req.app + "-" + std::to_string(i)))
-                              .string();
-        requests.push_back(std::move(req));
     }
     return true;
 }
 
 int run_batch(const std::string& manifest_path, const cli::FlowFlags& flags,
               std::string out_dir, bool out_dir_given) {
-    std::vector<Request> requests;
-    long long jobs = 0;
-    std::string cache_dir;
-    std::string default_out = out_dir_given ? out_dir : "designs";
-    if (!load_manifest(manifest_path, requests, jobs, cache_dir,
-                       default_out))
-        return 2;
+    serve::ManifestDefaults defaults;
+    if (out_dir_given) defaults.out_root = out_dir;
+    std::vector<serve::CompileRequest> requests;
+    if (!load_manifest(manifest_path, defaults, requests)) return 2;
     // CLI flags override the manifest's session settings.
+    long long jobs = defaults.jobs;
+    std::string cache_dir = defaults.cache_dir;
     if (flags.jobs > 0) jobs = flags.jobs;
     if (!flags.cache_dir.empty()) cache_dir = flags.cache_dir;
     if (requests.empty()) {
@@ -261,8 +115,9 @@ int run_batch(const std::string& manifest_path, const cli::FlowFlags& flags,
         {"#", "app", "mode", "designs", "best speedup", "status"});
     int failures = 0;
     for (std::size_t i = 0; i < requests.size(); ++i) {
-        const Request& req = requests[i];
-        const RequestOutcome outcome = run_request(session, req, nullptr);
+        const serve::CompileRequest& req = requests[i];
+        const serve::CompileOutcome outcome =
+            serve::execute_request(session, req);
         if (!outcome.ok) {
             ++failures;
             std::cerr << "request " << i << " (" << req.app
@@ -293,6 +148,7 @@ int main(int argc, char** argv) {
     std::string batch_manifest;
     double budget = -1.0;
     double threshold_x = 4.0;
+    long long deadline_ms = 0;
     cli::FlowFlags flow_flags;
 
     cli::OptionParser parser(
@@ -300,7 +156,7 @@ int main(int argc, char** argv) {
         {"--list",
          "--app <name> [--mode informed|uninformed] [--out <dir>]\n"
          "      [--budget <usd-per-run>] [--threshold-x <flops/B>]\n"
-         "      [--jobs <n>] [--trace-out <file.json>]\n"
+         "      [--deadline-ms <n>] [--jobs <n>] [--trace-out <file.json>]\n"
          "      [--cache-dir <dir>] [--cache-max-mb <n>]",
          "--batch <manifest.json> [--out <dir>] [--jobs <n>] "
          "[--cache-dir <dir>]"});
@@ -315,6 +171,9 @@ int main(int argc, char** argv) {
     parser.real("--budget", "<usd-per-run>", "Fig. 3 cost budget", &budget);
     parser.real("--threshold-x", "<flops/B>",
                 "arithmetic-intensity threshold (default 4)", &threshold_x);
+    parser.integer("--deadline-ms", "<n>",
+                   "abort the flow after <n> ms (0 = no deadline)",
+                   &deadline_ms, /*min=*/0);
     parser.flag("--cache-clear", "evict the persistent cache and exit",
                 &cache_clear);
     cli::add_flow_flags(parser, flow_flags);
@@ -365,12 +224,13 @@ int main(int argc, char** argv) {
             return 2;
         }
 
-        Request req;
+        serve::CompileRequest req;
         req.app = app_name;
         req.mode = mode;
         req.budget = budget;
         req.threshold_x = threshold_x;
         req.out_dir = out_dir;
+        req.deadline_ms = deadline_ms;
 
         flow::SessionOptions session_options;
         session_options.jobs = static_cast<int>(flow_flags.jobs);
@@ -381,11 +241,21 @@ int main(int argc, char** argv) {
 
         std::cout << "running the " << mode << " PSA-flow on '" << app_name
                   << "'...\n";
-        TablePrinter table({"design", "speedup", "LOC delta", "file"});
-        const RequestOutcome outcome = run_request(session, req, &table);
+        const serve::CompileOutcome outcome =
+            serve::execute_request(session, req);
         if (!outcome.ok) {
             std::cerr << outcome.error << "\n";
             return outcome.error.rfind("flow failed:", 0) == 0 ? 1 : 2;
+        }
+        TablePrinter table({"design", "speedup", "LOC delta", "file"});
+        for (const serve::DesignRow& row : outcome.designs) {
+            table.add_row({row.name,
+                           row.synthesizable
+                               ? format_compact(row.speedup, 4) + "x"
+                               : "overmapped",
+                           "+" + format_compact(100.0 * row.loc_delta, 3) +
+                               "%",
+                           row.filename});
         }
         table.print(std::cout);
         std::cout << "reference 1-thread hotspot time: "
