@@ -69,7 +69,7 @@ done
 for i in 1 2 3; do
     (
         rc=0
-        "$CLIENT" --socket "$SOCK" --stats > "$WORK/stats-$i.json" \
+        "$CLIENT" --socket "$SOCK" --stats --json > "$WORK/stats-$i.json" \
             2>> "$WORK/clients.stderr" || rc=$?
         echo "$rc" > "$codes_dir/stats-$i"
     ) &

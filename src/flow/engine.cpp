@@ -1,11 +1,14 @@
 #include "flow/engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "analysis/profile_cache.hpp"
 #include "ast/printer.hpp"
+#include "obs/log.hpp"
 #include "perf/estimator.hpp"
+#include "platform/devices.hpp"
 #include "support/cancel.hpp"
 #include "support/cas/cas.hpp"
 #include "support/error.hpp"
@@ -233,28 +236,142 @@ DesignArtifact finalize(FlowContext ctx, double reference_seconds,
     return out;
 }
 
+/// Map a branch-path name onto the representative (target, device) its
+/// analytic candidate cost is evaluated with. Branch A names pick the
+/// family's first-enumerated device (the device branch underneath refines
+/// it); branches B and C name the device directly. Unknown names (custom
+/// flows, fuzz-generated paths) get no cost — provenance stays best-effort.
+bool candidate_target(const std::string& path, TargetKind& target,
+                      platform::DeviceId& device) {
+    if (path == "cpu") {
+        target = TargetKind::CpuOpenMp;
+        device = platform::DeviceId::Epyc7543;
+    } else if (path == "gpu" || path == "gtx1080ti") {
+        target = TargetKind::CpuGpu;
+        device = platform::DeviceId::Gtx1080Ti;
+    } else if (path == "rtx2080ti") {
+        target = TargetKind::CpuGpu;
+        device = platform::DeviceId::Rtx2080Ti;
+    } else if (path == "fpga" || path == "arria10") {
+        target = TargetKind::CpuFpga;
+        device = platform::DeviceId::Arria10;
+    } else if (path == "stratix10") {
+        target = TargetKind::CpuFpga;
+        device = platform::DeviceId::Stratix10;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/// Attach analytic cost/budget evaluations to a decision record's
+/// candidates: predicted hotspot seconds from the same estimators finalize
+/// uses (FPGA candidates priced pre-DSE at unroll 1) and the cost model's
+/// USD per run. Evaluates on a throwaway fork so the deliberation can never
+/// leak state — notes, cached analyses — into the surviving context, and
+/// swallows estimator errors (fuzz-generated flows reach branch points in
+/// states the models reject): provenance must never alter control flow.
+void annotate_candidates(const FlowContext& ctx, const CostModel& model,
+                         obs::DecisionRecord& record) {
+    if (!ctx.has_kernel()) return;
+    try {
+        FlowContext eval = ctx.fork();
+        const platform::KernelShape shape = eval.shape();
+        for (obs::DecisionCandidate& candidate : record.candidates) {
+            TargetKind target = TargetKind::None;
+            platform::DeviceId device = platform::DeviceId::Epyc7543;
+            if (!candidate_target(candidate.path, target, device)) continue;
+            try {
+                double seconds = -1.0;
+                switch (target) {
+                    case TargetKind::CpuOpenMp:
+                        seconds = perf::omp_seconds(
+                            shape, platform::epyc7543().cores);
+                        break;
+                    case TargetKind::CpuGpu: {
+                        perf::GpuDesignPoint point;
+                        point.device = device;
+                        point.block_size = 256;
+                        seconds =
+                            perf::gpu_estimate(shape, point).total_seconds;
+                        break;
+                    }
+                    case TargetKind::CpuFpga: {
+                        const platform::FpgaModel fpga(
+                            platform::fpga_spec(device));
+                        perf::FpgaDesignPoint point;
+                        point.device = device;
+                        point.report = fpga.report(eval.kernel(), eval.types(),
+                                                   1, eval.spec.single_precision);
+                        seconds =
+                            perf::fpga_estimate(shape, point).total_seconds;
+                        break;
+                    }
+                    default: break;
+                }
+                if (seconds >= 0.0 && std::isfinite(seconds)) {
+                    candidate.predicted_seconds = seconds;
+                    candidate.run_cost = model.run_cost(target, seconds);
+                }
+            } catch (const std::exception& e) {
+                obs::debug("flow", "candidate cost evaluation failed",
+                           {{"path", candidate.path}, {"error", e.what()}});
+            }
+        }
+    } catch (const std::exception& e) {
+        obs::debug("flow", "candidate cost evaluation skipped",
+                   {{"branch", record.branch}, {"error", e.what()}});
+    }
+}
+
 /// Execution plan for one descent. When `pool` is null every path runs
 /// inline on the calling thread — the sequential engine. With a pool,
-/// sibling paths become parallel jobs; each path writes its leaves into its
-/// own pre-allocated slot, and slots are concatenated in path order after
-/// the join, so the merged artifact sequence is identical to the sequential
-/// traversal (stable flow order; design names are unique per flow).
+/// sibling paths become parallel jobs; each path writes its leaves (and
+/// nested decision records) into its own pre-allocated slot, and slots are
+/// concatenated in path order after the join, so the merged artifact and
+/// decision sequences are identical to the sequential traversal (stable
+/// flow order; design names are unique per flow). Trace sink and active
+/// span travel with the jobs via TaskGroup::run.
 struct Scheduler {
     ThreadPool* pool = nullptr; ///< null: run inline
-    /// The request's trace sink, captured on the thread that entered the
-    /// engine; path jobs re-install it so pool threads record into the
-    /// same registry as the request that spawned them.
-    trace::Registry* sink = &trace::Registry::global();
+    const CostModel* cost_model = nullptr; ///< candidate-cost pricing
+    int iteration = 0; ///< budget-feedback round, stamped on records
 
     void descend(const BranchPoint* branch, FlowContext ctx,
                  double reference_seconds, const std::string& signature,
-                 std::vector<DesignArtifact>& out) {
+                 std::vector<DesignArtifact>& out,
+                 std::vector<obs::DecisionRecord>& decisions) {
         if (branch == nullptr) {
             out.push_back(
                 finalize(std::move(ctx), reference_seconds, signature));
             return;
         }
-        const auto indices = branch->strategy->select(ctx, *branch);
+        obs::DecisionRecord record;
+        record.branch = branch->name;
+        record.feedback_iteration = iteration;
+        const auto indices =
+            branch->strategy->select_explained(ctx, *branch, record);
+        // Post-fill the skeleton for strategies that don't self-describe
+        // (custom PsaStrategy subclasses riding the default delegate).
+        if (record.strategy.empty()) record.strategy = branch->strategy->name();
+        if (record.candidates.empty()) {
+            for (const FlowPath& path : branch->paths) {
+                obs::DecisionCandidate candidate;
+                candidate.path = path.name;
+                record.candidates.push_back(std::move(candidate));
+            }
+        }
+        for (std::size_t idx : indices) {
+            if (idx >= branch->paths.size()) continue; // ensure()d below
+            const std::string& name = branch->paths[idx].name;
+            record.selected.push_back(name);
+            for (obs::DecisionCandidate& candidate : record.candidates)
+                if (candidate.path == name) candidate.selected = true;
+        }
+        if (cost_model != nullptr)
+            annotate_candidates(ctx, *cost_model, record);
+        decisions.push_back(std::move(record));
+
         if (indices.empty()) {
             // Fig. 3's terminate outcome: the design leaves unmodified.
             ctx.spec.target = TargetKind::None;
@@ -271,6 +388,7 @@ struct Scheduler {
             FlowContext ctx;
             std::string signature; ///< grows one task id per task executed
             std::vector<DesignArtifact> leaves;
+            std::vector<obs::DecisionRecord> decisions; ///< nested branches
         };
         std::vector<PendingPath> pending;
         pending.reserve(indices.size());
@@ -283,15 +401,15 @@ struct Scheduler {
                         branch->name + "'");
             pending.push_back(PendingPath{&path, std::move(forked),
                                           signature + "/" + path.name,
+                                          {},
                                           {}});
         }
 
         auto run_path = [this, reference_seconds](PendingPath& job) {
-            // This may run on a pool thread: re-install the request's
-            // trace sink and cancellation token so deep layers (the
-            // interpreter's periodic poll, the cache counters) stay
-            // attributed to — and interruptible by — the right request.
-            trace::ScopedRegistry trace_scope(*sink);
+            // This may run on a pool thread: the pool re-installed the
+            // request's trace sink and active span (TaskGroup::run); the
+            // cancellation token still needs installing here so the
+            // interpreter's periodic poll sees the right request's token.
             CancelScope cancel_scope(job.ctx.cancel);
             trace::ScopedSpan span("path:" + job.path->name, "flow");
             for (const TaskPtr& task : job.path->tasks) {
@@ -303,7 +421,8 @@ struct Scheduler {
                 job.signature += ";" + task->id();
             }
             descend(job.path->next.get(), std::move(job.ctx),
-                    reference_seconds, job.signature, job.leaves);
+                    reference_seconds, job.signature, job.leaves,
+                    job.decisions);
         };
 
         if (pool == nullptr || pending.size() == 1) {
@@ -324,6 +443,9 @@ struct Scheduler {
             out.insert(out.end(),
                        std::make_move_iterator(job.leaves.begin()),
                        std::make_move_iterator(job.leaves.end()));
+            decisions.insert(decisions.end(),
+                             std::make_move_iterator(job.decisions.begin()),
+                             std::make_move_iterator(job.decisions.end()));
         }
     }
 };
@@ -339,7 +461,7 @@ FlowResult detail::run_flow_impl(const DesignFlow& flow, FlowContext ctx,
         options.jobs > 0 ? options.jobs : ThreadPool::default_jobs();
     Scheduler scheduler;
     if (jobs > 1) scheduler.pool = &ThreadPool::shared();
-    scheduler.sink = &trace::Registry::current();
+    scheduler.cost_model = &options.cost_model;
 
     std::string signature = "prologue";
     for (const TaskPtr& task : flow.prologue) {
@@ -370,9 +492,13 @@ FlowResult detail::run_flow_impl(const DesignFlow& flow, FlowContext ctx,
         if (!excluded.empty())
             branch.strategy = informed_strategy(excluded);
 
+        // Designs of a vetoed round are replaced; decision records are kept
+        // (each round's records carry its feedback_iteration), so --explain
+        // shows the vetoed selection next to the re-selection.
         result.designs.clear();
+        scheduler.iteration = iteration;
         scheduler.descend(&branch, ctx.fork(), result.reference_seconds,
-                          signature, result.designs);
+                          signature, result.designs, result.decisions);
 
         if (!options.budget.constrained() ||
             iteration >= options.max_feedback_iterations)
@@ -404,6 +530,11 @@ FlowResult detail::run_flow_impl(const DesignFlow& flow, FlowContext ctx,
             family, cheapest->hotspot_seconds);
         if (cost <= options.budget.max_run_cost) break;
 
+        obs::info("flow", "budget feedback: selection vetoed, re-selecting",
+                  {{"app", ctx.app_name()},
+                   {"iteration", std::to_string(iteration)},
+                   {"run_cost", format_compact(cost, 4)},
+                   {"budget", format_compact(options.budget.max_run_cost, 4)}});
         switch (family) {
             case TargetKind::CpuGpu: excluded.insert("gpu"); break;
             case TargetKind::CpuFpga: excluded.insert("fpga"); break;

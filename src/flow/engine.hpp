@@ -10,6 +10,7 @@
 #include "codegen/codegen.hpp"
 #include "flow/strategy.hpp"
 #include "flow/task.hpp"
+#include "obs/decision.hpp"
 #include "platform/kernel_shape.hpp"
 
 namespace psaflow::flow {
@@ -34,6 +35,14 @@ struct FlowResult {
     std::vector<DesignArtifact> designs;
     double reference_seconds = 0.0;
     std::vector<std::string> log; ///< prologue log
+
+    /// Branch-point provenance, in deterministic traversal order (parent
+    /// branch first, then each selected path's nested records in path
+    /// order) — identical at any jobs setting. Budget-feedback rounds
+    /// append rather than replace, so a vetoed first-round selection stays
+    /// visible next to the re-selection that replaced it (told apart by
+    /// DecisionRecord::feedback_iteration).
+    std::vector<obs::DecisionRecord> decisions;
 
     /// The artifact the informed flow recommends: fastest synthesizable.
     [[nodiscard]] const DesignArtifact* best() const;

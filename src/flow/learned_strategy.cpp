@@ -111,13 +111,34 @@ std::string LearnedStrategy::classify(const StrategyFeatures& features) const {
 
 std::vector<std::size_t> LearnedStrategy::select(FlowContext& ctx,
                                                  const BranchPoint& branch) {
+    obs::DecisionRecord scratch;
+    return select_explained(ctx, branch, scratch);
+}
+
+std::vector<std::size_t>
+LearnedStrategy::select_explained(FlowContext& ctx, const BranchPoint& branch,
+                                  obs::DecisionRecord& record) {
+    record.strategy = name();
     const std::string label = classify(gather_features(ctx));
     ctx.note("learned PSA (kNN): classified as '" + label + "'");
+    for (const FlowPath& path : branch.paths) {
+        obs::DecisionCandidate candidate;
+        candidate.path = path.name;
+        candidate.evaluation = path.name == label
+                                   ? "kNN majority label (k=" +
+                                         std::to_string(k_) + ")"
+                                   : "not the kNN label";
+        record.candidates.push_back(std::move(candidate));
+    }
     for (std::size_t i = 0; i < branch.paths.size(); ++i) {
-        if (branch.paths[i].name == label) return {i};
+        if (branch.paths[i].name != label) continue;
+        record.rationale = "kNN classified the kernel as '" + label + "'";
+        return {i};
     }
     ctx.note("learned PSA: no path named '" + label +
              "' — terminating unmodified");
+    record.rationale = "kNN label '" + label +
+                       "' names no flow path — terminating unmodified";
     return {};
 }
 

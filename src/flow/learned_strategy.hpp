@@ -57,6 +57,11 @@ public:
     [[nodiscard]] std::vector<std::size_t>
     select(FlowContext& ctx, const BranchPoint& branch) override;
 
+    /// Provenance-aware form: records the kNN label and per-path verdicts.
+    [[nodiscard]] std::vector<std::size_t>
+    select_explained(FlowContext& ctx, const BranchPoint& branch,
+                     obs::DecisionRecord& record) override;
+
     /// Classify a bare feature vector (exposed for tests/benches).
     [[nodiscard]] std::string classify(const StrategyFeatures& features) const;
 

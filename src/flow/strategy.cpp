@@ -118,8 +118,23 @@ public:
 
     std::vector<std::size_t> select(FlowContext& ctx,
                                     const BranchPoint& branch) override {
+        obs::DecisionRecord scratch;
+        return select_explained(ctx, branch, scratch);
+    }
+
+    std::vector<std::size_t>
+    select_explained(FlowContext& ctx, const BranchPoint& branch,
+                     obs::DecisionRecord& record) override {
+        record.strategy = name();
         const Fig3Inputs in = gather_fig3_inputs(ctx);
         Fig3Choice choice = fig3_decide(in);
+
+        const std::string inputs_summary =
+            "AI " + format_compact(in.flops_per_byte, 4) +
+            " FLOPs/B (x=" + format_compact(in.threshold_x, 4) +
+            "), transfer " + format_compact(in.transfer_seconds, 4) +
+            " s vs CPU " + format_compact(in.cpu_seconds, 4) + " s, outer " +
+            (in.outer_parallel ? "parallel" : "sequential");
 
         // Cost feedback: excluded targets fall through to the next-best
         // branch in a fixed preference order.
@@ -131,6 +146,21 @@ public:
                 default: return "";
             }
         };
+        auto describe = [&](const std::string& path) -> std::string {
+            if (excluded_.count(path) != 0)
+                return "excluded by cost-budget feedback";
+            if (path == choice_name(choice))
+                return "Fig. 3 choice: " + std::string(to_string(choice));
+            return "not the Fig. 3 choice";
+        };
+        for (const FlowPath& path : branch.paths) {
+            obs::DecisionCandidate candidate;
+            candidate.path = path.name;
+            candidate.excluded = excluded_.count(path.name) != 0;
+            candidate.evaluation = describe(path.name);
+            record.candidates.push_back(std::move(candidate));
+        }
+
         const std::vector<Fig3Choice> fallbacks = {
             choice, Fig3Choice::CpuFpga, Fig3Choice::CpuGpu,
             Fig3Choice::CpuOpenMp};
@@ -141,21 +171,40 @@ public:
             if (candidate != choice &&
                 excluded_.count(choice_name(choice)) == 0)
                 break; // original choice stands, no fallback needed
+            const bool fell_back = candidate != choice;
             ctx.note("PSA (A): selected " +
                      std::string(to_string(candidate)) +
-                     (candidate != choice ? " (cost feedback)" : "") +
+                     (fell_back ? " (cost feedback)" : "") +
                      " [AI " + format_compact(in.flops_per_byte, 4) +
                      " FLOPs/B, transfer " +
                      format_compact(in.transfer_seconds, 4) + " s vs CPU " +
                      format_compact(in.cpu_seconds, 4) + " s]");
+            record.rationale =
+                "Fig. 3 selected " + std::string(to_string(candidate)) +
+                (fell_back ? " (cost-feedback fallback from " +
+                                 std::string(to_string(choice)) + ")"
+                           : "") +
+                " [" + inputs_summary + "]";
+            for (obs::DecisionCandidate& c : record.candidates) {
+                if (c.path != name) continue;
+                if (fell_back)
+                    c.evaluation = "cost-feedback fallback: " +
+                                   std::string(to_string(candidate));
+            }
             return {path_index(branch, name)};
         }
         if (choice == Fig3Choice::Terminate) {
             ctx.note("PSA (A): offload not worthwhile and outer loop not "
                      "parallel — design-flow terminates unmodified");
+            record.rationale =
+                "offload not worthwhile and outer loop not parallel — "
+                "design-flow terminates unmodified [" + inputs_summary + "]";
         } else {
             ctx.note("PSA (A): every profitable target excluded by the cost "
                      "budget — design-flow terminates unmodified");
+            record.rationale =
+                "every profitable target excluded by the cost budget — "
+                "design-flow terminates unmodified [" + inputs_summary + "]";
         }
         return {};
     }
@@ -173,6 +222,22 @@ public:
         std::vector<std::size_t> out(branch.paths.size());
         for (std::size_t i = 0; i < out.size(); ++i) out[i] = i;
         return out;
+    }
+
+    std::vector<std::size_t>
+    select_explained(FlowContext& ctx, const BranchPoint& branch,
+                     obs::DecisionRecord& record) override {
+        record.strategy = name();
+        record.rationale =
+            "select-all: every path taken (uninformed mode / device "
+            "enumeration)";
+        for (const FlowPath& path : branch.paths) {
+            obs::DecisionCandidate candidate;
+            candidate.path = path.name;
+            candidate.evaluation = "taken unconditionally";
+            record.candidates.push_back(std::move(candidate));
+        }
+        return select(ctx, branch);
     }
 };
 

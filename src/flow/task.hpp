@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "flow/context.hpp"
+#include "obs/decision.hpp"
 
 namespace psaflow::flow {
 
@@ -71,6 +72,19 @@ public:
     [[nodiscard]] virtual std::string name() const = 0;
     [[nodiscard]] virtual std::vector<std::size_t>
     select(FlowContext& ctx, const BranchPoint& branch) = 0;
+
+    /// Like select(), but also records the deliberation into `record`
+    /// (candidates considered, who won, rejected-because). The engine calls
+    /// this form and ships the record in FlowResult::decisions; the default
+    /// delegates to select(), so existing strategies keep working and get a
+    /// skeleton record filled in by the engine (branch, candidates,
+    /// selected set). Override to attach strategy-specific rationale.
+    [[nodiscard]] virtual std::vector<std::size_t>
+    select_explained(FlowContext& ctx, const BranchPoint& branch,
+                     obs::DecisionRecord& record) {
+        record.strategy = name();
+        return select(ctx, branch);
+    }
 };
 
 /// A complete design-flow: target-independent prologue then the first

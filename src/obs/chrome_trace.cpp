@@ -1,0 +1,79 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+
+#include "support/json.hpp"
+
+namespace psaflow::obs {
+
+namespace {
+
+json::Value metadata_event(const std::string& name, std::uint64_t tid,
+                           const std::string& arg_key,
+                           const std::string& arg_value) {
+    json::Value event = json::Value::object();
+    event.set("name", json::Value::string(name));
+    event.set("ph", json::Value::string("M"));
+    event.set("pid", json::Value::number(1));
+    event.set("tid", json::Value::number(static_cast<double>(tid)));
+    json::Value args = json::Value::object();
+    args.set(arg_key, json::Value::string(arg_value));
+    event.set("args", std::move(args));
+    return event;
+}
+
+} // namespace
+
+std::string to_chrome_json(const std::vector<trace::Span>& spans,
+                           const std::string& process_name) {
+    std::vector<trace::Span> sorted = spans;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const trace::Span& a, const trace::Span& b) {
+                  if (a.start_us != b.start_us) return a.start_us < b.start_us;
+                  return a.id < b.id;
+              });
+
+    json::Value events = json::Value::array();
+    events.push(metadata_event("process_name", 0, "name", process_name));
+
+    std::vector<std::uint64_t> threads;
+    for (const trace::Span& span : sorted) threads.push_back(span.thread);
+    std::sort(threads.begin(), threads.end());
+    threads.erase(std::unique(threads.begin(), threads.end()), threads.end());
+    for (std::uint64_t tid : threads)
+        events.push(metadata_event("thread_name", tid, "name",
+                                   "worker-" + std::to_string(tid)));
+
+    for (const trace::Span& span : sorted) {
+        json::Value event = json::Value::object();
+        event.set("name", json::Value::string(span.name));
+        event.set("cat", json::Value::string(
+                             span.category.empty() ? "psaflow" : span.category));
+        event.set("ph", json::Value::string("X"));
+        event.set("pid", json::Value::number(1));
+        event.set("tid", json::Value::number(static_cast<double>(span.thread)));
+        event.set("ts", json::Value::number(static_cast<double>(span.start_us)));
+        event.set("dur",
+                  json::Value::number(static_cast<double>(span.duration_us)));
+        json::Value args = json::Value::object();
+        args.set("span_id", json::Value::number(static_cast<double>(span.id)));
+        args.set("parent_id",
+                 json::Value::number(static_cast<double>(span.parent)));
+        if (span.work_units != 0.0)
+            args.set("work_units", json::Value::number(span.work_units));
+        event.set("args", std::move(args));
+        events.push(std::move(event));
+    }
+
+    json::Value doc = json::Value::object();
+    doc.set("displayTimeUnit", json::Value::string("ms"));
+    doc.set("traceEvents", std::move(events));
+    return json::dump(doc) + "\n";
+}
+
+std::string to_chrome_json(const trace::Registry& registry,
+                           const std::string& process_name) {
+    return to_chrome_json(registry.spans(), process_name);
+}
+
+} // namespace psaflow::obs

@@ -1,0 +1,30 @@
+// Chrome trace-event export for trace::Registry spans.
+//
+// Renders spans as the Trace Event Format's JSON object form — complete
+// ("ph":"X") events keyed by ts/dur microseconds on pid/tid tracks — which
+// chrome://tracing, Perfetto and speedscope all load directly. Span
+// causality (id/parent) travels in each event's "args" so the flame graph
+// can be cross-checked against the span tree.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/trace.hpp"
+
+namespace psaflow::obs {
+
+/// Render `spans` as a Chrome trace-event JSON document:
+///   {"displayTimeUnit":"ms","traceEvents":[...metadata, X events...]}
+/// Events are sorted by (start_us, id) so output is stable for a given
+/// span set regardless of recording interleavings.
+[[nodiscard]] std::string
+to_chrome_json(const std::vector<trace::Span>& spans,
+               const std::string& process_name = "psaflow");
+
+/// Convenience overload: snapshot + render a registry's spans.
+[[nodiscard]] std::string
+to_chrome_json(const trace::Registry& registry,
+               const std::string& process_name = "psaflow");
+
+} // namespace psaflow::obs

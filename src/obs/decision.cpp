@@ -1,0 +1,119 @@
+#include "obs/decision.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace psaflow::obs {
+
+namespace {
+
+std::string format_seconds(double seconds) {
+    if (seconds < 0.0 || !std::isfinite(seconds)) return "-";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.4g s", seconds);
+    return buf;
+}
+
+std::string format_cost(double usd) {
+    if (usd < 0.0 || !std::isfinite(usd)) return "-";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "$%.4g", usd);
+    return buf;
+}
+
+} // namespace
+
+json::Value to_json(const DecisionCandidate& candidate) {
+    json::Value out = json::Value::object();
+    out.set("path", json::Value::string(candidate.path));
+    out.set("selected", json::Value::boolean(candidate.selected));
+    out.set("excluded", json::Value::boolean(candidate.excluded));
+    if (candidate.predicted_seconds >= 0.0)
+        out.set("predicted_seconds",
+                json::Value::number(candidate.predicted_seconds));
+    if (candidate.run_cost >= 0.0)
+        out.set("run_cost_usd", json::Value::number(candidate.run_cost));
+    if (!candidate.evaluation.empty())
+        out.set("evaluation", json::Value::string(candidate.evaluation));
+    return out;
+}
+
+json::Value to_json(const DecisionRecord& record) {
+    json::Value out = json::Value::object();
+    out.set("branch", json::Value::string(record.branch));
+    out.set("strategy", json::Value::string(record.strategy));
+    out.set("feedback_iteration",
+            json::Value::number(record.feedback_iteration));
+    json::Value candidates = json::Value::array();
+    for (const DecisionCandidate& candidate : record.candidates)
+        candidates.push(to_json(candidate));
+    out.set("candidates", std::move(candidates));
+    json::Value selected = json::Value::array();
+    for (const std::string& path : record.selected)
+        selected.push(json::Value::string(path));
+    out.set("selected", std::move(selected));
+    out.set("rationale", json::Value::string(record.rationale));
+    return out;
+}
+
+json::Value decisions_json(const std::string& app, const std::string& mode,
+                           const std::vector<DecisionRecord>& decisions) {
+    json::Value out = json::Value::object();
+    out.set("schema_version", json::Value::number(1));
+    out.set("app", json::Value::string(app));
+    out.set("mode", json::Value::string(mode));
+    json::Value records = json::Value::array();
+    for (const DecisionRecord& record : decisions)
+        records.push(to_json(record));
+    out.set("decisions", std::move(records));
+    return out;
+}
+
+std::string decisions_markdown(const std::string& app, const std::string& mode,
+                               const std::vector<DecisionRecord>& decisions) {
+    std::string out = "# Flow decisions: " + app + " (" + mode + ")\n\n";
+    if (decisions.empty()) {
+        out += "No branch points were reached.\n";
+        return out;
+    }
+    for (std::size_t i = 0; i < decisions.size(); ++i) {
+        const DecisionRecord& record = decisions[i];
+        out += "## " + std::to_string(i + 1) + ". Branch " + record.branch +
+               "\n\n";
+        out += "- strategy: `" + record.strategy + "`\n";
+        out += "- feedback iteration: " +
+               std::to_string(record.feedback_iteration) + "\n";
+        out += "- selected: ";
+        if (record.selected.empty()) {
+            out += "(none)";
+        } else {
+            for (std::size_t s = 0; s < record.selected.size(); ++s) {
+                if (s != 0) out += ", ";
+                out += "`" + record.selected[s] + "`";
+            }
+        }
+        out += "\n\n";
+        out += "| candidate | predicted | cost/run | verdict |\n";
+        out += "|---|---|---|---|\n";
+        for (const DecisionCandidate& candidate : record.candidates) {
+            std::string verdict;
+            if (candidate.selected)
+                verdict = "**selected**";
+            else if (candidate.excluded)
+                verdict = "excluded";
+            else
+                verdict = "rejected";
+            if (!candidate.evaluation.empty())
+                verdict += " — " + candidate.evaluation;
+            out += "| `" + candidate.path + "` | " +
+                   format_seconds(candidate.predicted_seconds) + " | " +
+                   format_cost(candidate.run_cost) + " | " + verdict + " |\n";
+        }
+        out += "\n";
+        if (!record.rationale.empty())
+            out += record.rationale + "\n\n";
+    }
+    return out;
+}
+
+} // namespace psaflow::obs

@@ -1,0 +1,65 @@
+// Flow-decision provenance.
+//
+// Every time the flow engine reaches a branch point it asks a PsaStrategy
+// which paths to take; the answer used to vanish into a one-line note. A
+// DecisionRecord keeps the whole deliberation: which branch, which strategy,
+// every candidate path with its analytic cost/budget evaluation, who won and
+// why the others were rejected. Records accumulate in FlowResult.decisions
+// in deterministic (path-major) order and export as JSON
+// (`psaflowc --explain`) or a markdown report (`--explain-md`).
+//
+// Plain data, depending only on support/ — flow produces records, serve
+// ships them, tools render them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace psaflow::obs {
+
+/// One path considered at a branch point.
+struct DecisionCandidate {
+    std::string path;        ///< FlowPath name, e.g. "fpga" or "arria10"
+    bool selected = false;   ///< part of the winning set
+    bool excluded = false;   ///< vetoed before scoring (budget feedback)
+    /// Analytic hotspot-time prediction for this candidate, seconds;
+    /// negative when no model applies (no kernel, unknown device).
+    double predicted_seconds = -1.0;
+    /// Cost-model USD per run at predicted_seconds; negative when not
+    /// evaluated.
+    double run_cost = -1.0;
+    /// Human-readable evaluation: the winner's justification or the
+    /// rejected-because for everyone else.
+    std::string evaluation;
+};
+
+/// One branch-point deliberation.
+struct DecisionRecord {
+    std::string branch;   ///< BranchPoint name, e.g. "A (target)"
+    std::string strategy; ///< PsaStrategy::name()
+    /// Which budget-feedback round produced this record (0 = first pass);
+    /// re-selection after a budget veto emits a fresh record.
+    int feedback_iteration = 0;
+    std::vector<DecisionCandidate> candidates;
+    std::vector<std::string> selected; ///< winner path names, branch order
+    std::string rationale;             ///< one-line why
+};
+
+[[nodiscard]] json::Value to_json(const DecisionCandidate& candidate);
+[[nodiscard]] json::Value to_json(const DecisionRecord& record);
+
+/// Whole-run report: {"schema_version":1,"app":...,"mode":...,
+/// "decisions":[...]}
+[[nodiscard]] json::Value
+decisions_json(const std::string& app, const std::string& mode,
+               const std::vector<DecisionRecord>& decisions);
+
+/// The same report as a human-facing markdown document: one section per
+/// branch point with a candidate table and the rationale.
+[[nodiscard]] std::string
+decisions_markdown(const std::string& app, const std::string& mode,
+                   const std::vector<DecisionRecord>& decisions);
+
+} // namespace psaflow::obs

@@ -1,0 +1,164 @@
+#include "obs/prometheus.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+namespace psaflow::obs {
+
+namespace {
+
+/// Prometheus sample values: integral values without an exponent, the rest
+/// in shortest-round-trip form; non-finite values per the text format.
+std::string format_value(double value) {
+    if (std::isnan(value)) return "NaN";
+    if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+    if (value == std::floor(value) && std::abs(value) < 1e15) {
+        std::ostringstream os;
+        os << static_cast<long long>(value);
+        return os.str();
+    }
+    std::ostringstream os;
+    os.precision(17);
+    os << value;
+    return os.str();
+}
+
+/// Label values: escape backslash, double quote and newline per the format.
+void append_label_value(std::string& out, const std::string& value) {
+    for (char c : value) {
+        switch (c) {
+            case '\\': out += "\\\\"; break;
+            case '"': out += "\\\""; break;
+            case '\n': out += "\\n"; break;
+            default: out += c;
+        }
+    }
+}
+
+void append_labels(std::string& out, const MetricLabels& labels,
+                   const std::string& extra_key = {},
+                   const std::string& extra_value = {}) {
+    if (labels.empty() && extra_key.empty()) return;
+    out += '{';
+    bool first = true;
+    for (const auto& [key, value] : labels) {
+        if (!first) out += ',';
+        first = false;
+        out += key;
+        out += "=\"";
+        append_label_value(out, value);
+        out += '"';
+    }
+    if (!extra_key.empty()) {
+        if (!first) out += ',';
+        out += extra_key;
+        out += "=\"";
+        append_label_value(out, extra_value);
+        out += '"';
+    }
+    out += '}';
+}
+
+} // namespace
+
+std::string sanitize_metric_name(std::string_view name,
+                                 std::string_view prefix) {
+    std::string out(prefix);
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    if (!out.empty() && out.front() >= '0' && out.front() <= '9')
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+void PrometheusRenderer::header(const std::string& name,
+                                const std::string& help, const char* type) {
+    if (std::find(declared_.begin(), declared_.end(), name) != declared_.end())
+        return;
+    declared_.push_back(name);
+    out_ += "# HELP " + name + ' ' + help + '\n';
+    out_ += "# TYPE " + name + ' ' + type;
+    out_ += '\n';
+}
+
+void PrometheusRenderer::sample(const std::string& name,
+                                const MetricLabels& labels, double value) {
+    out_ += name;
+    append_labels(out_, labels);
+    out_ += ' ';
+    out_ += format_value(value);
+    out_ += '\n';
+}
+
+void PrometheusRenderer::counter(const std::string& name,
+                                 const std::string& help, double value,
+                                 const MetricLabels& labels) {
+    header(name, help, "counter");
+    sample(name, labels, value);
+}
+
+void PrometheusRenderer::gauge(const std::string& name,
+                               const std::string& help, double value,
+                               const MetricLabels& labels) {
+    header(name, help, "gauge");
+    sample(name, labels, value);
+}
+
+void PrometheusRenderer::histogram(const std::string& name,
+                                   const std::string& help,
+                                   const Histogram& hist,
+                                   const MetricLabels& labels) {
+    header(name, help, "histogram");
+    // Bucket b spans [2^(b-1), 2^b); its exact inclusive upper bound is
+    // 2^b - 1. Cumulative counts, empty buckets elided (scrapers accept
+    // irregular le ladders), then the mandatory +Inf / _sum / _count.
+    std::uint64_t cumulative = 0;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+        const std::uint64_t in_bucket = hist.bucket_count(b);
+        if (in_bucket == 0) continue;
+        cumulative += in_bucket;
+        std::uint64_t upper;
+        if (b == 0) {
+            upper = 0;
+        } else if (b >= 64) {
+            upper = UINT64_MAX;
+        } else {
+            upper = (std::uint64_t{1} << b) - 1;
+        }
+        std::string line = name + "_bucket";
+        append_labels(line, labels, "le", format_value(static_cast<double>(upper)));
+        out_ += line + ' ' + format_value(static_cast<double>(cumulative)) +
+                '\n';
+    }
+    std::string inf_line = name + "_bucket";
+    append_labels(inf_line, labels, "le", "+Inf");
+    out_ += inf_line + ' ' + format_value(static_cast<double>(hist.count())) +
+            '\n';
+
+    std::string sum_line = name + "_sum";
+    append_labels(sum_line, labels);
+    out_ += sum_line + ' ' + format_value(static_cast<double>(hist.sum())) +
+            '\n';
+    std::string count_line = name + "_count";
+    append_labels(count_line, labels);
+    out_ += count_line + ' ' + format_value(static_cast<double>(hist.count())) +
+            '\n';
+}
+
+std::string
+render_counters(const std::map<std::string, std::uint64_t>& counters,
+                std::string_view prefix) {
+    PrometheusRenderer renderer;
+    for (const auto& [name, value] : counters)
+        renderer.counter(sanitize_metric_name(name, prefix),
+                         "psaflow trace counter " + name,
+                         static_cast<double>(value));
+    return renderer.text();
+}
+
+} // namespace psaflow::obs

@@ -1,0 +1,70 @@
+// Prometheus text-format exposition (version 0.0.4) for psaflow metrics.
+//
+// Renders trace-registry counters and support/histogram latency histograms
+// as the plain-text format every Prometheus-compatible scraper ingests.
+// psaflowd serves the rendering over its socket ({"type":"metrics"} →
+// `psaflow-client --metrics`), and psaflowc dumps the same document with
+// --metrics-out for one-shot runs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "support/histogram.hpp"
+
+namespace psaflow::obs {
+
+/// Label set attached to one sample, rendered as {k="v",...}.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Fold an arbitrary dotted counter name ("cache.profile.hit") into a legal
+/// Prometheus metric name ("psaflow_cache_profile_hit" with the given
+/// prefix): [a-zA-Z0-9_] survive, everything else becomes '_', and a
+/// leading digit gains a '_' prefix.
+[[nodiscard]] std::string sanitize_metric_name(std::string_view name,
+                                               std::string_view prefix);
+
+/// Incremental builder for one exposition document. # HELP / # TYPE header
+/// lines are emitted once per metric name, on first use, so the same metric
+/// can be added repeatedly with different label sets.
+class PrometheusRenderer {
+public:
+    /// Append a counter sample. `name` must already be a legal metric name
+    /// (use sanitize_metric_name for dotted counter names).
+    void counter(const std::string& name, const std::string& help,
+                 double value, const MetricLabels& labels = {});
+
+    /// Append a gauge sample.
+    void gauge(const std::string& name, const std::string& help, double value,
+               const MetricLabels& labels = {});
+
+    /// Append a histogram: cumulative `_bucket{le=...}` series over the
+    /// power-of-two buckets (exact inclusive upper bounds, empty buckets
+    /// elided), a `+Inf` bucket, `_sum` and `_count`.
+    void histogram(const std::string& name, const std::string& help,
+                   const Histogram& hist, const MetricLabels& labels = {});
+
+    /// The document rendered so far.
+    [[nodiscard]] const std::string& text() const { return out_; }
+
+private:
+    void header(const std::string& name, const std::string& help,
+                const char* type);
+    void sample(const std::string& name, const MetricLabels& labels,
+                double value);
+
+    std::vector<std::string> declared_;
+    std::string out_;
+};
+
+/// Render a trace-registry counter map (Registry::counters()) as
+/// psaflow_-prefixed Prometheus counters.
+[[nodiscard]] std::string
+render_counters(const std::map<std::string, std::uint64_t>& counters,
+                std::string_view prefix = "psaflow_");
+
+} // namespace psaflow::obs

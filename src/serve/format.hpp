@@ -1,0 +1,24 @@
+// Human-facing renderings of the daemon's observability documents.
+//
+// psaflow-client's --stats table and --metrics passthrough share these so
+// the client stays a thin wire shim; tests render the daemon's own
+// stats_json() through the same functions to pin the format.
+#pragma once
+
+#include <string>
+
+#include "support/json.hpp"
+
+namespace psaflow::serve {
+
+/// Render a stats response document as an aligned two-column summary table
+/// (uptime, workers, queue, request tallies, latency percentiles, cache hit
+/// rates). Unknown/missing members are simply omitted, so the renderer
+/// tolerates older daemons.
+[[nodiscard]] std::string stats_table(const json::Value& stats);
+
+/// Render a logs response document ({"records":[...]}) as one classic
+/// `<time> LEVEL component: message k=v` line per record.
+[[nodiscard]] std::string logs_text(const json::Value& logs_response);
+
+} // namespace psaflow::serve

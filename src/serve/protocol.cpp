@@ -17,6 +17,19 @@ std::optional<std::string> parse_wire_request(const json::Value& doc,
         out.type = RequestType::Stats;
         return std::nullopt;
     }
+    if (type == "metrics") {
+        out.type = RequestType::Metrics;
+        return std::nullopt;
+    }
+    if (type == "logs") {
+        out.type = RequestType::Logs;
+        if (const json::Value* v = doc.find("max"))
+            out.logs_max = static_cast<long long>(v->number_or(100.0));
+        if (const json::Value* v = doc.find("min_level"))
+            out.logs_min_level = v->string_or("");
+        if (out.logs_max < 0) return "logs: max must be >= 0";
+        return std::nullopt;
+    }
     if (type == "ping") {
         out.type = RequestType::Ping;
         return std::nullopt;
@@ -55,6 +68,8 @@ json::Value make_compile_response(const CompileRequest& req,
     response.set("mode", json::Value::string(req.mode));
     response.set("design_count",
                  json::Value::number(double(outcome.design_count)));
+    response.set("decision_count",
+                 json::Value::number(double(outcome.decisions.size())));
     response.set("best_speedup", json::Value::number(outcome.best_speedup));
     response.set("reference_seconds",
                  json::Value::number(outcome.reference_seconds));

@@ -10,6 +10,11 @@
 //       object (serve/request.hpp).
 //   {"type":"stats"}  — live metrics snapshot (never queued; answered
 //       inline even when every worker is busy).
+//   {"type":"metrics"} — Prometheus text-format exposition of the same
+//       metrics plane; the body rides in the response's "body" member.
+//       Answered inline.
+//   {"type":"logs", "max":100, "min_level":"info"} — recent records from
+//       the structured-log ring (both fields optional). Answered inline.
 //   {"type":"ping"}   — liveness/readiness probe, answered inline.
 //   {"type":"sleep", "ms":200, "deadline_ms":50} — test-only (rejected
 //       unless the daemon enables test endpoints): occupies a worker,
@@ -32,13 +37,15 @@
 
 namespace psaflow::serve {
 
-enum class RequestType { Compile, Stats, Ping, Sleep };
+enum class RequestType { Compile, Stats, Ping, Sleep, Logs, Metrics };
 
 struct WireRequest {
     RequestType type = RequestType::Ping;
     CompileRequest compile;     ///< valid when type == Compile
     long long sleep_ms = 0;     ///< valid when type == Sleep
     long long deadline_ms = 0;  ///< Sleep's deadline (Compile carries its own)
+    long long logs_max = 100;   ///< valid when type == Logs
+    std::string logs_min_level; ///< Logs filter ("" = everything captured)
 };
 
 /// Parse one request frame. Returns an error message (a bad_request body

@@ -6,6 +6,8 @@
 #include <filesystem>
 #include <thread>
 
+#include "obs/log.hpp"
+#include "obs/prometheus.hpp"
 #include "serve/service.hpp"
 #include "support/cas/cas.hpp"
 
@@ -82,6 +84,10 @@ std::optional<std::string> Daemon::start() {
     workers_.reserve(static_cast<std::size_t>(options_.workers));
     for (int i = 0; i < options_.workers; ++i)
         workers_.emplace_back([this] { worker_loop(); });
+    obs::info("serve", "daemon listening",
+              {{"socket", options_.socket_path},
+               {"workers", std::to_string(options_.workers)},
+               {"queue_depth", std::to_string(options_.queue_depth)}});
     return std::nullopt;
 }
 
@@ -118,6 +124,8 @@ void Daemon::run() {
         readers.swap(readers_);
     }
     for (std::thread& reader : readers) reader.join();
+    obs::info("serve", "daemon drained",
+              {{"completed", std::to_string(counters().completed)}});
 }
 
 void Daemon::notify_shutdown() noexcept {
@@ -143,6 +151,8 @@ void Daemon::serve_connection(net::Fd conn) {
         if (status != net::FrameStatus::Ok) {
             // Torn/oversized frames get a structured complaint; the stream
             // is unsynchronised afterwards, so the connection closes.
+            obs::warn("serve", "malformed frame, closing connection",
+                      {{"status", net::to_string(status)}});
             const json::Value response = make_error_response(
                 ErrorKind::BadRequest,
                 std::string("malformed frame: ") + net::to_string(status));
@@ -184,7 +194,9 @@ void Daemon::serve_connection(net::Fd conn) {
         }
 
         if (request.type == RequestType::Ping ||
-            request.type == RequestType::Stats) {
+            request.type == RequestType::Stats ||
+            request.type == RequestType::Metrics ||
+            request.type == RequestType::Logs) {
             response = handle_inline(request);
             if (!net::write_frame(conn.get(), response)) break;
             continue;
@@ -333,6 +345,10 @@ void Daemon::record_outcome(const CompileOutcome& outcome,
     }
     for (const auto& [name, value] : outcome.counters)
         flow_counters_[name] += value;
+    // Per-request decision provenance feeds the stats plane as a plain
+    // counter: how many branch-point deliberations the flows made.
+    flow_counters_["flow.decisions"] +=
+        static_cast<std::uint64_t>(outcome.decisions.size());
     for (const trace::Span& span : outcome.spans)
         if (span.category == "task")
             task_latency_us_[span.name].record(span.duration_us);
@@ -341,6 +357,18 @@ void Daemon::record_outcome(const CompileOutcome& outcome,
 std::string Daemon::handle_inline(const WireRequest& request) {
     if (request.type == RequestType::Stats)
         return json::dump(stats_json());
+    if (request.type == RequestType::Metrics) {
+        json::Value response = json::Value::object();
+        response.set("ok", json::Value::boolean(true));
+        response.set("type", json::Value::string("metrics"));
+        response.set("content_type",
+                     json::Value::string("text/plain; version=0.0.4"));
+        response.set("body", json::Value::string(metrics_text()));
+        return json::dump(response);
+    }
+    if (request.type == RequestType::Logs)
+        return json::dump(
+            logs_json(request.logs_max, request.logs_min_level));
     return json::dump(make_pong_response());
 }
 
@@ -410,6 +438,91 @@ json::Value Daemon::stats_json() {
                                            counter("profile_cache.misses"))));
     stats.set("cache", std::move(cache));
     return stats;
+}
+
+std::string Daemon::metrics_text() {
+    obs::PrometheusRenderer renderer;
+    renderer.gauge("psaflowd_uptime_seconds", "Seconds since daemon start",
+                   double(us_since(started_)) / 1e6);
+    renderer.gauge("psaflowd_workers", "Configured worker threads",
+                   double(options_.workers));
+    renderer.gauge("psaflowd_queue_depth", "Jobs waiting for a worker",
+                   double(queue_.depth()));
+    renderer.gauge("psaflowd_queue_capacity", "Admission queue capacity",
+                   double(queue_.capacity()));
+    renderer.gauge("psaflowd_in_flight", "Jobs currently executing",
+                   double(in_flight_.load()));
+    renderer.gauge("psaflowd_draining", "1 while shutting down",
+                   shutting_down_.load() ? 1.0 : 0.0);
+
+    std::lock_guard lock(stats_mu_);
+    const auto tally = [&](const char* label, std::uint64_t value) {
+        renderer.counter("psaflowd_requests_total",
+                         "Requests by outcome", double(value),
+                         {{"outcome", label}});
+    };
+    tally("completed", counters_.completed);
+    tally("failed", counters_.failed);
+    tally("bad_request", counters_.bad_requests);
+    tally("rejected_overload", counters_.rejected_overload);
+    tally("deadline_exceeded", counters_.deadline_exceeded);
+    renderer.counter("psaflowd_requests_received_total",
+                     "Request frames received", double(counters_.requests));
+    renderer.counter("psaflowd_connections_total", "Connections accepted",
+                     double(counters_.connections));
+
+    renderer.histogram("psaflowd_request_latency_us",
+                       "Receipt-to-response latency, microseconds",
+                       request_latency_us_);
+    renderer.histogram("psaflowd_queue_wait_us",
+                       "Admission-to-execution wait, microseconds",
+                       queue_wait_us_);
+    for (const auto& [name, hist] : task_latency_us_)
+        renderer.histogram("psaflowd_task_latency_us",
+                           "Flow-task wall time, microseconds", hist,
+                           {{"task", name}});
+
+    for (const auto& [name, value] : flow_counters_)
+        renderer.counter(obs::sanitize_metric_name(name, "psaflow_"),
+                         "psaflow trace counter " + name, double(value));
+    return renderer.text();
+}
+
+json::Value Daemon::logs_json(long long max_records,
+                              const std::string& min_level) {
+    obs::LogLevel level = obs::LogLevel::Trace;
+    if (!min_level.empty())
+        if (auto parsed = obs::parse_log_level(min_level)) level = *parsed;
+
+    const obs::Logger& logger = obs::Logger::global();
+    const auto records = logger.recent(
+        max_records < 0 ? 0 : static_cast<std::size_t>(max_records), level);
+
+    json::Value response = json::Value::object();
+    response.set("ok", json::Value::boolean(true));
+    response.set("type", json::Value::string("logs"));
+    response.set("total", json::Value::number(double(logger.total())));
+    response.set("dropped", json::Value::number(double(logger.dropped())));
+    json::Value out = json::Value::array();
+    for (const obs::LogRecord& record : records) {
+        json::Value entry = json::Value::object();
+        entry.set("seq", json::Value::number(double(record.seq)));
+        entry.set("wall_ms", json::Value::number(double(record.wall_ms)));
+        entry.set("level",
+                  json::Value::string(obs::to_string(record.level)));
+        entry.set("component", json::Value::string(record.component));
+        entry.set("message", json::Value::string(record.message));
+        if (!record.fields.empty()) {
+            json::Value fields = json::Value::object();
+            for (const auto& [key, value] : record.fields)
+                fields.set(key, json::Value::string(value));
+            entry.set("fields", std::move(fields));
+        }
+        entry.set("line", json::Value::string(record.to_line()));
+        out.push(std::move(entry));
+    }
+    response.set("records", std::move(out));
+    return response;
 }
 
 DaemonCounters Daemon::counters() const {

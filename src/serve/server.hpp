@@ -91,6 +91,16 @@ public:
     /// The stats-endpoint document (also handy for tests and logs).
     [[nodiscard]] json::Value stats_json();
 
+    /// The metrics-endpoint body: Prometheus text-format exposition of the
+    /// same metrics plane (daemon tallies, latency histograms with
+    /// per-task labels, flow counters).
+    [[nodiscard]] std::string metrics_text();
+
+    /// The logs-endpoint document: recent structured-log records,
+    /// oldest first. `min_level` as in obs::parse_log_level ("" = all).
+    [[nodiscard]] static json::Value logs_json(long long max_records,
+                                               const std::string& min_level);
+
     [[nodiscard]] DaemonCounters counters() const;
     [[nodiscard]] const DaemonOptions& options() const { return options_; }
 

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "core/psaflow.hpp"
+#include "obs/log.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
 
@@ -26,6 +27,8 @@ CompileOutcome run_compile(flow::FlowSession& session,
     } catch (const Error& e) {
         outcome.error_kind = ErrorKind::BadRequest;
         outcome.error = e.what();
+        obs::warn("serve", "rejected compile request",
+                  {{"app", req.app}, {"error", e.what()}});
         return outcome;
     }
 
@@ -42,12 +45,17 @@ CompileOutcome run_compile(flow::FlowSession& session,
     } catch (const CancelledError& e) {
         outcome.error_kind = ErrorKind::DeadlineExceeded;
         outcome.error = std::string("flow failed: ") + e.what();
+        obs::info("serve", "compile deadline exceeded",
+                  {{"app", req.app}, {"reason", e.what()}});
         return outcome;
     } catch (const Error& e) {
         outcome.error_kind = ErrorKind::Internal;
         outcome.error = std::string("flow failed: ") + e.what();
+        obs::error("serve", "compile failed",
+                   {{"app", req.app}, {"error", e.what()}});
         return outcome;
     }
+    outcome.decisions = std::move(result.decisions);
 
     std::filesystem::create_directories(req.out_dir);
     CsvWriter summary({"design", "target", "device", "synthesizable",
@@ -66,6 +74,8 @@ CompileOutcome run_compile(flow::FlowSession& session,
         if (!file) {
             outcome.error_kind = ErrorKind::Internal;
             outcome.error = "cannot write " + path.string();
+            obs::error("serve", "cannot write design file",
+                       {{"app", req.app}, {"path", path.string()}});
             return outcome;
         }
         file << design.source;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "flow/session.hpp"
+#include "obs/decision.hpp"
 #include "serve/request.hpp"
 #include "support/cancel.hpp"
 #include "support/trace.hpp"
@@ -52,6 +53,8 @@ struct CompileOutcome {
     /// This request's counters and task spans only (see header comment).
     std::map<std::string, std::uint64_t> counters;
     std::vector<trace::Span> spans;
+    /// Branch-point provenance of the flow (FlowResult::decisions).
+    std::vector<obs::DecisionRecord> decisions;
 };
 
 /// Compile `req` through `session`, write the design sources and the

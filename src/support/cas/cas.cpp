@@ -8,6 +8,7 @@
 #include <memory>
 #include <sstream>
 
+#include "obs/log.hpp"
 #include "support/trace.hpp"
 
 namespace psaflow::cas {
@@ -262,6 +263,11 @@ std::optional<std::string> CasStore::get(std::uint64_t key) {
         ++stats_.misses;
         count("cas.corrupt", 1);
         count("cas.misses", 1);
+        // Not silent: an operator seeing repeated corruption wants the
+        // path, not just a counter tick.
+        obs::warn("cas", "corrupt cache entry evicted",
+                  {{"path", path.string()},
+                   {"bytes", std::to_string(blob.size())}});
         erase_locked(key);
         remove_entry_file(key);
         return std::nullopt;

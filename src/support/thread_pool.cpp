@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cstdlib>
 
+#include "support/trace.hpp"
+
 namespace psaflow {
 
 int ThreadPool::default_jobs() {
@@ -84,8 +86,17 @@ void TaskGroup::run(std::function<void()> fn) {
         std::lock_guard lock(mu_);
         index = submitted_++;
     }
+    // Capture the submitter's trace context: a job may run on any pool
+    // thread (or inline during a helping wait), and it must record into the
+    // same registry — and parent its spans under the same active span — as
+    // the code that forked it. This is what keeps one request's spans a
+    // single rooted tree across fork/join.
+    trace::Registry* sink = &trace::Registry::current();
+    const std::uint64_t parent_span = trace::current_span_id();
     std::function<void()> wrapped =
-        [this, index, fn = std::move(fn)]() noexcept {
+        [this, index, sink, parent_span, fn = std::move(fn)]() noexcept {
+            trace::ScopedRegistry registry_scope(*sink);
+            trace::ScopedParent parent_scope(parent_span);
             std::exception_ptr error;
             try {
                 fn();

@@ -70,7 +70,9 @@ private:
 
 /// A batch of jobs submitted to a pool; `wait()` blocks (helping) until all
 /// jobs of this group have finished. Exceptions thrown by jobs are captured;
-/// the first one (in submission order) is rethrown from wait().
+/// the first one (in submission order) is rethrown from wait(). Each job
+/// inherits the submitter's trace context (recording sink and active span),
+/// so spans recorded inside a job parent under the span that forked it.
 class TaskGroup {
 public:
     explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}

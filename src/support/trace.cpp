@@ -1,5 +1,6 @@
 #include "support/trace.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -23,6 +24,13 @@ std::uint64_t thread_ordinal() {
     static std::atomic<std::uint64_t> next{1};
     thread_local std::uint64_t mine = next.fetch_add(1);
     return mine;
+}
+
+/// Process-unique span id. Ids being unique across every registry is what
+/// lets merge_from keep parent links intact without a remap pass.
+std::uint64_t next_span_id() {
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1);
 }
 
 /// JSON string escaping for span names (quotes, backslashes, control chars).
@@ -61,10 +69,9 @@ std::string format_work_units(double units) {
     return os.str();
 }
 
-} // namespace
-
-namespace {
 thread_local Registry* tl_registry = nullptr;
+thread_local std::uint64_t tl_active_span = 0;
+
 } // namespace
 
 Registry::Registry() {
@@ -89,6 +96,15 @@ ScopedRegistry::ScopedRegistry(Registry& registry) noexcept
 
 ScopedRegistry::~ScopedRegistry() { tl_registry = previous_; }
 
+std::uint64_t current_span_id() { return tl_active_span; }
+
+ScopedParent::ScopedParent(std::uint64_t parent_span) noexcept
+    : previous_(tl_active_span) {
+    tl_active_span = parent_span;
+}
+
+ScopedParent::~ScopedParent() { tl_active_span = previous_; }
+
 void Registry::set_enabled(bool on) {
     std::lock_guard lock(mu_);
     enabled_ = on;
@@ -103,12 +119,14 @@ void Registry::clear() {
     std::lock_guard lock(mu_);
     spans_.clear();
     counters_.clear();
+    max_thread_ = 0;
     epoch_ns_ = steady_ns();
 }
 
 void Registry::add_span(Span span) {
     std::lock_guard lock(mu_);
     if (!enabled_) return;
+    max_thread_ = std::max(max_thread_, span.thread);
     spans_.push_back(std::move(span));
 }
 
@@ -158,10 +176,17 @@ void Registry::merge_from(const Registry& other) {
     // this registry's epoch; shift by the epoch delta so merged spans sit
     // on this registry's timeline.
     const std::int64_t delta_us = (other_epoch - epoch_ns_) / 1000;
+    // Remap the source's thread ordinals onto tracks this registry has not
+    // used yet (sorted, so the assignment is deterministic for a given
+    // source registry).
+    std::map<std::uint64_t, std::uint64_t> track;
+    for (const Span& span : spans) track.emplace(span.thread, 0);
+    for (auto& [from, to] : track) to = ++max_thread_;
     for (Span& span : spans) {
         const std::int64_t start =
             static_cast<std::int64_t>(span.start_us) + delta_us;
         span.start_us = start > 0 ? static_cast<std::uint64_t>(start) : 0;
+        span.thread = track[span.thread];
         spans_.push_back(std::move(span));
     }
     for (const auto& [name, value] : counters) counters_[name] += value;
@@ -176,7 +201,7 @@ std::string Registry::to_json() const {
         counters = counters_;
     }
 
-    std::string out = "{\n  \"spans\": [";
+    std::string out = "{\n  \"schema_version\": 2,\n  \"spans\": [";
     for (std::size_t i = 0; i < spans.size(); ++i) {
         const Span& s = spans[i];
         out += i == 0 ? "\n" : ",\n";
@@ -184,7 +209,9 @@ std::string Registry::to_json() const {
         append_escaped(out, s.name);
         out += "\", \"category\": \"";
         append_escaped(out, s.category);
-        out += "\", \"thread\": " + std::to_string(s.thread);
+        out += "\", \"id\": " + std::to_string(s.id);
+        out += ", \"parent\": " + std::to_string(s.parent);
+        out += ", \"thread\": " + std::to_string(s.thread);
         out += ", \"start_us\": " + std::to_string(s.start_us);
         out += ", \"duration_us\": " + std::to_string(s.duration_us);
         out += ", \"work_units\": " + format_work_units(s.work_units);
@@ -209,15 +236,23 @@ ScopedSpan::ScopedSpan(std::string name, std::string category)
     : registry_(&Registry::current()), name_(std::move(name)),
       category_(std::move(category)) {
     active_ = registry_->enabled();
-    if (active_) start_us_ = registry_->now_us();
+    if (active_) {
+        start_us_ = registry_->now_us();
+        id_ = next_span_id();
+        parent_ = tl_active_span;
+        tl_active_span = id_;
+    }
 }
 
 ScopedSpan::~ScopedSpan() {
     if (!active_) return;
+    tl_active_span = parent_;
     Registry& reg = *registry_;
     Span span;
     span.name = std::move(name_);
     span.category = std::move(category_);
+    span.id = id_;
+    span.parent = parent_;
     span.thread = thread_ordinal();
     span.start_us = start_us_;
     const std::uint64_t end = reg.now_us();

@@ -8,14 +8,25 @@
 // with PSAFLOW_TRACE=0; counters are always live (they are a handful of
 // relaxed atomics per run, and tests assert on them).
 //
-// JSON schema (stable; see README "Tracing and the profile cache"):
+// Spans are *causal*: every span carries a process-unique id and the id of
+// its parent — the span that was active on the recording thread when it
+// opened. The active span follows work across threads: TaskGroup::run
+// captures the submitter's active span, so a branch-path job running on a
+// pool thread parents under the flow span that forked it, and every
+// request's spans form one rooted tree. obs/chrome_trace renders that tree
+// as Chrome trace-event JSON (`psaflowc --trace-format chrome`).
+//
+// JSON schema (version 2; see README "Observability"):
 //   {
+//     "schema_version": 2,
 //     "spans": [
-//       {"name": str, "category": str, "thread": int,
-//        "start_us": int, "duration_us": int, "work_units": num}
+//       {"name": str, "category": str, "id": int, "parent": int,
+//        "thread": int, "start_us": int, "duration_us": int,
+//        "work_units": num}
 //     ],
 //     "counters": {"<name>": int, ...}
 //   }
+// Version history: v1 had no schema_version field and no id/parent.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +40,8 @@ namespace psaflow::trace {
 struct Span {
     std::string name;     ///< e.g. "task:identify-hotspot-loops"
     std::string category; ///< "flow" | "task" | "dse" | "interp" | ...
+    std::uint64_t id = 0;          ///< process-unique span id (never 0)
+    std::uint64_t parent = 0;      ///< enclosing span's id; 0 = a root
     std::uint64_t thread = 0;      ///< small per-thread ordinal, stable per run
     std::uint64_t start_us = 0;    ///< offset from registry creation/clear
     std::uint64_t duration_us = 0; ///< wall-clock microseconds
@@ -74,7 +87,11 @@ public:
     [[nodiscard]] std::string to_json() const;
 
     /// Fold `other` into this registry: counters add, spans append with
-    /// their start offsets re-based onto this registry's span clock. The
+    /// their start offsets re-based onto this registry's span clock and
+    /// their thread ordinals remapped onto fresh tracks (two registries may
+    /// have recorded unrelated work from the same pool threads; without the
+    /// remap a merged Chrome trace would interleave them on one track).
+    /// Span ids are process-unique, so parent links survive unchanged. The
     /// batch driver and the daemon merge each request's private registry
     /// into global() so process-wide totals (--trace-out) still accumulate.
     void merge_from(const Registry& other);
@@ -83,12 +100,19 @@ private:
     mutable std::mutex mu_;
     bool enabled_ = true;
     std::int64_t epoch_ns_ = 0;
+    std::uint64_t max_thread_ = 0; ///< highest track ordinal present
     std::vector<Span> spans_;
     std::map<std::string, std::uint64_t> counters_;
 };
 
+/// The id of the span currently open on the calling thread (0 when none):
+/// the parent a newly opened span will link to. Capture it before handing
+/// work to another thread and restore it there with ScopedParent.
+[[nodiscard]] std::uint64_t current_span_id();
+
 /// RAII span: measures construction-to-destruction wall clock and registers
-/// the span on destruction (no-op when span collection is disabled).
+/// the span on destruction (no-op when span collection is disabled). While
+/// alive it is the calling thread's active span (current_span_id()).
 class ScopedSpan {
 public:
     ScopedSpan(std::string name, std::string category);
@@ -100,11 +124,16 @@ public:
     /// Attach a domain work measure (interpreter cost units, DSE points).
     void set_work_units(double units) { work_units_ = units; }
 
+    /// This span's process-unique id (0 when span collection is disabled).
+    [[nodiscard]] std::uint64_t id() const { return id_; }
+
 private:
     Registry* registry_ = nullptr; ///< sink captured at construction
     bool active_ = false;
     std::string name_;
     std::string category_;
+    std::uint64_t id_ = 0;
+    std::uint64_t parent_ = 0;
     std::uint64_t start_us_ = 0;
     double work_units_ = 0.0;
 };
@@ -121,6 +150,21 @@ public:
 
 private:
     Registry* previous_;
+};
+
+/// RAII install of `parent_span` as the calling thread's active span:
+/// spans opened underneath link to it. Used when work hops threads (the
+/// thread pool installs the submitter's active span around every job).
+class ScopedParent {
+public:
+    explicit ScopedParent(std::uint64_t parent_span) noexcept;
+    ~ScopedParent();
+
+    ScopedParent(const ScopedParent&) = delete;
+    ScopedParent& operator=(const ScopedParent&) = delete;
+
+private:
+    std::uint64_t previous_;
 };
 
 } // namespace psaflow::trace

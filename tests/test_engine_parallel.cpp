@@ -4,7 +4,9 @@
 // registry must record the run.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
+#include <map>
 #include <vector>
 
 #include "analysis/profile_cache.hpp"
@@ -62,6 +64,30 @@ void expect_identical(const flow::FlowResult& seq,
         EXPECT_DOUBLE_EQ(a.loc_delta, b.loc_delta);
         EXPECT_EQ(a.synthesizable, b.synthesizable);
         EXPECT_EQ(a.log, b.log);
+    }
+    // Provenance rides along with the result and must be just as
+    // deterministic: same branch deliberations in the same order.
+    ASSERT_EQ(seq.decisions.size(), par.decisions.size());
+    for (std::size_t i = 0; i < seq.decisions.size(); ++i) {
+        const auto& a = seq.decisions[i];
+        const auto& b = par.decisions[i];
+        SCOPED_TRACE("decision #" + std::to_string(i) + " = " + a.branch);
+        EXPECT_EQ(a.branch, b.branch);
+        EXPECT_EQ(a.strategy, b.strategy);
+        EXPECT_EQ(a.feedback_iteration, b.feedback_iteration);
+        EXPECT_EQ(a.selected, b.selected);
+        EXPECT_EQ(a.rationale, b.rationale);
+        ASSERT_EQ(a.candidates.size(), b.candidates.size());
+        for (std::size_t j = 0; j < a.candidates.size(); ++j) {
+            const auto& ca = a.candidates[j];
+            const auto& cb = b.candidates[j];
+            EXPECT_EQ(ca.path, cb.path);
+            EXPECT_EQ(ca.selected, cb.selected);
+            EXPECT_EQ(ca.excluded, cb.excluded);
+            EXPECT_DOUBLE_EQ(ca.predicted_seconds, cb.predicted_seconds);
+            EXPECT_DOUBLE_EQ(ca.run_cost, cb.run_cost);
+            EXPECT_EQ(ca.evaluation, cb.evaluation);
+        }
     }
 }
 
@@ -269,6 +295,51 @@ TEST(TraceIntegration, BranchedFlowEmitsSpansAndCacheHits) {
     EXPECT_NE(json.find("\"spans\""), std::string::npos);
     EXPECT_NE(json.find("\"counters\""), std::string::npos);
     EXPECT_NE(json.find("profile_cache.hits"), std::string::npos);
+}
+
+TEST(TraceIntegration, ParallelFlowKeepsASingleRootedSpanTree) {
+    // Pool workers adopt the submitter's sink and active span, so even a
+    // jobs=4 branched flow must trace as one tree: a single root, every
+    // other span's parent resolving to a recorded span, and no cycles.
+    trace::Registry registry;
+    registry.set_enabled(true);
+    ProfileCache::global().clear();
+
+    {
+        trace::ScopedRegistry install(registry);
+        RunOptions options;
+        options.mode = flow::Mode::Uninformed;
+        options.jobs = 4;
+        const auto result =
+            compile(apps::application_by_name("nbody"), options);
+        EXPECT_EQ(result.designs.size(), 5u);
+        EXPECT_FALSE(result.decisions.empty());
+    }
+
+    const auto spans = registry.spans();
+    ASSERT_GT(spans.size(), 1u);
+    std::map<std::uint64_t, std::uint64_t> parent_of;
+    std::size_t roots = 0;
+    for (const auto& s : spans) {
+        ASSERT_NE(s.id, 0u) << s.name;
+        ASSERT_TRUE(parent_of.emplace(s.id, s.parent).second)
+            << "duplicate span id for " << s.name;
+        if (s.parent == 0) ++roots;
+    }
+    EXPECT_EQ(roots, 1u);
+    for (const auto& s : spans) {
+        if (s.parent == 0) continue;
+        EXPECT_TRUE(parent_of.count(s.parent) != 0)
+            << s.name << " has an orphaned parent id";
+        // Walk to the root; a cycle would spin past the span count.
+        std::uint64_t cursor = s.id;
+        std::size_t hops = 0;
+        while (cursor != 0 && hops <= spans.size()) {
+            cursor = parent_of[cursor];
+            ++hops;
+        }
+        EXPECT_EQ(cursor, 0u) << "cycle reached from " << s.name;
+    }
 }
 
 } // namespace

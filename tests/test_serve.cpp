@@ -179,6 +179,44 @@ TEST(Histogram, MergeIsPointwise) {
     EXPECT_EQ(a.max(), 1000u);
 }
 
+TEST(Histogram, EmptyReportsZerosEverywhere) {
+    const Histogram hist;
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_EQ(hist.sum(), 0u);
+    EXPECT_EQ(hist.min(), 0u);
+    EXPECT_EQ(hist.max(), 0u);
+    EXPECT_EQ(hist.mean(), 0.0);
+    for (double p : {0.0, 50.0, 99.0, 100.0})
+        EXPECT_EQ(hist.percentile(p), 0u);
+}
+
+TEST(Histogram, ZeroSamplesLandInBucketZero) {
+    Histogram hist;
+    hist.record(0);
+    hist.record(0);
+    EXPECT_EQ(hist.bucket_count(0), 2u);
+    EXPECT_EQ(hist.min(), 0u);
+    EXPECT_EQ(hist.max(), 0u);
+    EXPECT_EQ(hist.percentile(50), 0u);
+    EXPECT_EQ(hist.percentile(100), 0u);
+}
+
+TEST(Histogram, MaxSampleLandsInTheOverflowBucket) {
+    Histogram hist;
+    hist.record(UINT64_MAX);
+    EXPECT_EQ(hist.bucket_count(Histogram::kBuckets - 1), 1u);
+    EXPECT_EQ(hist.max(), UINT64_MAX);
+    EXPECT_EQ(hist.percentile(100), UINT64_MAX);
+    EXPECT_EQ(hist.percentile(0), UINT64_MAX); // clamped to recorded min
+}
+
+TEST(Histogram, BucketFloorsArePowersOfTwo) {
+    EXPECT_EQ(Histogram::bucket_floor(0), 0u);
+    EXPECT_EQ(Histogram::bucket_floor(1), 1u);
+    EXPECT_EQ(Histogram::bucket_floor(2), 2u);
+    EXPECT_EQ(Histogram::bucket_floor(10), 512u);
+}
+
 // ------------------------------------------------------------------ queue ----
 
 TEST(BoundedQueue, RejectsWhenFullAndRecoversAfterPop) {
@@ -655,6 +693,72 @@ TEST(Daemon, DrainFinishesAdmittedWorkAndRemovesSocket) {
     ASSERT_TRUE(view.has_value());
     EXPECT_TRUE(view->ok);
     EXPECT_FALSE(fs::exists(fixture.socket()));
+}
+
+TEST(Daemon, ServesPrometheusMetricsAndRecentLogsOverTheSocket) {
+    DaemonFixture fixture("obs-endpoints");
+    fixture.start();
+
+    // One compile so latency histograms and flow counters have samples, and
+    // so the response's new decision_count member is exercised.
+    const json::Value compile = client_round_trip(
+        fixture.socket(),
+        R"({"type":"compile","app":"adpredictor","out":"req"})");
+    const json::Value* ok = compile.find("ok");
+    ASSERT_NE(ok, nullptr);
+    ASSERT_TRUE(ok->bool_value) << json::dump(compile);
+    const json::Value* decision_count = compile.find("decision_count");
+    ASSERT_NE(decision_count, nullptr);
+    EXPECT_GE(decision_count->number_value, 1.0);
+
+    const json::Value metrics =
+        client_round_trip(fixture.socket(), R"({"type":"metrics"})");
+    ASSERT_NE(metrics.find("ok"), nullptr);
+    EXPECT_TRUE(metrics.find("ok")->bool_value) << json::dump(metrics);
+    ASSERT_NE(metrics.find("content_type"), nullptr);
+    EXPECT_EQ(metrics.find("content_type")->string_or(""),
+              "text/plain; version=0.0.4");
+    ASSERT_NE(metrics.find("body"), nullptr);
+    const std::string body = metrics.find("body")->string_or("");
+    EXPECT_NE(body.find("# TYPE psaflowd_requests_total counter"),
+              std::string::npos);
+    EXPECT_NE(body.find("psaflowd_requests_total{outcome=\"completed\"} 1"),
+              std::string::npos);
+    EXPECT_NE(body.find("# TYPE psaflowd_request_latency_us histogram"),
+              std::string::npos);
+    EXPECT_NE(body.find("psaflowd_request_latency_us_count 1"),
+              std::string::npos);
+    EXPECT_NE(body.find("psaflow_flow_decisions"), std::string::npos);
+    EXPECT_NE(body.find("psaflowd_workers 2"), std::string::npos);
+
+    const json::Value logs = client_round_trip(
+        fixture.socket(), R"({"type":"logs","max":200})");
+    ASSERT_NE(logs.find("ok"), nullptr);
+    EXPECT_TRUE(logs.find("ok")->bool_value) << json::dump(logs);
+    const json::Value* records = logs.find("records");
+    ASSERT_NE(records, nullptr);
+    ASSERT_TRUE(records->is_array());
+    // The daemon logs its own startup; the ring is process-global, so just
+    // require the listening line for *this* fixture's socket to be present.
+    bool found_listening = false;
+    for (const json::Value& record : records->elements) {
+        const json::Value* message = record.find("message");
+        const json::Value* line = record.find("line");
+        ASSERT_NE(message, nullptr);
+        ASSERT_NE(line, nullptr);
+        if (message->string_or("") == "daemon listening" &&
+            line->string_or("").find(fixture.socket()) != std::string::npos)
+            found_listening = true;
+    }
+    EXPECT_TRUE(found_listening) << json::dump(logs);
+
+    // A bad max is a structured bad_request, not a dropped connection.
+    const json::Value bad = client_round_trip(
+        fixture.socket(), R"({"type":"logs","max":-1})");
+    const auto bad_view = serve::parse_response(bad);
+    ASSERT_TRUE(bad_view.has_value());
+    EXPECT_FALSE(bad_view->ok);
+    EXPECT_EQ(bad_view->error_kind, serve::ErrorKind::BadRequest);
 }
 
 } // namespace

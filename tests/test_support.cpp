@@ -250,10 +250,103 @@ TEST(Trace, JsonHasSchemaAndEscapes) {
     }
     reg.count("c", 7);
     const std::string json = reg.to_json();
+    EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
     EXPECT_NE(json.find("\"spans\""), std::string::npos);
     EXPECT_NE(json.find("\"counters\""), std::string::npos);
     EXPECT_NE(json.find("quote\\\"back\\\\slash"), std::string::npos);
     EXPECT_NE(json.find("\"c\": 7"), std::string::npos);
+}
+
+TEST(Trace, NestedSpansLinkChildToParent) {
+    trace::Registry reg;
+    trace::ScopedRegistry scope(reg);
+    {
+        trace::ScopedSpan outer("outer", "test");
+        ASSERT_NE(outer.id(), 0u);
+        EXPECT_EQ(trace::current_span_id(), outer.id());
+        {
+            trace::ScopedSpan inner("inner", "test");
+            EXPECT_EQ(trace::current_span_id(), inner.id());
+        }
+        // The active span pops back to the outer one.
+        EXPECT_EQ(trace::current_span_id(), outer.id());
+    }
+    EXPECT_EQ(trace::current_span_id(), 0u);
+
+    const auto spans = reg.spans();
+    ASSERT_EQ(spans.size(), 2u);
+    const auto& inner = spans[0]; // closes (and records) first
+    const auto& outer = spans[1];
+    EXPECT_EQ(inner.name, "inner");
+    EXPECT_EQ(outer.name, "outer");
+    EXPECT_EQ(outer.parent, 0u);
+    EXPECT_EQ(inner.parent, outer.id);
+    EXPECT_NE(inner.id, outer.id);
+}
+
+TEST(Trace, PoolJobsInheritTheSubmittersSinkAndActiveSpan) {
+    trace::Registry reg;
+    trace::ScopedRegistry scope(reg);
+    ThreadPool pool(3);
+    std::uint64_t root_id = 0;
+    {
+        trace::ScopedSpan root("root", "test");
+        root_id = root.id();
+        TaskGroup group(pool);
+        for (int i = 0; i < 8; ++i)
+            group.run([i] {
+                trace::ScopedSpan job("job-" + std::to_string(i), "test");
+            });
+        group.wait();
+    }
+    const auto spans = reg.spans();
+    ASSERT_EQ(spans.size(), 9u);
+    for (const auto& span : spans) {
+        if (span.name == "root") {
+            EXPECT_EQ(span.parent, 0u);
+        } else {
+            // Every pool job parents under the span that forked it, even
+            // though it ran on another thread into the same private sink.
+            EXPECT_EQ(span.parent, root_id) << span.name;
+        }
+    }
+}
+
+TEST(Trace, MergeRemapsThreadOrdinalsAndKeepsParentLinks) {
+    trace::Registry target;
+    {
+        trace::ScopedRegistry scope(target);
+        trace::ScopedSpan span("local", "test");
+    }
+    ASSERT_EQ(target.spans().size(), 1u);
+    const std::uint64_t local_thread = target.spans()[0].thread;
+
+    // A second registry that recorded unrelated work from thread ordinals
+    // that collide with the target's.
+    trace::Registry other;
+    std::uint64_t other_root = 0;
+    {
+        trace::ScopedRegistry scope(other);
+        trace::ScopedSpan root("merged-root", "test");
+        other_root = root.id();
+        trace::ScopedSpan child("merged-child", "test");
+    }
+
+    target.merge_from(other);
+    const auto spans = target.spans();
+    ASSERT_EQ(spans.size(), 3u);
+    std::uint64_t merged_root_id = 0;
+    for (const auto& span : spans) {
+        if (span.name == "local") continue;
+        // Merged spans land on fresh track ordinals so a rendered trace
+        // cannot interleave the two registries' unrelated work.
+        EXPECT_NE(span.thread, local_thread) << span.name;
+        if (span.name == "merged-root") merged_root_id = span.id;
+    }
+    EXPECT_EQ(merged_root_id, other_root); // ids are process-unique: no remap
+    for (const auto& span : spans)
+        if (span.name == "merged-child")
+            EXPECT_EQ(span.parent, merged_root_id);
 }
 
 // ------------------------------------------------------------------- json ----

@@ -2,7 +2,10 @@
 //
 //   psaflow-client --socket /tmp/psaflow.sock --app nbody --out designs/n
 //   psaflow-client --socket /tmp/psaflow.sock --app kmeans --deadline-ms 500
-//   psaflow-client --socket /tmp/psaflow.sock --stats
+//   psaflow-client --socket /tmp/psaflow.sock --stats            # table
+//   psaflow-client --socket /tmp/psaflow.sock --stats --json     # raw doc
+//   psaflow-client --socket /tmp/psaflow.sock --metrics          # Prometheus
+//   psaflow-client --socket /tmp/psaflow.sock --logs --log-level warn
 //   psaflow-client --socket /tmp/psaflow.sock --ping
 //
 // Exit codes mirror the wire error taxonomy so shell harnesses can branch
@@ -16,6 +19,7 @@
 #include <iostream>
 #include <thread>
 
+#include "serve/format.hpp"
 #include "serve/protocol.hpp"
 #include "support/cli.hpp"
 #include "support/net.hpp"
@@ -80,7 +84,11 @@ int main(int argc, char** argv) {
     long long deadline_ms = 0;
     long long sleep_ms = -1;
     long long retries = 0;
+    long long log_max = 100;
+    std::string log_level;
     bool stats = false;
+    bool metrics = false;
+    bool logs = false;
     bool ping = false;
     bool raw_json = false;
 
@@ -90,7 +98,8 @@ int main(int argc, char** argv) {
          "      [--out <dir>] [--budget <usd-per-run>] "
          "[--threshold-x <flops/B>]\n"
          "      [--deadline-ms <n>] [--retry <n>] [--json]",
-         "--socket <path> --stats | --ping"});
+         "--socket <path> --stats [--json] | --metrics | --ping",
+         "--socket <path> --logs [--log-max <n>] [--log-level <level>]"});
     parser.str("--socket", "<path>", "daemon socket path", &socket_path);
     parser.str("--app", "<name>", "application to compile", &app);
     parser.str("--mode", "<mode>", "informed|uninformed (default informed)",
@@ -109,13 +118,27 @@ int main(int argc, char** argv) {
     parser.integer("--sleep-ms", "<n>",
                    "test-only: occupy a worker for <n> ms", &sleep_ms,
                    /*min=*/0);
-    parser.flag("--stats", "fetch the daemon's metrics snapshot", &stats);
+    parser.flag("--stats",
+                "fetch the daemon's stats snapshot (table; --json for raw)",
+                &stats);
+    parser.flag("--metrics",
+                "fetch the metrics plane in Prometheus text format",
+                &metrics);
+    parser.flag("--logs", "fetch the daemon's recent structured logs",
+                &logs);
+    parser.integer("--log-max", "<n>",
+                   "log records to fetch with --logs (default 100)",
+                   &log_max, /*min=*/0);
+    parser.str("--log-level", "<level>",
+               "minimum level for --logs (trace..error; default all)",
+               &log_level);
     parser.flag("--ping", "liveness probe", &ping);
     parser.flag("--json", "print the raw response document", &raw_json);
 
     if (!parser.parse(argc, argv)) return 2;
     if (socket_path.empty() ||
-        (app.empty() && !stats && !ping && sleep_ms < 0)) {
+        (app.empty() && !stats && !metrics && !logs && !ping &&
+         sleep_ms < 0)) {
         std::cerr << parser.usage();
         return 2;
     }
@@ -123,6 +146,13 @@ int main(int argc, char** argv) {
     json::Value request = json::Value::object();
     if (stats) {
         request.set("type", json::Value::string("stats"));
+    } else if (metrics) {
+        request.set("type", json::Value::string("metrics"));
+    } else if (logs) {
+        request.set("type", json::Value::string("logs"));
+        request.set("max", json::Value::number(double(log_max)));
+        if (!log_level.empty())
+            request.set("min_level", json::Value::string(log_level));
     } else if (ping) {
         request.set("type", json::Value::string("ping"));
     } else if (sleep_ms >= 0) {
@@ -168,8 +198,21 @@ int main(int argc, char** argv) {
         return exit_code_for(view.error_kind);
     }
 
-    if (raw_json || stats) {
+    if (raw_json) {
         std::cout << json::dump(response) << "\n";
+        return 0;
+    }
+    if (stats) {
+        std::cout << serve::stats_table(response);
+        return 0;
+    }
+    if (metrics) {
+        const json::Value* body = response.find("body");
+        std::cout << (body ? body->string_or("") : std::string());
+        return 0;
+    }
+    if (logs) {
+        std::cout << serve::logs_text(response);
         return 0;
     }
     if (ping) {

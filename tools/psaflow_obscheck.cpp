@@ -1,0 +1,260 @@
+// psaflow-obscheck — structural validator for the observability artefacts.
+//
+// CI's obs_smoke.sh needs to assert more than "the file parses": a Chrome
+// trace must contain one rooted, acyclic span tree (every parent_id
+// resolves, no orphans), and an --explain report must actually explain —
+// every branch names its strategy, every candidate carries an evaluation,
+// every selected path appears among the candidates. This tool performs
+// those checks with the repo's own JSON parser so the smoke test does not
+// depend on python/jq being installed.
+//
+//   psaflow-obscheck --chrome-trace flame.json [--expect-roots 1]
+//   psaflow-obscheck --trace trace.json        [--expect-roots 1]
+//   psaflow-obscheck --explain why.json
+//
+// Exit codes: 0 valid, 1 structural violation (message on stderr),
+// 2 usage/unreadable input.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/cli.hpp"
+#include "support/json.hpp"
+
+using namespace psaflow;
+
+namespace {
+
+bool load_json(const std::string& path, json::Value& doc) {
+    std::ifstream file(path);
+    if (!file) {
+        std::cerr << "obscheck: cannot read '" << path << "'\n";
+        return false;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    std::string error;
+    auto parsed = json::parse(buffer.str(), &error);
+    if (!parsed.has_value()) {
+        std::cerr << "obscheck: '" << path << "' is not JSON: " << error
+                  << "\n";
+        return false;
+    }
+    doc = std::move(*parsed);
+    return true;
+}
+
+[[nodiscard]] bool fail(const std::string& message) {
+    std::cerr << "obscheck: " << message << "\n";
+    return false;
+}
+
+/// Shared tree check over (id -> parent) links: ids unique, every non-zero
+/// parent resolves to a recorded span, exactly `expected_roots` roots, and
+/// every span reaches a root (no cycles).
+bool check_span_tree(const std::vector<std::pair<std::uint64_t,
+                                                 std::uint64_t>>& links,
+                     long long expected_roots) {
+    if (links.empty()) return fail("no spans recorded");
+    std::map<std::uint64_t, std::uint64_t> parent_of;
+    for (const auto& [id, parent] : links) {
+        if (id == 0) return fail("span with id 0 (ids must be non-zero)");
+        if (!parent_of.emplace(id, parent).second)
+            return fail("duplicate span id " + std::to_string(id));
+    }
+    long long roots = 0;
+    for (const auto& [id, parent] : parent_of) {
+        if (parent == 0) {
+            ++roots;
+            continue;
+        }
+        if (parent_of.find(parent) == parent_of.end())
+            return fail("span " + std::to_string(id) + " has parent " +
+                        std::to_string(parent) +
+                        " which is not in the trace (orphan)");
+    }
+    if (roots != expected_roots)
+        return fail("expected " + std::to_string(expected_roots) +
+                    " root span(s), found " + std::to_string(roots));
+    for (const auto& [id, parent] : parent_of) {
+        std::set<std::uint64_t> seen;
+        std::uint64_t cursor = id;
+        while (cursor != 0) {
+            if (!seen.insert(cursor).second)
+                return fail("cycle in span parents at id " +
+                            std::to_string(cursor));
+            cursor = parent_of.at(cursor);
+        }
+    }
+    std::cout << "obscheck: span tree ok (" << links.size() << " span(s), "
+              << roots << " root(s))\n";
+    return true;
+}
+
+/// Registry JSON dump (schema v2): {"schema_version":2,"spans":[...]}.
+bool check_registry_trace(const json::Value& doc, long long expected_roots) {
+    const json::Value* version = doc.find("schema_version");
+    if (version == nullptr || version->number_or(0.0) != 2.0)
+        return fail("trace schema_version is not 2");
+    const json::Value* spans = doc.find("spans");
+    if (spans == nullptr || !spans->is_array())
+        return fail("trace has no spans array");
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> links;
+    for (std::size_t i = 0; i < spans->elements.size(); ++i) {
+        const json::Value& span = spans->elements[i];
+        const json::Value* id = span.find("id");
+        const json::Value* parent = span.find("parent");
+        const json::Value* name = span.find("name");
+        if (id == nullptr || parent == nullptr)
+            return fail("span " + std::to_string(i) + " lacks id/parent");
+        if (name == nullptr || name->string_or("").empty())
+            return fail("span " + std::to_string(i) + " lacks a name");
+        links.emplace_back(
+            static_cast<std::uint64_t>(id->number_or(0.0)),
+            static_cast<std::uint64_t>(parent->number_or(0.0)));
+    }
+    return check_span_tree(links, expected_roots);
+}
+
+/// Chrome trace-event document: {"traceEvents":[...]} with complete
+/// ("ph":"X") events carrying args.span_id / args.parent_id.
+bool check_chrome_trace(const json::Value& doc, long long expected_roots) {
+    const json::Value* events = doc.find("traceEvents");
+    if (events == nullptr || !events->is_array())
+        return fail("no traceEvents array (not a Chrome trace?)");
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> links;
+    bool saw_metadata = false;
+    for (std::size_t i = 0; i < events->elements.size(); ++i) {
+        const json::Value& event = events->elements[i];
+        const json::Value* phase = event.find("ph");
+        const std::string ph = phase ? phase->string_or("") : "";
+        if (ph == "M") {
+            saw_metadata = true;
+            continue;
+        }
+        if (ph != "X")
+            return fail("event " + std::to_string(i) +
+                        " has phase '" + ph + "' (want M or X)");
+        if (event.find("ts") == nullptr || event.find("dur") == nullptr)
+            return fail("X event " + std::to_string(i) + " lacks ts/dur");
+        const json::Value* args = event.find("args");
+        const json::Value* id = args ? args->find("span_id") : nullptr;
+        const json::Value* parent = args ? args->find("parent_id") : nullptr;
+        if (id == nullptr || parent == nullptr)
+            return fail("X event " + std::to_string(i) +
+                        " lacks args.span_id/args.parent_id");
+        links.emplace_back(
+            static_cast<std::uint64_t>(id->number_or(0.0)),
+            static_cast<std::uint64_t>(parent->number_or(0.0)));
+    }
+    if (!saw_metadata)
+        return fail("no metadata (ph:\"M\") events — process/thread names "
+                    "missing");
+    return check_span_tree(links, expected_roots);
+}
+
+/// Decision-provenance report (psaflowc --explain).
+bool check_explain(const json::Value& doc) {
+    const json::Value* version = doc.find("schema_version");
+    if (version == nullptr || version->number_or(0.0) != 1.0)
+        return fail("explain schema_version is not 1");
+    if (doc.find("app") == nullptr || doc.find("mode") == nullptr)
+        return fail("explain report lacks app/mode");
+    const json::Value* decisions = doc.find("decisions");
+    if (decisions == nullptr || !decisions->is_array())
+        return fail("explain report has no decisions array");
+    if (decisions->elements.empty())
+        return fail("explain report records zero branch decisions");
+    std::size_t candidate_total = 0;
+    for (std::size_t i = 0; i < decisions->elements.size(); ++i) {
+        const json::Value& record = decisions->elements[i];
+        const std::string where = "decision " + std::to_string(i);
+        const json::Value* branch = record.find("branch");
+        const json::Value* strategy = record.find("strategy");
+        if (branch == nullptr || branch->string_or("").empty())
+            return fail(where + " names no branch");
+        if (strategy == nullptr || strategy->string_or("").empty())
+            return fail(where + " names no strategy");
+        const json::Value* candidates = record.find("candidates");
+        if (candidates == nullptr || !candidates->is_array() ||
+            candidates->elements.empty())
+            return fail(where + " has no candidates");
+        std::set<std::string> names;
+        for (std::size_t c = 0; c < candidates->elements.size(); ++c) {
+            const json::Value& candidate = candidates->elements[c];
+            const json::Value* path = candidate.find("path");
+            if (path == nullptr || path->string_or("").empty())
+                return fail(where + " candidate " + std::to_string(c) +
+                            " has no path name");
+            if (candidate.find("evaluation") == nullptr)
+                return fail(where + " candidate '" + path->string_or("") +
+                            "' has no evaluation");
+            names.insert(path->string_or(""));
+        }
+        candidate_total += candidates->elements.size();
+        const json::Value* selected = record.find("selected");
+        if (selected == nullptr || !selected->is_array())
+            return fail(where + " has no selected array");
+        for (std::size_t s = 0; s < selected->elements.size(); ++s) {
+            const std::string name = selected->elements[s].string_or("");
+            if (names.find(name) == names.end())
+                return fail(where + " selected '" + name +
+                            "' which is not among its candidates");
+        }
+        if (record.find("rationale") == nullptr)
+            return fail(where + " has no rationale");
+    }
+    std::cout << "obscheck: explain report ok (" << decisions->elements.size()
+              << " decision(s), " << candidate_total << " candidate(s))\n";
+    return true;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string chrome_path;
+    std::string trace_path;
+    std::string explain_path;
+    long long expect_roots = 1;
+
+    cli::OptionParser parser(
+        argv[0],
+        {"--chrome-trace <file.json> [--expect-roots <n>]",
+         "--trace <file.json> [--expect-roots <n>]",
+         "--explain <file.json>"});
+    parser.str("--chrome-trace", "<file.json>",
+               "validate a Chrome trace-event document", &chrome_path);
+    parser.str("--trace", "<file.json>",
+               "validate a schema-v2 trace registry dump", &trace_path);
+    parser.str("--explain", "<file.json>",
+               "validate a decision-provenance report", &explain_path);
+    parser.integer("--expect-roots", "<n>",
+                   "required number of root spans (default 1)",
+                   &expect_roots, /*min=*/1);
+
+    if (!parser.parse(argc, argv)) return 2;
+    if (chrome_path.empty() && trace_path.empty() && explain_path.empty()) {
+        std::cerr << parser.usage();
+        return 2;
+    }
+
+    json::Value doc;
+    if (!chrome_path.empty()) {
+        if (!load_json(chrome_path, doc)) return 2;
+        if (!check_chrome_trace(doc, expect_roots)) return 1;
+    }
+    if (!trace_path.empty()) {
+        if (!load_json(trace_path, doc)) return 2;
+        if (!check_registry_trace(doc, expect_roots)) return 1;
+    }
+    if (!explain_path.empty()) {
+        if (!load_json(explain_path, doc)) return 2;
+        if (!check_explain(doc)) return 1;
+    }
+    return 0;
+}

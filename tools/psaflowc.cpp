@@ -9,6 +9,9 @@
 //   psaflowc --app nbody --mode informed --out designs/
 //   psaflowc --app kmeans --mode uninformed --out designs/ --budget 0.001
 //   psaflowc --app nbody --jobs 4 --trace-out trace.json
+//   psaflowc --app nbody --trace-out flame.json --trace-format chrome
+//   psaflowc --app nbody --explain why.json --explain-md why.md
+//   psaflowc --app nbody --metrics-out nbody.prom
 //   psaflowc --app nbody --cache-dir .psaflow-cache   # warm reruns
 //   psaflowc --batch manifest.json --out designs/     # many apps, one
 //                                                     # process, shared
@@ -42,6 +45,9 @@
 #include <vector>
 
 #include "apps/apps.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/decision.hpp"
+#include "obs/prometheus.hpp"
 #include "serve/service.hpp"
 #include "support/cas/cas.hpp"
 #include "support/cli.hpp"
@@ -56,6 +62,17 @@ namespace {
 
 [[nodiscard]] bool valid_mode(const std::string& mode) {
     return mode == "informed" || mode == "uninformed";
+}
+
+/// Write `content` to `path`; false (message on stderr) when unwritable.
+bool write_text_file(const std::string& path, const std::string& content) {
+    std::ofstream file(path);
+    if (!file) {
+        std::cerr << "cannot write " << path << "\n";
+        return false;
+    }
+    file << content;
+    return true;
 }
 
 /// Read + parse the batch manifest; returns false (message on stderr) on
@@ -149,6 +166,10 @@ int main(int argc, char** argv) {
     double budget = -1.0;
     double threshold_x = 4.0;
     long long deadline_ms = 0;
+    std::string trace_format = "json";
+    std::string metrics_out;
+    std::string explain_out;
+    std::string explain_md_out;
     cli::FlowFlags flow_flags;
 
     cli::OptionParser parser(
@@ -157,6 +178,8 @@ int main(int argc, char** argv) {
          "--app <name> [--mode informed|uninformed] [--out <dir>]\n"
          "      [--budget <usd-per-run>] [--threshold-x <flops/B>]\n"
          "      [--deadline-ms <n>] [--jobs <n>] [--trace-out <file.json>]\n"
+         "      [--trace-format json|chrome] [--metrics-out <file>]\n"
+         "      [--explain <file.json>] [--explain-md <file.md>]\n"
          "      [--cache-dir <dir>] [--cache-max-mb <n>]",
          "--batch <manifest.json> [--out <dir>] [--jobs <n>] "
          "[--cache-dir <dir>]"});
@@ -174,11 +197,32 @@ int main(int argc, char** argv) {
     parser.integer("--deadline-ms", "<n>",
                    "abort the flow after <n> ms (0 = no deadline)",
                    &deadline_ms, /*min=*/0);
+    parser.str("--trace-format", "<fmt>",
+               "--trace-out format: json|chrome (default json)",
+               &trace_format);
+    parser.str("--metrics-out", "<file>",
+               "dump run counters in Prometheus text format", &metrics_out);
+    parser.str("--explain", "<file.json>",
+               "write the flow's branch-decision provenance as JSON",
+               &explain_out);
+    parser.str("--explain-md", "<file.md>",
+               "write the decision provenance as a markdown report",
+               &explain_md_out);
     parser.flag("--cache-clear", "evict the persistent cache and exit",
                 &cache_clear);
     cli::add_flow_flags(parser, flow_flags);
 
     if (!parser.parse(argc, argv)) return 2;
+    if (trace_format != "json" && trace_format != "chrome") {
+        std::cerr << "--trace-format must be 'json' or 'chrome'\n";
+        return 2;
+    }
+    if ((!explain_out.empty() || !explain_md_out.empty()) &&
+        !batch_manifest.empty()) {
+        std::cerr << "--explain/--explain-md report a single flow; use "
+                     "--app, not --batch\n";
+        return 2;
+    }
 
     if (list) {
         for (const apps::Application* app : apps::all_applications())
@@ -262,16 +306,41 @@ int main(int argc, char** argv) {
                   << format_compact(outcome.reference_seconds, 4) << " s\n";
         std::cout << "wrote " << outcome.design_count << " design(s) and "
                   << outcome.summary_path << "\n";
+
+        if (!explain_out.empty()) {
+            const json::Value report = obs::decisions_json(
+                app_name, mode, outcome.decisions);
+            if (!write_text_file(explain_out, json::dump(report) + "\n"))
+                return 1;
+            std::cout << "wrote decision report (" << outcome.decisions.size()
+                      << " branch decision(s)) to " << explain_out << "\n";
+        }
+        if (!explain_md_out.empty()) {
+            if (!write_text_file(
+                    explain_md_out,
+                    obs::decisions_markdown(app_name, mode,
+                                            outcome.decisions)))
+                return 1;
+            std::cout << "wrote decision report to " << explain_md_out
+                      << "\n";
+        }
     }
 
     if (!flow_flags.trace_out.empty()) {
-        std::ofstream trace_file(flow_flags.trace_out);
-        if (!trace_file) {
-            std::cerr << "cannot write " << flow_flags.trace_out << "\n";
+        const std::string document =
+            trace_format == "chrome"
+                ? obs::to_chrome_json(trace::Registry::global())
+                : trace::Registry::global().to_json() + "\n";
+        if (!write_text_file(flow_flags.trace_out, document)) return 1;
+        std::cout << "wrote " << trace_format << " trace to "
+                  << flow_flags.trace_out << "\n";
+    }
+    if (!metrics_out.empty()) {
+        if (!write_text_file(
+                metrics_out,
+                obs::render_counters(trace::Registry::global().counters())))
             return 1;
-        }
-        trace_file << trace::Registry::global().to_json() << "\n";
-        std::cout << "wrote trace to " << flow_flags.trace_out << "\n";
+        std::cout << "wrote metrics to " << metrics_out << "\n";
     }
     return status;
 }
