@@ -16,7 +16,7 @@ cmake --build --preset asan -j "$JOBS"
 export ASAN_OPTIONS=detect_leaks=0   # gtest's lazy singletons are not leaks
 export UBSAN_OPTIONS=halt_on_error=1
 
-for bin in test_support test_interp test_flow test_engine_parallel; do
+for bin in test_support test_interp test_vm test_flow test_engine_parallel; do
     echo "== $bin (asan/ubsan) =="
     "build-asan/tests/$bin"
 done

@@ -55,7 +55,10 @@ KernelCharacterization characterize_kernel(Module& module,
     ensure(kernel_fn != nullptr,
            "characterize_kernel: no function '" + kernel + "' in module");
 
-    trace::ScopedSpan span("characterize:" + kernel, "interp");
+    // Category records the engine that actually ran ("interp:tree" /
+    // "interp:vm") so traces and BENCH reports can attribute cold time.
+    trace::ScopedSpan span("characterize:" + kernel,
+                           interp::engine_category(interp::default_engine()));
 
     auto profile_at = [&](double scale) {
         interp::InterpOptions opt;

@@ -33,6 +33,12 @@ struct SessionOptions {
     /// Size cap for the store in bytes; 0 keeps the PSAFLOW_CACHE_MAX_MB /
     /// built-in default. Only consulted when `cache_dir` is set.
     std::uint64_t cache_max_bytes = 0;
+
+    /// Interpreter engine for the dynamic analyses: "tree" or "vm". Empty
+    /// keeps the process-wide default (PSAFLOW_INTERP, else vm). Either
+    /// engine yields a byte-identical FlowResult — and the same profile
+    /// cache keys, so switching engines never cold-starts a warm store.
+    std::string interp;
 };
 
 class FlowSession {

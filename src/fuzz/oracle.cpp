@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstddef>
+#include <cstring>
 #include <filesystem>
 #include <functional>
 #include <optional>
@@ -200,6 +201,118 @@ RunCapture capture_perturbed_run(const ast::Module& module,
     return cap;
 }
 
+// ------------------------------------------------- engine differential ---
+
+/// Everything observable from one engine's run, in bit-exact form.
+struct EngineCapture {
+    bool threw = false;
+    std::string error;
+    ast::Type result_type = ast::Type::Void;
+    std::uint64_t result_bits = 0; ///< value payload as a bit pattern
+    std::vector<std::string> names;
+    std::vector<std::vector<double>> buffers;
+    std::string profile; ///< serialize_profile_payload bytes
+};
+
+std::uint64_t value_bits(const interp::Value& v) {
+    switch (v.type()) {
+        case ast::Type::Int:
+            return static_cast<std::uint64_t>(v.as_int());
+        case ast::Type::Bool: return v.as_bool() ? 1 : 0;
+        case ast::Type::Float:
+        case ast::Type::Double: {
+            const double d = v.as_double();
+            std::uint64_t bits = 0;
+            std::memcpy(&bits, &d, sizeof bits);
+            return bits;
+        }
+        default: return 0;
+    }
+}
+
+EngineCapture capture_engine_run(const ast::Module& module,
+                                 const sema::TypeInfo& types,
+                                 const analysis::Workload& workload,
+                                 const std::string& focus,
+                                 const std::vector<ast::Node::Id>& loop_order,
+                                 interp::Engine engine) {
+    EngineCapture cap;
+    auto args = workload.make_args(1.0);
+    interp::InterpOptions io;
+    io.focus_function = focus;
+    io.engine = engine; // explicit: never let the process default decide
+    try {
+        // Direct run_function — deliberately not the ProfileCache, which
+        // would serve one engine's profile to the other and mask bugs.
+        const auto run = interp::run_function(module, types, workload.entry,
+                                              args, io);
+        cap.result_type = run.result.type();
+        cap.result_bits = value_bits(run.result);
+        cap.profile = analysis::serialize_profile_payload(run.profile,
+                                                          loop_order);
+    } catch (const std::exception& e) {
+        cap.threw = true;
+        cap.error = e.what();
+        return cap;
+    }
+    for (const auto& arg : args) {
+        if (const auto* buf = std::get_if<interp::BufferPtr>(&arg)) {
+            cap.names.push_back((*buf)->name());
+            cap.buffers.push_back((*buf)->raw());
+        }
+    }
+    return cap;
+}
+
+std::optional<std::string> compare_engine_runs(const EngineCapture& tree,
+                                               const EngineCapture& vm) {
+    if (tree.threw != vm.threw) {
+        if (tree.threw)
+            return "tree raised '" + tree.error + "', vm returned normally";
+        return "vm raised '" + vm.error + "', tree returned normally";
+    }
+    if (tree.threw) {
+        if (tree.error != vm.error)
+            return "error mismatch: tree '" + tree.error + "' vs vm '" +
+                   vm.error + "'";
+        return std::nullopt;
+    }
+    if (tree.result_type != vm.result_type ||
+        tree.result_bits != vm.result_bits)
+        return "entry result differs between engines";
+    if (tree.buffers.size() != vm.buffers.size())
+        return "buffer count differs between engines";
+    for (std::size_t b = 0; b < tree.buffers.size(); ++b) {
+        const auto& ref = tree.buffers[b];
+        const auto& got = vm.buffers[b];
+        if (ref.size() != got.size())
+            return "buffer '" + tree.names[b] + "' resized under vm";
+        // Bit-pattern comparison: NaN payloads and signed zeros must match
+        // too, which `==` would not enforce.
+        if (!ref.empty() &&
+            std::memcmp(ref.data(), got.data(),
+                        ref.size() * sizeof(double)) != 0) {
+            for (std::size_t i = 0; i < ref.size(); ++i) {
+                std::uint64_t rb = 0;
+                std::uint64_t gb = 0;
+                std::memcpy(&rb, &ref[i], sizeof rb);
+                std::memcpy(&gb, &got[i], sizeof gb);
+                if (rb == gb) continue;
+                std::ostringstream os;
+                os.precision(17);
+                os << "buffer '" << tree.names[b] << "'[" << i
+                   << "]: tree " << ref[i] << ", vm " << got[i];
+                return os.str();
+            }
+        }
+    }
+    if (tree.profile != vm.profile)
+        return "serialized profile payloads differ (" +
+               std::to_string(tree.profile.size()) + " vs " +
+               std::to_string(vm.profile.size()) + " bytes)";
+    return std::nullopt;
+}
+
 // --------------------------------------------------------- module query ---
 
 /// First outermost loop across the module's functions in order, plus the
@@ -289,6 +402,33 @@ OracleOutcome run_oracles(const std::string& source,
     if (base.threw) {
         fail("baseline", "reference interpretation raised: " + base.error);
         return out; // nothing to differentially compare against
+    }
+
+    // ---- tree-vs-VM engine differential (oracle interp:vm) ------------
+    if (options.check_vm) {
+        ++out.oracles_run;
+        try {
+            // Focus the profile on the function holding the first outer
+            // loop — the same choice hotspot extraction makes — so focus
+            // counters, buffer access ranges and aliasing probes are all
+            // under test, not just totals.
+            const LoopTarget target = first_outer_loop(*module);
+            const std::string focus =
+                target.fn != nullptr ? target.fn->name : std::string();
+            std::vector<ast::Node::Id> loop_order;
+            for (const auto* l : meta::for_loops(*module))
+                loop_order.push_back(l->id);
+            const EngineCapture tree =
+                capture_engine_run(*module, types, workload, focus,
+                                   loop_order, interp::Engine::Tree);
+            const EngineCapture vm =
+                capture_engine_run(*module, types, workload, focus,
+                                   loop_order, interp::Engine::Vm);
+            if (const auto mismatch = compare_engine_runs(tree, vm))
+                fail("interp:vm", *mismatch);
+        } catch (const std::exception& e) {
+            fail("interp:vm:crash", e.what());
+        }
     }
 
     // ---- transform equivalence (oracle c) ----------------------------

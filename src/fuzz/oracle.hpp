@@ -7,6 +7,9 @@
 //               source-faithful and the parser loses nothing)
 //   sema        the program type-checks (generator well-typedness)
 //   baseline    the program interprets crash-free under fuzz_workload
+//   interp:vm   (with check_vm) the bytecode VM and the tree walker produce
+//               bit-identical results, buffer contents, error strings and
+//               serialized execution profiles on the same workload
 //   transform:* every transform in src/transform/ either rejects its
 //               precondition with psaflow::Error (counted as a skip) or
 //               produces a module that still type-checks, still round-trips
@@ -43,6 +46,14 @@ struct OracleOptions {
     bool check_transforms = true;
     bool check_codegen = true;
     bool check_flow = true;
+
+    /// Tree-vs-VM engine differential ("interp:vm"): run the program under
+    /// both interpreter engines with profiling focused on the function
+    /// holding the first outer loop, and demand bit-exact equality of the
+    /// result value, every buffer, the serialized profile payload and (when
+    /// both runs raise) the error string. Off by default — it adds two
+    /// profiled interpreter passes per program.
+    bool check_vm = false;
 
     /// Cold-vs-warm persistent-cache oracle ("flow:cache"): run the flow
     /// once against an empty content-addressed store, then again with only

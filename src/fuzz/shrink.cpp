@@ -222,6 +222,7 @@ FailurePredicate make_failure_predicate(const std::string& oracle,
     base.check_transforms = starts(oracle, "transform:");
     base.check_codegen = starts(oracle, "codegen:");
     base.check_flow = starts(oracle, "flow:");
+    base.check_vm = starts(oracle, "interp:");
     return [oracle, base](const std::string& src) {
         const OracleOutcome outcome = run_oracles(src, base);
         for (const auto& f : outcome.failures)

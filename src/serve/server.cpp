@@ -251,6 +251,7 @@ void Daemon::serve_connection(net::Fd conn) {
 void Daemon::worker_loop() {
     flow::SessionOptions session_options;
     session_options.jobs = options_.session_jobs;
+    session_options.interp = options_.interp;
     flow::FlowSession session(session_options);
     while (true) {
         std::optional<std::shared_ptr<Job>> job = queue_.pop();

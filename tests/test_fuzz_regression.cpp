@@ -61,6 +61,31 @@ TEST(FuzzRegression, ColdVsWarmCacheOracleHolds) {
     }
 }
 
+TEST(FuzzRegression, VmEngineMatchesTreeWalkerOnCorpus) {
+    // The "interp:vm" oracle over every checked-in program: the bytecode VM
+    // and the tree walker must agree bit-for-bit on results, buffers and
+    // serialized profiles. The interp-vm-* entries were curated to stress
+    // engine-sensitive constructs (float compound rounding, truncating
+    // division, short-circuit charges, zero-trip loops, aliased buffers,
+    // early returns through loops, local arrays, builtins, induction-var
+    // writes); the rest of the corpus rides along for free.
+    fuzz::OracleOptions options;
+    options.check_roundtrip = false; // focus the budget on the engine diff
+    options.check_transforms = false;
+    options.check_codegen = false;
+    options.check_flow = false;
+    options.check_vm = true;
+    const auto corpus = fuzz::load_corpus(PSAFLOW_CORPUS_DIR);
+    ASSERT_GE(corpus.size(), 30u)
+        << "VM corpus went missing from " << PSAFLOW_CORPUS_DIR;
+    for (const auto& entry : corpus) {
+        const auto outcome = fuzz::run_oracles(entry.source, options);
+        for (const auto& f : outcome.failures)
+            ADD_FAILURE() << entry.path << ": " << f.oracle << ": "
+                          << f.detail;
+    }
+}
+
 TEST(FuzzRegression, GeneratedProgramsPassOracles) {
     // A handful of fresh seeds beyond the stored corpus, so the suite also
     // covers the generator/oracle pair itself, not just the snapshot.

@@ -1,0 +1,664 @@
+// The bytecode VM (interp/bytecode.hpp + interp/vm.hpp) against its
+// contract: the lowering is stable (snapshot tests per opcode class) and
+// execution is observationally identical to the tree-walking reference —
+// bit-equal results, buffer contents, error strings, serialized execution
+// profiles and cancellation behaviour. The five paper applications and the
+// full flow engine are covered end-to-end; the `interp:vm` fuzz oracle
+// (test_fuzz_regression) extends the same check to generated programs.
+#include <cstring>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "analysis/profile_cache.hpp"
+#include "ast/walk.hpp"
+#include "core/psaflow.hpp"
+#include "interp/bytecode.hpp"
+#include "interp/interpreter.hpp"
+#include "interp/vm.hpp"
+#include "meta/query.hpp"
+#include "support/cancel.hpp"
+#include "test_util.hpp"
+
+namespace psaflow {
+namespace {
+
+using namespace psaflow::interp;
+using psaflow::testing::parse_and_check;
+
+std::string disasm(std::string_view src) {
+    auto [mod, types] = parse_and_check(std::string(src));
+    return bc::disassemble(bc::compile(*mod, types));
+}
+
+// ----------------------------------------------------------------------
+// Lowering snapshots, one per opcode class. These pin the exact register
+// assignment, charge placement and operand encoding; an intentional
+// lowering change updates them alongside a fresh differential sweep.
+// ----------------------------------------------------------------------
+
+TEST(VmLowering, ArithmeticAndReturn) {
+    EXPECT_EQ(disasm(R"(double axpy(double a, double x, double y) {
+    return a * x + y;
+}
+)"),
+              "func axpy(a: double, x: double, y: double) ret=double "
+              "sregs=5 bregs=0\n"
+              "   0: MulD s3, s0, s1\n"
+              "   1: AddD s4, s3, s2\n"
+              "   2: Ret s4\n"
+              "   3: Trap \"value is not numeric\"\n");
+}
+
+TEST(VmLowering, IntegerDivisionAndModulo) {
+    EXPECT_EQ(disasm(R"(int quot(int a, int b) {
+    return a / b - a % b;
+}
+)"),
+              "func quot(a: int, b: int) ret=int sregs=5 bregs=0\n"
+              "   0: DivI s2, s0, s1\n"
+              "   1: ModI s3, s0, s1\n"
+              "   2: SubI s4, s2, s3\n"
+              "   3: Ret s4\n"
+              "   4: Trap \"value is not numeric\"\n");
+}
+
+TEST(VmLowering, ForLoopWithCompoundAssign) {
+    // LoopEnter/LoopHead/LoopTrip/LoopExit bracket the body; the induction
+    // variable advances through a snapshot register (s3 here) so body
+    // writes to `i` are overwritten exactly like the tree walker.
+    EXPECT_EQ(disasm(R"(int sum_to(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) {
+        s += i;
+    }
+    return s;
+}
+)"),
+              "func sum_to(n: int) ret=int sregs=5 bregs=0\n"
+              "   0: LoadI s3, 0\n"
+              "   1: Mov s1, s3\n"
+              "   2: ChargeAssign\n"
+              "   3: LoopEnter L0\n"
+              "   4: LoadI s3, 0\n"
+              "   5: Mov s2, s3\n"
+              "   6: Mov s3, s2\n"
+              "   7: LoopHead s3, s0, @15\n"
+              "   8: LoopTrip L0\n"
+              "   9: ChargeAssign\n"
+              "  10: CAddI s1, s1, s2\n"
+              "  11: LoadI s4, 1\n"
+              "  12: StepCheck s4, \"3:5: for-loop step must be positive\"\n"
+              "  13: IncI s2, s3, s4\n"
+              "  14: Jmp @6\n"
+              "  15: LoopExit\n"
+              "  16: Ret s1\n"
+              "  17: Trap \"value is not numeric\"\n");
+}
+
+TEST(VmLowering, ShortCircuitAndOr) {
+    // `&&`/`||` charge one comparison before the left operand and skip the
+    // right one entirely when short-circuiting, mirroring the tree.
+    EXPECT_EQ(disasm(R"(bool gate(bool p, bool q, double x) {
+    return p && (x < 1.0 || !q);
+}
+)"),
+              "func gate(p: bool, q: bool, x: double) ret=bool "
+              "sregs=8 bregs=0\n"
+              "   0: ChargeCmp\n"
+              "   1: LoadB s3, false\n"
+              "   2: JmpF s0, @11\n"
+              "   3: ChargeCmp\n"
+              "   4: LoadD s5, 1\n"
+              "   5: LtD s6, s2, s5\n"
+              "   6: LoadB s4, true\n"
+              "   7: JmpT s6, @10\n"
+              "   8: NotB s7, s1\n"
+              "   9: Mov s4, s7\n"
+              "  10: Mov s3, s4\n"
+              "  11: Ret s3\n"
+              "  12: Trap \"value is not bool\"\n");
+}
+
+TEST(VmLowering, WhileAndIfElse) {
+    EXPECT_EQ(disasm(R"(int halve(int n) {
+    int steps = 0;
+    while (n > 1) {
+        if (n % 2 == 0) {
+            n = n / 2;
+        } else {
+            n = n - 1;
+        }
+        steps = steps + 1;
+    }
+    return steps;
+}
+)"),
+              "func halve(n: int) ret=int sregs=6 bregs=0\n"
+              "   0: LoadI s2, 0\n"
+              "   1: Mov s1, s2\n"
+              "   2: ChargeAssign\n"
+              "   3: ChargeCmp\n"
+              "   4: LoadI s2, 1\n"
+              "   5: GtI s3, s0, s2\n"
+              "   6: JmpF s3, @27\n"
+              "   7: ChargeCmp\n"
+              "   8: LoadI s2, 2\n"
+              "   9: ModI s3, s0, s2\n"
+              "  10: LoadI s4, 0\n"
+              "  11: EqI s5, s3, s4\n"
+              "  12: JmpF s5, @18\n"
+              "  13: ChargeAssign\n"
+              "  14: LoadI s2, 2\n"
+              "  15: DivI s3, s0, s2\n"
+              "  16: Mov s0, s3\n"
+              "  17: Jmp @22\n"
+              "  18: ChargeAssign\n"
+              "  19: LoadI s2, 1\n"
+              "  20: SubI s3, s0, s2\n"
+              "  21: Mov s0, s3\n"
+              "  22: ChargeAssign\n"
+              "  23: LoadI s2, 1\n"
+              "  24: AddI s3, s1, s2\n"
+              "  25: Mov s1, s3\n"
+              "  26: Jmp @3\n"
+              "  27: Ret s1\n"
+              "  28: Trap \"value is not numeric\"\n");
+}
+
+TEST(VmLowering, FloatRoundingAndConversions) {
+    // Binary float ops compute in float (MulF); float compound assignment
+    // computes in double and rounds once (CDivF) — two distinct rounding
+    // behaviours the tree walker has, preserved verbatim.
+    EXPECT_EQ(disasm(R"(float mix(float a, int k, double d) {
+    float t = a * 0.5f;
+    t /= d + k;
+    return t;
+}
+)"),
+              "func mix(a: float, k: int, d: double) ret=float "
+              "sregs=6 bregs=0\n"
+              "   0: LoadD s4, 0.5\n"
+              "   1: MulF s5, s0, s4\n"
+              "   2: Mov s3, s5\n"
+              "   3: ChargeAssign\n"
+              "   4: ChargeAssign\n"
+              "   5: I2D s5, s1\n"
+              "   6: AddD s4, s2, s5\n"
+              "   7: CDivF s3, s3, s4\n"
+              "   8: Ret s3\n"
+              "   9: Trap \"value is not numeric\"\n");
+}
+
+TEST(VmLowering, LocalArraysAndElementOps) {
+    EXPECT_EQ(disasm(R"(double tally(int n, double* buf) {
+    double acc[4];
+    for (int i = 0; i < 4; i++) {
+        acc[i] = 0.0;
+    }
+    for (int i = 0; i < n; i++) {
+        acc[i % 4] += buf[i % n];
+    }
+    return acc[0] + acc[1] + acc[2] + acc[3];
+}
+)"),
+              "func tally(n: int, buf: double*) ret=double "
+              "sregs=13 bregs=2\n"
+              "   0: LoadI s2, 4\n"
+              "   1: NewBuf b1, s2, double 'acc'\n"
+              "   2: ChargeAssign\n"
+              "   3: LoopEnter L0\n"
+              "   4: LoadI s2, 0\n"
+              "   5: Mov s1, s2\n"
+              "   6: Mov s2, s1\n"
+              "   7: LoadI s3, 4\n"
+              "   8: LoopHead s2, s3, @17\n"
+              "   9: LoopTrip L0\n"
+              "  10: ChargeAssign\n"
+              "  11: LoadD s3, 0\n"
+              "  12: StoreElem b1[s1], s3\n"
+              "  13: LoadI s3, 1\n"
+              "  14: StepCheck s3, \"3:5: for-loop step must be positive\"\n"
+              "  15: IncI s1, s2, s3\n"
+              "  16: Jmp @6\n"
+              "  17: LoopExit\n"
+              "  18: LoopEnter L1\n"
+              "  19: LoadI s2, 0\n"
+              "  20: Mov s1, s2\n"
+              "  21: Mov s2, s1\n"
+              "  22: LoopHead s2, s0, @36\n"
+              "  23: LoopTrip L1\n"
+              "  24: ChargeAssign\n"
+              "  25: ModI s3, s1, s0\n"
+              "  26: LoadElemD s4, b0[s3]\n"
+              "  27: LoadI s5, 4\n"
+              "  28: ModI s6, s1, s5\n"
+              "  29: LoadElemD s7, b1[s6]\n"
+              "  30: CAddD s7, s7, s4\n"
+              "  31: StoreElem b1[s6], s7\n"
+              "  32: LoadI s3, 1\n"
+              "  33: StepCheck s3, \"6:5: for-loop step must be positive\"\n"
+              "  34: IncI s1, s2, s3\n"
+              "  35: Jmp @21\n"
+              "  36: LoopExit\n"
+              "  37: LoadI s2, 0\n"
+              "  38: LoadElemD s3, b1[s2]\n"
+              "  39: LoadI s4, 1\n"
+              "  40: LoadElemD s5, b1[s4]\n"
+              "  41: AddD s6, s3, s5\n"
+              "  42: LoadI s7, 2\n"
+              "  43: LoadElemD s8, b1[s7]\n"
+              "  44: AddD s9, s6, s8\n"
+              "  45: LoadI s10, 3\n"
+              "  46: LoadElemD s11, b1[s10]\n"
+              "  47: AddD s12, s9, s11\n"
+              "  48: Ret s12\n"
+              "  49: Trap \"value is not numeric\"\n");
+}
+
+TEST(VmLowering, BuiltinAndUserCalls) {
+    EXPECT_EQ(disasm(R"(double norm(double x, double y) {
+    return sqrt(x * x + y * y);
+}
+
+double run(int n, double* b) {
+    return norm(b[0], n) + fmin(b[1], 2.0);
+}
+)"),
+              "func norm(x: double, y: double) ret=double sregs=6 bregs=0\n"
+              "   0: MulD s2, s0, s0\n"
+              "   1: MulD s3, s1, s1\n"
+              "   2: AddD s4, s2, s3\n"
+              "   3: CallBuiltin s5, sqrt(s4)\n"
+              "   4: Ret s5\n"
+              "   5: Trap \"value is not numeric\"\n"
+              "\n"
+              "func run(n: int, b: double*) ret=double sregs=10 bregs=1\n"
+              "   0: LoadI s1, 0\n"
+              "   1: LoadElemD s2, b0[s1]\n"
+              "   2: I2D s3, s0\n"
+              "   3: CallUser s4, norm(s2, s3)\n"
+              "   4: LoadI s5, 1\n"
+              "   5: LoadElemD s6, b0[s5]\n"
+              "   6: LoadD s7, 2\n"
+              "   7: CallBuiltin s8, fmin(s6, s7)\n"
+              "   8: AddD s9, s4, s8\n"
+              "   9: Ret s9\n"
+              "  10: Trap \"value is not numeric\"\n");
+}
+
+// ----------------------------------------------------------------------
+// Dispatch edge cases: the VM and the tree walker must agree on every
+// result, every error and the exact error wording.
+// ----------------------------------------------------------------------
+
+struct EngineOutcome {
+    bool threw = false;
+    std::string error;
+    Value result = Value::void_value();
+};
+
+EngineOutcome run_engine(std::string_view src, const std::string& fn,
+                         const std::vector<Arg>& args, Engine engine,
+                         InterpOptions options = {}) {
+    auto [mod, types] = parse_and_check(std::string(src));
+    options.engine = engine;
+    EngineOutcome out;
+    try {
+        out.result = run_function(*mod, types, fn, args, options).result;
+    } catch (const InterpError& e) {
+        out.threw = true;
+        out.error = e.what();
+    }
+    return out;
+}
+
+/// Both engines produce this exact error.
+void expect_both_throw(std::string_view src, const std::string& fn,
+                       const std::vector<Arg>& args,
+                       const std::string& message) {
+    for (const Engine engine : {Engine::Tree, Engine::Vm}) {
+        const auto out = run_engine(src, fn, args, engine);
+        EXPECT_TRUE(out.threw) << to_string(engine) << ": no error";
+        EXPECT_EQ(out.error, message) << to_string(engine);
+    }
+}
+
+/// Both engines produce this exact (bit-compared) result.
+void expect_both_return(std::string_view src, const std::string& fn,
+                        const std::vector<Arg>& args, const Value& want) {
+    for (const Engine engine : {Engine::Tree, Engine::Vm}) {
+        const auto out = run_engine(src, fn, args, engine);
+        ASSERT_FALSE(out.threw) << to_string(engine) << ": " << out.error;
+        ASSERT_EQ(out.result.type(), want.type()) << to_string(engine);
+        if (want.type() == ast::Type::Double ||
+            want.type() == ast::Type::Float) {
+            double a = out.result.as_double();
+            double b = want.as_double();
+            EXPECT_EQ(std::memcmp(&a, &b, sizeof a), 0)
+                << to_string(engine) << ": " << a << " != " << b;
+        } else if (want.type() == ast::Type::Int) {
+            EXPECT_EQ(out.result.as_int(), want.as_int())
+                << to_string(engine);
+        } else if (want.type() == ast::Type::Bool) {
+            EXPECT_EQ(out.result.as_bool(), want.as_bool())
+                << to_string(engine);
+        }
+    }
+}
+
+TEST(VmDispatch, DivisionByZero) {
+    expect_both_throw("int f(int a) { return a / 0; }", "f",
+                      {Value::of_int(7)}, "integer division by zero");
+    expect_both_throw("int f(int a) { return a % 0; }", "f",
+                      {Value::of_int(7)}, "integer modulo by zero");
+}
+
+TEST(VmDispatch, OutOfBoundsIndex) {
+    const char* src = R"(double f(int i) {
+    double b[4];
+    return b[i];
+}
+)";
+    expect_both_throw(src, "f", {Value::of_int(9)},
+                      "buffer 'b' index 9 out of bounds [0, 4)");
+    expect_both_throw(src, "f", {Value::of_int(-1)},
+                      "buffer 'b' index -1 out of bounds [0, 4)");
+}
+
+TEST(VmDispatch, NegativeArraySize) {
+    expect_both_throw(R"(double f(int n) {
+    double b[n];
+    return 0.0;
+}
+)",
+                      "f", {Value::of_int(-3)},
+                      "negative array size for 'b'");
+}
+
+TEST(VmDispatch, NonPositiveLoopStep) {
+    expect_both_throw(R"(int f(int s) {
+    int acc = 0;
+    for (int i = 0; i < 10; i += s) {
+        acc = acc + 1;
+    }
+    return acc;
+}
+)",
+                      "f", {Value::of_int(0)},
+                      "3:5: for-loop step must be positive");
+}
+
+TEST(VmDispatch, MaxStepsAbort) {
+    InterpOptions options;
+    options.max_steps = 1000;
+    for (const Engine engine : {Engine::Tree, Engine::Vm}) {
+        const auto out = run_engine(R"(int f(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) {
+        acc = acc + i;
+    }
+    return acc;
+}
+)",
+                                    "f", {Value::of_int(1000000)}, engine,
+                                    options);
+        EXPECT_TRUE(out.threw) << to_string(engine);
+        EXPECT_EQ(out.error,
+                  "execution exceeded max_steps (runaway loop?)")
+            << to_string(engine);
+    }
+}
+
+TEST(VmDispatch, EmptyAndZeroTripLoops) {
+    expect_both_return(R"(int f(int n) {
+    int acc = 7;
+    for (int i = 0; i < 0; i++) {
+        acc = 0;
+    }
+    for (int i = n; i < n; i++) {
+        acc = 0;
+    }
+    for (int i = 0; i < n; i++) {
+    }
+    return acc;
+}
+)",
+                       "f", {Value::of_int(5)}, Value::of_int(7));
+}
+
+TEST(VmDispatch, DeepNestingAndTruncation) {
+    expect_both_return(R"(int f(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < 3; j++) {
+            for (int k = 0; k < 2; k++) {
+                for (int l = 0; l < 2; l++) {
+                    acc += (i * 7 - n) / (j + 2) - (i - j) % (k + l + 1);
+                }
+            }
+        }
+    }
+    return acc;
+}
+)",
+                       "f", {Value::of_int(9)}, [] {
+                           long long acc = 0;
+                           const long long n = 9;
+                           for (long long i = 0; i < n; ++i)
+                               for (long long j = 0; j < 3; ++j)
+                                   for (long long k = 0; k < 2; ++k)
+                                       for (long long l = 0; l < 2; ++l)
+                                           acc += (i * 7 - n) / (j + 2) -
+                                                  (i - j) % (k + l + 1);
+                           return Value::of_int(acc);
+                       }());
+}
+
+TEST(VmDispatch, FloatCompoundRoundsOnceThroughDouble) {
+    // Binary float arithmetic rounds each op; compound float assignment
+    // computes in double and rounds once. Verify the VM reproduces the
+    // tree walker bit-for-bit on a value where the two differ from a
+    // naive all-double evaluation.
+    const char* src = R"(float f(float a, float b) {
+    float t = a;
+    t *= b;
+    return t + a * b;
+}
+)";
+    const auto tree = run_engine(src, "f",
+                                 {Value::of_float(1.1), Value::of_float(3.7)},
+                                 Engine::Tree);
+    ASSERT_FALSE(tree.threw) << tree.error;
+    expect_both_return(src, "f",
+                       {Value::of_float(1.1), Value::of_float(3.7)},
+                       tree.result);
+}
+
+// ----------------------------------------------------------------------
+// Cooperative cancellation: the VM polls the ambient CancelToken on the
+// same step cadence as the tree walker.
+// ----------------------------------------------------------------------
+
+TEST(VmCancellation, CancelledTokenUnwindsMidLoop) {
+    const char* src = R"(int spin(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) {
+        acc = acc + i;
+    }
+    return acc;
+}
+)";
+    auto [mod, types] = parse_and_check(src);
+    for (const Engine engine : {Engine::Tree, Engine::Vm}) {
+        CancelToken token;
+        token.cancel();
+        CancelScope scope(&token);
+        InterpOptions options;
+        options.engine = engine;
+        // ~400k steps: far past the first poll point, nowhere near done.
+        EXPECT_THROW((void)run_function(*mod, types, "spin",
+                                        {Value::of_int(100000)}, options),
+                     CancelledError)
+            << to_string(engine);
+    }
+}
+
+TEST(VmCancellation, UncancelledTokenRunsToCompletion) {
+    const char* src = R"(int spin(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i++) {
+        acc = acc + i;
+    }
+    return acc;
+}
+)";
+    auto [mod, types] = parse_and_check(src);
+    CancelToken token;
+    CancelScope scope(&token);
+    InterpOptions options;
+    options.engine = Engine::Vm;
+    EXPECT_EQ(run_function(*mod, types, "spin", {Value::of_int(100000)},
+                           options)
+                  .result.as_int(),
+              4999950000LL);
+}
+
+// ----------------------------------------------------------------------
+// Profile equivalence on the five paper applications: identical results,
+// buffers and serialized execution profiles (totals, per-loop stats,
+// focus summaries — everything the design flow consumes).
+// ----------------------------------------------------------------------
+
+/// Name of the function containing the first for-loop (the flow's default
+/// profiling focus for these apps).
+std::string first_loop_function(ast::Module& module) {
+    for (const auto& fn : module.functions) {
+        bool has_loop = false;
+        ast::walk(static_cast<ast::Node&>(*fn), [&](ast::Node& n) {
+            if (n.kind() == ast::NodeKind::For) has_loop = true;
+            return true;
+        });
+        if (has_loop) return fn->name;
+    }
+    return module.functions.front()->name;
+}
+
+struct AppCapture {
+    std::string profile_payload;
+    std::vector<std::vector<double>> buffers;
+    long long result_bits = 0;
+    bool has_result = false;
+};
+
+AppCapture run_app(const apps::Application& app, Engine engine) {
+    auto [mod, types] = parse_and_check(app.source, app.name);
+    const auto loops = meta::for_loops(*mod);
+    std::vector<ast::Node::Id> loop_order;
+    for (const auto* loop : loops) loop_order.push_back(loop->id);
+
+    InterpOptions options;
+    options.engine = engine;
+    options.profile = true;
+    options.focus_function = first_loop_function(*mod);
+
+    const auto args = app.workload.make_args(app.workload.profile_scale);
+    const auto run =
+        run_function(*mod, types, app.workload.entry, args, options);
+
+    AppCapture cap;
+    cap.profile_payload =
+        analysis::serialize_profile_payload(run.profile, loop_order);
+    for (const auto& arg : args)
+        if (const auto* buf = std::get_if<BufferPtr>(&arg))
+            cap.buffers.push_back((*buf)->raw());
+    if (run.result.type() == ast::Type::Double ||
+        run.result.type() == ast::Type::Float) {
+        double d = run.result.as_double();
+        std::memcpy(&cap.result_bits, &d, sizeof d);
+        cap.has_result = true;
+    } else if (run.result.type() == ast::Type::Int) {
+        cap.result_bits = run.result.as_int();
+        cap.has_result = true;
+    }
+    return cap;
+}
+
+TEST(VmApps, ProfilesMatchTreeWalkerOnAllFiveApps) {
+    for (const auto* app : apps::all_applications()) {
+        SCOPED_TRACE(app->name);
+        const auto tree = run_app(*app, Engine::Tree);
+        const auto vm = run_app(*app, Engine::Vm);
+        EXPECT_EQ(tree.profile_payload, vm.profile_payload);
+        EXPECT_EQ(tree.has_result, vm.has_result);
+        EXPECT_EQ(tree.result_bits, vm.result_bits);
+        ASSERT_EQ(tree.buffers.size(), vm.buffers.size());
+        for (std::size_t i = 0; i < tree.buffers.size(); ++i) {
+            ASSERT_EQ(tree.buffers[i].size(), vm.buffers[i].size());
+            EXPECT_EQ(std::memcmp(tree.buffers[i].data(),
+                                  vm.buffers[i].data(),
+                                  tree.buffers[i].size() * sizeof(double)),
+                      0)
+                << app->name << " buffer " << i << " differs";
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Flow-level byte-identity: the full design flow run under each engine
+// (and at jobs=1 vs jobs=3) produces identical designs, logs and
+// predictions. This is the end-to-end form of the acceptance criterion;
+// the per-interpreter checks above localise any failure.
+// ----------------------------------------------------------------------
+
+std::string flow_summary(const flow::FlowResult& result) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "reference_seconds=" << result.reference_seconds << "\n";
+    for (const auto& line : result.log) os << "| " << line << "\n";
+    for (const auto& d : result.designs) {
+        os << "design " << d.name() << " speedup=" << d.speedup
+           << " loc_delta=" << d.loc_delta
+           << " synthesizable=" << d.synthesizable << "\n";
+        os << d.source << "\n";
+        for (const auto& line : d.log) os << "| " << line << "\n";
+    }
+    return os.str();
+}
+
+TEST(VmFlow, DesignsAreByteIdenticalAcrossEnginesAndJobs) {
+    const Engine restore = default_engine();
+    std::vector<std::string> summaries;
+    for (const Engine engine : {Engine::Tree, Engine::Vm}) {
+        set_default_engine(engine);
+        for (const int jobs : {1, 3}) {
+            RunOptions options;
+            options.jobs = jobs;
+            summaries.push_back(
+                flow_summary(psaflow::compile(apps::kmeans(), options)));
+        }
+    }
+    set_default_engine(restore);
+    ASSERT_EQ(summaries.size(), 4u);
+    EXPECT_FALSE(summaries[0].empty());
+    for (std::size_t i = 1; i < summaries.size(); ++i)
+        EXPECT_EQ(summaries[0], summaries[i]) << "variant " << i;
+}
+
+TEST(VmFlow, SecondAppAgreesAcrossEngines) {
+    const Engine restore = default_engine();
+    set_default_engine(Engine::Tree);
+    const auto tree = flow_summary(psaflow::compile(apps::bezier(), {}));
+    set_default_engine(Engine::Vm);
+    const auto vm = flow_summary(psaflow::compile(apps::bezier(), {}));
+    set_default_engine(restore);
+    EXPECT_FALSE(tree.empty());
+    EXPECT_EQ(tree, vm);
+}
+
+} // namespace
+} // namespace psaflow

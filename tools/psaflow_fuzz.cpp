@@ -22,6 +22,7 @@
 #include "fuzz/generator.hpp"
 #include "fuzz/oracle.hpp"
 #include "fuzz/shrink.hpp"
+#include "interp/interpreter.hpp"
 #include "support/cli.hpp"
 
 using namespace psaflow;
@@ -46,6 +47,8 @@ int main(int argc, char** argv) {
     long long problem_size = 24;
     long long flow_jobs = 3;
     bool check_cache = false;
+    bool check_vm = false;
+    std::string interp_engine;
     std::string cache_dir;
     bool no_transforms = false;
     bool no_codegen = false;
@@ -81,6 +84,13 @@ int main(int argc, char** argv) {
     parser.flag("--check-cache",
                 "also check cold-vs-warm persistent-cache identity",
                 &check_cache);
+    parser.flag("--check-vm",
+                "also check tree-vs-VM interpreter bit-identity",
+                &check_vm);
+    parser.choice("--interp", "<engine>",
+                  "engine for the single-engine oracles: tree|vm "
+                  "(default: PSAFLOW_INTERP, else vm)",
+                  &interp_engine, {"tree", "vm"});
     parser.str("--cache-dir", "<dir>",
                "store root for --check-cache (default: fresh temp dir)",
                &cache_dir);
@@ -91,6 +101,8 @@ int main(int argc, char** argv) {
     parser.flag("--no-roundtrip", "skip the round-trip oracle",
                 &no_roundtrip);
     if (!parser.parse(argc, argv)) return 2;
+    if (!interp_engine.empty())
+        interp::set_default_engine(*interp::parse_engine(interp_engine));
 
     fuzz::OracleOptions oracle_options;
     oracle_options.problem_size = static_cast<int>(problem_size);
@@ -100,6 +112,7 @@ int main(int argc, char** argv) {
     oracle_options.check_flow = !no_flow;
     oracle_options.check_roundtrip = !no_roundtrip;
     oracle_options.check_cache = check_cache;
+    oracle_options.check_vm = check_vm;
     oracle_options.cache_dir = cache_dir;
 
     // ---- replay mode -------------------------------------------------

@@ -124,6 +124,7 @@ int run_batch(const std::string& manifest_path, const cli::FlowFlags& flags,
     session_options.cache_dir = cache_dir;
     session_options.cache_max_bytes =
         static_cast<std::uint64_t>(flags.cache_max_mb) << 20;
+    session_options.interp = flags.interp;
     flow::FlowSession session(session_options);
 
     std::cout << "running " << requests.size()
@@ -180,7 +181,7 @@ int main(int argc, char** argv) {
          "      [--deadline-ms <n>] [--jobs <n>] [--trace-out <file.json>]\n"
          "      [--trace-format json|chrome] [--metrics-out <file>]\n"
          "      [--explain <file.json>] [--explain-md <file.md>]\n"
-         "      [--cache-dir <dir>] [--cache-max-mb <n>]",
+         "      [--cache-dir <dir>] [--cache-max-mb <n>] [--interp tree|vm]",
          "--batch <manifest.json> [--out <dir>] [--jobs <n>] "
          "[--cache-dir <dir>]"});
     parser.flag("--list", "list the bundled applications", &list);
@@ -281,6 +282,7 @@ int main(int argc, char** argv) {
         session_options.cache_dir = flow_flags.cache_dir;
         session_options.cache_max_bytes =
             static_cast<std::uint64_t>(flow_flags.cache_max_mb) << 20;
+        session_options.interp = flow_flags.interp;
         flow::FlowSession session(session_options);
 
         std::cout << "running the " << mode << " PSA-flow on '" << app_name

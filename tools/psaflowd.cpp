@@ -46,7 +46,8 @@ int main(int argc, char** argv) {
         argv[0],
         {"--socket <path> [--workers <n>] [--queue-depth <n>]\n"
          "      [--deadline-ms <n>] [--recv-timeout-ms <n>] [--out <dir>]\n"
-         "      [--jobs <n>] [--cache-dir <dir>] [--cache-max-mb <n>]"});
+         "      [--jobs <n>] [--interp tree|vm] [--cache-dir <dir>]\n"
+         "      [--cache-max-mb <n>]"});
     parser.str("--socket", "<path>", "Unix-domain socket to listen on",
                &options.socket_path);
     parser.integer("--workers", "<n>", "warm flow workers (default 2)",
@@ -66,6 +67,10 @@ int main(int argc, char** argv) {
     parser.integer("--jobs", "<n>",
                    "engine jobs per worker session (default 1)",
                    &session_jobs, /*min=*/1);
+    parser.choice("--interp", "<engine>",
+                  "interpreter engine: tree|vm (default: PSAFLOW_INTERP, "
+                  "else vm)",
+                  &options.interp, {"tree", "vm"});
     parser.str("--cache-dir", "<dir>",
                "persistent cache root (default PSAFLOW_CACHE_DIR)",
                &options.cache_dir);
