@@ -1,5 +1,7 @@
 #include "core/psaflow.hpp"
 
+#include <optional>
+
 #include "frontend/parser.hpp"
 
 namespace psaflow {
@@ -31,18 +33,37 @@ flow::FlowResult compile(flow::FlowSession& session,
                          analysis::Workload workload,
                          bool allow_single_precision,
                          const RunOptions& options) {
+    // Request-level manifest wins over the session default; the builtin
+    // standard flow is the fallback when neither is present.
+    const flow::ManifestFlow* manifest = options.flow_manifest != nullptr
+                                             ? options.flow_manifest
+                                             : session.manifest_flow();
+
     auto module = frontend::parse_module(source, app_name);
     flow::FlowContext ctx(app_name, std::move(module), std::move(workload));
     ctx.allow_single_precision = allow_single_precision;
     ctx.intensity_threshold_x = options.intensity_threshold_x;
+    if (manifest != nullptr && manifest->threshold_x.has_value())
+        ctx.intensity_threshold_x = *manifest->threshold_x;
     ctx.cancel = options.cancel;
 
     flow::EngineOptions engine;
     engine.budget = options.budget;
     engine.cost_model = options.cost_model;
     engine.jobs = options.jobs;
+    if (manifest != nullptr) {
+        if (manifest->max_run_cost.has_value())
+            engine.budget.max_run_cost = *manifest->max_run_cost;
+        if (manifest->max_feedback_iterations.has_value())
+            engine.max_feedback_iterations =
+                *manifest->max_feedback_iterations;
+    }
 
-    const flow::DesignFlow design_flow = flow::standard_flow(options.mode);
+    std::optional<flow::DesignFlow> builtin;
+    if (manifest == nullptr)
+        builtin.emplace(flow::standard_flow(options.mode));
+    const flow::DesignFlow& design_flow =
+        manifest != nullptr ? manifest->flow : *builtin;
     return session.run(design_flow, std::move(ctx), engine);
 }
 

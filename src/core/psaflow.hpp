@@ -17,6 +17,7 @@
 #include "analysis/workload.hpp"
 #include "apps/apps.hpp"
 #include "flow/engine.hpp"
+#include "flow/manifest.hpp"
 #include "flow/session.hpp"
 #include "flow/standard_flow.hpp"
 #include "support/cancel.hpp"
@@ -34,6 +35,15 @@ struct RunOptions {
     /// fires — explicitly or via its deadline — the flow unwinds with
     /// CancelledError at the next task boundary or interpreter poll.
     const CancelToken* cancel = nullptr;
+
+    /// Manifest-defined flow (not owned; may be null). When set, compile()
+    /// runs this flow instead of standard_flow(mode) and the manifest's
+    /// engine parameters (budget / threshold_x / max_feedback_iterations)
+    /// override the fields above — a flow that declares its own budget
+    /// means it. When null, a session-level manifest
+    /// (SessionOptions::flow_manifest) applies; the builtin standard flow
+    /// is the final fallback.
+    const flow::ManifestFlow* flow_manifest = nullptr;
 };
 
 /// Run the standard PSA-flow on one of the bundled applications.

@@ -64,15 +64,6 @@ struct EngineOptions {
     int jobs = 0;
 };
 
-/// Execute `flow` on `ctx`. The context is consumed (paths fork from it).
-///
-/// Deprecated entry point: a thin wrapper over a default-configured
-/// flow::FlowSession (see flow/session.hpp), which is what new callers
-/// should use — it owns the jobs/cache/trace wiring and amortises warm
-/// caches across runs.
-[[nodiscard]] FlowResult run_flow(const DesignFlow& flow, FlowContext ctx,
-                                  const EngineOptions& options = {});
-
 namespace detail {
 /// The engine proper, behind the FlowSession facade: executes the flow
 /// with the options exactly as given (no session defaults applied, no

@@ -21,6 +21,8 @@ FlowSession::FlowSession(SessionOptions options)
                    options_.interp + "'");
         interp::set_default_engine(*engine);
     }
+    if (!options_.flow_manifest.empty())
+        manifest_.emplace(load_manifest(options_.flow_manifest));
 }
 
 FlowResult FlowSession::run(const DesignFlow& flow, FlowContext ctx,
@@ -35,11 +37,6 @@ FlowResult FlowSession::run(const DesignFlow& flow, FlowContext ctx,
     trace::Registry::current().count("flow.wall_us",
                                     static_cast<std::uint64_t>(wall_us));
     return result;
-}
-
-FlowResult run_flow(const DesignFlow& flow, FlowContext ctx,
-                    const EngineOptions& options) {
-    return FlowSession().run(flow, std::move(ctx), options);
 }
 
 } // namespace psaflow::flow

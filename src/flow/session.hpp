@@ -8,17 +8,33 @@
 // Running many flows through one session shares the warm in-process caches
 // and the store index: that is what makes `psaflowc --batch` cheap.
 //
-// The legacy free function `run_flow` (engine.hpp) remains as a thin
-// wrapper over a default-configured session.
+// A session may also carry a default flow lowered from a manifest
+// (SessionOptions::flow_manifest, see flow/manifest.hpp); the core
+// compile() runs it in place of the builtin standard_flow.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "flow/engine.hpp"
+#include "flow/manifest.hpp"
 
 namespace psaflow::flow {
 
+// Environment-variable precedence (the single source of truth for it):
+// an explicit SessionOptions field wins over its environment variable,
+// which wins over the built-in default —
+//
+//   jobs        : SessionOptions.jobs      > PSAFLOW_JOBS      > hardware
+//                                                                concurrency
+//   cache store : SessionOptions.cache_dir > PSAFLOW_CACHE_DIR > disabled
+//                 (cap: cache_max_bytes > PSAFLOW_CACHE_MAX_MB > built-in)
+//   interpreter : SessionOptions.interp    > PSAFLOW_INTERP    > "vm"
+//
+// A non-empty option (re)configures the process-wide state eagerly in the
+// FlowSession constructor, so later sessions in the same process inherit
+// it unless they override it themselves.
 struct SessionOptions {
     /// Worker threads for independent branch paths; 0 picks the process
     /// default (PSAFLOW_JOBS or hardware concurrency). Any setting yields
@@ -39,6 +55,14 @@ struct SessionOptions {
     /// engine yields a byte-identical FlowResult — and the same profile
     /// cache keys, so switching engines never cold-starts a warm store.
     std::string interp;
+
+    /// Flow manifest naming the session's default flow: text starting with
+    /// '{' is an inline JSON document, anything else a file path (see
+    /// flow/manifest.hpp). Validated and lowered eagerly by the FlowSession
+    /// constructor, which throws psaflow::Error with a located diagnostic
+    /// on any schema violation. Empty: no session default — the core
+    /// compile() falls back to the builtin standard_flow().
+    std::string flow_manifest;
 };
 
 class FlowSession {
@@ -57,8 +81,15 @@ public:
 
     [[nodiscard]] const SessionOptions& options() const { return options_; }
 
+    /// The flow lowered from SessionOptions::flow_manifest; nullptr when
+    /// the session has no manifest.
+    [[nodiscard]] const ManifestFlow* manifest_flow() const {
+        return manifest_.has_value() ? &*manifest_ : nullptr;
+    }
+
 private:
     SessionOptions options_;
+    std::optional<ManifestFlow> manifest_;
 };
 
 } // namespace psaflow::flow

@@ -243,12 +243,56 @@ public:
 
 } // namespace
 
+FixedPathStrategy::FixedPathStrategy(std::vector<std::string> paths)
+    : paths_(std::move(paths)) {
+    ensure(!paths_.empty(),
+           "fixed-path strategy needs at least one path name");
+}
+
+std::vector<std::size_t> FixedPathStrategy::select(FlowContext&,
+                                                   const BranchPoint& branch) {
+    std::vector<std::size_t> out;
+    for (const std::string& name : paths_) {
+        const std::size_t index = path_index(branch, name);
+        if (std::find(out.begin(), out.end(), index) == out.end())
+            out.push_back(index);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<std::size_t>
+FixedPathStrategy::select_explained(FlowContext& ctx,
+                                    const BranchPoint& branch,
+                                    obs::DecisionRecord& record) {
+    record.strategy = name();
+    const auto selected = select(ctx, branch);
+    record.rationale = "fixed-path: the flow preselects " +
+                       std::to_string(selected.size()) +
+                       " path(s) unconditionally";
+    for (std::size_t i = 0; i < branch.paths.size(); ++i) {
+        obs::DecisionCandidate candidate;
+        candidate.path = branch.paths[i].name;
+        candidate.evaluation =
+            std::find(selected.begin(), selected.end(), i) != selected.end()
+                ? "preselected by the flow"
+                : "not in the fixed path set";
+        record.candidates.push_back(std::move(candidate));
+    }
+    return selected;
+}
+
 std::shared_ptr<PsaStrategy> informed_strategy(std::set<std::string> excluded) {
     return std::make_shared<InformedStrategy>(std::move(excluded));
 }
 
 std::shared_ptr<PsaStrategy> select_all() {
     return std::make_shared<SelectAll>();
+}
+
+std::shared_ptr<PsaStrategy>
+fixed_path_strategy(std::vector<std::string> paths) {
+    return std::make_shared<FixedPathStrategy>(std::move(paths));
 }
 
 } // namespace psaflow::flow

@@ -15,6 +15,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "flow/task.hpp"
 
@@ -59,6 +60,37 @@ informed_strategy(std::set<std::string> excluded = {});
 
 /// Select all paths (uninformed mode at A; default at B and C).
 [[nodiscard]] std::shared_ptr<PsaStrategy> select_all();
+
+/// Unconditionally follow the named paths — the manifest schema's
+/// "fixed-path" strategy. Selection is canonicalised to branch path order
+/// and deduplicated, so the listing order in a manifest never changes the
+/// result. Unknown path names throw at select time (manifest loading
+/// validates them up front).
+class FixedPathStrategy final : public PsaStrategy {
+public:
+    explicit FixedPathStrategy(std::vector<std::string> paths);
+
+    [[nodiscard]] std::string name() const override { return "fixed-path"; }
+
+    /// The preselected path names, in declaration order.
+    [[nodiscard]] const std::vector<std::string>& paths() const {
+        return paths_;
+    }
+
+    std::vector<std::size_t> select(FlowContext& ctx,
+                                    const BranchPoint& branch) override;
+
+    std::vector<std::size_t>
+    select_explained(FlowContext& ctx, const BranchPoint& branch,
+                     obs::DecisionRecord& record) override;
+
+private:
+    std::vector<std::string> paths_;
+};
+
+/// Convenience factory matching informed_strategy()/select_all().
+[[nodiscard]] std::shared_ptr<PsaStrategy>
+fixed_path_strategy(std::vector<std::string> paths);
 
 /// Decision inputs of Fig. 3, exposed for tests and the ablation bench.
 struct Fig3Inputs {

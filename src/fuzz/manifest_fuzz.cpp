@@ -1,0 +1,400 @@
+#include "fuzz/manifest_fuzz.hpp"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "flow/manifest.hpp"
+#include "flow/session.hpp"
+#include "flow/strategy.hpp"
+#include "flow/task_registry.hpp"
+#include "frontend/parser.hpp"
+#include "fuzz/generator.hpp"
+#include "support/error.hpp"
+#include "support/json.hpp"
+#include "support/prng.hpp"
+
+namespace psaflow::fuzz {
+
+namespace {
+
+// The fixed probe program: compute-bound, parallel outer loop, inner
+// reduction over a runtime bound — every target family of the standard
+// flow produces designs for it, so random path subsets stay exercisable.
+// Fixed on purpose: the profile cache stays warm across a seed sweep.
+constexpr const char* kProbeSource = R"(
+void work(int n, double* a, double* out) {
+    for (int i = 0; i < n; i = i + 1) {
+        double acc = 0.0;
+        for (int j = 0; j < n; j = j + 1) {
+            acc += exp(a[j] * 0.001) * a[i];
+        }
+        out[i] = acc;
+    }
+}
+
+void run(int n, double* a, double* out) {
+    work(n, a, out);
+}
+)";
+
+struct StrategyPlan {
+    enum Kind { Informed, SelectAll, FixedPath } kind = SelectAll;
+    std::vector<std::string> fixed; ///< path names when kind == FixedPath
+};
+
+struct DevicePlan {
+    std::string name;
+    std::vector<std::string> tasks;
+};
+
+struct NestedPlan {
+    std::string name;
+    StrategyPlan strategy;
+    std::vector<DevicePlan> paths;
+};
+
+struct FamilyPlan {
+    std::string name;
+    std::vector<std::string> tasks;
+    std::optional<NestedPlan> nested;
+    bool nested_via_ref = false; ///< spell the nest as a "branches" ref
+    std::string ref_name;
+};
+
+struct FlowPlan {
+    std::vector<std::string> prologue;
+    StrategyPlan root_strategy;
+    std::vector<FamilyPlan> families;
+
+    [[nodiscard]] bool uses_refs() const {
+        for (const FamilyPlan& family : families)
+            if (family.nested_via_ref) return true;
+        return false;
+    }
+};
+
+std::vector<std::string> draw_subset(SplitMix64& rng,
+                                     const std::vector<std::string>& pool) {
+    std::vector<std::string> out;
+    for (const std::string& item : pool)
+        if (rng.next_below(2) == 0) out.push_back(item);
+    return out;
+}
+
+StrategyPlan draw_strategy(SplitMix64& rng, bool allow_informed,
+                           const std::vector<std::string>& path_names) {
+    StrategyPlan plan;
+    const std::uint64_t pick = rng.next_below(allow_informed ? 3 : 2);
+    if (allow_informed && pick == 2) {
+        plan.kind = StrategyPlan::Informed;
+    } else if (pick == 1) {
+        plan.kind = StrategyPlan::FixedPath;
+        plan.fixed = draw_subset(rng, path_names);
+        if (plan.fixed.empty())
+            plan.fixed.push_back(
+                path_names[rng.next_below(path_names.size())]);
+    } else {
+        plan.kind = StrategyPlan::SelectAll;
+    }
+    return plan;
+}
+
+FlowPlan draw_plan(std::uint64_t seed) {
+    SplitMix64 rng(seed ^ 0x8f1e7a2cb5d3946ULL);
+    FlowPlan plan;
+    plan.prologue = {
+        "identify-hotspot-loops",    "hotspot-loop-extraction",
+        "pointer-analysis",          "arithmetic-intensity-analysis",
+        "data-in-out-analysis",      "loop-dependence-analysis",
+        "loop-trip-count-analysis",  "remove-array-dependency"};
+
+    const std::uint64_t family_bits = 1 + rng.next_below(7);
+    const bool with_gpu = (family_bits & 1) != 0;
+    const bool with_fpga = (family_bits & 2) != 0;
+    const bool with_cpu = (family_bits & 4) != 0;
+
+    if (with_gpu) {
+        FamilyPlan gpu;
+        gpu.name = "gpu";
+        gpu.tasks = {"generate-hip-design"};
+        for (const std::string& task : draw_subset(
+                 rng, {"employ-hip-pinned-memory", "employ-sp-math-fns",
+                       "employ-sp-numeric-literals",
+                       "introduce-shared-mem-buf",
+                       "employ-specialised-math-fns"}))
+            gpu.tasks.push_back(task);
+
+        NestedPlan devices;
+        devices.name = "C (GPU device)";
+        std::vector<DevicePlan> pool = {
+            {"gtx1080ti", {"gtx-1080-ti-blocksize-dse"}},
+            {"rtx2080ti", {"rtx-2080-ti-blocksize-dse"}}};
+        const std::uint64_t device_bits = 1 + rng.next_below(3);
+        for (std::size_t i = 0; i < pool.size(); ++i)
+            if ((device_bits & (1ULL << i)) != 0)
+                devices.paths.push_back(pool[i]);
+        std::vector<std::string> names;
+        for (const DevicePlan& d : devices.paths) names.push_back(d.name);
+        devices.strategy = draw_strategy(rng, /*allow_informed=*/false, names);
+        gpu.nested = std::move(devices);
+        plan.families.push_back(std::move(gpu));
+    }
+    if (with_fpga) {
+        FamilyPlan fpga;
+        fpga.name = "fpga";
+        fpga.tasks = {"generate-oneapi-design"};
+        for (const std::string& task : draw_subset(
+                 rng, {"unroll-fixed-loops", "employ-sp-math-fns",
+                       "employ-sp-numeric-literals"}))
+            fpga.tasks.push_back(task);
+
+        // The device branch is mandatory: the leaf finaliser needs the
+        // synthesis report only the unroll-until-overmap DSEs produce.
+        NestedPlan devices;
+        devices.name = "B (FPGA device)";
+        std::vector<DevicePlan> pool = {
+            {"arria10", {"arria10-unroll-until-overmap-dse"}},
+            {"stratix10",
+             {"zero-copy-data-transfer", "stratix10-unroll-until-overmap-dse"}}};
+        const std::uint64_t device_bits = 1 + rng.next_below(3);
+        for (std::size_t i = 0; i < pool.size(); ++i)
+            if ((device_bits & (1ULL << i)) != 0)
+                devices.paths.push_back(pool[i]);
+        std::vector<std::string> names;
+        for (const DevicePlan& d : devices.paths) names.push_back(d.name);
+        devices.strategy = draw_strategy(rng, /*allow_informed=*/false, names);
+        fpga.nested = std::move(devices);
+        fpga.nested_via_ref = rng.next_below(2) == 0;
+        fpga.ref_name = "fpga-devices";
+        plan.families.push_back(std::move(fpga));
+    }
+    if (with_cpu) {
+        FamilyPlan cpu;
+        cpu.name = "cpu";
+        cpu.tasks = {"multi-thread-parallel-loops"};
+        if (rng.next_below(2) == 0)
+            cpu.tasks.push_back("omp-num-threads-dse");
+        plan.families.push_back(std::move(cpu));
+    }
+
+    // The informed strategy falls back across cpu/gpu/fpga by name, so it
+    // is only drawn when every family it may name exists.
+    std::vector<std::string> family_names;
+    for (const FamilyPlan& family : plan.families)
+        family_names.push_back(family.name);
+    plan.root_strategy = draw_strategy(
+        rng, /*allow_informed=*/with_gpu && with_fpga && with_cpu,
+        family_names);
+    return plan;
+}
+
+// ---- plan -> programmatic DesignFlow ---------------------------------
+
+std::shared_ptr<flow::PsaStrategy> make_strategy(const StrategyPlan& plan) {
+    switch (plan.kind) {
+    case StrategyPlan::Informed: return flow::informed_strategy();
+    case StrategyPlan::FixedPath: return flow::fixed_path_strategy(plan.fixed);
+    case StrategyPlan::SelectAll: break;
+    }
+    return flow::select_all();
+}
+
+flow::DesignFlow make_flow(const FlowPlan& plan) {
+    const auto& registry = flow::TaskRegistry::global();
+    flow::DesignFlow out;
+    for (const std::string& id : plan.prologue)
+        out.prologue.push_back(registry.make(id));
+
+    auto branch = std::make_shared<flow::BranchPoint>();
+    branch->name = "A (target)";
+    branch->strategy = make_strategy(plan.root_strategy);
+    for (const FamilyPlan& family : plan.families) {
+        flow::FlowPath path;
+        path.name = family.name;
+        for (const std::string& id : family.tasks)
+            path.tasks.push_back(registry.make(id));
+        if (family.nested.has_value()) {
+            auto nested = std::make_shared<flow::BranchPoint>();
+            nested->name = family.nested->name;
+            nested->strategy = make_strategy(family.nested->strategy);
+            for (const DevicePlan& device : family.nested->paths) {
+                flow::FlowPath leaf;
+                leaf.name = device.name;
+                for (const std::string& id : device.tasks)
+                    leaf.tasks.push_back(registry.make(id));
+                nested->paths.push_back(std::move(leaf));
+            }
+            path.next = std::move(nested);
+        }
+        branch->paths.push_back(std::move(path));
+    }
+    out.branch = std::move(branch);
+    return out;
+}
+
+// ---- plan -> manifest document ---------------------------------------
+// Member order deliberately matches flow::to_manifest so that inline-only
+// documents compare byte-equal against the exporter.
+
+json::Value strategy_doc(const StrategyPlan& plan) {
+    switch (plan.kind) {
+    case StrategyPlan::Informed: return json::Value::string("informed");
+    case StrategyPlan::FixedPath: {
+        json::Value spec = json::Value::object();
+        spec.set("name", json::Value::string("fixed-path"));
+        json::Value paths = json::Value::array();
+        for (const std::string& name : plan.fixed)
+            paths.push(json::Value::string(name));
+        spec.set("paths", std::move(paths));
+        return spec;
+    }
+    case StrategyPlan::SelectAll: break;
+    }
+    return json::Value::string("select-all");
+}
+
+json::Value tasks_doc(const std::vector<std::string>& ids) {
+    json::Value tasks = json::Value::array();
+    for (const std::string& id : ids) tasks.push(json::Value::string(id));
+    return tasks;
+}
+
+json::Value nested_doc(const NestedPlan& plan) {
+    json::Value branch = json::Value::object();
+    branch.set("name", json::Value::string(plan.name));
+    branch.set("strategy", strategy_doc(plan.strategy));
+    json::Value paths = json::Value::array();
+    for (const DevicePlan& device : plan.paths) {
+        json::Value path = json::Value::object();
+        path.set("name", json::Value::string(device.name));
+        path.set("tasks", tasks_doc(device.tasks));
+        paths.push(std::move(path));
+    }
+    branch.set("paths", std::move(paths));
+    return branch;
+}
+
+json::Value make_doc(const FlowPlan& plan) {
+    json::Value doc = json::Value::object();
+    doc.set("psaflow_manifest", json::Value::number(1.0));
+    doc.set("prologue", tasks_doc(plan.prologue));
+
+    if (plan.uses_refs()) {
+        json::Value defs = json::Value::object();
+        for (const FamilyPlan& family : plan.families)
+            if (family.nested_via_ref && family.nested.has_value())
+                defs.set(family.ref_name, nested_doc(*family.nested));
+        doc.set("branches", std::move(defs));
+    }
+
+    json::Value branch = json::Value::object();
+    branch.set("name", json::Value::string("A (target)"));
+    branch.set("strategy", strategy_doc(plan.root_strategy));
+    json::Value paths = json::Value::array();
+    for (const FamilyPlan& family : plan.families) {
+        json::Value path = json::Value::object();
+        path.set("name", json::Value::string(family.name));
+        path.set("tasks", tasks_doc(family.tasks));
+        if (family.nested.has_value()) {
+            if (family.nested_via_ref)
+                path.set("branch", json::Value::string(family.ref_name));
+            else
+                path.set("branch", nested_doc(*family.nested));
+        }
+        paths.push(std::move(path));
+    }
+    branch.set("paths", std::move(paths));
+    doc.set("branch", std::move(branch));
+    return doc;
+}
+
+// ---- execution capture ------------------------------------------------
+
+struct RunCapture {
+    bool threw = false;
+    std::string error;
+    std::string summary;
+};
+
+RunCapture run_probe(const flow::DesignFlow& design) {
+    RunCapture cap;
+    try {
+        auto module = frontend::parse_module(kProbeSource, "manifest-probe");
+        analysis::Workload workload = fuzz_workload(*module);
+        flow::FlowContext ctx("manifest-probe", std::move(module),
+                              std::move(workload));
+        const auto result = flow::FlowSession().run(design, std::move(ctx));
+
+        std::ostringstream os;
+        os.precision(17);
+        os << "reference_seconds=" << result.reference_seconds << "\n";
+        for (const auto& line : result.log) os << "| " << line << "\n";
+        for (const auto& d : result.designs) {
+            os << "design " << d.name() << " speedup=" << d.speedup
+               << " loc_delta=" << d.loc_delta
+               << " synthesizable=" << d.synthesizable << "\n";
+            os << d.source << "\n";
+            for (const auto& line : d.log) os << "| " << line << "\n";
+        }
+        cap.summary = os.str();
+    } catch (const Error& e) {
+        cap.threw = true;
+        cap.error = e.what();
+    }
+    return cap;
+}
+
+} // namespace
+
+std::optional<std::string> check_manifest(std::uint64_t seed) {
+    const FlowPlan plan = draw_plan(seed);
+    const flow::DesignFlow programmatic = make_flow(plan);
+    const json::Value doc = make_doc(plan);
+
+    // Property 1: the exporter and the generator agree on the manifest
+    // spelling of the same flow (inline documents only — the exporter
+    // never emits "branches" references).
+    if (!plan.uses_refs()) {
+        const std::string exported =
+            json::dump(flow::to_manifest(programmatic));
+        const std::string generated = json::dump(doc);
+        if (exported != generated)
+            return "manifest:export mismatch\n  generated: " + generated +
+                   "\n  exported:  " + exported;
+    }
+
+    // Lowering a generator-built document must never fail.
+    flow::ManifestFlow lowered;
+    try {
+        lowered = flow::from_manifest(doc);
+    } catch (const Error& e) {
+        return "manifest:lower valid manifest rejected: " +
+               std::string(e.what()) + "\n  document: " + json::dump(doc);
+    }
+
+    // Property 2: byte-identical execution.
+    const RunCapture direct = run_probe(programmatic);
+    const RunCapture via_manifest = run_probe(lowered.flow);
+    if (direct.threw != via_manifest.threw)
+        return std::string("manifest:run programmatic flow ") +
+               (direct.threw ? "failed ('" + direct.error + "')"
+                             : "succeeded") +
+               " but lowered flow " +
+               (via_manifest.threw
+                    ? "failed ('" + via_manifest.error + "')"
+                    : "succeeded");
+    if (direct.threw) {
+        if (direct.error != via_manifest.error)
+            return "manifest:run error mismatch: '" + direct.error +
+                   "' vs '" + via_manifest.error + "'";
+        return std::nullopt;
+    }
+    if (direct.summary != via_manifest.summary)
+        return "manifest:run FlowResult differs between the programmatic "
+               "flow and its lowered manifest\n  document: " +
+               json::dump(doc);
+    return std::nullopt;
+}
+
+} // namespace psaflow::fuzz

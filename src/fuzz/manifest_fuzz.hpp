@@ -1,0 +1,33 @@
+// Manifest fuzzing: differential checking of the flow-manifest surface.
+//
+// Each seed draws a random *valid* flow — a subset of the standard flow's
+// target families with random optional tasks, nested device branches and a
+// random strategy per branch point — and builds it twice: once
+// programmatically (DesignFlow/BranchPoint/PsaStrategy, the ground truth)
+// and once as a manifest document (flow/manifest.hpp). Two properties must
+// hold:
+//
+//   1. Export round-trip: when the document is expressed inline (no
+//      "branches" references), json::dump of the generated document equals
+//      json::dump(flow::to_manifest(programmatic flow)) byte for byte.
+//   2. Execution identity: the lowered manifest flow and the programmatic
+//      flow produce byte-identical FlowResults (designs, sources, logs,
+//      errors) on a fixed compute-bound program.
+//
+// Every generated FPGA path nests the device branch whose unroll DSE
+// produces the synthesis report the leaf finaliser requires, so generated
+// flows are always runnable — validity is the generator's contract, and
+// any rejection by the manifest loader is itself a failure.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace psaflow::fuzz {
+
+/// Run both checks for `seed`. Returns a failure description, nullopt on
+/// success. Deterministic: the same seed always draws the same flow.
+[[nodiscard]] std::optional<std::string> check_manifest(std::uint64_t seed);
+
+} // namespace psaflow::fuzz

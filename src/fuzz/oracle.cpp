@@ -25,6 +25,7 @@
 #include "codegen/codegen.hpp"
 #include "codegen/design_spec.hpp"
 #include "core/psaflow.hpp"
+#include "flow/session.hpp"
 #include "frontend/parser.hpp"
 #include "interp/interpreter.hpp"
 #include "meta/query.hpp"
@@ -680,8 +681,12 @@ OracleOutcome run_oracles(const std::string& source,
             ro.mode = flow::Mode::Informed;
             ro.jobs = jobs;
             try {
+                // A fresh session per run keeps the comparisons honest:
+                // nothing is shared between the jobs=1 and jobs=N runs
+                // beyond the process-wide caches the oracle controls.
+                flow::FlowSession session;
                 const auto result =
-                    psaflow::compile("fuzz", source, workload,
+                    psaflow::compile(session, "fuzz", source, workload,
                                      /*allow_single_precision=*/true, ro);
                 std::ostringstream os;
                 os.precision(17);

@@ -6,6 +6,12 @@ std::optional<std::string> parse_wire_request(const json::Value& doc,
                                               WireRequest& out) {
     if (doc.kind != json::Value::Kind::Object)
         return "request is not an object";
+    if (const json::Value* v = doc.find("schema_version")) {
+        if (!v->is_number() ||
+            v->number_value != double(kSchemaVersion))
+            return "unsupported schema_version " + json::dump(*v) +
+                   " (supported: " + std::to_string(kSchemaVersion) + ")";
+    }
     std::string type = "compile";
     if (const json::Value* v = doc.find("type")) type = v->string_or("");
 
@@ -51,6 +57,8 @@ json::Value make_error_response(ErrorKind kind, const std::string& message,
                                 long long retry_after_ms) {
     json::Value response = json::Value::object();
     response.set("ok", json::Value::boolean(false));
+    response.set("schema_version",
+                 json::Value::number(double(kSchemaVersion)));
     response.set("error_kind", json::Value::string(to_string(kind)));
     response.set("error", json::Value::string(message));
     if (retry_after_ms > 0)
@@ -63,6 +71,8 @@ json::Value make_compile_response(const CompileRequest& req,
                                   const CompileOutcome& outcome) {
     json::Value response = json::Value::object();
     response.set("ok", json::Value::boolean(true));
+    response.set("schema_version",
+                 json::Value::number(double(kSchemaVersion)));
     response.set("type", json::Value::string("compile"));
     response.set("app", json::Value::string(req.app));
     response.set("mode", json::Value::string(req.mode));
@@ -102,6 +112,8 @@ json::Value make_compile_response(const CompileRequest& req,
 json::Value make_pong_response() {
     json::Value response = json::Value::object();
     response.set("ok", json::Value::boolean(true));
+    response.set("schema_version",
+                 json::Value::number(double(kSchemaVersion)));
     response.set("type", json::Value::string("pong"));
     return response;
 }

@@ -2,12 +2,21 @@
 // provides the framing). One JSON object per frame, one response frame per
 // request frame, connection stays open for pipelined requests.
 //
+// Every request may carry "schema_version" (currently 1). Absent means 1
+// (the pre-versioning wire shape); any other value is rejected with a
+// clear bad_request error instead of an opaque field-shape failure.
+// Responses always stamp the version they speak.
+//
 // Requests:
-//   {"type":"compile", "app":"nbody", "mode":"informed", "budget":0.001,
-//    "threshold_x":4.0, "out":"designs/nbody", "deadline_ms":500}
+//   {"schema_version":1, "type":"compile", "app":"nbody",
+//    "mode":"informed", "budget":0.001, "threshold_x":4.0,
+//    "out":"designs/nbody", "deadline_ms":500, "flow":{...}}
 //     — the compile fields are exactly a `psaflowc --batch` manifest
 //       entry, so a manifest request and a daemon request are the same
-//       object (serve/request.hpp).
+//       object (serve/request.hpp). The optional "flow" member is a flow
+//       manifest (flow/manifest.hpp): clients ship user-programmed flows
+//       over the wire and the daemon runs them in place of the builtin
+//       standard flow.
 //   {"type":"stats"}  — live metrics snapshot (never queued; answered
 //       inline even when every worker is busy).
 //   {"type":"metrics"} — Prometheus text-format exposition of the same
@@ -36,6 +45,10 @@
 #include "support/json.hpp"
 
 namespace psaflow::serve {
+
+/// The wire schema version this build speaks. Requests without a
+/// "schema_version" are treated as version 1; responses always carry it.
+inline constexpr int kSchemaVersion = 1;
 
 enum class RequestType { Compile, Stats, Ping, Sleep, Logs, Metrics };
 

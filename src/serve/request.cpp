@@ -1,6 +1,11 @@
 #include "serve/request.hpp"
 
 #include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "flow/manifest.hpp"
+#include "support/error.hpp"
 
 namespace psaflow::serve {
 
@@ -51,6 +56,31 @@ std::optional<std::string> parse_compile_request(const json::Value& entry,
         out.deadline_ms =
             static_cast<long long>(v->number_or(double(out.deadline_ms)));
     if (out.deadline_ms < 0) return "deadline_ms must be >= 0";
+    if (const json::Value* v = entry.find("flow")) {
+        json::Value doc;
+        if (v->is_object()) {
+            doc = *v;
+        } else if (v->is_string()) {
+            std::ifstream file(v->string_value);
+            if (!file)
+                return "flow: cannot read '" + v->string_value + "'";
+            std::stringstream buffer;
+            buffer << file.rdbuf();
+            std::string parse_error;
+            auto parsed = json::parse(buffer.str(), &parse_error);
+            if (!parsed.has_value())
+                return "flow: " + v->string_value + ": " + parse_error;
+            doc = std::move(*parsed);
+        } else {
+            return "flow must be a manifest object or a file path";
+        }
+        try {
+            (void)flow::from_manifest(doc);
+        } catch (const Error& e) {
+            return std::string(e.what());
+        }
+        out.flow_json = json::dump(doc);
+    }
     return std::nullopt;
 }
 

@@ -20,6 +20,12 @@ struct CompileRequest {
     double threshold_x = 4.0;      ///< Fig. 3 intensity threshold
     std::string out_dir;           ///< where design sources + CSV are written
     long long deadline_ms = 0;     ///< per-request deadline; 0 = none
+
+    /// Manifest-defined flow as compact JSON text (flow/manifest.hpp),
+    /// already validated by parse_compile_request; empty = run the builtin
+    /// standard flow. Carried as text (not a lowered flow) so requests stay
+    /// copyable/queueable and the executor lowers at run time.
+    std::string flow_json;
 };
 
 /// How a request failed — the wire protocol's error taxonomy.
@@ -37,6 +43,12 @@ enum class ErrorKind {
 /// wire compile request). Returns an error message on invalid input,
 /// nullopt on success. Absent fields keep the defaults already in `out`,
 /// so callers can pre-seed manifest-level defaults.
+///
+/// A "flow" member may be an inline manifest object (the wire form —
+/// clients ship flows over the wire to psaflowd) or a string path to a
+/// manifest file, resolved where the request is parsed (the --batch
+/// convenience). Either way the manifest is fully validated here, so a
+/// bad flow is a parse error, not a mid-run failure.
 [[nodiscard]] std::optional<std::string>
 parse_compile_request(const json::Value& entry, CompileRequest& out);
 

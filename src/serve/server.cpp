@@ -307,6 +307,8 @@ void Daemon::execute_job(flow::FlowSession& session, Job& job) {
         } else {
             json::Value ok = json::Value::object();
             ok.set("ok", json::Value::boolean(true));
+            ok.set("schema_version",
+                   json::Value::number(double(kSchemaVersion)));
             ok.set("type", json::Value::string("sleep"));
             ok.set("slept_ms",
                    json::Value::number(double(job.request.sleep_ms)));
@@ -361,6 +363,8 @@ std::string Daemon::handle_inline(const WireRequest& request) {
     if (request.type == RequestType::Metrics) {
         json::Value response = json::Value::object();
         response.set("ok", json::Value::boolean(true));
+        response.set("schema_version",
+                     json::Value::number(double(kSchemaVersion)));
         response.set("type", json::Value::string("metrics"));
         response.set("content_type",
                      json::Value::string("text/plain; version=0.0.4"));
@@ -388,6 +392,8 @@ long long Daemon::retry_after_ms_hint() {
 json::Value Daemon::stats_json() {
     json::Value stats = json::Value::object();
     stats.set("ok", json::Value::boolean(true));
+    stats.set("schema_version",
+              json::Value::number(double(kSchemaVersion)));
     stats.set("type", json::Value::string("stats"));
     stats.set("uptime_us", json::Value::number(double(us_since(started_))));
     stats.set("workers", json::Value::number(double(options_.workers)));
@@ -501,6 +507,8 @@ json::Value Daemon::logs_json(long long max_records,
 
     json::Value response = json::Value::object();
     response.set("ok", json::Value::boolean(true));
+    response.set("schema_version",
+                 json::Value::number(double(kSchemaVersion)));
     response.set("type", json::Value::string("logs"));
     response.set("total", json::Value::number(double(logger.total())));
     response.set("dropped", json::Value::number(double(logger.dropped())));

@@ -39,6 +39,23 @@ CompileOutcome run_compile(flow::FlowSession& session,
     options.intensity_threshold_x = req.threshold_x;
     options.cancel = cancel;
 
+    // Lower the request's manifest (if any) here, at run time: the request
+    // carries validated text, so failure is a BadRequest (e.g. the file a
+    // batch entry named changed between parse and run), not an engine bug.
+    flow::ManifestFlow manifest;
+    if (!req.flow_json.empty()) {
+        try {
+            manifest = flow::parse_manifest_text(req.flow_json);
+        } catch (const Error& e) {
+            outcome.error_kind = ErrorKind::BadRequest;
+            outcome.error = e.what();
+            obs::warn("serve", "rejected compile request",
+                      {{"app", req.app}, {"error", e.what()}});
+            return outcome;
+        }
+        options.flow_manifest = &manifest;
+    }
+
     flow::FlowResult result;
     try {
         result = compile(session, *app, options);

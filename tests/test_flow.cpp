@@ -283,7 +283,7 @@ TEST(Tasks, RepositoryMatchesFig4Inventory) {
 TEST(Engine, UninformedGeneratesFiveDesigns) {
     auto ctx = make_ctx(kGpuish, gpuish_workload());
     auto result =
-        run_flow(standard_flow(Mode::Uninformed), std::move(ctx));
+        FlowSession().run(standard_flow(Mode::Uninformed), std::move(ctx));
     EXPECT_EQ(result.designs.size(), 5u);
     EXPECT_NE(result.find(codegen::TargetKind::CpuOpenMp,
                           platform::DeviceId::Epyc7543),
@@ -304,7 +304,8 @@ TEST(Engine, UninformedGeneratesFiveDesigns) {
 
 TEST(Engine, InformedGeneratesOneTargetFamily) {
     auto ctx = make_ctx(kGpuish, gpuish_workload());
-    auto result = run_flow(standard_flow(Mode::Informed), std::move(ctx));
+    auto result =
+        FlowSession().run(standard_flow(Mode::Informed), std::move(ctx));
     // GPU branch selected (compute-bound, parallel outer, runtime-bound
     // inner): two designs, one per GPU device.
     ASSERT_EQ(result.designs.size(), 2u);
@@ -318,7 +319,7 @@ TEST(Engine, InformedGeneratesOneTargetFamily) {
 TEST(Engine, DesignsCarrySourcesAndLocDeltas) {
     auto ctx = make_ctx(kGpuish, gpuish_workload());
     auto result =
-        run_flow(standard_flow(Mode::Uninformed), std::move(ctx));
+        FlowSession().run(standard_flow(Mode::Uninformed), std::move(ctx));
     for (const auto& d : result.designs) {
         EXPECT_FALSE(d.source.empty());
         EXPECT_GT(d.loc_delta, 0.0);
@@ -335,8 +336,8 @@ TEST(Engine, DesignsCarrySourcesAndLocDeltas) {
 TEST(Engine, BudgetFeedbackRevisesSelection) {
     // Unconstrained, the informed flow picks the GPU. A budget below the
     // GPU run cost must push the selection to a cheaper target.
-    auto baseline = run_flow(standard_flow(Mode::Informed),
-                             make_ctx(kGpuish, gpuish_workload()));
+    auto baseline = FlowSession().run(standard_flow(Mode::Informed),
+                                      make_ctx(kGpuish, gpuish_workload()));
     ASSERT_FALSE(baseline.designs.empty());
     ASSERT_EQ(baseline.designs[0].spec.target, codegen::TargetKind::CpuGpu);
 
@@ -345,9 +346,9 @@ TEST(Engine, BudgetFeedbackRevisesSelection) {
         codegen::TargetKind::CpuGpu, baseline.best()->hotspot_seconds);
     options.budget.max_run_cost = gpu_cost * 0.01;
 
-    auto constrained = run_flow(standard_flow(Mode::Informed),
-                                make_ctx(kGpuish, gpuish_workload()),
-                                options);
+    auto constrained = FlowSession().run(standard_flow(Mode::Informed),
+                                         make_ctx(kGpuish, gpuish_workload()),
+                                         options);
     ASSERT_FALSE(constrained.designs.empty());
     bool all_gpu = true;
     for (const auto& d : constrained.designs) {
@@ -478,21 +479,20 @@ TEST(TaskRegistry, StandardFlowAssembledFromRegisteredTasks) {
 
 // ------------------------------------------------------------ FlowSession ----
 
-TEST(Session, RunMatchesDeprecatedRunFlow) {
+TEST(Session, FreshSessionsProduceIdenticalResults) {
+    // The session facade holds no hidden per-instance state: two
+    // default-configured sessions yield byte-identical results.
     const DesignFlow flow = standard_flow(Mode::Uninformed);
-    auto via_wrapper = run_flow(flow, make_ctx(kGpuish, gpuish_workload()));
+    auto first = FlowSession().run(flow, make_ctx(kGpuish, gpuish_workload()));
 
     FlowSession session;
-    auto via_session =
-        session.run(flow, make_ctx(kGpuish, gpuish_workload()));
+    auto second = session.run(flow, make_ctx(kGpuish, gpuish_workload()));
 
-    ASSERT_EQ(via_session.designs.size(), via_wrapper.designs.size());
-    for (std::size_t i = 0; i < via_session.designs.size(); ++i) {
-        EXPECT_EQ(via_session.designs[i].source,
-                  via_wrapper.designs[i].source);
-        EXPECT_EQ(via_session.designs[i].log, via_wrapper.designs[i].log);
-        EXPECT_EQ(via_session.designs[i].speedup,
-                  via_wrapper.designs[i].speedup);
+    ASSERT_EQ(second.designs.size(), first.designs.size());
+    for (std::size_t i = 0; i < second.designs.size(); ++i) {
+        EXPECT_EQ(second.designs[i].source, first.designs[i].source);
+        EXPECT_EQ(second.designs[i].log, first.designs[i].log);
+        EXPECT_EQ(second.designs[i].speedup, first.designs[i].speedup);
     }
 }
 

@@ -4,6 +4,7 @@
 
 #include "flow/engine.hpp"
 #include "flow/learned_strategy.hpp"
+#include "flow/session.hpp"
 #include "flow/standard_flow.hpp"
 #include "frontend/parser.hpp"
 #include "test_util.hpp"
@@ -114,7 +115,7 @@ TEST(LearnedStrategy, DrivesTheFlowEndToEnd) {
     FlowContext ctx(app.name, frontend::parse_module(app.source, app.name),
                     app.workload);
     ctx.allow_single_precision = app.allow_single_precision;
-    auto result = run_flow(flow, std::move(ctx));
+    auto result = FlowSession().run(flow, std::move(ctx));
     ASSERT_EQ(result.designs.size(), 1u);
     EXPECT_EQ(result.designs[0].spec.target, codegen::TargetKind::CpuOpenMp);
 }

@@ -8,9 +8,12 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <thread>
 #include <vector>
 
+#include "flow/manifest.hpp"
+#include "flow/standard_flow.hpp"
 #include "serve/protocol.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
@@ -340,6 +343,80 @@ TEST(Protocol, ErrorResponseRoundTripsThroughParseResponse) {
     EXPECT_FALSE(serve::parse_response(json::Value::array()).has_value());
 }
 
+TEST(Protocol, SchemaVersionAbsentOrCurrentAcceptsFutureRejects) {
+    serve::WireRequest request;
+    // Absent = version 1 (pre-versioning clients keep working).
+    auto doc = json::parse(R"({"type":"ping"})");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_FALSE(serve::parse_wire_request(*doc, request).has_value());
+
+    doc = json::parse(R"({"schema_version":1,"type":"ping"})");
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_FALSE(serve::parse_wire_request(*doc, request).has_value());
+
+    doc = json::parse(R"({"schema_version":2,"type":"ping"})");
+    ASSERT_TRUE(doc.has_value());
+    auto error = serve::parse_wire_request(*doc, request);
+    ASSERT_TRUE(error.has_value());
+    EXPECT_EQ(*error, "unsupported schema_version 2 (supported: 1)");
+
+    // Non-numeric versions are rejected too, echoing the offending value.
+    doc = json::parse(R"({"schema_version":"1","type":"ping"})");
+    ASSERT_TRUE(doc.has_value());
+    error = serve::parse_wire_request(*doc, request);
+    ASSERT_TRUE(error.has_value());
+    EXPECT_EQ(*error, "unsupported schema_version \"1\" (supported: 1)");
+}
+
+TEST(Protocol, ResponsesStampTheSchemaVersion) {
+    const json::Value docs[] = {
+        serve::make_error_response(serve::ErrorKind::BadRequest, "nope",
+                                   /*retry_after_ms=*/0),
+        serve::make_pong_response(),
+    };
+    for (const json::Value& doc : docs) {
+        const json::Value* version = doc.find("schema_version");
+        ASSERT_NE(version, nullptr);
+        EXPECT_DOUBLE_EQ(version->number_value,
+                         double(serve::kSchemaVersion));
+    }
+}
+
+TEST(Protocol, CompileRequestCarriesAValidatedInlineFlow) {
+    const json::Value manifest =
+        flow::to_manifest(flow::standard_flow(flow::Mode::Informed));
+    json::Value doc = json::Value::object();
+    doc.set("type", json::Value::string("compile"));
+    doc.set("app", json::Value::string("nbody"));
+    doc.set("flow", manifest);
+
+    serve::WireRequest request;
+    EXPECT_FALSE(serve::parse_wire_request(doc, request).has_value());
+    EXPECT_EQ(request.compile.flow_json, json::dump(manifest));
+}
+
+TEST(Protocol, BrokenInlineFlowIsAParseErrorNotAMidRunFailure) {
+    const auto doc = json::parse(
+        R"({"type":"compile","app":"nbody",
+            "flow":{"psaflow_manifest":1,"prologue":["no-such-task"]}})");
+    ASSERT_TRUE(doc.has_value());
+    serve::WireRequest request;
+    const auto error = serve::parse_wire_request(*doc, request);
+    ASSERT_TRUE(error.has_value());
+    EXPECT_EQ(*error,
+              "flow manifest: $.prologue[0]: unknown task id "
+              "'no-such-task'");
+
+    const auto bad_shape = json::parse(
+        R"({"type":"compile","app":"nbody","flow":7})");
+    ASSERT_TRUE(bad_shape.has_value());
+    const auto shape_error =
+        serve::parse_wire_request(*bad_shape, request);
+    ASSERT_TRUE(shape_error.has_value());
+    EXPECT_EQ(*shape_error,
+              "flow must be a manifest object or a file path");
+}
+
 // --------------------------------------------------------------- executor ----
 
 /// Scratch directory for one serve test, removed on destruction.
@@ -431,6 +508,45 @@ TEST(ExecuteRequest, TightDeadlineCancelsColdCompile) {
     req.app = "adpredictor";
     const serve::CompileOutcome after = serve::execute_request(session, req);
     EXPECT_TRUE(after.ok) << after.error;
+}
+
+TEST(ExecuteRequest, ExportedStandardFlowMatchesTheBuiltin) {
+    ScratchDir dir("manifestflow");
+    flow::FlowSession session;
+
+    serve::CompileRequest req;
+    req.app = "adpredictor";
+    req.out_dir = (dir.path / "builtin").string();
+    const serve::CompileOutcome builtin =
+        serve::execute_request(session, req);
+    ASSERT_TRUE(builtin.ok) << builtin.error;
+
+    req.out_dir = (dir.path / "manifest").string();
+    req.flow_json = json::dump(
+        flow::to_manifest(flow::standard_flow(flow::Mode::Informed)));
+    const serve::CompileOutcome exported =
+        serve::execute_request(session, req);
+    ASSERT_TRUE(exported.ok) << exported.error;
+
+    // The exported-and-reimported standard flow is the same program: same
+    // designs with the same measurements, byte-identical sources on disk.
+    ASSERT_EQ(exported.designs.size(), builtin.designs.size());
+    for (std::size_t i = 0; i < builtin.designs.size(); ++i) {
+        const serve::DesignRow& a = builtin.designs[i];
+        const serve::DesignRow& b = exported.designs[i];
+        EXPECT_EQ(b.name, a.name);
+        EXPECT_EQ(b.device, a.device);
+        EXPECT_EQ(b.speedup, a.speedup);
+
+        std::ifstream fa(fs::path(builtin.summary_path).parent_path() /
+                         a.filename);
+        std::ifstream fb(fs::path(exported.summary_path).parent_path() /
+                         b.filename);
+        std::stringstream sa, sb;
+        sa << fa.rdbuf();
+        sb << fb.rdbuf();
+        EXPECT_EQ(sb.str(), sa.str()) << a.filename;
+    }
 }
 
 // ------------------------------------------------------------- daemon e2e ----

@@ -2,6 +2,9 @@
 //
 //   psaflow-client --socket /tmp/psaflow.sock --app nbody --out designs/n
 //   psaflow-client --socket /tmp/psaflow.sock --app kmeans --deadline-ms 500
+//   psaflow-client --socket /tmp/psaflow.sock --app nbody --flow my.json
+//       # ships the manifest inside the request: the daemon runs the
+//       # user-programmed flow in place of the builtin standard flow
 //   psaflow-client --socket /tmp/psaflow.sock --stats            # table
 //   psaflow-client --socket /tmp/psaflow.sock --stats --json     # raw doc
 //   psaflow-client --socket /tmp/psaflow.sock --metrics          # Prometheus
@@ -16,12 +19,16 @@
 //   3  overloaded (after exhausting --retry attempts)
 //   4  deadline_exceeded
 #include <chrono>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <thread>
 
+#include "flow/manifest.hpp"
 #include "serve/format.hpp"
 #include "serve/protocol.hpp"
 #include "support/cli.hpp"
+#include "support/error.hpp"
 #include "support/net.hpp"
 #include "support/string_util.hpp"
 
@@ -79,6 +86,7 @@ int main(int argc, char** argv) {
     std::string app;
     std::string mode = "informed";
     std::string out_dir;
+    std::string flow_file;
     double budget = -1.0;
     double threshold_x = 4.0;
     long long deadline_ms = 0;
@@ -97,7 +105,8 @@ int main(int argc, char** argv) {
         {"--socket <path> --app <name> [--mode informed|uninformed]\n"
          "      [--out <dir>] [--budget <usd-per-run>] "
          "[--threshold-x <flops/B>]\n"
-         "      [--deadline-ms <n>] [--retry <n>] [--json]",
+         "      [--deadline-ms <n>] [--retry <n>] [--json] "
+         "[--flow <manifest.json>]",
          "--socket <path> --stats [--json] | --metrics | --ping",
          "--socket <path> --logs [--log-max <n>] [--log-level <level>]"});
     parser.str("--socket", "<path>", "daemon socket path", &socket_path);
@@ -106,6 +115,8 @@ int main(int argc, char** argv) {
                &mode);
     parser.str("--out", "<dir>",
                "output dir (daemon-relative unless absolute)", &out_dir);
+    parser.str("--flow", "<manifest.json>",
+               "ship a flow manifest with the compile request", &flow_file);
     parser.real("--budget", "<usd-per-run>", "Fig. 3 cost budget", &budget);
     parser.real("--threshold-x", "<flops/B>",
                 "arithmetic-intensity threshold (default 4)", &threshold_x);
@@ -144,6 +155,8 @@ int main(int argc, char** argv) {
     }
 
     json::Value request = json::Value::object();
+    request.set("schema_version",
+                json::Value::number(double(serve::kSchemaVersion)));
     if (stats) {
         request.set("type", json::Value::string("stats"));
     } else if (metrics) {
@@ -171,6 +184,32 @@ int main(int argc, char** argv) {
             request.set("out", json::Value::string(out_dir));
         if (deadline_ms > 0)
             request.set("deadline_ms", json::Value::number(double(deadline_ms)));
+        if (!flow_file.empty()) {
+            // Validate client-side so a broken manifest never leaves the
+            // machine; the daemon re-validates on receipt regardless.
+            std::ifstream file(flow_file);
+            if (!file) {
+                std::cerr << "psaflow-client: cannot read flow manifest '"
+                          << flow_file << "'\n";
+                return 2;
+            }
+            std::stringstream buffer;
+            buffer << file.rdbuf();
+            std::string parse_error;
+            auto doc = json::parse(buffer.str(), &parse_error);
+            if (!doc.has_value()) {
+                std::cerr << "psaflow-client: flow manifest '" << flow_file
+                          << "': " << parse_error << "\n";
+                return 2;
+            }
+            try {
+                (void)flow::from_manifest(*doc);
+            } catch (const Error& e) {
+                std::cerr << "psaflow-client: " << e.what() << "\n";
+                return 2;
+            }
+            request.set("flow", std::move(*doc));
+        }
     }
 
     json::Value response;

@@ -14,12 +14,16 @@
 //   psaflow-fuzz --emit-seeds tests/corpus --seed 1 --runs 20
 //   psaflow-fuzz --seed 1 --runs 25 --check-cache
 //   psaflow-fuzz --seed 1 --max-seconds 60 --runs 1000000   # smoke budget
+//   psaflow-fuzz --check-manifest --seed 1 --runs 200
+//       # manifest mode: random valid flow manifests, differentially
+//       # checked against programmatic flows (fuzz/manifest_fuzz.hpp)
 #include <chrono>
 #include <iostream>
 #include <string>
 
 #include "fuzz/corpus.hpp"
 #include "fuzz/generator.hpp"
+#include "fuzz/manifest_fuzz.hpp"
 #include "fuzz/oracle.hpp"
 #include "fuzz/shrink.hpp"
 #include "interp/interpreter.hpp"
@@ -48,6 +52,7 @@ int main(int argc, char** argv) {
     long long flow_jobs = 3;
     bool check_cache = false;
     bool check_vm = false;
+    bool check_manifest = false;
     std::string interp_engine;
     std::string cache_dir;
     bool no_transforms = false;
@@ -87,6 +92,10 @@ int main(int argc, char** argv) {
     parser.flag("--check-vm",
                 "also check tree-vs-VM interpreter bit-identity",
                 &check_vm);
+    parser.flag("--check-manifest",
+                "manifest mode: random valid flow manifests checked "
+                "against programmatic flows",
+                &check_manifest);
     parser.choice("--interp", "<engine>",
                   "engine for the single-engine oracles: tree|vm "
                   "(default: PSAFLOW_INTERP, else vm)",
@@ -114,6 +123,31 @@ int main(int argc, char** argv) {
     oracle_options.check_cache = check_cache;
     oracle_options.check_vm = check_vm;
     oracle_options.cache_dir = cache_dir;
+
+    // ---- manifest mode -----------------------------------------------
+    if (check_manifest) {
+        long long manifest_failures = 0;
+        long long manifest_runs = 0;
+        const auto manifest_start = std::chrono::steady_clock::now();
+        for (long long i = 0; i < runs; ++i) {
+            if (max_seconds > 0) {
+                const auto elapsed =
+                    std::chrono::duration_cast<std::chrono::seconds>(
+                        std::chrono::steady_clock::now() - manifest_start);
+                if (elapsed.count() >= max_seconds) break;
+            }
+            const std::uint64_t s = static_cast<std::uint64_t>(seed) +
+                                    static_cast<std::uint64_t>(i);
+            ++manifest_runs;
+            if (const auto failure = fuzz::check_manifest(s)) {
+                ++manifest_failures;
+                print_failure(s, {"manifest", *failure});
+            }
+        }
+        std::cout << manifest_runs << " manifest run(s), "
+                  << manifest_failures << " failure(s)\n";
+        return manifest_failures == 0 ? 0 : 1;
+    }
 
     // ---- replay mode -------------------------------------------------
     if (!replay_dir.empty()) {

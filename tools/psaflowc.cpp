@@ -7,6 +7,8 @@
 //
 //   psaflowc --list
 //   psaflowc --app nbody --mode informed --out designs/
+//   psaflowc --export-flow std.json          # builtin flow as a manifest
+//   psaflowc --app nbody --flow myflow.json  # run a manifest-defined flow
 //   psaflowc --app kmeans --mode uninformed --out designs/ --budget 0.001
 //   psaflowc --app nbody --jobs 4 --trace-out trace.json
 //   psaflowc --app nbody --trace-out flame.json --trace-format chrome
@@ -28,6 +30,8 @@
 //        "budget": 0.001,         // optional USD-per-run budget
 //        "threshold_x": 4.0,      // optional Fig. 3 intensity threshold
 //        "deadline_ms": 500,      // optional per-request deadline
+//        "flow": "myflow.json",   // optional flow manifest (path or
+//                                 // inline object; flow/manifest.hpp)
 //        "out": "designs/nbody"}  // optional (default "<out>/<app>-<i>")
 //     ]
 //   }
@@ -45,12 +49,15 @@
 #include <vector>
 
 #include "apps/apps.hpp"
+#include "flow/manifest.hpp"
+#include "flow/standard_flow.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/decision.hpp"
 #include "obs/prometheus.hpp"
 #include "serve/service.hpp"
 #include "support/cas/cas.hpp"
 #include "support/cli.hpp"
+#include "support/error.hpp"
 #include "support/json.hpp"
 #include "support/string_util.hpp"
 #include "support/table.hpp"
@@ -171,6 +178,8 @@ int main(int argc, char** argv) {
     std::string metrics_out;
     std::string explain_out;
     std::string explain_md_out;
+    std::string flow_file;
+    std::string export_flow;
     cli::FlowFlags flow_flags;
 
     cli::OptionParser parser(
@@ -181,9 +190,11 @@ int main(int argc, char** argv) {
          "      [--deadline-ms <n>] [--jobs <n>] [--trace-out <file.json>]\n"
          "      [--trace-format json|chrome] [--metrics-out <file>]\n"
          "      [--explain <file.json>] [--explain-md <file.md>]\n"
-         "      [--cache-dir <dir>] [--cache-max-mb <n>] [--interp tree|vm]",
+         "      [--cache-dir <dir>] [--cache-max-mb <n>] [--interp tree|vm]\n"
+         "      [--flow <manifest.json>]",
          "--batch <manifest.json> [--out <dir>] [--jobs <n>] "
-         "[--cache-dir <dir>]"});
+         "[--cache-dir <dir>]",
+         "--export-flow <file> [--mode informed|uninformed]"});
     parser.flag("--list", "list the bundled applications", &list);
     parser.str("--app", "<name>", "application to compile", &app_name);
     parser.str("--mode", "<mode>", "informed|uninformed (default informed)",
@@ -192,6 +203,12 @@ int main(int argc, char** argv) {
                &out_dir);
     parser.str("--batch", "<manifest.json>",
                "run every request of a JSON manifest", &batch_manifest);
+    parser.str("--flow", "<manifest.json>",
+               "run a manifest-defined flow instead of the builtin",
+               &flow_file);
+    parser.str("--export-flow", "<file>",
+               "write the builtin flow as a manifest ('-' for stdout)",
+               &export_flow);
     parser.real("--budget", "<usd-per-run>", "Fig. 3 cost budget", &budget);
     parser.real("--threshold-x", "<flops/B>",
                 "arithmetic-intensity threshold (default 4)", &threshold_x);
@@ -223,6 +240,31 @@ int main(int argc, char** argv) {
         std::cerr << "--explain/--explain-md report a single flow; use "
                      "--app, not --batch\n";
         return 2;
+    }
+    if (!flow_file.empty() && !batch_manifest.empty()) {
+        std::cerr << "--flow applies to a single --app run; batch entries "
+                     "carry their own \"flow\" member\n";
+        return 2;
+    }
+
+    if (!export_flow.empty()) {
+        if (!valid_mode(mode)) {
+            std::cerr << "--mode must be 'informed' or 'uninformed'\n";
+            return 2;
+        }
+        const flow::Mode m = mode == "informed" ? flow::Mode::Informed
+                                                : flow::Mode::Uninformed;
+        const std::string document =
+            json::dump(flow::to_manifest(flow::standard_flow(m))) + "\n";
+        if (export_flow == "-") {
+            std::cout << document;
+        } else {
+            if (!write_text_file(export_flow, document)) return 1;
+            std::cout << "wrote the " << mode
+                      << " standard flow as a manifest to " << export_flow
+                      << "\n";
+        }
+        return 0;
     }
 
     if (list) {
@@ -276,6 +318,32 @@ int main(int argc, char** argv) {
         req.threshold_x = threshold_x;
         req.out_dir = out_dir;
         req.deadline_ms = deadline_ms;
+        if (!flow_file.empty()) {
+            // Validate up front so a broken manifest is a usage error with
+            // a located diagnostic, not a mid-flow failure.
+            std::ifstream file(flow_file);
+            if (!file) {
+                std::cerr << "cannot read flow manifest '" << flow_file
+                          << "'\n";
+                return 2;
+            }
+            std::stringstream buffer;
+            buffer << file.rdbuf();
+            std::string error;
+            const auto doc = json::parse(buffer.str(), &error);
+            if (!doc.has_value()) {
+                std::cerr << "flow manifest '" << flow_file << "': " << error
+                          << "\n";
+                return 2;
+            }
+            try {
+                (void)flow::from_manifest(*doc);
+            } catch (const Error& e) {
+                std::cerr << e.what() << "\n";
+                return 2;
+            }
+            req.flow_json = json::dump(*doc);
+        }
 
         flow::SessionOptions session_options;
         session_options.jobs = static_cast<int>(flow_flags.jobs);
