@@ -1,0 +1,178 @@
+#!/usr/bin/env bash
+# 1-vs-4-shard serving benchmark → BENCH_9.json.
+#
+# Two workloads through psaflow-loadgen, each against (a) one psaflowd and
+# (b) four psaflowd shards behind psaflow-router, every shard identically
+# configured (2 workers, queue depth 8):
+#
+#   * compile — 10k mixed warm/cold compile requests across five apps.
+#     Compiles are compute-bound, so on a single-core host the fleet can
+#     only tie the lone daemon on raw throughput; what sharding buys here
+#     is admission capacity (fewer overload rejections/errors).
+#   * io_bound — sleep requests that hold a shard worker without burning
+#     CPU (loadgen --sleep-ms), modelling I/O-bound service time. This
+#     isolates what sharding multiplies — concurrent worker occupancy and
+#     queue capacity — and is where the ≥2x throughput and queue-wait-p90
+#     acceptance numbers come from.
+#
+# Every run replays the byte-identical SplitMix64 request stream (seed
+# 42), so the comparison measures the topology, not the workload. Shards
+# are restarted between runs so queue-wait stats are per-run.
+#
+# usage: scripts/bench_cluster.sh [psaflowd] [psaflow-router]
+#                                 [psaflow-loadgen] [out.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PSAFLOWD=${1:-build/tools/psaflowd}
+ROUTER=${2:-build/tools/psaflow-router}
+LOADGEN=${3:-build/tools/psaflow-loadgen}
+OUT=${4:-BENCH_9.json}
+
+REQUESTS=${REQUESTS:-10000}
+IO_REQUESTS=${IO_REQUESTS:-2000}
+SLEEP_MS=${SLEEP_MS:-10}
+CONCURRENCY=${CONCURRENCY:-16}
+APPS="nbody,kmeans,bezier,adpredictor,rushlarsen"
+SEED=42
+
+for bin in "$PSAFLOWD" "$ROUTER" "$LOADGEN"; do
+    if [ ! -x "$bin" ]; then
+        echo "binary not found at '$bin' (build it first, or pass the" \
+             "path as an argument)" >&2
+        exit 1
+    fi
+done
+command -v jq > /dev/null || { echo "jq required" >&2; exit 1; }
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/psaflow-bench-cluster.XXXXXX")
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]}"; do
+        kill -KILL "$pid" 2> /dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+scrape_port() {
+    local stdout_file=$1 port=""
+    for _ in $(seq 1 100); do
+        port=$(sed -n 's/.*tcp port \([0-9][0-9]*\).*/\1/p' \
+            "$stdout_file" 2> /dev/null | head -n 1)
+        [ -n "$port" ] && break
+        sleep 0.05
+    done
+    [ -n "$port" ] || { echo "no tcp port in $stdout_file" >&2; exit 1; }
+    echo "$port"
+}
+
+stop_all() {
+    for pid in "${PIDS[@]}"; do
+        kill -TERM "$pid" 2> /dev/null || true
+    done
+    for pid in "${PIDS[@]}"; do
+        wait "$pid" 2> /dev/null || true
+    done
+    PIDS=()
+}
+
+start_shard() { # name → port on stdout
+    local name=$1 tag=$2
+    "$PSAFLOWD" --listen 127.0.0.1:0 --shard-name "$name" --workers 2 \
+        --queue-depth 8 --out "$WORK/out-$tag-$name" \
+        --cache-dir "$WORK/cache-$name" --enable-test-endpoints \
+        > "$WORK/shard-$tag-$name.stdout" 2>&1 &
+    PIDS+=($!)
+    scrape_port "$WORK/shard-$tag-$name.stdout"
+}
+
+run_single() { # label, extra loadgen args...
+    local label=$1; shift
+    local port
+    port=$(start_shard solo "$label")
+    "$LOADGEN" --connect "127.0.0.1:$port" --concurrency "$CONCURRENCY" \
+        --apps "$APPS" --seed "$SEED" --label "$label" \
+        --shard-stats "127.0.0.1:$port" --out "$WORK/$label.json" "$@" \
+        || true
+    stop_all
+}
+
+run_fleet() { # label, extra loadgen args...
+    local label=$1; shift
+    local specs=() stats=() port
+    for name in a b c d; do
+        port=$(start_shard "$name" "$label")
+        specs+=(--shard "$name=127.0.0.1:$port")
+        stats+=(--shard-stats "127.0.0.1:$port")
+    done
+    "$ROUTER" --socket "$WORK/router.sock" "${specs[@]}" \
+        --health-interval-ms 200 > "$WORK/router-$label.stdout" 2>&1 &
+    PIDS+=($!)
+    for _ in $(seq 1 100); do
+        [ -S "$WORK/router.sock" ] && break
+        sleep 0.05
+    done
+    "$LOADGEN" --connect "$WORK/router.sock" --concurrency "$CONCURRENCY" \
+        --apps "$APPS" --seed "$SEED" --label "$label" "${stats[@]}" \
+        --out "$WORK/$label.json" "$@" || true
+    stop_all
+}
+
+echo "== cluster bench: compile workload ($REQUESTS requests) =="
+run_single single-compile --requests "$REQUESTS" --warm-fraction 0.9 \
+    --warm-pool 8
+run_fleet fleet4-compile --requests "$REQUESTS" --warm-fraction 0.9 \
+    --warm-pool 8
+
+echo "== cluster bench: io-bound workload ($IO_REQUESTS requests," \
+     "${SLEEP_MS}ms service) =="
+run_single single-io --requests "$IO_REQUESTS" --sleep-ms "$SLEEP_MS"
+run_fleet fleet4-io --requests "$IO_REQUESTS" --sleep-ms "$SLEEP_MS"
+
+jq -n \
+    --slurpfile sc "$WORK/single-compile.json" \
+    --slurpfile fc "$WORK/fleet4-compile.json" \
+    --slurpfile si "$WORK/single-io.json" \
+    --slurpfile fi "$WORK/fleet4-io.json" \
+    --argjson cores "$(nproc)" \
+    '{
+      schema_version: 1,
+      pr: 9,
+      generated_by: "scripts/bench_cluster.sh",
+      description: ("1 psaflowd vs 4 shards behind psaflow-router, " +
+        "identical per-shard config (2 workers, queue depth 8) and " +
+        "byte-identical seeded workloads. compile is compute-bound " +
+        "(bounded by host cores); io_bound holds workers without CPU " +
+        "and measures what sharding multiplies: worker occupancy and " +
+        "admission capacity."),
+      host: { cores: $cores },
+      compile: {
+        single: $sc[0],
+        fleet4: $fc[0],
+        throughput_ratio:
+          ($fc[0].throughput_rps / $sc[0].throughput_rps),
+        error_ratio:
+          (if $sc[0].errors == 0 then null
+           else ($fc[0].errors / $sc[0].errors) end),
+        queue_wait_p90_ratio:
+          (if $sc[0].queue_wait_us_p90_max == 0 then null
+           else ($fc[0].queue_wait_us_p90_max /
+                 $sc[0].queue_wait_us_p90_max) end)
+      },
+      io_bound: {
+        single: $si[0],
+        fleet4: $fi[0],
+        throughput_ratio:
+          ($fi[0].throughput_rps / $si[0].throughput_rps),
+        queue_wait_p90_ratio:
+          (if $si[0].queue_wait_us_p90_max == 0 then null
+           else ($fi[0].queue_wait_us_p90_max /
+                 $si[0].queue_wait_us_p90_max) end)
+      }
+    }' > "$OUT"
+
+echo "wrote $OUT"
+jq '{compile_ratio: .compile.throughput_ratio,
+     io_ratio: .io_bound.throughput_ratio,
+     io_queue_wait_p90_ratio: .io_bound.queue_wait_p90_ratio}' "$OUT"

@@ -1,0 +1,240 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the sharded serving cluster:
+#
+#   1. start two psaflowd shards on ephemeral TCP ports with separate
+#      cache/output trees; shard b uses shard a as its remote-CAS
+#      upstream, so its disk cache is a read-through over the wire,
+#   2. start psaflow-router in front of both and fire 20 concurrent
+#      clients at it — compiles across four apps (retrying on
+#      backpressure) plus stats probes,
+#   3. SIGKILL shard b mid-run: every client must still exit 0 (the
+#      router detects the transport failure and retries the survivor
+#      inside the same request — zero corrupt or lost responses),
+#   4. require routed designs to be byte-identical to single-shot
+#      psaflowc, require the router to have marked shard b unhealthy and
+#      shard a to have received remote-CAS traffic from shard b,
+#   5. SIGTERM the router and the surviving shard and require clean
+#      drains: exit status 0, no orphan socket files.
+#
+# usage: scripts/cluster_smoke.sh [psaflowd] [psaflow-router]
+#                                 [psaflow-client] [psaflowc]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PSAFLOWD=${1:-build/tools/psaflowd}
+ROUTER=${2:-build/tools/psaflow-router}
+CLIENT=${3:-build/tools/psaflow-client}
+PSAFLOWC=${4:-build/tools/psaflowc}
+
+for bin in "$PSAFLOWD" "$ROUTER" "$CLIENT" "$PSAFLOWC"; do
+    if [ ! -x "$bin" ]; then
+        echo "binary not found at '$bin' (build it first, or pass the" \
+             "path as an argument)" >&2
+        exit 1
+    fi
+done
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/psaflow-cluster-smoke.XXXXXX")
+ROUTER_SOCK="$WORK/router.sock"
+PID_A="" PID_B="" PID_ROUTER=""
+cleanup() {
+    for pid in "$PID_ROUTER" "$PID_A" "$PID_B"; do
+        [ -n "$pid" ] && kill -KILL "$pid" 2> /dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Scrape "tcp port N" from a daemon/router banner, waiting for startup.
+scrape_port() {
+    local stdout_file=$1 port=""
+    for _ in $(seq 1 100); do
+        port=$(sed -n 's/.*tcp port \([0-9][0-9]*\).*/\1/p' \
+            "$stdout_file" 2> /dev/null | head -n 1)
+        [ -n "$port" ] && break
+        sleep 0.05
+    done
+    if [ -z "$port" ]; then
+        echo "FAIL: no tcp port in $stdout_file" >&2
+        cat "$stdout_file" >&2
+        exit 1
+    fi
+    echo "$port"
+}
+
+echo "== cluster smoke via $ROUTER =="
+
+# Shard a: the artifact home. Shard b: reads through a over the wire.
+"$PSAFLOWD" --listen 127.0.0.1:0 --shard-name a --workers 2 \
+    --queue-depth 8 --out "$WORK/out-a" --cache-dir "$WORK/cache-a" \
+    > "$WORK/shard-a.stdout" 2>&1 &
+PID_A=$!
+PORT_A=$(scrape_port "$WORK/shard-a.stdout")
+
+"$PSAFLOWD" --listen 127.0.0.1:0 --shard-name b --workers 2 \
+    --queue-depth 8 --out "$WORK/out-b" --cache-dir "$WORK/cache-b" \
+    --cas-upstream "127.0.0.1:$PORT_A" \
+    > "$WORK/shard-b.stdout" 2>&1 &
+PID_B=$!
+PORT_B=$(scrape_port "$WORK/shard-b.stdout")
+
+"$ROUTER" --socket "$ROUTER_SOCK" \
+    --shard "a=127.0.0.1:$PORT_A" --shard "b=127.0.0.1:$PORT_B" \
+    --health-interval-ms 100 \
+    > "$WORK/router.stdout" 2>&1 &
+PID_ROUTER=$!
+
+for _ in $(seq 1 100); do
+    if "$CLIENT" --socket "$ROUTER_SOCK" --ping > /dev/null 2>&1; then
+        break
+    fi
+    sleep 0.05
+done
+"$CLIENT" --socket "$ROUTER_SOCK" --ping > /dev/null
+echo "fleet up: shard a tcp:$PORT_A, shard b tcp:$PORT_B, router on" \
+     "$ROUTER_SOCK"
+
+# Prove the remote tier deterministically before the chaos: a compile
+# served directly by shard b runs against a cold local cache, so its
+# lookups read through to shard a over the wire (and publishes flow back).
+"$CLIENT" --socket "127.0.0.1:$PORT_B" --app nbody \
+    --out "$WORK/warm-b" > /dev/null
+
+# 20 concurrent clients through the router: 16 compiles (4 apps x 4, out
+# dirs absolute so the designs land in one place whichever shard serves
+# them) and 4 stats probes. Shard b is killed while they run.
+APPS=(adpredictor kmeans nbody bezier)
+pids=()
+codes_dir="$WORK/codes"
+mkdir -p "$codes_dir"
+for i in $(seq 0 15); do
+    app=${APPS[$((i % 4))]}
+    (
+        rc=0
+        "$CLIENT" --socket "$ROUTER_SOCK" --app "$app" \
+            --out "$WORK/served/req-$i" --retry 400 > /dev/null \
+            2>> "$WORK/clients.stderr" || rc=$?
+        echo "$rc" > "$codes_dir/compile-$i"
+    ) &
+    pids+=($!)
+done
+for i in 1 2 3 4; do
+    (
+        rc=0
+        "$CLIENT" --socket "$ROUTER_SOCK" --stats --json \
+            > "$WORK/stats-$i.json" 2>> "$WORK/clients.stderr" || rc=$?
+        echo "$rc" > "$codes_dir/stats-$i"
+    ) &
+    pids+=($!)
+done
+
+# Mid-run crash: SIGKILL shard b, no drain, no warning. The router owes
+# the clients intact responses regardless.
+sleep 0.3
+kill -KILL "$PID_B"
+wait "$PID_B" 2> /dev/null || true
+PID_B=""
+echo "shard b killed mid-run"
+
+wait "${pids[@]}" || true
+
+for i in $(seq 0 15); do
+    code=$(cat "$codes_dir/compile-$i")
+    if [ "$code" != 0 ]; then
+        echo "FAIL: compile client $i exited $code after shard kill" >&2
+        cat "$WORK/clients.stderr" >&2
+        exit 1
+    fi
+done
+for i in 1 2 3 4; do
+    code=$(cat "$codes_dir/stats-$i")
+    if [ "$code" != 0 ]; then
+        echo "FAIL: stats client $i exited $code" >&2
+        exit 1
+    fi
+    grep -q '"role":"router"' "$WORK/stats-$i.json" || {
+        echo "FAIL: stats response $i did not come from the router" >&2
+        exit 1
+    }
+done
+echo "20 concurrent clients done: 16 compiles ok, 4 router stats ok," \
+     "zero lost responses across the shard kill"
+
+# Byte-identity: routed designs must match single-shot psaflowc, whichever
+# shard (including the failover survivor) produced them.
+for i in 0 1 2 3; do
+    app=${APPS[$i]}
+    "$PSAFLOWC" --app "$app" --out "$WORK/single/$app" > /dev/null
+    for file in "$WORK/single/$app"/*; do
+        diff -q "$file" "$WORK/served/req-$i/$(basename "$file")" \
+            > /dev/null || {
+            echo "FAIL: routed design differs from psaflowc for $app:" \
+                 "$(basename "$file")" >&2
+            exit 1
+        }
+    done
+done
+echo "routed designs byte-identical to single-shot psaflowc"
+
+# The router must have ejected shard b from the ring...
+"$CLIENT" --socket "$ROUTER_SOCK" --metrics > "$WORK/router.metrics"
+grep -q 'psaflow_router_shard_healthy{shard="b"} 0' "$WORK/router.metrics" || {
+    echo "FAIL: router still reports shard b healthy" >&2
+    grep psaflow_router_shard "$WORK/router.metrics" >&2 || true
+    exit 1
+}
+grep -q 'psaflow_router_shard_healthy{shard="a"} 1' "$WORK/router.metrics" || {
+    echo "FAIL: router lost shard a" >&2
+    exit 1
+}
+
+# ...and shard a must have served remote-CAS traffic for shard b (b's
+# --cas-upstream makes its disk tier a read-through over the wire).
+"$CLIENT" --socket "127.0.0.1:$PORT_A" --stats --json \
+    > "$WORK/shard-a.stats.json"
+cas_ops=$(sed -n \
+    's/.*"cas_gets":\([0-9]*\).*"cas_puts":\([0-9]*\).*/\1 \2/p' \
+    "$WORK/shard-a.stats.json")
+total=0
+for n in $cas_ops; do total=$((total + n)); done
+if [ "$total" -eq 0 ]; then
+    echo "FAIL: shard a saw no remote-CAS traffic from shard b" >&2
+    cat "$WORK/shard-a.stats.json" >&2
+    exit 1
+fi
+echo "router ejected the killed shard; shard a served $total remote-CAS" \
+     "operation(s) for shard b"
+
+# Graceful drain: SIGTERM router then shard a; both exit 0, no orphan
+# socket file.
+kill -TERM "$PID_ROUTER"
+drain_status=0
+wait "$PID_ROUTER" || drain_status=$?
+PID_ROUTER=""
+if [ "$drain_status" != 0 ]; then
+    echo "FAIL: router exited $drain_status after SIGTERM" >&2
+    cat "$WORK/router.stdout" >&2
+    exit 1
+fi
+if [ -e "$ROUTER_SOCK" ]; then
+    echo "FAIL: router socket file left behind after drain" >&2
+    exit 1
+fi
+
+kill -TERM "$PID_A"
+drain_status=0
+wait "$PID_A" || drain_status=$?
+PID_A=""
+if [ "$drain_status" != 0 ]; then
+    echo "FAIL: shard a exited $drain_status after SIGTERM" >&2
+    cat "$WORK/shard-a.stdout" >&2
+    exit 1
+fi
+grep -q "drained" "$WORK/shard-a.stdout" || {
+    echo "FAIL: shard a did not report a drain" >&2
+    cat "$WORK/shard-a.stdout" >&2
+    exit 1
+}
+
+echo "cluster smoke passed: TCP sharding, mid-run shard kill with zero" \
+     "lost responses, byte-identity, remote CAS, clean drains"

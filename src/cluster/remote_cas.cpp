@@ -1,0 +1,90 @@
+#include "cluster/remote_cas.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "obs/log.hpp"
+#include "serve/protocol.hpp"
+#include "support/json.hpp"
+#include "support/string_util.hpp"
+
+namespace psaflow::cluster {
+
+namespace {
+
+/// One request/response exchange on a fresh connection. nullopt on any
+/// transport or parse failure (logged at debug — remote-CAS trouble is
+/// routine during shard churn, not an operator alert).
+std::optional<json::Value> round_trip(const net::Endpoint& upstream,
+                                      long long recv_timeout_ms,
+                                      const json::Value& request) {
+    std::string error;
+    net::Fd conn = net::connect_endpoint(upstream, &error);
+    if (!conn.valid()) {
+        obs::debug("cluster.cas", "upstream unreachable",
+                   {{"upstream", upstream.describe()}, {"error", error}});
+        return std::nullopt;
+    }
+    net::set_recv_timeout(conn.get(), recv_timeout_ms);
+    if (!net::write_frame(conn.get(), json::dump(request))) return std::nullopt;
+    std::string payload;
+    if (net::read_frame(conn.get(), payload) != net::FrameStatus::Ok)
+        return std::nullopt;
+    return json::parse(payload, nullptr);
+}
+
+} // namespace
+
+std::optional<std::string> RemoteCasClient::fetch(std::uint64_t key) const {
+    json::Value request = json::Value::object();
+    request.set("schema_version",
+                json::Value::number(double(serve::kSchemaVersion)));
+    request.set("type", json::Value::string("cas_get"));
+    request.set("key", json::Value::string(hex_u64(key)));
+
+    const auto response = round_trip(upstream_, recv_timeout_ms_, request);
+    if (!response.has_value()) return std::nullopt;
+    const json::Value* ok = response->find("ok");
+    const json::Value* found = response->find("found");
+    if (ok == nullptr || !ok->bool_value || found == nullptr ||
+        !found->bool_value)
+        return std::nullopt;
+    const json::Value* payload = response->find("payload");
+    if (payload == nullptr || !payload->is_string()) return std::nullopt;
+    return base64_decode(payload->string_value);
+}
+
+bool RemoteCasClient::publish(std::uint64_t key,
+                              std::string_view payload) const {
+    json::Value request = json::Value::object();
+    request.set("schema_version",
+                json::Value::number(double(serve::kSchemaVersion)));
+    request.set("type", json::Value::string("cas_put"));
+    request.set("key", json::Value::string(hex_u64(key)));
+    request.set("payload",
+                json::Value::string(base64_encode(payload)));
+
+    const auto response = round_trip(upstream_, recv_timeout_ms_, request);
+    if (!response.has_value()) return false;
+    const json::Value* ok = response->find("ok");
+    const json::Value* stored = response->find("stored");
+    return ok != nullptr && ok->bool_value && stored != nullptr &&
+           stored->bool_value;
+}
+
+cas::RemoteFetch
+RemoteCasClient::fetch_hook(std::shared_ptr<RemoteCasClient> client) {
+    return [client = std::move(client)](std::uint64_t key) {
+        return client->fetch(key);
+    };
+}
+
+cas::RemotePublish
+RemoteCasClient::publish_hook(std::shared_ptr<RemoteCasClient> client) {
+    return [client = std::move(client)](std::uint64_t key,
+                                        std::string_view payload) {
+        return client->publish(key, payload);
+    };
+}
+
+} // namespace psaflow::cluster

@@ -1,0 +1,498 @@
+#include "cluster/router.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+
+#include "obs/log.hpp"
+#include "obs/prometheus.hpp"
+#include "serve/protocol.hpp"
+#include "serve/request.hpp"
+#include "serve/server.hpp"
+#include "support/string_util.hpp"
+
+namespace psaflow::cluster {
+
+namespace {
+
+std::uint64_t us_since(std::chrono::steady_clock::time_point start) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+}
+
+/// Send `payload` to `endpoint` and read one response frame. False on any
+/// transport failure — the caller treats the shard as down for this
+/// attempt.
+bool exchange(const net::Endpoint& endpoint, const std::string& payload,
+              long long recv_timeout_ms, std::string& response) {
+    std::string error;
+    net::Fd conn = net::connect_endpoint(endpoint, &error);
+    if (!conn.valid()) return false;
+    net::set_recv_timeout(conn.get(), recv_timeout_ms);
+    if (!net::write_frame(conn.get(), payload)) return false;
+    return net::read_frame(conn.get(), response) == net::FrameStatus::Ok;
+}
+
+} // namespace
+
+std::optional<ShardConfig> parse_shard_spec(const std::string& spec,
+                                            std::string* error) {
+    const std::size_t eq = spec.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == spec.size()) {
+        if (error != nullptr)
+            *error = "shard spec must be name=endpoint, got '" + spec + "'";
+        return std::nullopt;
+    }
+    ShardConfig config;
+    config.name = spec.substr(0, eq);
+    auto endpoint = net::parse_endpoint(spec.substr(eq + 1), error);
+    if (!endpoint.has_value()) return std::nullopt;
+    config.endpoint = std::move(*endpoint);
+    return config;
+}
+
+Router::Router(RouterOptions options) : options_(std::move(options)) {
+    for (const ShardConfig& config : options_.shards) {
+        auto shard = std::make_unique<Shard>();
+        shard->config = config;
+        shards_.push_back(std::move(shard));
+    }
+}
+
+Router::~Router() {
+    notify_shutdown();
+    if (health_thread_.joinable()) health_thread_.join();
+    std::lock_guard lock(readers_mu_);
+    for (std::thread& reader : readers_)
+        if (reader.joinable()) reader.join();
+}
+
+std::optional<std::string> Router::start() {
+    if (shards_.empty()) return "no shards configured";
+    for (std::size_t i = 0; i < shards_.size(); ++i)
+        for (std::size_t j = i + 1; j < shards_.size(); ++j)
+            if (shards_[i]->config.name == shards_[j]->config.name)
+                return "duplicate shard name '" + shards_[i]->config.name +
+                       "'";
+    if (options_.socket_path.empty() && options_.listen_tcp.empty())
+        return "no listener configured (need a socket path or --listen)";
+
+    int pipe_fds[2] = {-1, -1};
+    if (::pipe(pipe_fds) != 0) return "cannot create self-pipe";
+    wake_read_.reset(pipe_fds[0]);
+    wake_write_.reset(pipe_fds[1]);
+    ::fcntl(wake_write_.get(), F_SETFL, O_NONBLOCK);
+
+    std::string error;
+    if (!options_.socket_path.empty()) {
+        listen_fd_ = net::listen_unix(options_.socket_path, /*backlog=*/64,
+                                      &error);
+        if (!listen_fd_.valid()) return error;
+    }
+    if (!options_.listen_tcp.empty()) {
+        auto endpoint = net::parse_endpoint(options_.listen_tcp, &error);
+        if (!endpoint.has_value()) return error;
+        if (endpoint->kind != net::Endpoint::Kind::Tcp)
+            return "--listen expects host:port, got '" + options_.listen_tcp +
+                   "'";
+        tcp_listen_fd_ = net::listen_tcp(endpoint->host, endpoint->port,
+                                         /*backlog=*/64, &error);
+        if (!tcp_listen_fd_.valid()) return error;
+        tcp_port_ = net::local_port(tcp_listen_fd_.get());
+    }
+
+    for (const auto& shard : shards_)
+        ring_.add(shard->config.name, options_.vnodes);
+
+    started_ = std::chrono::steady_clock::now();
+    health_thread_ = std::thread([this] { health_loop(); });
+    obs::info("cluster.router", "router listening",
+              {{"socket", options_.socket_path},
+               {"tcp", options_.listen_tcp.empty()
+                           ? std::string()
+                           : "port " + std::to_string(tcp_port_)},
+               {"shards", std::to_string(shards_.size())}});
+    return std::nullopt;
+}
+
+void Router::run() {
+    while (true) {
+        const int ready = net::wait_readable_any(
+            {listen_fd_.get(), tcp_listen_fd_.get(), wake_read_.get()}, -1);
+        const bool is_listener =
+            (listen_fd_.valid() && ready == listen_fd_.get()) ||
+            (tcp_listen_fd_.valid() && ready == tcp_listen_fd_.get());
+        if (!is_listener) break; // shutdown wake (or poll failure)
+        net::Fd conn = net::accept_connection(ready);
+        if (!conn.valid()) continue;
+        std::lock_guard lock(readers_mu_);
+        readers_.emplace_back([this, fd = std::move(conn)]() mutable {
+            serve_connection(std::move(fd));
+        });
+    }
+
+    shutting_down_.store(true);
+    listen_fd_.reset();
+    tcp_listen_fd_.reset();
+    std::error_code ec;
+    if (!options_.socket_path.empty())
+        std::filesystem::remove(options_.socket_path, ec);
+    if (health_thread_.joinable()) health_thread_.join();
+    std::vector<std::thread> readers;
+    {
+        std::lock_guard lock(readers_mu_);
+        readers.swap(readers_);
+    }
+    for (std::thread& reader : readers) reader.join();
+    obs::info("cluster.router", "router drained",
+              {{"relayed", std::to_string(relayed_.load())}});
+}
+
+void Router::notify_shutdown() noexcept {
+    shutting_down_.store(true);
+    if (wake_write_.valid()) {
+        const char byte = 'q';
+        [[maybe_unused]] ssize_t rc = ::write(wake_write_.get(), &byte, 1);
+    }
+}
+
+bool Router::usable(const std::string& name) const {
+    for (const auto& shard : shards_)
+        if (shard->config.name == name)
+            return shard->healthy.load() && !shard->draining.load();
+    return false;
+}
+
+Router::Shard* Router::find_shard(const std::string& name) {
+    for (const auto& shard : shards_)
+        if (shard->config.name == name) return shard.get();
+    return nullptr;
+}
+
+std::optional<std::string> Router::route_key(std::uint64_t key) {
+    return ring_.pick_if(key,
+                         [this](const std::string& s) { return usable(s); });
+}
+
+std::string Router::forward(std::uint64_t key, const std::string& payload,
+                            SplitMix64& rng) {
+    // Candidate shards in ring order: the owner, then its deterministic
+    // failover successors. The attempt budget spans candidates — a dead
+    // owner costs one attempt, its successor gets the next.
+    const int budget =
+        options_.retry.max_attempts < 1 ? 1 : options_.retry.max_attempts;
+    std::string response;
+    Shard* owner = nullptr;
+    for (int attempt = 0; attempt < budget; ++attempt) {
+        const auto picked = route_key(key);
+        if (!picked.has_value()) break; // nothing usable right now
+        Shard* shard = find_shard(*picked);
+        if (shard == nullptr) break;
+        if (owner == nullptr) owner = shard;
+        if (attempt > 0) {
+            retries_.fetch_add(1);
+            const long long delay = options_.retry.delay_ms(attempt - 1, rng);
+            std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+        }
+        shard->routed.fetch_add(1);
+        if (exchange(shard->config.endpoint, payload,
+                     options_.recv_timeout_ms, response)) {
+            relayed_.fetch_add(1);
+            return response; // verbatim relay: byte-identical to direct
+        }
+        // Transport failure: eject immediately (the health loop readmits
+        // once the shard answers pings again) and try the next candidate.
+        shard->failures.fetch_add(1);
+        shard->healthy.store(false);
+        if (owner != nullptr && shard == owner)
+            owner->rerouted_away.fetch_add(1);
+        obs::warn("cluster.router", "shard failed, rerouting",
+                  {{"shard", shard->config.name},
+                   {"key", hex_u64(key)},
+                   {"attempt", std::to_string(attempt + 1)}});
+    }
+    no_shard_.fetch_add(1);
+    return json::dump(serve::make_error_response(
+        serve::ErrorKind::Overloaded, "no healthy shard available",
+        options_.retry.base_ms * 2));
+}
+
+std::string Router::handle_admin(const json::Value& doc) {
+    const json::Value* shard = doc.find("shard");
+    const json::Value* draining = doc.find("draining");
+    if (shard == nullptr || !shard->is_string() || draining == nullptr ||
+        draining->kind != json::Value::Kind::Bool)
+        return json::dump(serve::make_error_response(
+            serve::ErrorKind::BadRequest,
+            "drain needs string \"shard\" and bool \"draining\""));
+    if (!set_drain(shard->string_value, draining->bool_value))
+        return json::dump(serve::make_error_response(
+            serve::ErrorKind::BadRequest,
+            "unknown shard '" + shard->string_value + "'"));
+    json::Value response = json::Value::object();
+    response.set("ok", json::Value::boolean(true));
+    response.set("schema_version",
+                 json::Value::number(double(serve::kSchemaVersion)));
+    response.set("type", json::Value::string("drain"));
+    response.set("shard", json::Value::string(shard->string_value));
+    response.set("draining", json::Value::boolean(draining->bool_value));
+    return json::dump(response);
+}
+
+bool Router::set_drain(const std::string& shard_name, bool draining) {
+    Shard* shard = find_shard(shard_name);
+    if (shard == nullptr) return false;
+    shard->draining.store(draining);
+    obs::info("cluster.router",
+              draining ? "shard draining" : "shard rejoined",
+              {{"shard", shard_name}});
+    return true;
+}
+
+void Router::serve_connection(net::Fd conn) {
+    // Per-connection jitter stream: seeded from the global seed and the
+    // connection sequence so concurrent readers never share RNG state yet
+    // a single-connection test replays exactly.
+    SplitMix64 rng(options_.seed ^ request_seq_.fetch_add(1));
+    while (!shutting_down_.load()) {
+        const int ready =
+            net::wait_readable(conn.get(), wake_read_.get(), -1);
+        if (ready != conn.get()) break;
+
+        std::string payload;
+        const net::FrameStatus status = net::read_frame(conn.get(), payload);
+        if (status == net::FrameStatus::Eof ||
+            status == net::FrameStatus::Error)
+            break;
+        if (status != net::FrameStatus::Ok) {
+            const json::Value response = serve::make_error_response(
+                serve::ErrorKind::BadRequest,
+                std::string("malformed frame: ") + net::to_string(status));
+            (void)net::write_frame(conn.get(), json::dump(response));
+            break;
+        }
+
+        requests_.fetch_add(1);
+        std::string parse_error;
+        const auto doc = json::parse(payload, &parse_error);
+        if (!doc.has_value()) {
+            bad_requests_.fetch_add(1);
+            const std::string response =
+                json::dump(serve::make_error_response(
+                    serve::ErrorKind::BadRequest,
+                    "invalid JSON: " + parse_error));
+            if (!net::write_frame(conn.get(), response)) break;
+            continue;
+        }
+
+        const json::Value* type_value = doc->find("type");
+        const std::string type =
+            type_value != nullptr ? type_value->string_or("compile")
+                                  : "compile";
+        std::string response;
+        if (type == "ping") {
+            inline_answers_.fetch_add(1);
+            response = json::dump(serve::make_pong_response());
+        } else if (type == "stats") {
+            inline_answers_.fetch_add(1);
+            response = json::dump(stats_json());
+        } else if (type == "metrics") {
+            inline_answers_.fetch_add(1);
+            json::Value body = json::Value::object();
+            body.set("ok", json::Value::boolean(true));
+            body.set("schema_version",
+                     json::Value::number(double(serve::kSchemaVersion)));
+            body.set("type", json::Value::string("metrics"));
+            body.set("content_type",
+                     json::Value::string(
+                         "text/plain; version=0.0.4; charset=utf-8"));
+            body.set("body", json::Value::string(metrics_text()));
+            response = json::dump(body);
+        } else if (type == "logs") {
+            inline_answers_.fetch_add(1);
+            long long max_records = 100;
+            std::string min_level;
+            if (const json::Value* v = doc->find("max"))
+                max_records = static_cast<long long>(v->number_or(100.0));
+            if (const json::Value* v = doc->find("min_level"))
+                min_level = v->string_or("");
+            response = json::dump(
+                serve::Daemon::logs_json(max_records, min_level));
+        } else if (type == "drain") {
+            inline_answers_.fetch_add(1);
+            response = handle_admin(*doc);
+        } else {
+            // A routed request. Parse just enough to pick the key; the
+            // original payload is forwarded untouched so the shard sees —
+            // and the client receives — the exact bytes.
+            serve::WireRequest request;
+            const auto request_error =
+                serve::parse_wire_request(*doc, request);
+            if (request_error.has_value()) {
+                bad_requests_.fetch_add(1);
+                response = json::dump(serve::make_error_response(
+                    serve::ErrorKind::BadRequest, *request_error));
+            } else {
+                // Keyless requests (e.g. sleep) round-robin by sequence
+                // number, but the raw counter must be mixed first: ring
+                // positions are uniform 64-bit hashes, and sequential
+                // integers all sit below the same first vnode — unmixed,
+                // every keyless request would land on one shard.
+                std::uint64_t key =
+                    SplitMix64(request_seq_.fetch_add(1)).next_u64();
+                if (request.type == serve::RequestType::Compile)
+                    key = serve::affinity_digest(request.compile);
+                else if (request.type == serve::RequestType::CasGet ||
+                         request.type == serve::RequestType::CasPut)
+                    key = request.cas_key;
+                response = forward(key, payload, rng);
+            }
+        }
+        if (!net::write_frame(conn.get(), response)) break;
+    }
+}
+
+bool Router::ping_shard(Shard& shard) {
+    json::Value request = json::Value::object();
+    request.set("schema_version",
+                json::Value::number(double(serve::kSchemaVersion)));
+    request.set("type", json::Value::string("ping"));
+    std::string response;
+    // Health probes use a short stall cap: a shard that cannot answer a
+    // ping within the health interval is not usefully alive.
+    const long long timeout =
+        options_.health_interval_ms > 0 ? options_.health_interval_ms : 500;
+    return exchange(shard.config.endpoint, json::dump(request), timeout,
+                    response);
+}
+
+void Router::health_loop() {
+    const auto interval = std::chrono::milliseconds(
+        options_.health_interval_ms > 0 ? options_.health_interval_ms : 500);
+    while (!shutting_down_.load()) {
+        for (const auto& shard : shards_) {
+            if (shutting_down_.load()) return;
+            if (ping_shard(*shard)) {
+                shard->ping_failures.store(0);
+                if (!shard->healthy.exchange(true))
+                    obs::info("cluster.router", "shard rejoined",
+                              {{"shard", shard->config.name}});
+            } else {
+                const int failures = shard->ping_failures.fetch_add(1) + 1;
+                if (failures >= options_.health_failures_to_eject &&
+                    shard->healthy.exchange(false))
+                    obs::warn("cluster.router", "shard unhealthy",
+                              {{"shard", shard->config.name},
+                               {"failures", std::to_string(failures)}});
+            }
+        }
+        // Sleep in small slices so shutdown stays prompt.
+        auto remaining = interval;
+        while (remaining.count() > 0 && !shutting_down_.load()) {
+            const auto slice =
+                std::min(remaining, std::chrono::milliseconds(50));
+            std::this_thread::sleep_for(slice);
+            remaining -= slice;
+        }
+    }
+}
+
+std::vector<ShardView> Router::shard_views() const {
+    std::vector<ShardView> views;
+    views.reserve(shards_.size());
+    for (const auto& shard : shards_) {
+        ShardView view;
+        view.name = shard->config.name;
+        view.endpoint = shard->config.endpoint.describe();
+        view.healthy = shard->healthy.load();
+        view.draining = shard->draining.load();
+        view.routed = shard->routed.load();
+        view.failures = shard->failures.load();
+        view.rerouted_away = shard->rerouted_away.load();
+        views.push_back(std::move(view));
+    }
+    return views;
+}
+
+json::Value Router::stats_json() {
+    json::Value stats = json::Value::object();
+    stats.set("ok", json::Value::boolean(true));
+    stats.set("schema_version",
+              json::Value::number(double(serve::kSchemaVersion)));
+    stats.set("type", json::Value::string("stats"));
+    stats.set("role", json::Value::string("router"));
+    stats.set("uptime_us", json::Value::number(double(us_since(started_))));
+    stats.set("requests", json::Value::number(double(requests_.load())));
+    stats.set("relayed", json::Value::number(double(relayed_.load())));
+    stats.set("retries", json::Value::number(double(retries_.load())));
+    stats.set("no_shard", json::Value::number(double(no_shard_.load())));
+    stats.set("bad_requests",
+              json::Value::number(double(bad_requests_.load())));
+    stats.set("inline_answers",
+              json::Value::number(double(inline_answers_.load())));
+    json::Value shards = json::Value::array();
+    for (const ShardView& view : shard_views()) {
+        json::Value entry = json::Value::object();
+        entry.set("name", json::Value::string(view.name));
+        entry.set("endpoint", json::Value::string(view.endpoint));
+        entry.set("healthy", json::Value::boolean(view.healthy));
+        entry.set("draining", json::Value::boolean(view.draining));
+        entry.set("routed", json::Value::number(double(view.routed)));
+        entry.set("failures", json::Value::number(double(view.failures)));
+        entry.set("rerouted_away",
+                  json::Value::number(double(view.rerouted_away)));
+        shards.push(std::move(entry));
+    }
+    stats.set("shards", std::move(shards));
+    return stats;
+}
+
+std::string Router::metrics_text() {
+    obs::PrometheusRenderer renderer;
+    renderer.gauge("psaflow_router_uptime_seconds",
+                   "Seconds since router start",
+                   double(us_since(started_)) / 1e6);
+    renderer.counter("psaflow_router_requests_total",
+                     "Frames received from clients",
+                     double(requests_.load()));
+    renderer.counter("psaflow_router_relayed_total",
+                     "Requests forwarded and answered by a shard",
+                     double(relayed_.load()));
+    renderer.counter("psaflow_router_retries_total",
+                     "Failover re-sends after a shard transport failure",
+                     double(retries_.load()));
+    renderer.counter("psaflow_router_no_shard_total",
+                     "Requests failed with no healthy shard",
+                     double(no_shard_.load()));
+    renderer.counter("psaflow_router_bad_requests_total",
+                     "Malformed client requests",
+                     double(bad_requests_.load()));
+    renderer.counter("psaflow_router_inline_answers_total",
+                     "Requests the router answered itself",
+                     double(inline_answers_.load()));
+    for (const ShardView& view : shard_views()) {
+        const obs::MetricLabels labels = {{"shard", view.name}};
+        renderer.gauge("psaflow_router_shard_healthy",
+                       "1 when the shard passes health checks",
+                       view.healthy ? 1.0 : 0.0, labels);
+        renderer.gauge("psaflow_router_shard_draining",
+                       "1 while the shard is drained out of rotation",
+                       view.draining ? 1.0 : 0.0, labels);
+        renderer.counter("psaflow_router_shard_routed_total",
+                         "Requests forwarded to this shard", // incl. retries
+                         double(view.routed), labels);
+        renderer.counter("psaflow_router_shard_failures_total",
+                         "Transport failures talking to this shard",
+                         double(view.failures), labels);
+        renderer.counter("psaflow_router_shard_rerouted_total",
+                         "Owned requests lost to a failover successor",
+                         double(view.rerouted_away), labels);
+    }
+    return renderer.text();
+}
+
+} // namespace psaflow::cluster

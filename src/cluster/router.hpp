@@ -1,0 +1,161 @@
+// psaflow-router — consistent-hash front door for a psaflowd shard fleet.
+//
+// Speaks the same framed wire protocol as psaflowd on both sides, so
+// clients cannot tell a router from a daemon (byte-identical responses —
+// the router relays a shard's response payload verbatim, it never
+// re-serialises). Per request:
+//
+//   * compile   → routed by affinity_digest (the module-content key every
+//                 warm cache keys off), so repeat compiles of one module
+//                 land on the shard that already holds its artifacts.
+//   * cas_get/  → routed by the cas key, giving each artifact a home
+//     cas_put     shard; shards pointed at the router with --cas-upstream
+//                 get a shared cluster artifact tier for free.
+//   * sleep     → routed by request sequence (spreads test load).
+//   * ping/stats/metrics/logs → answered by the router itself: its own
+//                 liveness, the cluster view (per-shard health/counters),
+//                 psaflow_router_* Prometheus series, its own log ring.
+//   * drain     → admin: {"type":"drain","shard":"a","draining":true}
+//                 takes a shard out of rotation without killing it (and
+//                 back in with false) for graceful rolling restarts.
+//
+// Failure handling: a transport failure on a shard marks it unhealthy and
+// the request retries on the next ring candidate after a jittered backoff
+// (cluster/retry.hpp), up to the attempt budget. A health thread pings
+// every shard on an interval; a previously failed shard that answers again
+// rejoins the ring automatically. Application-level errors (bad_request,
+// overloaded, …) are relayed untouched — the shard knows, the client
+// decides.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/hash_ring.hpp"
+#include "cluster/retry.hpp"
+#include "support/json.hpp"
+#include "support/net.hpp"
+
+namespace psaflow::cluster {
+
+struct ShardConfig {
+    std::string name;
+    net::Endpoint endpoint;
+};
+
+/// Parse a `--shard name=endpoint` spec. nullopt + `*error` on bad input.
+[[nodiscard]] std::optional<ShardConfig>
+parse_shard_spec(const std::string& spec, std::string* error);
+
+struct RouterOptions {
+    std::string socket_path;       ///< Unix listener ("" = TCP only)
+    std::string listen_tcp;        ///< "host:port" ("" = none; port 0 = ephemeral)
+    std::vector<ShardConfig> shards;
+    std::size_t vnodes = HashRing::kDefaultVnodes;
+    long long health_interval_ms = 500;
+    int health_failures_to_eject = 2; ///< consecutive ping failures
+    BackoffPolicy retry;           ///< failover attempts + backoff window
+    long long recv_timeout_ms = 30000; ///< shard response stall cap
+    std::uint64_t seed = 0x8a5cd789635d2dffULL; ///< backoff jitter seed
+};
+
+/// Per-shard monotonic tallies, readable while serving.
+struct ShardView {
+    std::string name;
+    std::string endpoint;
+    bool healthy = true;
+    bool draining = false;
+    std::uint64_t routed = 0;     ///< requests forwarded (incl. retries)
+    std::uint64_t failures = 0;   ///< transport failures observed
+    std::uint64_t rerouted_away = 0; ///< requests this shard owned but lost
+};
+
+class Router {
+public:
+    explicit Router(RouterOptions options);
+    ~Router();
+
+    Router(const Router&) = delete;
+    Router& operator=(const Router&) = delete;
+
+    /// Bind listeners, build the ring, start the health thread. Error
+    /// message on failure (router unusable afterwards).
+    [[nodiscard]] std::optional<std::string> start();
+
+    /// Accept/serve until notify_shutdown().
+    void run();
+
+    /// Async-signal-safe shutdown request (self-pipe write).
+    void notify_shutdown() noexcept;
+
+    [[nodiscard]] std::uint16_t tcp_port() const { return tcp_port_; }
+
+    /// Cluster stats document ({"type":"stats"} answered by the router).
+    [[nodiscard]] json::Value stats_json();
+
+    /// Prometheus exposition: psaflow_router_* series.
+    [[nodiscard]] std::string metrics_text();
+
+    /// Admin drain toggle; false when the shard name is unknown.
+    bool set_drain(const std::string& shard, bool draining);
+
+    [[nodiscard]] std::vector<ShardView> shard_views() const;
+
+    /// The shard a key routes to right now (health- and drain-aware);
+    /// exposed for tests and the drain admin path.
+    [[nodiscard]] std::optional<std::string> route_key(std::uint64_t key);
+
+private:
+    struct Shard {
+        ShardConfig config;
+        std::atomic<bool> healthy{true};
+        std::atomic<bool> draining{false};
+        std::atomic<int> ping_failures{0};
+        std::atomic<std::uint64_t> routed{0};
+        std::atomic<std::uint64_t> failures{0};
+        std::atomic<std::uint64_t> rerouted_away{0};
+    };
+
+    void serve_connection(net::Fd conn);
+    /// Forward `payload` to the shards owning `key` (ring order, with
+    /// backoff between attempts); the winning shard's raw response, or a
+    /// locally minted error document when all candidates fail.
+    [[nodiscard]] std::string forward(std::uint64_t key,
+                                      const std::string& payload,
+                                      SplitMix64& rng);
+    [[nodiscard]] std::string handle_admin(const json::Value& doc);
+    void health_loop();
+    [[nodiscard]] bool ping_shard(Shard& shard);
+    [[nodiscard]] Shard* find_shard(const std::string& name);
+    [[nodiscard]] bool usable(const std::string& name) const;
+
+    RouterOptions options_;
+    HashRing ring_; ///< immutable after start(); health is a predicate
+    std::vector<std::unique_ptr<Shard>> shards_;
+    net::Fd listen_fd_;
+    net::Fd tcp_listen_fd_;
+    std::uint16_t tcp_port_ = 0;
+    net::Fd wake_read_;
+    net::Fd wake_write_;
+    std::thread health_thread_;
+    std::vector<std::thread> readers_;
+    std::mutex readers_mu_;
+    std::atomic<bool> shutting_down_{false};
+    std::atomic<std::uint64_t> request_seq_{0};
+    std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> relayed_{0};
+    std::atomic<std::uint64_t> retries_{0};
+    std::atomic<std::uint64_t> no_shard_{0};
+    std::atomic<std::uint64_t> bad_requests_{0};
+    std::atomic<std::uint64_t> inline_answers_{0};
+    std::chrono::steady_clock::time_point started_;
+};
+
+} // namespace psaflow::cluster

@@ -86,10 +86,21 @@ void PrometheusRenderer::header(const std::string& name,
     out_ += '\n';
 }
 
+void PrometheusRenderer::set_default_labels(MetricLabels labels) {
+    default_labels_ = std::move(labels);
+}
+
+MetricLabels PrometheusRenderer::merged(const MetricLabels& labels) const {
+    if (default_labels_.empty()) return labels;
+    MetricLabels all = default_labels_;
+    all.insert(all.end(), labels.begin(), labels.end());
+    return all;
+}
+
 void PrometheusRenderer::sample(const std::string& name,
                                 const MetricLabels& labels, double value) {
     out_ += name;
-    append_labels(out_, labels);
+    append_labels(out_, merged(labels));
     out_ += ' ';
     out_ += format_value(value);
     out_ += '\n';
@@ -112,8 +123,9 @@ void PrometheusRenderer::gauge(const std::string& name,
 void PrometheusRenderer::histogram(const std::string& name,
                                    const std::string& help,
                                    const Histogram& hist,
-                                   const MetricLabels& labels) {
+                                   const MetricLabels& raw_labels) {
     header(name, help, "histogram");
+    const MetricLabels labels = merged(raw_labels);
     // Bucket b spans [2^(b-1), 2^b); its exact inclusive upper bound is
     // 2^b - 1. Cumulative counts, empty buckets elided (scrapers accept
     // irregular le ladders), then the mandatory +Inf / _sum / _count.

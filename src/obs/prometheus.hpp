@@ -33,6 +33,11 @@ using MetricLabels = std::vector<std::pair<std::string, std::string>>;
 /// can be added repeatedly with different label sets.
 class PrometheusRenderer {
 public:
+    /// Labels stamped onto every subsequent sample, before per-sample
+    /// labels. How a cluster shard tags its whole exposition with
+    /// {shard="..."} so concatenated per-shard scrapes stay distinct.
+    void set_default_labels(MetricLabels labels);
+
     /// Append a counter sample. `name` must already be a legal metric name
     /// (use sanitize_metric_name for dotted counter names).
     void counter(const std::string& name, const std::string& help,
@@ -56,7 +61,9 @@ private:
                 const char* type);
     void sample(const std::string& name, const MetricLabels& labels,
                 double value);
+    [[nodiscard]] MetricLabels merged(const MetricLabels& labels) const;
 
+    MetricLabels default_labels_;
     std::vector<std::string> declared_;
     std::string out_;
 };

@@ -1,5 +1,7 @@
 #include "serve/protocol.hpp"
 
+#include "support/string_util.hpp"
+
 namespace psaflow::serve {
 
 std::optional<std::string> parse_wire_request(const json::Value& doc,
@@ -38,6 +40,27 @@ std::optional<std::string> parse_wire_request(const json::Value& doc,
     }
     if (type == "ping") {
         out.type = RequestType::Ping;
+        return std::nullopt;
+    }
+    if (type == "cas_get" || type == "cas_put") {
+        out.type = type == "cas_get" ? RequestType::CasGet
+                                     : RequestType::CasPut;
+        const json::Value* key = doc.find("key");
+        if (key == nullptr || !key->is_string())
+            return type + ": missing string \"key\"";
+        const auto parsed_key = parse_hex_u64(key->string_value);
+        if (!parsed_key.has_value())
+            return type + ": key must be 16 hex digits";
+        out.cas_key = *parsed_key;
+        if (out.type == RequestType::CasPut) {
+            const json::Value* payload = doc.find("payload");
+            if (payload == nullptr || !payload->is_string())
+                return "cas_put: missing string \"payload\"";
+            auto decoded = base64_decode(payload->string_value);
+            if (!decoded.has_value())
+                return "cas_put: payload is not valid base64";
+            out.cas_payload = std::move(*decoded);
+        }
         return std::nullopt;
     }
     if (type == "sleep") {
@@ -106,6 +129,28 @@ json::Value make_compile_response(const CompileRequest& req,
     for (const auto& [name, value] : outcome.counters)
         counters.set(name, json::Value::number(double(value)));
     response.set("counters", std::move(counters));
+    return response;
+}
+
+json::Value make_cas_get_response(const std::optional<std::string>& payload) {
+    json::Value response = json::Value::object();
+    response.set("ok", json::Value::boolean(true));
+    response.set("schema_version",
+                 json::Value::number(double(kSchemaVersion)));
+    response.set("type", json::Value::string("cas_get"));
+    response.set("found", json::Value::boolean(payload.has_value()));
+    if (payload.has_value())
+        response.set("payload", json::Value::string(base64_encode(*payload)));
+    return response;
+}
+
+json::Value make_cas_put_response(bool stored) {
+    json::Value response = json::Value::object();
+    response.set("ok", json::Value::boolean(true));
+    response.set("schema_version",
+                 json::Value::number(double(kSchemaVersion)));
+    response.set("type", json::Value::string("cas_put"));
+    response.set("stored", json::Value::boolean(stored));
     return response;
 }
 

@@ -25,6 +25,15 @@
 //   {"type":"logs", "max":100, "min_level":"info"} — recent records from
 //       the structured-log ring (both fields optional). Answered inline.
 //   {"type":"ping"}   — liveness/readiness probe, answered inline.
+//   {"type":"cas_get", "key":"<16-hex>"} — remote-CAS read: the payload of
+//       the daemon's *local* disk store for that 64-bit content key
+//       (base64 in the response's "payload"; "found":false on a miss).
+//       Never recurses into the daemon's own remote tier, so store chains
+//       terminate. Answered inline — artifact exchange must not queue
+//       behind compiles.
+//   {"type":"cas_put", "key":"<16-hex>", "payload":"<base64>"} — remote-CAS
+//       write into the daemon's local disk store. Content-addressed, so
+//       re-puts are idempotent. Answered inline.
 //   {"type":"sleep", "ms":200, "deadline_ms":50} — test-only (rejected
 //       unless the daemon enables test endpoints): occupies a worker,
 //       cancellable; exists so tests can fill the queue and trip
@@ -37,6 +46,7 @@
 //    "retry_after_ms":N}            — retry_after_ms only on overloaded.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -50,7 +60,16 @@ namespace psaflow::serve {
 /// "schema_version" are treated as version 1; responses always carry it.
 inline constexpr int kSchemaVersion = 1;
 
-enum class RequestType { Compile, Stats, Ping, Sleep, Logs, Metrics };
+enum class RequestType {
+    Compile,
+    Stats,
+    Ping,
+    Sleep,
+    Logs,
+    Metrics,
+    CasGet,
+    CasPut,
+};
 
 struct WireRequest {
     RequestType type = RequestType::Ping;
@@ -59,6 +78,8 @@ struct WireRequest {
     long long deadline_ms = 0;  ///< Sleep's deadline (Compile carries its own)
     long long logs_max = 100;   ///< valid when type == Logs
     std::string logs_min_level; ///< Logs filter ("" = everything captured)
+    std::uint64_t cas_key = 0;  ///< valid when type == CasGet/CasPut
+    std::string cas_payload;    ///< decoded bytes, valid when type == CasPut
 };
 
 /// Parse one request frame. Returns an error message (a bad_request body
@@ -73,6 +94,12 @@ parse_wire_request(const json::Value& doc, WireRequest& out);
 [[nodiscard]] json::Value make_compile_response(const CompileRequest& req,
                                                 const CompileOutcome& outcome);
 [[nodiscard]] json::Value make_pong_response();
+
+/// cas_get response: "found" + base64 "payload" when present.
+[[nodiscard]] json::Value
+make_cas_get_response(const std::optional<std::string>& payload);
+/// cas_put response: "stored" is false when the daemon has no disk store.
+[[nodiscard]] json::Value make_cas_put_response(bool stored);
 
 /// The client's view of a response frame: the failure taxonomy decoded,
 /// with the full document kept for payload access.

@@ -4,7 +4,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "apps/apps.hpp"
 #include "flow/manifest.hpp"
+#include "support/cas/cas.hpp"
 #include "support/error.hpp"
 
 namespace psaflow::serve {
@@ -16,6 +18,10 @@ namespace {
 }
 
 } // namespace
+
+const char* to_string(Priority priority) {
+    return priority == Priority::Batch ? "batch" : "interactive";
+}
 
 const char* to_string(ErrorKind kind) {
     switch (kind) {
@@ -56,6 +62,12 @@ std::optional<std::string> parse_compile_request(const json::Value& entry,
         out.deadline_ms =
             static_cast<long long>(v->number_or(double(out.deadline_ms)));
     if (out.deadline_ms < 0) return "deadline_ms must be >= 0";
+    if (const json::Value* v = entry.find("priority")) {
+        const std::string name = v->string_or("");
+        if (name == "interactive") out.priority = Priority::Interactive;
+        else if (name == "batch") out.priority = Priority::Batch;
+        else return "priority must be 'interactive' or 'batch'";
+    }
     if (const json::Value* v = entry.find("flow")) {
         json::Value doc;
         if (v->is_object()) {
@@ -82,6 +94,21 @@ std::optional<std::string> parse_compile_request(const json::Value& entry,
         out.flow_json = json::dump(doc);
     }
     return std::nullopt;
+}
+
+std::uint64_t affinity_digest(const CompileRequest& req) {
+    cas::Hasher hasher;
+    hasher.str("request-affinity");
+    // Hash the module *content*, not the request's name for it: every warm
+    // artifact (interp profiles, design cache entries) keys off the source
+    // text, so two names for identical sources still co-locate.
+    try {
+        hasher.str(apps::application_by_name(req.app).source);
+    } catch (const Error&) {
+        hasher.str(req.app); // unknown app: still deterministic routing
+    }
+    hasher.str(req.flow_json);
+    return hasher.digest();
 }
 
 std::optional<std::string> parse_manifest(const json::Value& doc,

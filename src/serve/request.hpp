@@ -5,6 +5,8 @@
 // exact same requests through the exact same executor (serve/service).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -13,6 +15,13 @@
 
 namespace psaflow::serve {
 
+/// Admission priority lanes, highest first. Interactive requests (a
+/// developer waiting at a prompt) overtake batch backfill in the daemon's
+/// LaneQueue.
+enum class Priority { Interactive = 0, Batch = 1 };
+inline constexpr std::size_t kPriorityLanes = 2;
+[[nodiscard]] const char* to_string(Priority priority);
+
 struct CompileRequest {
     std::string app;              ///< bundled application name (required)
     std::string mode = "informed"; ///< "informed" | "uninformed"
@@ -20,6 +29,7 @@ struct CompileRequest {
     double threshold_x = 4.0;      ///< Fig. 3 intensity threshold
     std::string out_dir;           ///< where design sources + CSV are written
     long long deadline_ms = 0;     ///< per-request deadline; 0 = none
+    Priority priority = Priority::Interactive; ///< admission lane
 
     /// Manifest-defined flow as compact JSON text (flow/manifest.hpp),
     /// already validated by parse_compile_request; empty = run the builtin
@@ -51,6 +61,15 @@ enum class ErrorKind {
 /// bad flow is a parse error, not a mid-run failure.
 [[nodiscard]] std::optional<std::string>
 parse_compile_request(const json::Value& entry, CompileRequest& out);
+
+/// The request's cache-affinity key: a digest of the module source it will
+/// compile (the bundled app's HLC text when the app is known, else the
+/// name) plus any in-request flow manifest. Everything warm about a
+/// request — profile-cache entries, design artifacts, a worker's parsed
+/// session state — keys off this content, so the cluster router
+/// consistent-hashes it onto shards and the daemon's LaneQueue uses it for
+/// worker sub-queue affinity. Deterministic across processes and hosts.
+[[nodiscard]] std::uint64_t affinity_digest(const CompileRequest& req);
 
 /// Manifest-level session settings a batch file may carry alongside its
 /// requests. Values are only overwritten when the manifest provides them.

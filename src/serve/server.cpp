@@ -47,11 +47,17 @@ std::uint64_t us_since(std::chrono::steady_clock::time_point start) {
 
 } // namespace
 
-Daemon::Daemon(DaemonOptions options)
-    : options_(std::move(options)),
-      queue_(options_.queue_depth == 0 ? 1 : options_.queue_depth) {
-    if (options_.workers < 1) options_.workers = 1;
+namespace {
+DaemonOptions normalized(DaemonOptions options) {
+    if (options.workers < 1) options.workers = 1;
+    return options;
 }
+} // namespace
+
+Daemon::Daemon(DaemonOptions options)
+    : options_(normalized(std::move(options))),
+      queue_(options_.queue_depth == 0 ? 1 : options_.queue_depth,
+             kPriorityLanes, static_cast<std::size_t>(options_.workers)) {}
 
 Daemon::~Daemon() {
     notify_shutdown();
@@ -75,17 +81,38 @@ std::optional<std::string> Daemon::start() {
     wake_write_.reset(pipe_fds[1]);
     ::fcntl(wake_write_.get(), F_SETFL, O_NONBLOCK);
 
+    if (options_.socket_path.empty() && options_.listen_tcp.empty())
+        return "no listener configured (need a socket path or --listen)";
+
     std::string error;
-    listen_fd_ = net::listen_unix(options_.socket_path, /*backlog=*/64,
-                                  &error);
-    if (!listen_fd_.valid()) return error;
+    if (!options_.socket_path.empty()) {
+        listen_fd_ = net::listen_unix(options_.socket_path, /*backlog=*/64,
+                                      &error);
+        if (!listen_fd_.valid()) return error;
+    }
+    if (!options_.listen_tcp.empty()) {
+        auto endpoint = net::parse_endpoint(options_.listen_tcp, &error);
+        if (!endpoint.has_value()) return error;
+        if (endpoint->kind != net::Endpoint::Kind::Tcp)
+            return "--listen expects host:port, got '" + options_.listen_tcp +
+                   "'";
+        tcp_listen_fd_ = net::listen_tcp(endpoint->host, endpoint->port,
+                                         /*backlog=*/64, &error);
+        if (!tcp_listen_fd_.valid()) return error;
+        tcp_port_ = net::local_port(tcp_listen_fd_.get());
+    }
 
     started_ = std::chrono::steady_clock::now();
     workers_.reserve(static_cast<std::size_t>(options_.workers));
     for (int i = 0; i < options_.workers; ++i)
-        workers_.emplace_back([this] { worker_loop(); });
+        workers_.emplace_back(
+            [this, i] { worker_loop(static_cast<std::size_t>(i)); });
     obs::info("serve", "daemon listening",
               {{"socket", options_.socket_path},
+               {"tcp", options_.listen_tcp.empty()
+                           ? std::string()
+                           : "port " + std::to_string(tcp_port_)},
+               {"shard", options_.shard_name},
                {"workers", std::to_string(options_.workers)},
                {"queue_depth", std::to_string(options_.queue_depth)}});
     return std::nullopt;
@@ -93,10 +120,13 @@ std::optional<std::string> Daemon::start() {
 
 void Daemon::run() {
     while (true) {
-        const int ready = net::wait_readable(listen_fd_.get(),
-                                             wake_read_.get(), -1);
-        if (ready != listen_fd_.get()) break; // shutdown (or poll failure)
-        net::Fd conn = net::accept_connection(listen_fd_.get());
+        const int ready = net::wait_readable_any(
+            {listen_fd_.get(), tcp_listen_fd_.get(), wake_read_.get()}, -1);
+        const bool is_listener =
+            (listen_fd_.valid() && ready == listen_fd_.get()) ||
+            (tcp_listen_fd_.valid() && ready == tcp_listen_fd_.get());
+        if (!is_listener) break; // shutdown wake (or poll failure)
+        net::Fd conn = net::accept_connection(ready);
         if (!conn.valid()) continue;
         {
             std::lock_guard lock(stats_mu_);
@@ -113,8 +143,10 @@ void Daemon::run() {
     // trace on disk — the smoke test asserts the socket file is gone.
     shutting_down_.store(true);
     listen_fd_.reset();
+    tcp_listen_fd_.reset();
     std::error_code ec;
-    std::filesystem::remove(options_.socket_path, ec);
+    if (!options_.socket_path.empty())
+        std::filesystem::remove(options_.socket_path, ec);
     queue_.close();
     for (std::thread& worker : workers_) worker.join();
     workers_.clear();
@@ -196,7 +228,9 @@ void Daemon::serve_connection(net::Fd conn) {
         if (request.type == RequestType::Ping ||
             request.type == RequestType::Stats ||
             request.type == RequestType::Metrics ||
-            request.type == RequestType::Logs) {
+            request.type == RequestType::Logs ||
+            request.type == RequestType::CasGet ||
+            request.type == RequestType::CasPut) {
             response = handle_inline(request);
             if (!net::write_frame(conn.get(), response)) break;
             continue;
@@ -207,6 +241,8 @@ void Daemon::serve_connection(net::Fd conn) {
         auto job = std::make_shared<Job>();
         job->request = std::move(request);
         job->received = std::chrono::steady_clock::now();
+        std::size_t lane = 0;
+        std::uint64_t affinity = request_seq_.load();
         if (job->request.type == RequestType::Compile) {
             CompileRequest& compile = job->request.compile;
             if (compile.deadline_ms == 0)
@@ -224,13 +260,15 @@ void Daemon::serve_connection(net::Fd conn) {
             if (compile.deadline_ms > 0)
                 job->token.set_deadline_after(
                     std::chrono::milliseconds(compile.deadline_ms));
+            lane = static_cast<std::size_t>(compile.priority);
+            affinity = affinity_digest(compile);
         } else if (job->request.deadline_ms > 0) {
             job->token.set_deadline_after(
                 std::chrono::milliseconds(job->request.deadline_ms));
         }
 
         std::future<std::string> done = job->response.get_future();
-        if (!queue_.try_push(job)) {
+        if (!queue_.try_push(job, lane, affinity)) {
             {
                 std::lock_guard lock(stats_mu_);
                 ++counters_.rejected_overload;
@@ -248,16 +286,16 @@ void Daemon::serve_connection(net::Fd conn) {
     }
 }
 
-void Daemon::worker_loop() {
+void Daemon::worker_loop(std::size_t worker_index) {
     flow::SessionOptions session_options;
     session_options.jobs = options_.session_jobs;
     session_options.interp = options_.interp;
     flow::FlowSession session(session_options);
     while (true) {
-        std::optional<std::shared_ptr<Job>> job = queue_.pop();
-        if (!job.has_value()) break; // queue closed and drained
+        auto popped = queue_.pop(worker_index);
+        if (!popped.has_value()) break; // queue closed and drained
         in_flight_.fetch_add(1);
-        execute_job(session, **job);
+        execute_job(session, *popped->item);
         in_flight_.fetch_sub(1);
     }
 }
@@ -281,7 +319,12 @@ void Daemon::execute_job(flow::FlowSession& session, Job& job) {
     }
 
     if (job.request.type == RequestType::Sleep) {
-        const auto until = job.received +
+        // Anchored at execution start, not receipt: the sleep models
+        // *service time* (a worker held for the full duration), so
+        // loadgen's io-bound mode measures worker occupancy even when the
+        // queue is saturated. Deadlines still count queue time — the
+        // token was armed at receipt.
+        const auto until = std::chrono::steady_clock::now() +
                            std::chrono::milliseconds(job.request.sleep_ms);
         bool cancelled = false;
         while (std::chrono::steady_clock::now() < until) {
@@ -374,6 +417,28 @@ std::string Daemon::handle_inline(const WireRequest& request) {
     if (request.type == RequestType::Logs)
         return json::dump(
             logs_json(request.logs_max, request.logs_min_level));
+    if (request.type == RequestType::CasGet) {
+        {
+            std::lock_guard lock(stats_mu_);
+            ++counters_.cas_gets;
+        }
+        cas::CasStore* store = cas::store();
+        // get_local: serving a peer's fetch must never recurse into this
+        // daemon's own remote tier (see protocol.hpp).
+        std::optional<std::string> payload;
+        if (store != nullptr) payload = store->get_local(request.cas_key);
+        return json::dump(make_cas_get_response(payload));
+    }
+    if (request.type == RequestType::CasPut) {
+        {
+            std::lock_guard lock(stats_mu_);
+            ++counters_.cas_puts;
+        }
+        cas::CasStore* store = cas::store();
+        if (store != nullptr)
+            store->put_local(request.cas_key, request.cas_payload);
+        return json::dump(make_cas_put_response(store != nullptr));
+    }
     return json::dump(make_pong_response());
 }
 
@@ -396,10 +461,17 @@ json::Value Daemon::stats_json() {
               json::Value::number(double(kSchemaVersion)));
     stats.set("type", json::Value::string("stats"));
     stats.set("uptime_us", json::Value::number(double(us_since(started_))));
+    if (!options_.shard_name.empty())
+        stats.set("shard", json::Value::string(options_.shard_name));
     stats.set("workers", json::Value::number(double(options_.workers)));
     stats.set("queue_capacity",
               json::Value::number(double(queue_.capacity())));
     stats.set("queue_depth", json::Value::number(double(queue_.depth())));
+    json::Value lane_depths = json::Value::array();
+    for (std::size_t lane = 0; lane < queue_.lanes(); ++lane)
+        lane_depths.push(json::Value::number(double(queue_.lane_depth(lane))));
+    stats.set("queue_lane_depths", std::move(lane_depths));
+    stats.set("queue_steals", json::Value::number(double(queue_.steals())));
     stats.set("in_flight", json::Value::number(double(in_flight_.load())));
     stats.set("draining", json::Value::boolean(shutting_down_.load()));
 
@@ -415,6 +487,8 @@ json::Value Daemon::stats_json() {
                  json::Value::number(double(counters_.rejected_overload)));
     requests.set("deadline_exceeded",
                  json::Value::number(double(counters_.deadline_exceeded)));
+    requests.set("cas_gets", json::Value::number(double(counters_.cas_gets)));
+    requests.set("cas_puts", json::Value::number(double(counters_.cas_puts)));
     stats.set("requests", std::move(requests));
     stats.set("connections",
               json::Value::number(double(counters_.connections)));
@@ -443,18 +517,31 @@ json::Value Daemon::stats_json() {
     cache.set("profile_cache_hit_rate",
               json::Value::number(hit_rate(counter("profile_cache.hits"),
                                            counter("profile_cache.misses"))));
+    cache.set("remote_cas_hit_rate",
+              json::Value::number(hit_rate(counter("cas.remote_hits"),
+                                           counter("cas.remote_misses"))));
     stats.set("cache", std::move(cache));
     return stats;
 }
 
 std::string Daemon::metrics_text() {
     obs::PrometheusRenderer renderer;
+    if (!options_.shard_name.empty())
+        renderer.set_default_labels({{"shard", options_.shard_name}});
     renderer.gauge("psaflowd_uptime_seconds", "Seconds since daemon start",
                    double(us_since(started_)) / 1e6);
     renderer.gauge("psaflowd_workers", "Configured worker threads",
                    double(options_.workers));
     renderer.gauge("psaflowd_queue_depth", "Jobs waiting for a worker",
                    double(queue_.depth()));
+    for (std::size_t lane = 0; lane < queue_.lanes(); ++lane)
+        renderer.gauge("psaflowd_queue_lane_depth",
+                       "Jobs waiting, by priority lane",
+                       double(queue_.lane_depth(lane)),
+                       {{"lane", std::to_string(lane)}});
+    renderer.counter("psaflowd_queue_steals_total",
+                     "Jobs taken from a sibling worker's sub-queue",
+                     double(queue_.steals()));
     renderer.gauge("psaflowd_queue_capacity", "Admission queue capacity",
                    double(queue_.capacity()));
     renderer.gauge("psaflowd_in_flight", "Jobs currently executing",
@@ -477,6 +564,12 @@ std::string Daemon::metrics_text() {
                      "Request frames received", double(counters_.requests));
     renderer.counter("psaflowd_connections_total", "Connections accepted",
                      double(counters_.connections));
+    renderer.counter("psaflowd_cas_gets_total",
+                     "Remote-CAS reads served to peers",
+                     double(counters_.cas_gets));
+    renderer.counter("psaflowd_cas_puts_total",
+                     "Remote-CAS writes accepted from peers",
+                     double(counters_.cas_puts));
 
     renderer.histogram("psaflowd_request_latency_us",
                        "Receipt-to-response latency, microseconds",

@@ -46,7 +46,10 @@
 namespace psaflow::serve {
 
 struct DaemonOptions {
-    std::string socket_path;
+    std::string socket_path;            ///< Unix socket ("" = TCP only)
+    std::string listen_tcp;             ///< "host:port" TCP listener ("" = none;
+                                        ///< port 0 binds ephemeral, see tcp_port())
+    std::string shard_name;             ///< cluster identity; labels metrics
     int workers = 2;
     std::size_t queue_depth = 16;       ///< admission queue capacity
     long long default_deadline_ms = 0;  ///< applied when a request has none
@@ -68,6 +71,8 @@ struct DaemonCounters {
     std::uint64_t bad_requests = 0;
     std::uint64_t rejected_overload = 0;
     std::uint64_t deadline_exceeded = 0;
+    std::uint64_t cas_gets = 0;         ///< remote-CAS reads served
+    std::uint64_t cas_puts = 0;         ///< remote-CAS writes accepted
 };
 
 class Daemon {
@@ -105,6 +110,15 @@ public:
     [[nodiscard]] DaemonCounters counters() const;
     [[nodiscard]] const DaemonOptions& options() const { return options_; }
 
+    /// The actual TCP port after start() — meaningful when listen_tcp
+    /// asked for port 0 (tests, smoke scripts). 0 without a TCP listener.
+    [[nodiscard]] std::uint16_t tcp_port() const { return tcp_port_; }
+
+    /// Work-stealing tally of the admission queue (see serve/queue.hpp).
+    [[nodiscard]] std::uint64_t queue_steals() const {
+        return queue_.steals();
+    }
+
 private:
     struct Job {
         WireRequest request;
@@ -114,7 +128,7 @@ private:
     };
 
     void serve_connection(net::Fd conn);
-    void worker_loop();
+    void worker_loop(std::size_t worker_index);
     void execute_job(flow::FlowSession& session, Job& job);
     [[nodiscard]] std::string handle_inline(const WireRequest& request);
     [[nodiscard]] long long retry_after_ms_hint();
@@ -123,9 +137,11 @@ private:
 
     DaemonOptions options_;
     net::Fd listen_fd_;
+    net::Fd tcp_listen_fd_;
+    std::uint16_t tcp_port_ = 0;
     net::Fd wake_read_;
     net::Fd wake_write_;
-    BoundedQueue<std::shared_ptr<Job>> queue_;
+    LaneQueue<std::shared_ptr<Job>> queue_;
     std::vector<std::thread> workers_;
     std::vector<std::thread> readers_;
     std::mutex readers_mu_;

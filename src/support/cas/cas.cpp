@@ -239,6 +239,35 @@ void CasStore::evict_to_cap_locked() {
 }
 
 std::optional<std::string> CasStore::get(std::uint64_t key) {
+    if (auto local = get_local(key); local.has_value()) return local;
+
+    // Local miss: consult the remote tier, outside every store lock (the
+    // fetch is a network round-trip). A remote hit is written through to
+    // the local disk tier so the next read is local — and deliberately not
+    // republished upstream.
+    RemoteFetch fetch;
+    {
+        std::lock_guard lock(remote_mu_);
+        fetch = remote_fetch_;
+    }
+    if (!fetch) return std::nullopt;
+    std::optional<std::string> remote = fetch(key);
+    {
+        std::lock_guard lock(mu_);
+        if (remote.has_value()) {
+            ++stats_.remote_hits;
+            count("cas.remote_hits", 1);
+        } else {
+            ++stats_.remote_misses;
+            count("cas.remote_misses", 1);
+        }
+    }
+    if (!remote.has_value()) return std::nullopt;
+    put_local(key, *remote);
+    return remote;
+}
+
+std::optional<std::string> CasStore::get_local(std::uint64_t key) {
     std::lock_guard lock(mu_);
     const fs::path path = entry_path(key);
 
@@ -297,6 +326,22 @@ std::optional<std::string> CasStore::get(std::uint64_t key) {
 }
 
 void CasStore::put(std::uint64_t key, std::string_view payload) {
+    put_local(key, payload);
+
+    RemotePublish publish;
+    {
+        std::lock_guard lock(remote_mu_);
+        publish = remote_publish_;
+    }
+    if (!publish) return;
+    if (publish(key, payload)) {
+        std::lock_guard lock(mu_);
+        ++stats_.remote_puts;
+        count("cas.remote_puts", 1);
+    }
+}
+
+void CasStore::put_local(std::uint64_t key, std::string_view payload) {
     std::lock_guard lock(mu_);
 
     EntryHeader header{};
@@ -369,6 +414,17 @@ void CasStore::set_max_bytes(std::uint64_t max_bytes) {
     evict_to_cap_locked();
 }
 
+void CasStore::set_remote(RemoteFetch fetch, RemotePublish publish) {
+    std::lock_guard lock(remote_mu_);
+    remote_fetch_ = std::move(fetch);
+    remote_publish_ = std::move(publish);
+}
+
+bool CasStore::has_remote() const {
+    std::lock_guard lock(remote_mu_);
+    return static_cast<bool>(remote_fetch_);
+}
+
 // ------------------------------------------------------------ global store --
 
 namespace {
@@ -422,6 +478,11 @@ void configure(const std::string& dir, std::uint64_t max_bytes) {
         return;
     }
     g.store = std::make_unique<CasStore>(dir, cap);
+}
+
+void configure_remote(RemoteFetch fetch, RemotePublish publish) {
+    if (CasStore* s = store())
+        s->set_remote(std::move(fetch), std::move(publish));
 }
 
 } // namespace psaflow::cas

@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <functional>
 #include <list>
 #include <mutex>
 #include <optional>
@@ -129,7 +130,19 @@ struct CasStats {
     std::uint64_t writes = 0;
     std::uint64_t evictions = 0;
     std::uint64_t corrupt = 0;
+    std::uint64_t remote_hits = 0;   ///< local miss satisfied by the remote tier
+    std::uint64_t remote_misses = 0; ///< consulted the remote tier, not there
+    std::uint64_t remote_puts = 0;   ///< payloads published to the remote tier
 };
+
+/// Hooks onto a remote artifact tier (cluster/remote_cas implements them
+/// over the wire). `fetch` returns the payload or nullopt; `publish`
+/// returns false on transport failure (best-effort — the local entry is
+/// already durable).
+using RemoteFetch =
+    std::function<std::optional<std::string>(std::uint64_t key)>;
+using RemotePublish =
+    std::function<bool(std::uint64_t key, std::string_view payload)>;
 
 class CasStore {
 public:
@@ -144,12 +157,30 @@ public:
                       std::uint64_t max_bytes = kDefaultMaxBytes);
 
     /// Checksum-verified read. Corrupt / truncated / version-mismatched
-    /// entries are deleted and reported as a miss.
+    /// entries are deleted and reported as a miss. With a remote tier
+    /// attached, a local miss consults it and a remote hit is written
+    /// through to disk — the disk tier is a read-through cache of the
+    /// shared tier.
     [[nodiscard]] std::optional<std::string> get(std::uint64_t key);
+
+    /// Local-disk-only read: never consults the remote tier. This is what
+    /// the wire `cas_get` handler serves, so a chain of stores can never
+    /// recurse through each other.
+    [[nodiscard]] std::optional<std::string> get_local(std::uint64_t key);
 
     /// Atomic (write-temp-then-rename) insert; evicts LRU entries past the
     /// size cap afterwards. Re-putting an existing key refreshes recency.
+    /// With a remote tier attached, the payload is also published upstream
+    /// (best-effort, outside the store lock).
     void put(std::uint64_t key, std::string_view payload);
+
+    /// Local-disk-only insert (the read-through path and the wire
+    /// `cas_put` handler; never republishes upstream).
+    void put_local(std::uint64_t key, std::string_view payload);
+
+    /// Attach (or with empty functions, detach) a remote artifact tier.
+    void set_remote(RemoteFetch fetch, RemotePublish publish);
+    [[nodiscard]] bool has_remote() const;
 
     /// Evict everything (used by tests and `psaflowc --cache-clear`).
     void clear();
@@ -178,6 +209,9 @@ private:
 
     std::filesystem::path root_;
     mutable std::mutex mu_;
+    mutable std::mutex remote_mu_; ///< guards the hook pair only
+    RemoteFetch remote_fetch_;
+    RemotePublish remote_publish_;
     std::uint64_t max_bytes_;
     std::uint64_t total_bytes_ = 0;
     std::uint64_t tmp_counter_ = 0;
@@ -197,5 +231,10 @@ private:
 /// the store's current root and cap is a no-op (sessions share the warm
 /// index).
 void configure(const std::string& dir, std::uint64_t max_bytes = 0);
+
+/// Attach a remote artifact tier to the process-wide store (no-op while
+/// disk caching is disabled — the disk tier is the remote tier's
+/// read-through cache, so there is nowhere to cache into without it).
+void configure_remote(RemoteFetch fetch, RemotePublish publish);
 
 } // namespace psaflow::cas

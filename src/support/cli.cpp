@@ -38,6 +38,21 @@ void OptionParser::str(const std::string& name, const std::string& value_name,
     options_.push_back(std::move(opt));
 }
 
+void OptionParser::multi(const std::string& name,
+                         const std::string& value_name,
+                         const std::string& help,
+                         std::vector<std::string>* out) {
+    Option opt;
+    opt.name = name;
+    opt.value_name = value_name;
+    opt.help = help;
+    opt.apply = [out](const char* raw) -> std::optional<std::string> {
+        out->emplace_back(raw);
+        return std::nullopt;
+    };
+    options_.push_back(std::move(opt));
+}
+
 void OptionParser::integer(const std::string& name,
                            const std::string& value_name,
                            const std::string& help, long long* out,

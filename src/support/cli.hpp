@@ -48,6 +48,11 @@ public:
     void real(const std::string& name, const std::string& value_name,
               const std::string& help, double* out);
 
+    /// Repeatable string option: every occurrence appends to `*out`
+    /// (psaflow-router's `--shard a=... --shard b=...`).
+    void multi(const std::string& name, const std::string& value_name,
+               const std::string& help, std::vector<std::string>* out);
+
     /// Enumerated string option; values outside `allowed` report
     /// "--name must be one of: a|b".
     void choice(const std::string& name, const std::string& value_name,

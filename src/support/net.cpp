@@ -3,10 +3,16 @@
 #include <cerrno>
 #include <cstring>
 
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include "support/string_util.hpp"
 
 namespace psaflow::net {
 
@@ -97,13 +103,24 @@ FrameStatus read_frame(int fd, std::string& payload) {
     return FrameStatus::Ok;
 }
 
-bool write_frame(int fd, std::string_view payload) {
-    if (payload.size() > kMaxFramePayload) return false;
+const char* to_string(WriteStatus status) {
+    switch (status) {
+        case WriteStatus::Ok: return "ok";
+        case WriteStatus::TooLarge: return "frame too large";
+        case WriteStatus::Error: return "write error";
+    }
+    return "?";
+}
+
+WriteStatus write_frame_status(int fd, std::string_view payload) {
+    if (payload.size() > kMaxFramePayload) return WriteStatus::TooLarge;
     unsigned char header[8];
     store_u32(header, kFrameMagic);
     store_u32(header + 4, static_cast<std::uint32_t>(payload.size()));
-    return write_exact(fd, header, sizeof header) &&
-           write_exact(fd, payload.data(), payload.size());
+    if (!write_exact(fd, header, sizeof header)) return WriteStatus::Error;
+    if (!write_exact(fd, payload.data(), payload.size()))
+        return WriteStatus::Error;
+    return WriteStatus::Ok;
 }
 
 namespace {
@@ -125,6 +142,61 @@ std::string errno_message(const std::string& what) {
     return what + ": " + std::strerror(errno);
 }
 } // namespace
+
+std::string Endpoint::describe() const {
+    if (kind == Kind::Unix) return "unix:" + path;
+    return host + ":" + std::to_string(port);
+}
+
+std::optional<Endpoint> parse_endpoint(const std::string& spec,
+                                       std::string* error) {
+    const auto fail = [&](const std::string& message) -> std::optional<Endpoint> {
+        if (error != nullptr) *error = message;
+        return std::nullopt;
+    };
+    if (spec.empty()) return fail("empty endpoint spec");
+
+    std::string rest = spec;
+    bool force_tcp = false;
+    if (starts_with(rest, "unix:")) {
+        Endpoint ep;
+        ep.kind = Endpoint::Kind::Unix;
+        ep.path = rest.substr(5);
+        if (ep.path.empty()) return fail("unix endpoint has an empty path");
+        return ep;
+    }
+    if (starts_with(rest, "tcp:")) {
+        force_tcp = true;
+        rest = rest.substr(4);
+    }
+
+    // A bare "host:port" is TCP only when it looks like one: exactly one
+    // ':' splitting a non-empty host (no '/', so relative socket paths with
+    // colons stay Unix) from a numeric port.
+    const std::size_t colon = rest.rfind(':');
+    const bool tcp_shaped = colon != std::string::npos && colon > 0 &&
+                            rest.find('/') == std::string::npos &&
+                            rest.find(':') == colon;
+    if (force_tcp || tcp_shaped) {
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= rest.size())
+            return fail("tcp endpoint '" + spec +
+                        "' is not of the form host:port");
+        const auto port = parse_int(rest.substr(colon + 1));
+        if (!port.has_value() || *port < 0 || *port > 65535)
+            return fail("tcp endpoint '" + spec + "' has an invalid port");
+        Endpoint ep;
+        ep.kind = Endpoint::Kind::Tcp;
+        ep.host = rest.substr(0, colon);
+        ep.port = static_cast<std::uint16_t>(*port);
+        return ep;
+    }
+
+    Endpoint ep;
+    ep.kind = Endpoint::Kind::Unix;
+    ep.path = rest;
+    return ep;
+}
 
 Fd listen_unix(const std::string& path, int backlog, std::string* error) {
     sockaddr_un addr;
@@ -169,6 +241,104 @@ Fd connect_unix(const std::string& path, std::string* error) {
     return fd;
 }
 
+namespace {
+
+/// Resolve host:port for socket(2)/bind(2)/connect(2). getaddrinfo handles
+/// numeric addresses and names alike; we take the first AF_INET/AF_INET6
+/// result (the daemon's serving surface is a LAN, not multi-homing).
+struct ResolvedAddr {
+    addrinfo* list = nullptr;
+    ~ResolvedAddr() {
+        if (list != nullptr) ::freeaddrinfo(list);
+    }
+};
+
+bool resolve_tcp(const std::string& host, std::uint16_t port, bool passive,
+                 ResolvedAddr& out, std::string* error) {
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_protocol = IPPROTO_TCP;
+    if (passive) hints.ai_flags = AI_PASSIVE;
+    const std::string service = std::to_string(port);
+    const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                                 service.c_str(), &hints, &out.list);
+    if (rc != 0) {
+        if (error != nullptr)
+            *error = "resolve '" + host + ":" + service +
+                     "': " + ::gai_strerror(rc);
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+Fd listen_tcp(const std::string& host, std::uint16_t port, int backlog,
+              std::string* error) {
+    ResolvedAddr addr;
+    if (!resolve_tcp(host, port, /*passive=*/true, addr, error)) return Fd();
+    for (addrinfo* ai = addr.list; ai != nullptr; ai = ai->ai_next) {
+        Fd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+        if (!fd.valid()) continue;
+        const int one = 1;
+        ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+        if (::bind(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0) continue;
+        if (::listen(fd.get(), backlog) != 0) continue;
+        return fd;
+    }
+    if (error != nullptr)
+        *error = errno_message("listen '" + host + ":" +
+                               std::to_string(port) + "'");
+    return Fd();
+}
+
+Fd connect_tcp(const std::string& host, std::uint16_t port,
+               std::string* error) {
+    ResolvedAddr addr;
+    if (!resolve_tcp(host, port, /*passive=*/false, addr, error)) return Fd();
+    for (addrinfo* ai = addr.list; ai != nullptr; ai = ai->ai_next) {
+        Fd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+        if (!fd.valid()) continue;
+        int rc;
+        do {
+            rc = ::connect(fd.get(), ai->ai_addr, ai->ai_addrlen);
+        } while (rc != 0 && errno == EINTR);
+        if (rc != 0) continue;
+        const int one = 1;
+        ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+        return fd;
+    }
+    if (error != nullptr)
+        *error = errno_message("connect '" + host + ":" +
+                               std::to_string(port) + "'");
+    return Fd();
+}
+
+Fd listen_endpoint(const Endpoint& ep, int backlog, std::string* error) {
+    if (ep.kind == Endpoint::Kind::Unix)
+        return listen_unix(ep.path, backlog, error);
+    return listen_tcp(ep.host, ep.port, backlog, error);
+}
+
+Fd connect_endpoint(const Endpoint& ep, std::string* error) {
+    if (ep.kind == Endpoint::Kind::Unix)
+        return connect_unix(ep.path, error);
+    return connect_tcp(ep.host, ep.port, error);
+}
+
+std::uint16_t local_port(int fd) {
+    sockaddr_storage storage{};
+    socklen_t len = sizeof storage;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&storage), &len) != 0)
+        return 0;
+    if (storage.ss_family == AF_INET)
+        return ntohs(reinterpret_cast<sockaddr_in*>(&storage)->sin_port);
+    if (storage.ss_family == AF_INET6)
+        return ntohs(reinterpret_cast<sockaddr_in6*>(&storage)->sin6_port);
+    return 0;
+}
+
 Fd accept_connection(int listen_fd) {
     for (;;) {
         const int fd = ::accept(listen_fd, nullptr, nullptr);
@@ -195,18 +365,24 @@ void set_recv_timeout(int fd, long long ms) {
 }
 
 int wait_readable(int fd_a, int fd_b, int timeout_ms) {
-    pollfd fds[2];
-    nfds_t n = 0;
-    if (fd_a >= 0) fds[n++] = pollfd{fd_a, POLLIN, 0};
-    if (fd_b >= 0) fds[n++] = pollfd{fd_b, POLLIN, 0};
-    if (n == 0) return -1;
+    return wait_readable_any({fd_a, fd_b}, timeout_ms);
+}
+
+int wait_readable_any(const std::vector<int>& fds, int timeout_ms) {
+    std::vector<pollfd> poll_fds;
+    poll_fds.reserve(fds.size());
+    for (int fd : fds)
+        if (fd >= 0) poll_fds.push_back(pollfd{fd, POLLIN, 0});
+    if (poll_fds.empty()) return -1;
     for (;;) {
-        const int rc = ::poll(fds, n, timeout_ms);
+        const int rc = ::poll(poll_fds.data(),
+                              static_cast<nfds_t>(poll_fds.size()),
+                              timeout_ms);
         if (rc < 0 && errno == EINTR) continue;
         if (rc <= 0) return -1;
-        for (nfds_t i = 0; i < n; ++i) {
-            if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
-                return fds[i].fd;
+        for (const pollfd& pfd : poll_fds) {
+            if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+                return pfd.fd;
         }
         return -1;
     }

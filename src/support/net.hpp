@@ -1,22 +1,30 @@
 // EINTR-safe framed-socket I/O for the serving layer.
 //
-// psaflowd speaks length-prefixed JSON frames over Unix-domain stream
-// sockets. This header owns everything POSIX about that: file-descriptor
-// RAII, full-buffer read/write loops that retry on EINTR and partial
-// transfers, the frame codec (8-byte header: "PSAF" magic + u32 LE payload
-// length, then the payload), and the listen/connect/socketpair plumbing.
-// Nothing here knows about JSON or the request schema — serve/protocol
-// layers that on top.
+// psaflowd speaks length-prefixed JSON frames over Unix-domain and TCP
+// stream sockets. This header owns everything POSIX about that: file-
+// descriptor RAII, full-buffer read/write loops that retry on EINTR and
+// partial transfers, the frame codec (8-byte header: "PSAF" magic + u32 LE
+// payload length, then the payload), and the listen/connect/socketpair
+// plumbing. Nothing here knows about JSON or the request schema —
+// serve/protocol layers that on top.
 //
-// Frame reading is deliberately paranoid: a torn header, a bad magic, an
-// over-long length and a truncated payload are all distinct, non-throwing
-// outcomes (FrameStatus), because a network peer's malformed bytes are an
-// expected input, not a programming error.
+// Frame I/O is deliberately paranoid in both directions: a torn header, a
+// bad magic, an over-long length and a truncated payload are all distinct,
+// non-throwing outcomes (FrameStatus on reads, WriteStatus on writes),
+// because a network peer's malformed bytes or a vanished peer mid-write
+// are expected inputs, not programming errors.
+//
+// Endpoints are spelled as strings so every tool shares one flag syntax:
+// "host:port" (or "tcp:host:port") is TCP, anything else is a Unix-domain
+// socket path ("unix:" prefix accepted). `parse_endpoint` is the single
+// decoder.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace psaflow::net {
 
@@ -79,7 +87,42 @@ enum class FrameStatus {
 [[nodiscard]] const char* to_string(FrameStatus status);
 
 [[nodiscard]] FrameStatus read_frame(int fd, std::string& payload);
-[[nodiscard]] bool write_frame(int fd, std::string_view payload);
+
+/// Typed outcome of a frame write. `Error` preserves errno (EPIPE when the
+/// peer vanished mid-frame), so callers can distinguish "peer gone" from
+/// "we handed the codec an impossible frame" instead of a silent bool.
+enum class WriteStatus {
+    Ok,
+    TooLarge, ///< payload exceeds kMaxFramePayload; nothing was sent
+    Error,    ///< write/send failed (errno preserved); stream is torn
+};
+[[nodiscard]] const char* to_string(WriteStatus status);
+
+[[nodiscard]] WriteStatus write_frame_status(int fd, std::string_view payload);
+/// Convenience wrapper; prefer write_frame_status where the failure class
+/// matters (the serving layer logs EPIPE differently from oversize bugs).
+[[nodiscard]] inline bool write_frame(int fd, std::string_view payload) {
+    return write_frame_status(fd, payload) == WriteStatus::Ok;
+}
+
+/// One parsed "where to listen/connect" spec: a Unix socket path or a TCP
+/// host:port.
+struct Endpoint {
+    enum class Kind { Unix, Tcp };
+    Kind kind = Kind::Unix;
+    std::string path; ///< Unix socket path (Kind::Unix)
+    std::string host; ///< TCP host (Kind::Tcp)
+    std::uint16_t port = 0;
+
+    [[nodiscard]] std::string describe() const;
+};
+
+/// Decode an endpoint spec: "tcp:host:port" and "host:port" (a single ':'
+/// with a numeric suffix and no '/') are TCP; "unix:path" and anything
+/// else are Unix socket paths. nullopt + `*error` on a malformed spec
+/// (e.g. an out-of-range port).
+[[nodiscard]] std::optional<Endpoint> parse_endpoint(const std::string& spec,
+                                                     std::string* error);
 
 /// Bind + listen on a Unix-domain stream socket at `path` (unlinking a
 /// stale socket file first). Invalid Fd + `*error` message on failure.
@@ -88,6 +131,26 @@ enum class FrameStatus {
 
 /// Connect to the daemon's socket. Invalid Fd + `*error` on failure.
 [[nodiscard]] Fd connect_unix(const std::string& path, std::string* error);
+
+/// Bind + listen on a TCP socket (SO_REUSEADDR; port 0 binds ephemeral —
+/// recover the real port with local_port). Invalid Fd + `*error` on
+/// failure.
+[[nodiscard]] Fd listen_tcp(const std::string& host, std::uint16_t port,
+                            int backlog, std::string* error);
+
+/// Connect to a TCP peer (TCP_NODELAY: frames are latency-sensitive
+/// request/response traffic, not bulk). Invalid Fd + `*error` on failure.
+[[nodiscard]] Fd connect_tcp(const std::string& host, std::uint16_t port,
+                             std::string* error);
+
+/// listen/connect through a parsed Endpoint (dispatches on kind).
+[[nodiscard]] Fd listen_endpoint(const Endpoint& ep, int backlog,
+                                 std::string* error);
+[[nodiscard]] Fd connect_endpoint(const Endpoint& ep, std::string* error);
+
+/// The locally bound TCP port of a listening socket (0 on error) — how a
+/// caller who asked for port 0 learns what the kernel picked.
+[[nodiscard]] std::uint16_t local_port(int fd);
 
 /// accept(2) with EINTR retry; invalid Fd on error.
 [[nodiscard]] Fd accept_connection(int listen_fd);
@@ -102,5 +165,10 @@ void set_recv_timeout(int fd, long long ms);
 /// Returns the readable fd, or -1 on timeout/error. `timeout_ms < 0`
 /// blocks indefinitely. EINTR retries.
 [[nodiscard]] int wait_readable(int fd_a, int fd_b, int timeout_ms);
+
+/// N-fd variant (the daemon polls {unix listener, tcp listener, self-pipe}).
+/// Entries < 0 are ignored. Same return convention as the 2-fd form.
+[[nodiscard]] int wait_readable_any(const std::vector<int>& fds,
+                                    int timeout_ms);
 
 } // namespace psaflow::net

@@ -110,4 +110,115 @@ std::optional<long long> parse_int(std::string_view text) {
     return value;
 }
 
+namespace {
+constexpr char kBase64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int base64_index(char c) {
+    if (c >= 'A' && c <= 'Z') return c - 'A';
+    if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+    if (c >= '0' && c <= '9') return c - '0' + 52;
+    if (c == '+') return 62;
+    if (c == '/') return 63;
+    return -1;
+}
+} // namespace
+
+std::string base64_encode(std::string_view bytes) {
+    std::string out;
+    out.reserve((bytes.size() + 2) / 3 * 4);
+    std::size_t i = 0;
+    for (; i + 3 <= bytes.size(); i += 3) {
+        const std::uint32_t n =
+            static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i]))
+                << 16 |
+            static_cast<std::uint32_t>(
+                static_cast<unsigned char>(bytes[i + 1]))
+                << 8 |
+            static_cast<std::uint32_t>(
+                static_cast<unsigned char>(bytes[i + 2]));
+        out.push_back(kBase64Alphabet[(n >> 18) & 63]);
+        out.push_back(kBase64Alphabet[(n >> 12) & 63]);
+        out.push_back(kBase64Alphabet[(n >> 6) & 63]);
+        out.push_back(kBase64Alphabet[n & 63]);
+    }
+    const std::size_t rest = bytes.size() - i;
+    if (rest == 1) {
+        const std::uint32_t n =
+            static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i]))
+            << 16;
+        out.push_back(kBase64Alphabet[(n >> 18) & 63]);
+        out.push_back(kBase64Alphabet[(n >> 12) & 63]);
+        out.push_back('=');
+        out.push_back('=');
+    } else if (rest == 2) {
+        const std::uint32_t n =
+            static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i]))
+                << 16 |
+            static_cast<std::uint32_t>(
+                static_cast<unsigned char>(bytes[i + 1]))
+                << 8;
+        out.push_back(kBase64Alphabet[(n >> 18) & 63]);
+        out.push_back(kBase64Alphabet[(n >> 12) & 63]);
+        out.push_back(kBase64Alphabet[(n >> 6) & 63]);
+        out.push_back('=');
+    }
+    return out;
+}
+
+std::optional<std::string> base64_decode(std::string_view text) {
+    if (text.size() % 4 != 0) return std::nullopt;
+    std::string out;
+    out.reserve(text.size() / 4 * 3);
+    for (std::size_t i = 0; i < text.size(); i += 4) {
+        int vals[4];
+        int pad = 0;
+        for (int j = 0; j < 4; ++j) {
+            const char c = text[i + j];
+            if (c == '=') {
+                // Padding is only legal in the last group's final positions.
+                if (i + 4 != text.size() || j < 2) return std::nullopt;
+                vals[j] = 0;
+                ++pad;
+            } else {
+                if (pad > 0) return std::nullopt; // data after '='
+                vals[j] = base64_index(c);
+                if (vals[j] < 0) return std::nullopt;
+            }
+        }
+        const std::uint32_t n = static_cast<std::uint32_t>(vals[0]) << 18 |
+                                static_cast<std::uint32_t>(vals[1]) << 12 |
+                                static_cast<std::uint32_t>(vals[2]) << 6 |
+                                static_cast<std::uint32_t>(vals[3]);
+        out.push_back(static_cast<char>((n >> 16) & 0xff));
+        if (pad < 2) out.push_back(static_cast<char>((n >> 8) & 0xff));
+        if (pad < 1) out.push_back(static_cast<char>(n & 0xff));
+    }
+    return out;
+}
+
+std::string hex_u64(std::uint64_t value) {
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = kHex[value & 0xf];
+        value >>= 4;
+    }
+    return out;
+}
+
+std::optional<std::uint64_t> parse_hex_u64(std::string_view text) {
+    if (text.size() != 16) return std::nullopt;
+    std::uint64_t value = 0;
+    for (char c : text) {
+        int digit;
+        if (c >= '0' && c <= '9') digit = c - '0';
+        else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+        else return std::nullopt;
+        value = value << 4 | static_cast<std::uint64_t>(digit);
+    }
+    return value;
+}
+
 } // namespace psaflow

@@ -1,6 +1,7 @@
 // Small string helpers used by the printer, report tables and code emitters.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -43,5 +44,16 @@ namespace psaflow {
 /// Unlike std::stod/stoll these never throw.
 [[nodiscard]] std::optional<double> parse_double(std::string_view text);
 [[nodiscard]] std::optional<long long> parse_int(std::string_view text);
+
+/// Standard base64 (RFC 4648, with padding): how binary CAS payloads ride
+/// inside JSON wire frames. decode returns nullopt on any non-base64
+/// input — a remote peer's bytes are untrusted.
+[[nodiscard]] std::string base64_encode(std::string_view bytes);
+[[nodiscard]] std::optional<std::string> base64_decode(std::string_view text);
+
+/// Fixed-width lowercase hex for 64-bit CAS keys ("00c3a2..."), and its
+/// strict inverse (exactly 16 hex digits, else nullopt).
+[[nodiscard]] std::string hex_u64(std::uint64_t value);
+[[nodiscard]] std::optional<std::uint64_t> parse_hex_u64(std::string_view text);
 
 } // namespace psaflow

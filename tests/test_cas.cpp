@@ -156,6 +156,56 @@ TEST(CasStore, AbsentKeyIsMiss) {
     EXPECT_EQ(store.stats().misses, 1u);
 }
 
+TEST(CasStore, RemoteFetchIsReadThroughOnLocalMiss) {
+    TempRoot root("remote-fetch");
+    cas::CasStore store(root.path);
+    int fetches = 0;
+    store.set_remote(
+        [&](std::uint64_t key) -> std::optional<std::string> {
+            ++fetches;
+            if (key == 0xabc) return std::string("from-peer");
+            return std::nullopt;
+        },
+        /*publish=*/nullptr);
+
+    // Local miss → remote hit → cached locally; the second get never
+    // leaves the process.
+    auto got = store.get(0xabc);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, "from-peer");
+    got = store.get(0xabc);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(fetches, 1) << "read-through should cache";
+
+    // Remote miss stays a miss and is counted as one.
+    EXPECT_FALSE(store.get(0xdef).has_value());
+    EXPECT_EQ(fetches, 2);
+
+    // get_local never consults the remote tier (the wire handlers use it
+    // to serve peers without recursing).
+    EXPECT_FALSE(store.get_local(0x123).has_value());
+    EXPECT_EQ(fetches, 2);
+}
+
+TEST(CasStore, PutPublishesToRemoteBestEffort) {
+    TempRoot root("remote-publish");
+    cas::CasStore store(root.path);
+    std::vector<std::uint64_t> published;
+    store.set_remote(
+        /*fetch=*/nullptr,
+        [&](std::uint64_t key, std::string_view payload) {
+            published.push_back(key);
+            return payload.size() % 2 == 0; // alternate success/failure
+        });
+    store.put(1, "even");
+    store.put(2, "odd--");
+    ASSERT_EQ(published.size(), 2u);
+    EXPECT_EQ(published[0], 1u);
+    // A failed publish is invisible to the caller: both entries read back.
+    EXPECT_TRUE(store.get_local(1).has_value());
+    EXPECT_TRUE(store.get_local(2).has_value());
+}
+
 TEST(CasStore, PersistsAcrossReopen) {
     TempRoot root("reopen");
     {

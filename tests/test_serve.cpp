@@ -22,6 +22,7 @@
 #include "support/cancel.hpp"
 #include "support/histogram.hpp"
 #include "support/net.hpp"
+#include "support/string_util.hpp"
 
 namespace psaflow {
 namespace {
@@ -259,6 +260,66 @@ TEST(BoundedQueue, CloseWakesBlockedPoppers) {
     EXPECT_EQ(woke.load(), 4);
 }
 
+// -------------------------------------------------------------- lane queue ----
+
+TEST(LaneQueue, InteractiveLaneDrainsBeforeBatch) {
+    serve::LaneQueue<int> queue(/*capacity=*/8, /*lanes=*/2, /*workers=*/1);
+    ASSERT_TRUE(queue.try_push(10, /*lane=*/1, /*affinity=*/0)); // batch
+    ASSERT_TRUE(queue.try_push(11, 1, 0));
+    ASSERT_TRUE(queue.try_push(20, /*lane=*/0, 0)); // interactive, later
+    EXPECT_EQ(queue.lane_depth(0), 1u);
+    EXPECT_EQ(queue.lane_depth(1), 2u);
+
+    auto first = queue.pop(0);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->item, 20); // pushed last, drained first
+    EXPECT_EQ(first->lane, 0u);
+    auto second = queue.pop(0);
+    ASSERT_TRUE(second.has_value());
+    EXPECT_EQ(second->item, 10); // batch FIFO resumes
+}
+
+TEST(LaneQueue, AffinityPinsToWorkerSubQueue) {
+    serve::LaneQueue<int> queue(8, 1, /*workers=*/2);
+    // Affinity 0 → worker 0's sub-queue; affinity 1 → worker 1's.
+    ASSERT_TRUE(queue.try_push(100, 0, /*affinity=*/0));
+    ASSERT_TRUE(queue.try_push(200, 0, /*affinity=*/1));
+    auto for_one = queue.pop(1);
+    ASSERT_TRUE(for_one.has_value());
+    EXPECT_EQ(for_one->item, 200); // own sub-queue wins over a steal
+    EXPECT_FALSE(for_one->stolen);
+    EXPECT_EQ(queue.steals(), 0u);
+}
+
+TEST(LaneQueue, IdleWorkerStealsFromLongestSibling) {
+    serve::LaneQueue<int> queue(8, 1, /*workers=*/2);
+    // Everything lands on worker 0; worker 1 must steal to stay busy.
+    ASSERT_TRUE(queue.try_push(1, 0, 0));
+    ASSERT_TRUE(queue.try_push(2, 0, 0));
+    ASSERT_TRUE(queue.try_push(3, 0, 0));
+    auto stolen = queue.pop(1);
+    ASSERT_TRUE(stolen.has_value());
+    EXPECT_EQ(stolen->item, 1); // the oldest, preserving FIFO fairness
+    EXPECT_TRUE(stolen->stolen);
+    EXPECT_EQ(queue.steals(), 1u);
+    auto own = queue.pop(0);
+    ASSERT_TRUE(own.has_value());
+    EXPECT_EQ(own->item, 2);
+    EXPECT_FALSE(own->stolen);
+}
+
+TEST(LaneQueue, CapacityIsSharedAcrossLanesAndCloseDrains) {
+    serve::LaneQueue<int> queue(/*capacity=*/2, 2, 2);
+    ASSERT_TRUE(queue.try_push(1, 0, 0));
+    ASSERT_TRUE(queue.try_push(2, 1, 1));
+    EXPECT_FALSE(queue.try_push(3, 0, 0)) << "one bound for all lanes";
+    queue.close();
+    EXPECT_FALSE(queue.try_push(4, 0, 0));
+    EXPECT_TRUE(queue.pop(0).has_value());
+    EXPECT_TRUE(queue.pop(0).has_value()); // steals across lanes on drain
+    EXPECT_FALSE(queue.pop(0).has_value()); // closed + drained → exit signal
+}
+
 // ----------------------------------------------------------- cancellation ----
 
 TEST(Cancel, TokenFlagAndDeadline) {
@@ -415,6 +476,96 @@ TEST(Protocol, BrokenInlineFlowIsAParseErrorNotAMidRunFailure) {
     ASSERT_TRUE(shape_error.has_value());
     EXPECT_EQ(*shape_error,
               "flow must be a manifest object or a file path");
+}
+
+TEST(Protocol, ParsesPriorityLane) {
+    const auto batch = json::parse(
+        R"({"type":"compile","app":"nbody","priority":"batch"})");
+    ASSERT_TRUE(batch.has_value());
+    serve::WireRequest request;
+    EXPECT_FALSE(serve::parse_wire_request(*batch, request).has_value());
+    EXPECT_EQ(request.compile.priority, serve::Priority::Batch);
+
+    const auto implicit =
+        json::parse(R"({"type":"compile","app":"nbody"})");
+    ASSERT_TRUE(implicit.has_value());
+    serve::WireRequest fresh;
+    EXPECT_FALSE(serve::parse_wire_request(*implicit, fresh).has_value());
+    EXPECT_EQ(fresh.compile.priority, serve::Priority::Interactive);
+
+    const auto bogus = json::parse(
+        R"({"type":"compile","app":"nbody","priority":"urgent"})");
+    ASSERT_TRUE(bogus.has_value());
+    serve::WireRequest rejected;
+    EXPECT_TRUE(serve::parse_wire_request(*bogus, rejected).has_value());
+}
+
+TEST(Protocol, CasRequestsRoundTripKeysAndPayloads) {
+    const auto get = json::parse(
+        R"({"type":"cas_get","key":"00000000000000ff"})");
+    ASSERT_TRUE(get.has_value());
+    serve::WireRequest request;
+    EXPECT_FALSE(serve::parse_wire_request(*get, request).has_value());
+    EXPECT_EQ(request.type, serve::RequestType::CasGet);
+    EXPECT_EQ(request.cas_key, 0xffu);
+
+    // put carries the payload as base64; binary bytes survive.
+    const std::string bytes = {'\x00', '\x01', '\xfe', 'z', 'z', '\n'};
+    json::Value put = json::Value::object();
+    put.set("type", json::Value::string("cas_put"));
+    put.set("key", json::Value::string(hex_u64(0xdeadbeefULL)));
+    put.set("payload", json::Value::string(base64_encode(bytes)));
+    serve::WireRequest stored;
+    EXPECT_FALSE(serve::parse_wire_request(put, stored).has_value());
+    EXPECT_EQ(stored.type, serve::RequestType::CasPut);
+    EXPECT_EQ(stored.cas_key, 0xdeadbeefULL);
+    EXPECT_EQ(stored.cas_payload, bytes);
+
+    // Malformed keys and payloads are parse errors, not crashes.
+    const auto short_key =
+        json::parse(R"({"type":"cas_get","key":"ff"})");
+    ASSERT_TRUE(short_key.has_value());
+    serve::WireRequest bad;
+    EXPECT_TRUE(serve::parse_wire_request(*short_key, bad).has_value());
+    const auto bad_b64 = json::parse(
+        R"({"type":"cas_put","key":"00000000000000ff","payload":"!!"})");
+    ASSERT_TRUE(bad_b64.has_value());
+    EXPECT_TRUE(serve::parse_wire_request(*bad_b64, bad).has_value());
+
+    // Response constructors: found carries the payload back, miss omits it.
+    const json::Value hit = serve::make_cas_get_response(bytes);
+    EXPECT_TRUE(hit.find("found")->bool_value);
+    EXPECT_EQ(*base64_decode(hit.find("payload")->string_value), bytes);
+    const json::Value miss = serve::make_cas_get_response(std::nullopt);
+    EXPECT_FALSE(miss.find("found")->bool_value);
+    EXPECT_EQ(miss.find("payload"), nullptr);
+}
+
+TEST(Net, WriteFrameStatusDistinguishesOversizeFromTransport) {
+    net::Fd a, b;
+    ASSERT_TRUE(net::socket_pair(a, b));
+    EXPECT_EQ(net::write_frame_status(a.get(), "ok"), net::WriteStatus::Ok);
+    std::string echoed;
+    ASSERT_EQ(net::read_frame(b.get(), echoed), net::FrameStatus::Ok);
+    EXPECT_EQ(echoed, "ok");
+
+    // An oversized payload is refused before any byte hits the wire.
+    std::string oversized(net::kMaxFramePayload + 1, 'x');
+    EXPECT_EQ(net::write_frame_status(a.get(), oversized),
+              net::WriteStatus::TooLarge);
+    // The peer saw nothing: the next frame reads back cleanly.
+    EXPECT_EQ(net::write_frame_status(a.get(), "after"),
+              net::WriteStatus::Ok);
+    ASSERT_EQ(net::read_frame(b.get(), echoed), net::FrameStatus::Ok);
+    EXPECT_EQ(echoed, "after");
+
+    // A vanished peer is a transport error, not a silent true.
+    b.reset();
+    std::string big(1 << 20, 'y');
+    net::WriteStatus gone = net::write_frame_status(a.get(), big);
+    if (gone == net::WriteStatus::Ok) // kernel buffered the first frame
+        gone = net::write_frame_status(a.get(), big);
+    EXPECT_EQ(gone, net::WriteStatus::Error);
 }
 
 // --------------------------------------------------------------- executor ----

@@ -18,18 +18,22 @@
 //   2  usage error or bad_request
 //   3  overloaded (after exhausting --retry attempts)
 //   4  deadline_exceeded
+#include <unistd.h>
+
 #include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <thread>
 
+#include "cluster/retry.hpp"
 #include "flow/manifest.hpp"
 #include "serve/format.hpp"
 #include "serve/protocol.hpp"
 #include "support/cli.hpp"
 #include "support/error.hpp"
 #include "support/net.hpp"
+#include "support/prng.hpp"
 #include "support/string_util.hpp"
 
 using namespace psaflow;
@@ -38,10 +42,10 @@ namespace {
 
 /// One request/response round-trip on a fresh connection. Returns false on
 /// transport failure (message on stderr).
-bool round_trip(const std::string& socket_path, const json::Value& request,
+bool round_trip(const net::Endpoint& endpoint, const json::Value& request,
                 json::Value& response) {
     std::string error;
-    net::Fd conn = net::connect_unix(socket_path, &error);
+    net::Fd conn = net::connect_endpoint(endpoint, &error);
     if (!conn.valid()) {
         std::cerr << "psaflow-client: " << error << "\n";
         return false;
@@ -92,6 +96,8 @@ int main(int argc, char** argv) {
     long long deadline_ms = 0;
     long long sleep_ms = -1;
     long long retries = 0;
+    long long retry_budget_ms = 30000;
+    long long retry_seed = 0;
     long long log_max = 100;
     std::string log_level;
     bool stats = false;
@@ -109,7 +115,9 @@ int main(int argc, char** argv) {
          "[--flow <manifest.json>]",
          "--socket <path> --stats [--json] | --metrics | --ping",
          "--socket <path> --logs [--log-max <n>] [--log-level <level>]"});
-    parser.str("--socket", "<path>", "daemon socket path", &socket_path);
+    parser.str("--socket", "<endpoint>",
+               "daemon/router endpoint: socket path or host:port",
+               &socket_path);
     parser.str("--app", "<name>", "application to compile", &app);
     parser.str("--mode", "<mode>", "informed|uninformed (default informed)",
                &mode);
@@ -124,8 +132,16 @@ int main(int argc, char** argv) {
                    "per-request deadline (0 = daemon default)", &deadline_ms,
                    /*min=*/0);
     parser.integer("--retry", "<n>",
-                   "retries when overloaded, honouring retry_after_ms",
+                   "retries when overloaded, honouring retry_after_ms "
+                   "with jitter",
                    &retries, /*min=*/0);
+    parser.integer("--retry-budget-ms", "<n>",
+                   "total time allowed sleeping between retries "
+                   "(default 30000)",
+                   &retry_budget_ms, /*min=*/0);
+    parser.integer("--retry-seed", "<n>",
+                   "jitter seed (0 = derived from pid, the usual case)",
+                   &retry_seed, /*min=*/0);
     parser.integer("--sleep-ms", "<n>",
                    "test-only: occupy a worker for <n> ms", &sleep_ms,
                    /*min=*/0);
@@ -151,6 +167,12 @@ int main(int argc, char** argv) {
         (app.empty() && !stats && !metrics && !logs && !ping &&
          sleep_ms < 0)) {
         std::cerr << parser.usage();
+        return 2;
+    }
+    std::string endpoint_error;
+    const auto endpoint = net::parse_endpoint(socket_path, &endpoint_error);
+    if (!endpoint.has_value()) {
+        std::cerr << "psaflow-client: " << endpoint_error << "\n";
         return 2;
     }
 
@@ -212,10 +234,22 @@ int main(int argc, char** argv) {
         }
     }
 
+    // Overload retries: the server's retry_after_ms hint, jittered so a
+    // burst of rejected clients fans back in spread out, bounded both by
+    // the attempt count (--retry) and a wall-clock sleep budget
+    // (--retry-budget-ms) so a persistently overloaded daemon fails fast
+    // rather than pinning the caller.
+    SplitMix64 retry_rng(retry_seed != 0
+                             ? static_cast<std::uint64_t>(retry_seed)
+                             : 0x853c49e6748fea9bULL ^
+                                   static_cast<std::uint64_t>(::getpid()));
+    cluster::BackoffPolicy backoff;
+    backoff.max_attempts = static_cast<int>(retries) + 1;
+    long long budget_left_ms = retry_budget_ms;
     json::Value response;
     serve::ResponseView view;
     for (long long attempt = 0;; ++attempt) {
-        if (!round_trip(socket_path, request, response)) return 1;
+        if (!round_trip(*endpoint, request, response)) return 1;
         auto parsed = serve::parse_response(response);
         if (!parsed.has_value()) {
             std::cerr << "psaflow-client: response is not a psaflowd "
@@ -226,8 +260,13 @@ int main(int argc, char** argv) {
         if (view.ok || view.error_kind != serve::ErrorKind::Overloaded ||
             attempt >= retries)
             break;
-        const long long wait =
-            view.retry_after_ms > 0 ? view.retry_after_ms : 100;
+        long long wait = backoff.delay_ms(static_cast<int>(attempt),
+                                          retry_rng, view.retry_after_ms);
+        if (wait > budget_left_ms) {
+            if (budget_left_ms <= 0) break; // budget exhausted: give up
+            wait = budget_left_ms;
+        }
+        budget_left_ms -= wait;
         std::this_thread::sleep_for(std::chrono::milliseconds(wait));
     }
 

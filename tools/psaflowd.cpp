@@ -4,20 +4,29 @@
 // the in-process profile caches and the persistent content-addressed
 // store) alive across requests, so clients pay milliseconds of socket
 // round-trip instead of a cold process start per compile. Speaks
-// length-prefixed JSON frames over a Unix-domain socket; the request
-// schema is exactly a `psaflowc --batch` manifest entry (see
+// length-prefixed JSON frames over a Unix-domain socket and/or TCP; the
+// request schema is exactly a `psaflowc --batch` manifest entry (see
 // serve/protocol.hpp and README "Serving").
 //
 //   psaflowd --socket /tmp/psaflow.sock --workers 4 \
 //            --cache-dir .psaflow-cache --out designs/
 //
+// As a cluster shard behind psaflow-router (README "Scale-out serving"):
+//
+//   psaflowd --listen 127.0.0.1:7401 --shard-name a \
+//            --cas-upstream 127.0.0.1:7400 --cache-dir shard-a-cache
+//
 // SIGTERM/SIGINT drain gracefully: stop accepting, answer everything
 // already admitted, remove the socket file, exit 0.
 #include <csignal>
 #include <iostream>
+#include <memory>
 
+#include "cluster/remote_cas.hpp"
 #include "serve/server.hpp"
+#include "support/cas/cas.hpp"
 #include "support/cli.hpp"
+#include "support/net.hpp"
 
 namespace {
 
@@ -42,14 +51,28 @@ int main(int argc, char** argv) {
     long long cache_max_mb = 0;
     bool enable_test_endpoints = false;
 
+    std::string cas_upstream;
+
     cli::OptionParser parser(
         argv[0],
-        {"--socket <path> [--workers <n>] [--queue-depth <n>]\n"
+        {"[--socket <path>] [--listen <host:port>] [--shard-name <name>]\n"
+         "      [--cas-upstream <endpoint>] [--workers <n>] "
+         "[--queue-depth <n>]\n"
          "      [--deadline-ms <n>] [--recv-timeout-ms <n>] [--out <dir>]\n"
          "      [--jobs <n>] [--interp tree|vm] [--cache-dir <dir>]\n"
          "      [--cache-max-mb <n>]"});
     parser.str("--socket", "<path>", "Unix-domain socket to listen on",
                &options.socket_path);
+    parser.str("--listen", "<host:port>",
+               "also listen on TCP (port 0 = ephemeral, printed on start)",
+               &options.listen_tcp);
+    parser.str("--shard-name", "<name>",
+               "cluster shard identity; labels metrics with shard=<name>",
+               &options.shard_name);
+    parser.str("--cas-upstream", "<endpoint>",
+               "remote CAS tier (peer shard or router); the disk cache "
+               "becomes a read-through cache over it",
+               &cas_upstream);
     parser.integer("--workers", "<n>", "warm flow workers (default 2)",
                    &workers, /*min=*/1);
     parser.integer("--queue-depth", "<n>",
@@ -82,7 +105,7 @@ int main(int argc, char** argv) {
                 &enable_test_endpoints);
 
     if (!parser.parse(argc, argv)) return 2;
-    if (options.socket_path.empty()) {
+    if (options.socket_path.empty() && options.listen_tcp.empty()) {
         std::cerr << parser.usage();
         return 2;
     }
@@ -101,13 +124,37 @@ int main(int argc, char** argv) {
         return 1;
     }
 
+    // Remote-CAS wiring lives in the tool, not the serve library: serve's
+    // own cas_get/cas_put handlers use only the local tier, so pointing
+    // shards at each other (or at a router) can never recurse.
+    if (!cas_upstream.empty()) {
+        std::string error;
+        auto endpoint = net::parse_endpoint(cas_upstream, &error);
+        if (!endpoint.has_value()) {
+            std::cerr << "psaflowd: --cas-upstream: " << error << "\n";
+            return 2;
+        }
+        auto client = std::make_shared<cluster::RemoteCasClient>(
+            std::move(*endpoint), recv_timeout_ms);
+        cas::configure_remote(
+            cluster::RemoteCasClient::fetch_hook(client),
+            cluster::RemoteCasClient::publish_hook(client));
+    }
+
     g_daemon = &daemon;
     std::signal(SIGTERM, handle_signal);
     std::signal(SIGINT, handle_signal);
     std::signal(SIGPIPE, SIG_IGN);
 
-    std::cout << "psaflowd: serving on " << options.socket_path << " with "
-              << options.workers << " worker(s), queue depth "
+    std::cout << "psaflowd: serving on ";
+    if (!options.socket_path.empty()) std::cout << options.socket_path;
+    if (!options.listen_tcp.empty()) {
+        if (!options.socket_path.empty()) std::cout << " and ";
+        // The resolved port matters when --listen asked for port 0; smoke
+        // scripts scrape it from this line.
+        std::cout << "tcp port " << daemon.tcp_port();
+    }
+    std::cout << " with " << options.workers << " worker(s), queue depth "
               << options.queue_depth << "\n"
               << std::flush;
     daemon.run();
