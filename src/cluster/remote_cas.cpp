@@ -5,8 +5,10 @@
 
 #include "obs/log.hpp"
 #include "serve/protocol.hpp"
+#include "serve/wire_trace.hpp"
 #include "support/json.hpp"
 #include "support/string_util.hpp"
+#include "support/trace.hpp"
 
 namespace psaflow::cluster {
 
@@ -36,14 +38,39 @@ std::optional<json::Value> round_trip(const net::Endpoint& upstream,
 } // namespace
 
 std::optional<std::string> RemoteCasClient::fetch(std::uint64_t key) const {
+    // The fetch runs inside the requesting flow's span tree; when the
+    // enclosing request is distributed-traced (the daemon installed its
+    // trace id on this thread), the upstream hop is traced too: the
+    // upstream daemon parents its serve:cas_get span on this span and we
+    // graft it back into the current registry, so the cross-process tree
+    // shows the time spent inside the upstream store.
+    trace::ScopedSpan span("cas:remote-get", "cluster");
     json::Value request = json::Value::object();
     request.set("schema_version",
                 json::Value::number(double(serve::kSchemaVersion)));
     request.set("type", json::Value::string("cas_get"));
     request.set("key", json::Value::string(hex_u64(key)));
+    serve::WireTraceContext ctx;
+    ctx.trace_id = trace::current_trace_id();
+    ctx.parent_span = span.id();
+    serve::set_trace_member(request, ctx);
+    const std::uint64_t sent_at = trace::Registry::current().now_us();
 
     const auto response = round_trip(upstream_, recv_timeout_ms_, request);
     if (!response.has_value()) return std::nullopt;
+    if (ctx.traced() && serve::response_trace_id(*response) == ctx.trace_id) {
+        // Rebase the upstream's hop spans (based at its t=0) into this
+        // fetch's window and record them beside the local span.
+        std::vector<trace::Span> remote =
+            serve::response_trace_spans(*response);
+        trace::Registry& registry = trace::Registry::current();
+        trace::Span window;
+        window.start_us = sent_at;
+        window.duration_us = registry.now_us() - sent_at;
+        serve::nest_spans(remote, window);
+        remote.pop_back(); // the window is span's own job, not a new span
+        for (trace::Span& hop : remote) registry.add_span(std::move(hop));
+    }
     const json::Value* ok = response->find("ok");
     const json::Value* found = response->find("found");
     if (ok == nullptr || !ok->bool_value || found == nullptr ||
@@ -56,6 +83,7 @@ std::optional<std::string> RemoteCasClient::fetch(std::uint64_t key) const {
 
 bool RemoteCasClient::publish(std::uint64_t key,
                               std::string_view payload) const {
+    trace::ScopedSpan span("cas:remote-put", "cluster");
     json::Value request = json::Value::object();
     request.set("schema_version",
                 json::Value::number(double(serve::kSchemaVersion)));

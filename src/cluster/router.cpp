@@ -5,13 +5,18 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <map>
 
+#include "obs/flight.hpp"
 #include "obs/log.hpp"
 #include "obs/prometheus.hpp"
 #include "serve/protocol.hpp"
 #include "serve/request.hpp"
 #include "serve/server.hpp"
+#include "serve/wire_trace.hpp"
+#include "support/histogram.hpp"
 #include "support/string_util.hpp"
+#include "support/trace.hpp"
 
 namespace psaflow::cluster {
 
@@ -178,14 +183,15 @@ std::optional<std::string> Router::route_key(std::uint64_t key) {
                          [this](const std::string& s) { return usable(s); });
 }
 
-std::string Router::forward(std::uint64_t key, const std::string& payload,
-                            SplitMix64& rng) {
+Router::ForwardOutcome Router::forward(std::uint64_t key,
+                                       const std::string& payload,
+                                       SplitMix64& rng) {
     // Candidate shards in ring order: the owner, then its deterministic
     // failover successors. The attempt budget spans candidates — a dead
     // owner costs one attempt, its successor gets the next.
     const int budget =
         options_.retry.max_attempts < 1 ? 1 : options_.retry.max_attempts;
-    std::string response;
+    ForwardOutcome outcome;
     Shard* owner = nullptr;
     for (int attempt = 0; attempt < budget; ++attempt) {
         const auto picked = route_key(key);
@@ -198,11 +204,13 @@ std::string Router::forward(std::uint64_t key, const std::string& payload,
             const long long delay = options_.retry.delay_ms(attempt - 1, rng);
             std::this_thread::sleep_for(std::chrono::milliseconds(delay));
         }
+        ++outcome.attempts;
         shard->routed.fetch_add(1);
         if (exchange(shard->config.endpoint, payload,
-                     options_.recv_timeout_ms, response)) {
+                     options_.recv_timeout_ms, outcome.response)) {
             relayed_.fetch_add(1);
-            return response; // verbatim relay: byte-identical to direct
+            outcome.shard = shard->config.name;
+            return outcome; // verbatim relay: byte-identical to direct
         }
         // Transport failure: eject immediately (the health loop readmits
         // once the shard answers pings again) and try the next candidate.
@@ -216,9 +224,82 @@ std::string Router::forward(std::uint64_t key, const std::string& payload,
                    {"attempt", std::to_string(attempt + 1)}});
     }
     no_shard_.fetch_add(1);
-    return json::dump(serve::make_error_response(
+    outcome.response = json::dump(serve::make_error_response(
         serve::ErrorKind::Overloaded, "no healthy shard available",
         options_.retry.base_ms * 2));
+    return outcome;
+}
+
+std::string Router::relay(const serve::WireRequest& request,
+                          const json::Value& doc, std::uint64_t key,
+                          const std::string& payload, SplitMix64& rng) {
+    const auto received = std::chrono::steady_clock::now();
+    const bool traced = request.trace.traced();
+    std::uint64_t relay_id = 0;
+    std::string wire = payload;
+    if (traced) {
+        // Interpose the relay span: the shard parents its serve:request
+        // on the relay, and the relay keeps the client's original parent.
+        relay_id = trace::wire_span_id();
+        json::Value rewritten = doc;
+        serve::WireTraceContext ctx;
+        ctx.trace_id = request.trace.trace_id;
+        ctx.parent_span = relay_id;
+        serve::set_trace_member(rewritten, ctx);
+        wire = json::dump(rewritten);
+    }
+
+    const ForwardOutcome outcome = forward(key, wire, rng);
+    const std::uint64_t elapsed_us = us_since(received);
+    const auto response_doc = json::parse(outcome.response, nullptr);
+
+    obs::FlightRecord flight;
+    flight.trace_id = request.trace.trace_id;
+    flight.set_shard(outcome.shard);
+    flight.exec_us = elapsed_us;
+    flight.total_us = elapsed_us;
+    flight.retries = outcome.attempts > 0
+                         ? static_cast<std::uint32_t>(outcome.attempts - 1)
+                         : 0;
+    switch (request.type) {
+    case serve::RequestType::Compile:
+        flight.set_app(request.compile.app);
+        flight.set_lane(serve::to_string(request.compile.priority));
+        break;
+    case serve::RequestType::CasGet: flight.set_app("cas_get"); break;
+    case serve::RequestType::CasPut: flight.set_app("cas_put"); break;
+    case serve::RequestType::Sleep: flight.set_app("sleep"); break;
+    default: flight.set_app("other"); break;
+    }
+    std::string status = "ok";
+    if (!response_doc.has_value()) {
+        status = "internal";
+    } else if (const auto view = serve::parse_response(*response_doc);
+               view.has_value() && !view->ok) {
+        status = serve::to_string(view->error_kind);
+    }
+    flight.set_status(status);
+    obs::FlightRecorder::global().record(flight);
+
+    if (!traced || !response_doc.has_value()) return outcome.response;
+
+    // Graft the shard's span summary under the relay span. Responses
+    // without one (transport-level errors) still gain the relay span, so
+    // the client's tree records the hop that failed.
+    std::vector<trace::Span> spans =
+        serve::response_trace_spans(*response_doc);
+    trace::Span wrapper;
+    wrapper.name = "router:relay";
+    wrapper.category = "cluster";
+    wrapper.id = relay_id;
+    wrapper.parent = request.trace.parent_span;
+    wrapper.start_us = 0;
+    wrapper.duration_us = elapsed_us;
+    wrapper.work_units = double(flight.retries);
+    serve::nest_spans(spans, wrapper);
+    json::Value rebuilt = *response_doc;
+    serve::attach_response_trace(rebuilt, request.trace.trace_id, spans);
+    return json::dump(rebuilt);
 }
 
 std::string Router::handle_admin(const json::Value& doc) {
@@ -325,10 +406,36 @@ void Router::serve_connection(net::Fd conn) {
         } else if (type == "drain") {
             inline_answers_.fetch_add(1);
             response = handle_admin(*doc);
+        } else if (type == "flight") {
+            inline_answers_.fetch_add(1);
+            long long max_records = 0;
+            if (const json::Value* v = doc->find("max"))
+                max_records = static_cast<long long>(v->number_or(0.0));
+            response = json::dump(serve::make_flight_response(
+                obs::FlightRecorder::global(), max_records));
+        } else if (type == "cluster_stats") {
+            inline_answers_.fetch_add(1);
+            response = json::dump(cluster_stats_json());
+        } else if (type == "cluster_metrics") {
+            inline_answers_.fetch_add(1);
+            json::Value body = json::Value::object();
+            body.set("ok", json::Value::boolean(true));
+            body.set("schema_version",
+                     json::Value::number(double(serve::kSchemaVersion)));
+            body.set("type", json::Value::string("cluster_metrics"));
+            body.set("content_type",
+                     json::Value::string(
+                         "text/plain; version=0.0.4; charset=utf-8"));
+            body.set("body", json::Value::string(cluster_metrics_text()));
+            response = json::dump(body);
         } else {
             // A routed request. Parse just enough to pick the key; the
             // original payload is forwarded untouched so the shard sees —
-            // and the client receives — the exact bytes.
+            // and the client receives — the exact bytes. (A *traced*
+            // request is the one exception: the router re-points the
+            // trace's parent_span at its own relay span before
+            // forwarding, and wraps the shard's returned spans in that
+            // relay span on the way back.)
             serve::WireRequest request;
             const auto request_error =
                 serve::parse_wire_request(*doc, request);
@@ -349,7 +456,7 @@ void Router::serve_connection(net::Fd conn) {
                 else if (request.type == serve::RequestType::CasGet ||
                          request.type == serve::RequestType::CasPut)
                     key = request.cas_key;
-                response = forward(key, payload, rng);
+                response = relay(request, *doc, key, payload, rng);
             }
         }
         if (!net::write_frame(conn.get(), response)) break;
@@ -492,6 +599,334 @@ std::string Router::metrics_text() {
                          "Owned requests lost to a failover successor",
                          double(view.rerouted_away), labels);
     }
+    return renderer.text();
+}
+
+namespace {
+
+std::uint64_t member_u64(const json::Value& doc, const char* key) {
+    const json::Value* v = doc.find(key);
+    return v == nullptr ? 0 : static_cast<std::uint64_t>(v->number_or(0.0));
+}
+
+/// Rebuild a Histogram from a shard stats document's histogram member
+/// (the {"count","sum","min","max",...,"buckets":[[floor,n],...]} shape
+/// the daemon's stats endpoint emits). Missing/malformed members merge
+/// as zeroes — an old shard without buckets degrades, it doesn't fail.
+Histogram histogram_from_doc(const json::Value* value) {
+    Histogram::Parts parts;
+    if (value != nullptr && value->is_object()) {
+        parts.count = member_u64(*value, "count");
+        parts.sum = member_u64(*value, "sum");
+        parts.min = member_u64(*value, "min");
+        parts.max = member_u64(*value, "max");
+        if (const json::Value* buckets = value->find("buckets");
+            buckets != nullptr && buckets->is_array())
+            for (const json::Value& pair : buckets->elements)
+                if (pair.is_array() && pair.elements.size() == 2)
+                    parts.buckets.emplace_back(
+                        static_cast<std::uint64_t>(
+                            pair.elements[0].number_or(0.0)),
+                        static_cast<std::uint64_t>(
+                            pair.elements[1].number_or(0.0)));
+    }
+    return Histogram::from_parts(parts);
+}
+
+/// Same histogram shape the daemon stats endpoint uses (percentiles for
+/// humans, raw buckets so the document stays mergeable downstream).
+json::Value histogram_value(const Histogram& hist) {
+    json::Value out = json::Value::object();
+    out.set("count", json::Value::number(double(hist.count())));
+    out.set("sum", json::Value::number(double(hist.sum())));
+    out.set("min", json::Value::number(double(hist.min())));
+    out.set("max", json::Value::number(double(hist.max())));
+    out.set("mean", json::Value::number(hist.mean()));
+    out.set("p50", json::Value::number(double(hist.percentile(50))));
+    out.set("p90", json::Value::number(double(hist.percentile(90))));
+    out.set("p99", json::Value::number(double(hist.percentile(99))));
+    json::Value buckets = json::Value::array();
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+        const std::uint64_t n = hist.bucket_count(b);
+        if (n == 0) continue;
+        json::Value pair = json::Value::array();
+        pair.push(json::Value::number(double(Histogram::bucket_floor(b))));
+        pair.push(json::Value::number(double(n)));
+        buckets.push(std::move(pair));
+    }
+    out.set("buckets", std::move(buckets));
+    return out;
+}
+
+double hit_rate(std::uint64_t hits, std::uint64_t misses) {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) /
+                            static_cast<double>(total);
+}
+
+/// Everything the two cluster endpoints aggregate from one scrape pass.
+struct FleetRollup {
+    std::size_t live = 0;
+    Histogram request_latency;
+    Histogram queue_wait;
+    std::map<std::string, std::uint64_t> counters;
+    std::uint64_t completed = 0;
+    std::uint64_t received = 0;
+    std::uint64_t in_flight = 0;
+    std::uint64_t queue_depth = 0;
+    std::vector<std::uint64_t> lane_depths;
+    double aggregate_qps = 0.0; ///< sum of per-shard completed/uptime
+};
+
+void fold_shard(FleetRollup& fleet, const json::Value& doc) {
+    ++fleet.live;
+    fleet.request_latency.merge(
+        histogram_from_doc(doc.find("request_latency_us")));
+    fleet.queue_wait.merge(histogram_from_doc(doc.find("queue_wait_us")));
+    if (const json::Value* counters = doc.find("counters");
+        counters != nullptr && counters->is_object())
+        for (const auto& [name, value] : counters->members)
+            fleet.counters[name] +=
+                static_cast<std::uint64_t>(value.number_or(0.0));
+    std::uint64_t completed = 0;
+    if (const json::Value* requests = doc.find("requests");
+        requests != nullptr && requests->is_object()) {
+        completed = member_u64(*requests, "completed");
+        fleet.received += member_u64(*requests, "received");
+    }
+    fleet.completed += completed;
+    const std::uint64_t uptime_us = member_u64(doc, "uptime_us");
+    if (uptime_us > 0)
+        fleet.aggregate_qps += static_cast<double>(completed) /
+                               (static_cast<double>(uptime_us) / 1e6);
+    fleet.in_flight += member_u64(doc, "in_flight");
+    fleet.queue_depth += member_u64(doc, "queue_depth");
+    if (const json::Value* lanes = doc.find("queue_lane_depths");
+        lanes != nullptr && lanes->is_array()) {
+        if (fleet.lane_depths.size() < lanes->elements.size())
+            fleet.lane_depths.resize(lanes->elements.size(), 0);
+        for (std::size_t lane = 0; lane < lanes->elements.size(); ++lane)
+            fleet.lane_depths[lane] += static_cast<std::uint64_t>(
+                lanes->elements[lane].number_or(0.0));
+    }
+}
+
+} // namespace
+
+std::vector<Router::ShardScrape> Router::scrape_shards() {
+    json::Value request = json::Value::object();
+    request.set("schema_version",
+                json::Value::number(double(serve::kSchemaVersion)));
+    request.set("type", json::Value::string("stats"));
+    const std::string payload = json::dump(request);
+
+    // One scrape thread per shard: the endpoints answer stats inline even
+    // under full load, so the fan-in takes one round trip, not N.
+    std::vector<ShardScrape> scrapes(shards_.size());
+    std::vector<std::thread> threads;
+    threads.reserve(shards_.size());
+    for (std::size_t i = 0; i < shards_.size(); ++i)
+        threads.emplace_back([this, &scrapes, &payload, i] {
+            std::string response;
+            if (!exchange(shards_[i]->config.endpoint, payload,
+                          options_.recv_timeout_ms, response))
+                return;
+            auto doc = json::parse(response, nullptr);
+            if (!doc.has_value()) return;
+            const json::Value* ok = doc->find("ok");
+            if (ok == nullptr || !ok->bool_value) return;
+            scrapes[i].reachable = true;
+            scrapes[i].stats = std::move(*doc);
+        });
+    for (std::thread& thread : threads) thread.join();
+    return scrapes;
+}
+
+json::Value Router::cluster_stats_json() {
+    const std::vector<ShardScrape> scrapes = scrape_shards();
+
+    json::Value stats = json::Value::object();
+    stats.set("ok", json::Value::boolean(true));
+    stats.set("schema_version",
+              json::Value::number(double(serve::kSchemaVersion)));
+    stats.set("type", json::Value::string("cluster_stats"));
+    stats.set("role", json::Value::string("router"));
+    stats.set("uptime_us", json::Value::number(double(us_since(started_))));
+
+    FleetRollup fleet;
+    json::Value shard_list = json::Value::array();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        const Shard& shard = *shards_[i];
+        json::Value entry = json::Value::object();
+        entry.set("name", json::Value::string(shard.config.name));
+        entry.set("endpoint",
+                  json::Value::string(shard.config.endpoint.describe()));
+        entry.set("healthy", json::Value::boolean(shard.healthy.load()));
+        entry.set("draining", json::Value::boolean(shard.draining.load()));
+        entry.set("reachable",
+                  json::Value::boolean(scrapes[i].reachable));
+        if (scrapes[i].reachable) {
+            fold_shard(fleet, scrapes[i].stats);
+            entry.set("stats", scrapes[i].stats); // the raw shard document
+        }
+        shard_list.push(std::move(entry));
+    }
+    stats.set("shards_total", json::Value::number(double(shards_.size())));
+    stats.set("shards_live", json::Value::number(double(fleet.live)));
+    stats.set("shards", std::move(shard_list));
+
+    json::Value rollup = json::Value::object();
+    rollup.set("completed", json::Value::number(double(fleet.completed)));
+    rollup.set("received", json::Value::number(double(fleet.received)));
+    rollup.set("aggregate_qps", json::Value::number(fleet.aggregate_qps));
+    rollup.set("in_flight", json::Value::number(double(fleet.in_flight)));
+    rollup.set("queue_depth",
+               json::Value::number(double(fleet.queue_depth)));
+    json::Value lanes = json::Value::array();
+    for (const std::uint64_t depth : fleet.lane_depths)
+        lanes.push(json::Value::number(double(depth)));
+    rollup.set("queue_lane_depths", std::move(lanes));
+    rollup.set("request_latency_us",
+               histogram_value(fleet.request_latency));
+    rollup.set("queue_wait_us", histogram_value(fleet.queue_wait));
+
+    const auto counter = [&fleet](const char* name) {
+        auto it = fleet.counters.find(name);
+        return it == fleet.counters.end() ? std::uint64_t{0} : it->second;
+    };
+    json::Value cache = json::Value::object();
+    cache.set("cas_hit_rate",
+              json::Value::number(
+                  hit_rate(counter("cas.hits"), counter("cas.misses"))));
+    cache.set("profile_cache_hit_rate",
+              json::Value::number(
+                  hit_rate(counter("profile_cache.hits"),
+                           counter("profile_cache.misses"))));
+    cache.set("remote_cas_hit_rate",
+              json::Value::number(hit_rate(counter("cas.remote_hits"),
+                                           counter("cas.remote_misses"))));
+    rollup.set("cache", std::move(cache));
+
+    json::Value merged_counters = json::Value::object();
+    for (const auto& [name, value] : fleet.counters)
+        merged_counters.set(name, json::Value::number(double(value)));
+    rollup.set("counters", std::move(merged_counters));
+    stats.set("fleet", std::move(rollup));
+    return stats;
+}
+
+std::string Router::cluster_metrics_text() {
+    const std::vector<ShardScrape> scrapes = scrape_shards();
+
+    obs::PrometheusRenderer renderer;
+    FleetRollup fleet;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        const Shard& shard = *shards_[i];
+        const obs::MetricLabels labels = {
+            {"shard", shard.config.name},
+            {"endpoint", shard.config.endpoint.describe()}};
+        renderer.gauge("psaflow_cluster_shard_up",
+                       "1 when the shard answered the stats scrape",
+                       scrapes[i].reachable ? 1.0 : 0.0, labels);
+        if (!scrapes[i].reachable) continue;
+        const json::Value& doc = scrapes[i].stats;
+        fold_shard(fleet, doc);
+
+        // Per-shard-labeled re-exposure of each shard's histograms and
+        // outcome tallies: the merged psaflow_cluster_* series below are
+        // rebuilt from the same scraped buckets, so merged counts are
+        // exactly the sums of these.
+        renderer.histogram("psaflow_cluster_shard_request_latency_us",
+                           "Per-shard receipt-to-response latency",
+                           histogram_from_doc(
+                               doc.find("request_latency_us")),
+                           labels);
+        renderer.histogram("psaflow_cluster_shard_queue_wait_us",
+                           "Per-shard admission-to-execution wait",
+                           histogram_from_doc(doc.find("queue_wait_us")),
+                           labels);
+        if (const json::Value* requests = doc.find("requests");
+            requests != nullptr && requests->is_object())
+            for (const auto& [outcome, value] : requests->members) {
+                obs::MetricLabels outcome_labels = labels;
+                outcome_labels.emplace_back("outcome", outcome);
+                renderer.counter("psaflow_cluster_shard_requests_total",
+                                 "Per-shard requests by outcome",
+                                 value.number_or(0.0), outcome_labels);
+            }
+        const std::uint64_t uptime_us = member_u64(doc, "uptime_us");
+        const std::uint64_t completed =
+            doc.find("requests") != nullptr
+                ? member_u64(*doc.find("requests"), "completed")
+                : 0;
+        if (uptime_us > 0)
+            renderer.gauge("psaflow_cluster_shard_qps",
+                           "Per-shard completed requests per second",
+                           static_cast<double>(completed) /
+                               (static_cast<double>(uptime_us) / 1e6),
+                           labels);
+        if (const json::Value* lanes = doc.find("queue_lane_depths");
+            lanes != nullptr && lanes->is_array())
+            for (std::size_t lane = 0; lane < lanes->elements.size();
+                 ++lane) {
+                obs::MetricLabels lane_labels = labels;
+                lane_labels.emplace_back("lane", std::to_string(lane));
+                renderer.gauge("psaflow_cluster_shard_queue_lane_depth",
+                               "Per-shard jobs waiting, by priority lane",
+                               lanes->elements[lane].number_or(0.0),
+                               lane_labels);
+            }
+    }
+
+    renderer.gauge("psaflow_cluster_shards", "Configured shards",
+                   double(shards_.size()));
+    renderer.gauge("psaflow_cluster_shards_live",
+                   "Shards that answered the stats scrape",
+                   double(fleet.live));
+    renderer.gauge("psaflow_cluster_aggregate_qps",
+                   "Sum of per-shard completed requests per second",
+                   fleet.aggregate_qps);
+    renderer.gauge("psaflow_cluster_in_flight",
+                   "Jobs executing across the fleet",
+                   double(fleet.in_flight));
+    renderer.gauge("psaflow_cluster_queue_depth",
+                   "Jobs waiting across the fleet",
+                   double(fleet.queue_depth));
+    for (std::size_t lane = 0; lane < fleet.lane_depths.size(); ++lane)
+        renderer.gauge("psaflow_cluster_queue_lane_depth",
+                       "Fleet jobs waiting, by priority lane",
+                       double(fleet.lane_depths[lane]),
+                       {{"lane", std::to_string(lane)}});
+    renderer.counter("psaflow_cluster_completed_total",
+                     "Completed requests across the fleet",
+                     double(fleet.completed));
+    renderer.histogram("psaflow_cluster_request_latency_us",
+                       "Merged receipt-to-response latency (all shards)",
+                       fleet.request_latency);
+    renderer.histogram("psaflow_cluster_queue_wait_us",
+                       "Merged admission-to-execution wait (all shards)",
+                       fleet.queue_wait);
+
+    const auto counter = [&fleet](const char* name) {
+        auto it = fleet.counters.find(name);
+        return it == fleet.counters.end() ? std::uint64_t{0} : it->second;
+    };
+    renderer.gauge("psaflow_cluster_cas_hit_rate",
+                   "Fleet CAS hit rate",
+                   hit_rate(counter("cas.hits"), counter("cas.misses")));
+    renderer.gauge("psaflow_cluster_profile_cache_hit_rate",
+                   "Fleet profile-cache hit rate",
+                   hit_rate(counter("profile_cache.hits"),
+                            counter("profile_cache.misses")));
+    renderer.gauge("psaflow_cluster_remote_cas_hit_rate",
+                   "Fleet remote-CAS hit rate",
+                   hit_rate(counter("cas.remote_hits"),
+                            counter("cas.remote_misses")));
+    for (const auto& [name, value] : fleet.counters)
+        renderer.counter(
+            obs::sanitize_metric_name(name, "psaflow_cluster_"),
+            "Fleet-summed psaflow trace counter " + name, double(value));
     return renderer.text();
 }
 

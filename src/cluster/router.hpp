@@ -40,6 +40,7 @@
 
 #include "cluster/hash_ring.hpp"
 #include "cluster/retry.hpp"
+#include "serve/protocol.hpp"
 #include "support/json.hpp"
 #include "support/net.hpp"
 
@@ -103,6 +104,19 @@ public:
     /// Prometheus exposition: psaflow_router_* series.
     [[nodiscard]] std::string metrics_text();
 
+    /// Fleet fan-in ({"type":"cluster_stats"}): scrape every shard's
+    /// stats endpoint concurrently and return the per-shard documents
+    /// plus merged fleet rollups (aggregate qps, merged latency/queue
+    /// histograms, summed counters, cache hit rates, lane depths).
+    [[nodiscard]] json::Value cluster_stats_json();
+
+    /// {"type":"cluster_metrics"}: Prometheus exposition of the same
+    /// fan-in — every shard histogram re-exposed under psaflow_cluster_*
+    /// with shard/endpoint labels, beside merged (label-free) series
+    /// rebuilt via Histogram::from_parts so merged bucket counts are
+    /// exactly the sums of the per-shard scrapes.
+    [[nodiscard]] std::string cluster_metrics_text();
+
     /// Admin drain toggle; false when the shard name is unknown.
     bool set_drain(const std::string& shard, bool draining);
 
@@ -124,12 +138,33 @@ private:
     };
 
     void serve_connection(net::Fd conn);
+    /// One relayed request's outcome: the response to send back plus the
+    /// relay telemetry the flight recorder wants.
+    struct ForwardOutcome {
+        std::string response; ///< winning shard's raw response, or a
+                              ///< locally minted error document
+        std::string shard;    ///< winning shard's name ("" = none)
+        int attempts = 0;     ///< shards tried (retries = attempts - 1)
+    };
     /// Forward `payload` to the shards owning `key` (ring order, with
-    /// backoff between attempts); the winning shard's raw response, or a
-    /// locally minted error document when all candidates fail.
-    [[nodiscard]] std::string forward(std::uint64_t key,
-                                      const std::string& payload,
-                                      SplitMix64& rng);
+    /// backoff between attempts).
+    [[nodiscard]] ForwardOutcome forward(std::uint64_t key,
+                                         const std::string& payload,
+                                         SplitMix64& rng);
+    /// Relay one routed request: rewrite the trace context when traced,
+    /// forward, wrap the returned spans, and drop a flight record.
+    [[nodiscard]] std::string relay(const serve::WireRequest& request,
+                                    const json::Value& doc,
+                                    std::uint64_t key,
+                                    const std::string& payload,
+                                    SplitMix64& rng);
+    /// One shard's {"type":"stats"} scrape (cluster_stats fan-in).
+    struct ShardScrape {
+        bool reachable = false;
+        json::Value stats; ///< the shard's raw stats document
+    };
+    /// Scrape every shard concurrently, in shards_ order.
+    [[nodiscard]] std::vector<ShardScrape> scrape_shards();
     [[nodiscard]] std::string handle_admin(const json::Value& doc);
     void health_loop();
     [[nodiscard]] bool ping_shard(Shard& shard);

@@ -16,6 +16,7 @@ std::optional<std::string> parse_wire_request(const json::Value& doc,
     }
     std::string type = "compile";
     if (const json::Value* v = doc.find("type")) type = v->string_or("");
+    out.trace = trace_member(doc);
 
     if (type == "compile") {
         out.type = RequestType::Compile;
@@ -61,6 +62,21 @@ std::optional<std::string> parse_wire_request(const json::Value& doc,
                 return "cas_put: payload is not valid base64";
             out.cas_payload = std::move(*decoded);
         }
+        return std::nullopt;
+    }
+    if (type == "flight") {
+        out.type = RequestType::Flight;
+        if (const json::Value* v = doc.find("max"))
+            out.flight_max = static_cast<long long>(v->number_or(0.0));
+        if (out.flight_max < 0) return "flight: max must be >= 0";
+        return std::nullopt;
+    }
+    if (type == "cluster_stats") {
+        out.type = RequestType::ClusterStats;
+        return std::nullopt;
+    }
+    if (type == "cluster_metrics") {
+        out.type = RequestType::ClusterMetrics;
         return std::nullopt;
     }
     if (type == "sleep") {
@@ -141,6 +157,30 @@ json::Value make_cas_get_response(const std::optional<std::string>& payload) {
     response.set("found", json::Value::boolean(payload.has_value()));
     if (payload.has_value())
         response.set("payload", json::Value::string(base64_encode(*payload)));
+    return response;
+}
+
+json::Value make_flight_response(const obs::FlightRecorder& recorder,
+                                 long long max_records) {
+    json::Value response = json::Value::object();
+    response.set("ok", json::Value::boolean(true));
+    response.set("schema_version",
+                 json::Value::number(double(kSchemaVersion)));
+    response.set("type", json::Value::string("flight"));
+    response.set("capacity",
+                 json::Value::number(double(recorder.capacity())));
+    response.set("total", json::Value::number(double(recorder.total())));
+    response.set("dropped",
+                 json::Value::number(double(recorder.dropped())));
+    response.set("slo_breaches",
+                 json::Value::number(double(recorder.breaches())));
+    response.set("slo_us", json::Value::number(double(recorder.slo_us())));
+    json::Value records = json::Value::array();
+    const auto snapshot = recorder.snapshot(
+        max_records <= 0 ? 0 : static_cast<std::size_t>(max_records));
+    for (const obs::FlightRecord& record : snapshot)
+        records.push(obs::to_json(record));
+    response.set("records", std::move(records));
     return response;
 }
 

@@ -38,6 +38,20 @@
 //       unless the daemon enables test endpoints): occupies a worker,
 //       cancellable; exists so tests can fill the queue and trip
 //       deadlines deterministically without depending on compile times.
+//   {"type":"flight", "max":50} — newest records from the flight
+//       recorder (obs/flight.hpp): per-request digests for slow-request
+//       forensics. "max" optional (0 = everything live). Answered inline
+//       by daemons (their completions) and routers (their relays).
+//   {"type":"cluster_stats"} / {"type":"cluster_metrics"} — router only:
+//       scrape every live shard concurrently and return the fleet view
+//       (merged histograms + counters with per-shard labels). A daemon
+//       rejects these with bad_request pointing at the router.
+//
+// Any request may additionally carry a "trace" member (wire_trace.hpp):
+//   "trace": {"trace_id":"<16-hex>", "parent_span":N}
+// and the response to a traced request carries back
+//   "trace": {"trace_id":..., "spans":[...]}
+// so the requester can graft the responder's work into its span tree.
 //
 // Responses:
 //   {"ok":true, "type":..., ...payload...}
@@ -50,8 +64,10 @@
 #include <optional>
 #include <string>
 
+#include "obs/flight.hpp"
 #include "serve/request.hpp"
 #include "serve/service.hpp"
+#include "serve/wire_trace.hpp"
 #include "support/json.hpp"
 
 namespace psaflow::serve {
@@ -69,6 +85,9 @@ enum class RequestType {
     Metrics,
     CasGet,
     CasPut,
+    Flight,
+    ClusterStats,
+    ClusterMetrics,
 };
 
 struct WireRequest {
@@ -80,6 +99,8 @@ struct WireRequest {
     std::string logs_min_level; ///< Logs filter ("" = everything captured)
     std::uint64_t cas_key = 0;  ///< valid when type == CasGet/CasPut
     std::string cas_payload;    ///< decoded bytes, valid when type == CasPut
+    long long flight_max = 0;   ///< valid when type == Flight (0 = all)
+    WireTraceContext trace;     ///< distributed trace context (any type)
 };
 
 /// Parse one request frame. Returns an error message (a bad_request body
@@ -98,6 +119,11 @@ parse_wire_request(const json::Value& doc, WireRequest& out);
 /// cas_get response: "found" + base64 "payload" when present.
 [[nodiscard]] json::Value
 make_cas_get_response(const std::optional<std::string>& payload);
+/// flight response: recorder totals + the newest `max_records` digests
+/// (0 = every live record), oldest first. Shared by daemons and routers.
+[[nodiscard]] json::Value
+make_flight_response(const obs::FlightRecorder& recorder,
+                     long long max_records);
 /// cas_put response: "stored" is false when the daemon has no disk store.
 [[nodiscard]] json::Value make_cas_put_response(bool stored);
 

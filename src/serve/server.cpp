@@ -6,18 +6,21 @@
 #include <filesystem>
 #include <thread>
 
+#include "obs/flight.hpp"
 #include "obs/log.hpp"
 #include "obs/prometheus.hpp"
 #include "serve/service.hpp"
+#include "serve/wire_trace.hpp"
 #include "support/cas/cas.hpp"
 
 namespace psaflow::serve {
 
 namespace {
 
-/// Histogram summary for the stats document (percentiles, not buckets —
-/// stats frames should stay small; Histogram::to_json keeps the buckets
-/// for offline analysis).
+/// Histogram summary for the stats document: percentiles for humans plus
+/// the raw [floor, count] buckets — the buckets are what lets a router
+/// rebuild this histogram (Histogram::from_parts) and merge shards into
+/// fleet metrics whose bucket counts sum exactly.
 json::Value histogram_value(const Histogram& hist) {
     json::Value out = json::Value::object();
     out.set("count", json::Value::number(double(hist.count())));
@@ -28,6 +31,16 @@ json::Value histogram_value(const Histogram& hist) {
     out.set("p50", json::Value::number(double(hist.percentile(50))));
     out.set("p90", json::Value::number(double(hist.percentile(90))));
     out.set("p99", json::Value::number(double(hist.percentile(99))));
+    json::Value buckets = json::Value::array();
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+        const std::uint64_t n = hist.bucket_count(b);
+        if (n == 0) continue;
+        json::Value pair = json::Value::array();
+        pair.push(json::Value::number(double(Histogram::bucket_floor(b))));
+        pair.push(json::Value::number(double(n)));
+        buckets.push(std::move(pair));
+    }
+    out.set("buckets", std::move(buckets));
     return out;
 }
 
@@ -74,6 +87,9 @@ Daemon::~Daemon() {
 std::optional<std::string> Daemon::start() {
     if (!options_.cache_dir.empty())
         cas::configure(options_.cache_dir, options_.cache_max_bytes);
+    if (options_.slo_ms > 0)
+        obs::FlightRecorder::global().set_slo_us(
+            static_cast<std::uint64_t>(options_.slo_ms) * 1000);
 
     int pipe_fds[2] = {-1, -1};
     if (::pipe(pipe_fds) != 0) return "cannot create self-pipe";
@@ -213,6 +229,11 @@ void Daemon::serve_connection(net::Fd conn) {
             request.type == RequestType::Sleep &&
             !options_.enable_test_endpoints)
             request_error = "unknown request type 'sleep'";
+        if (!request_error.has_value() &&
+            (request.type == RequestType::ClusterStats ||
+             request.type == RequestType::ClusterMetrics))
+            request_error = "cluster requests are answered by "
+                            "psaflow-router, not a shard";
         {
             std::lock_guard lock(stats_mu_);
             ++counters_.requests;
@@ -230,7 +251,8 @@ void Daemon::serve_connection(net::Fd conn) {
             request.type == RequestType::Metrics ||
             request.type == RequestType::Logs ||
             request.type == RequestType::CasGet ||
-            request.type == RequestType::CasPut) {
+            request.type == RequestType::CasPut ||
+            request.type == RequestType::Flight) {
             response = handle_inline(request);
             if (!net::write_frame(conn.get(), response)) break;
             continue;
@@ -303,6 +325,19 @@ void Daemon::worker_loop(std::size_t worker_index) {
 void Daemon::execute_job(flow::FlowSession& session, Job& job) {
     const std::uint64_t queue_wait_us = us_since(job.received);
 
+    // Per-request digest for the flight recorder; every exit from this
+    // function records it (slow-request forensics must cover failures).
+    obs::FlightRecord flight;
+    flight.trace_id = job.request.trace.trace_id;
+    flight.queue_wait_us = queue_wait_us;
+    flight.set_shard(options_.shard_name);
+    const auto finish_flight = [&](const char* status) {
+        flight.set_status(status);
+        flight.exec_us = us_since(job.received) - queue_wait_us;
+        flight.total_us = us_since(job.received);
+        obs::FlightRecorder::global().record(flight);
+    };
+
     // A job whose deadline expired while queued is answered without
     // running — the worker stays free for requests that can still make it.
     if (job.token.cancelled()) {
@@ -312,6 +347,10 @@ void Daemon::execute_job(flow::FlowSession& session, Job& job) {
             queue_wait_us_.record(queue_wait_us);
             request_latency_us_.record(us_since(job.received));
         }
+        flight.set_app(job.request.type == RequestType::Compile
+                           ? job.request.compile.app
+                           : "sleep");
+        finish_flight("deadline_exceeded");
         job.response.set_value(json::dump(make_error_response(
             ErrorKind::DeadlineExceeded,
             std::string("flow failed: ") + job.token.reason())));
@@ -343,6 +382,8 @@ void Daemon::execute_job(flow::FlowSession& session, Job& job) {
             else
                 ++counters_.completed;
         }
+        flight.set_app("sleep");
+        finish_flight(cancelled ? "deadline_exceeded" : "ok");
         if (cancelled) {
             job.response.set_value(json::dump(make_error_response(
                 ErrorKind::DeadlineExceeded,
@@ -355,26 +396,76 @@ void Daemon::execute_job(flow::FlowSession& session, Job& job) {
             ok.set("type", json::Value::string("sleep"));
             ok.set("slept_ms",
                    json::Value::number(double(job.request.sleep_ms)));
+            if (job.request.trace.traced()) {
+                // A traced sleep still reports its hop spans — tests use
+                // sleeps as cheap stand-ins for real service time.
+                const std::uint64_t slept_us =
+                    us_since(job.received) - queue_wait_us;
+                std::vector<trace::Span> spans;
+                trace::Span root;
+                root.name = "serve:request";
+                root.category = "serve";
+                root.id = trace::wire_span_id();
+                root.parent = job.request.trace.parent_span;
+                root.duration_us = queue_wait_us + slept_us;
+                trace::Span queue;
+                queue.name = "serve:queue-wait";
+                queue.category = "serve";
+                queue.id = trace::wire_span_id();
+                queue.parent = root.id;
+                queue.duration_us = queue_wait_us;
+                trace::Span exec;
+                exec.name = "serve:execute";
+                exec.category = "serve";
+                exec.id = trace::wire_span_id();
+                exec.parent = root.id;
+                exec.start_us = queue_wait_us;
+                exec.duration_us = slept_us;
+                spans.push_back(std::move(queue));
+                spans.push_back(std::move(exec));
+                spans.push_back(std::move(root));
+                attach_response_trace(ok, job.request.trace.trace_id,
+                                      spans);
+            }
             job.response.set_value(json::dump(ok));
         }
         return;
     }
 
+    RequestTrace req_trace;
+    req_trace.trace_id = job.request.trace.trace_id;
+    req_trace.parent_span = job.request.trace.parent_span;
+    req_trace.queue_wait_us = queue_wait_us;
     const CompileOutcome outcome =
-        execute_request(session, job.request.compile, &job.token);
+        execute_request(session, job.request.compile, &job.token,
+                        &trace::Registry::global(), &req_trace);
     {
         std::lock_guard lock(stats_mu_);
         queue_wait_us_.record(queue_wait_us);
         request_latency_us_.record(us_since(job.received));
         record_outcome(outcome, queue_wait_us);
     }
-    if (outcome.ok) {
-        job.response.set_value(
-            json::dump(make_compile_response(job.request.compile, outcome)));
-    } else {
-        job.response.set_value(json::dump(
-            make_error_response(outcome.error_kind, outcome.error)));
-    }
+
+    flight.set_app(job.request.compile.app);
+    flight.set_lane(to_string(job.request.compile.priority));
+    const auto hits = [&](const char* name) {
+        auto it = outcome.counters.find(name);
+        return it == outcome.counters.end() ? std::uint64_t{0} : it->second;
+    };
+    flight.cache_hits = static_cast<std::uint32_t>(
+        hits("cas.hits") + hits("profile_cache.hits"));
+    if (!outcome.decisions.empty() &&
+        !outcome.decisions.front().selected.empty())
+        flight.set_winner(outcome.decisions.front().selected.front());
+    finish_flight(outcome.ok ? "ok" : to_string(outcome.error_kind));
+
+    json::Value response =
+        outcome.ok ? make_compile_response(job.request.compile, outcome)
+                   : make_error_response(outcome.error_kind, outcome.error);
+    if (job.request.trace.traced())
+        attach_response_trace(response, job.request.trace.trace_id,
+                              outcome.spans);
+    job.response.set_value(json::dump(response));
 }
 
 /// Caller holds stats_mu_.
@@ -422,13 +513,32 @@ std::string Daemon::handle_inline(const WireRequest& request) {
             std::lock_guard lock(stats_mu_);
             ++counters_.cas_gets;
         }
+        const auto started = std::chrono::steady_clock::now();
         cas::CasStore* store = cas::store();
         // get_local: serving a peer's fetch must never recurse into this
         // daemon's own remote tier (see protocol.hpp).
         std::optional<std::string> payload;
         if (store != nullptr) payload = store->get_local(request.cas_key);
-        return json::dump(make_cas_get_response(payload));
+        json::Value response = make_cas_get_response(payload);
+        if (request.trace.traced()) {
+            trace::Span span;
+            span.name = "serve:cas_get";
+            span.category = "serve";
+            span.id = trace::wire_span_id();
+            span.parent = request.trace.parent_span;
+            span.duration_us = us_since(started);
+            span.work_units =
+                payload.has_value()
+                    ? static_cast<double>(payload->size())
+                    : 0.0;
+            attach_response_trace(response, request.trace.trace_id,
+                                  {span});
+        }
+        return json::dump(response);
     }
+    if (request.type == RequestType::Flight)
+        return json::dump(make_flight_response(
+            obs::FlightRecorder::global(), request.flight_max));
     if (request.type == RequestType::CasPut) {
         {
             std::lock_guard lock(stats_mu_);

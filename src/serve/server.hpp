@@ -60,6 +60,8 @@ struct DaemonOptions {
     std::string cache_dir;              ///< CAS root ("" = env/default)
     std::uint64_t cache_max_bytes = 0;
     bool enable_test_endpoints = false; ///< allow the "sleep" request type
+    long long slo_ms = 0;               ///< flight-recorder latency SLO
+                                        ///< (0 = PSAFLOW_SLO_MS / disabled)
 };
 
 /// Monotonic request/connection tallies, readable while serving.

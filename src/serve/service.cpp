@@ -1,8 +1,10 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 
 #include "core/psaflow.hpp"
 #include "obs/log.hpp"
@@ -139,7 +141,8 @@ CompileOutcome run_compile(flow::FlowSession& session,
 CompileOutcome execute_request(flow::FlowSession& session,
                                const CompileRequest& req,
                                const CancelToken* cancel,
-                               trace::Registry* merge_into) {
+                               trace::Registry* merge_into,
+                               const RequestTrace* req_trace) {
     // A request-armed deadline when no caller token was provided: the CLI
     // paths land here; the daemon passes its own token, armed at receipt.
     CancelToken local_token;
@@ -152,10 +155,25 @@ CompileOutcome execute_request(flow::FlowSession& session,
     trace::Registry request_registry;
     request_registry.set_enabled(trace::Registry::global().enabled());
 
+    // Distributed-trace adoption: the request's spans parent under a
+    // synthetic serve:execute span, and the trace id rides the thread so
+    // deeper layers (remote CAS) forward it onward. Hop spans are
+    // synthesized even when span *collection* is off — they come from
+    // independent timing, so the cross-process tree stays rooted.
+    const bool traced = req_trace != nullptr && req_trace->trace_id != 0;
+    const std::uint64_t root_id = traced ? trace::wire_span_id() : 0;
+    const std::uint64_t exec_id = traced ? trace::wire_span_id() : 0;
+
     const auto start = std::chrono::steady_clock::now();
     CompileOutcome outcome;
     {
         trace::ScopedRegistry scope(request_registry);
+        std::optional<trace::ScopedTraceId> scoped_trace;
+        std::optional<trace::ScopedParent> scoped_parent;
+        if (traced) {
+            scoped_trace.emplace(req_trace->trace_id);
+            scoped_parent.emplace(exec_id);
+        }
         try {
             outcome = run_compile(session, req, cancel);
         } catch (const std::exception& e) {
@@ -174,6 +192,46 @@ CompileOutcome execute_request(flow::FlowSession& session,
     outcome.counters = request_registry.counters();
     outcome.spans = request_registry.spans();
     if (merge_into != nullptr) merge_into->merge_from(request_registry);
+
+    if (traced) {
+        // Re-base the natural spans behind the queue wait and wrap them
+        // in the hop spans (see RequestTrace). Appended after the merge:
+        // hop spans describe the wire hop, not this process's work.
+        const std::uint64_t queue_us = req_trace->queue_wait_us;
+        std::uint64_t exec_us = outcome.wall_us;
+        for (trace::Span& span : outcome.spans) {
+            span.start_us += queue_us;
+            // The private registry's clock starts a hair before wall_us's
+            // does; stretch the execute window so children still nest.
+            exec_us = std::max(exec_us,
+                               span.start_us + span.duration_us - queue_us);
+        }
+
+        trace::Span queue;
+        queue.name = "serve:queue-wait";
+        queue.category = "serve";
+        queue.id = trace::wire_span_id();
+        queue.parent = root_id;
+        queue.start_us = 0;
+        queue.duration_us = queue_us;
+        trace::Span exec;
+        exec.name = "serve:execute";
+        exec.category = "serve";
+        exec.id = exec_id;
+        exec.parent = root_id;
+        exec.start_us = queue_us;
+        exec.duration_us = exec_us;
+        trace::Span root;
+        root.name = "serve:request";
+        root.category = "serve";
+        root.id = root_id;
+        root.parent = req_trace->parent_span;
+        root.start_us = 0;
+        root.duration_us = queue_us + exec_us;
+        outcome.spans.push_back(std::move(queue));
+        outcome.spans.push_back(std::move(exec));
+        outcome.spans.push_back(std::move(root));
+    }
     return outcome;
 }
 

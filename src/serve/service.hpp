@@ -57,6 +57,21 @@ struct CompileOutcome {
     std::vector<obs::DecisionRecord> decisions;
 };
 
+/// Distributed-trace coordinates for a request that arrived over the
+/// wire (serve/wire_trace.hpp). When present (trace_id != 0),
+/// execute_request adopts the trace: the request's task spans parent
+/// under a synthetic `serve:execute` span, and outcome.spans gains the
+/// hop spans `serve:request` (rooted on the remote parent_span, covering
+/// queue wait + execution) with `serve:queue-wait` / `serve:execute`
+/// children — based at t=0, ready for attach_response_trace. The
+/// synthetic hop spans stay out of `merge_into` (they describe the wire
+/// hop, not this process's work).
+struct RequestTrace {
+    std::uint64_t trace_id = 0;      ///< 0 = untraced
+    std::uint64_t parent_span = 0;   ///< requester's span to root under
+    std::uint64_t queue_wait_us = 0; ///< admission-queue wait to account
+};
+
 /// Compile `req` through `session`, write the design sources and the
 /// summary CSV under `req.out_dir`, and classify any failure.
 ///
@@ -71,6 +86,7 @@ struct CompileOutcome {
 [[nodiscard]] CompileOutcome
 execute_request(flow::FlowSession& session, const CompileRequest& req,
                 const CancelToken* cancel = nullptr,
-                trace::Registry* merge_into = &trace::Registry::global());
+                trace::Registry* merge_into = &trace::Registry::global(),
+                const RequestTrace* req_trace = nullptr);
 
 } // namespace psaflow::serve

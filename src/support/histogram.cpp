@@ -9,6 +9,10 @@ namespace {
 int bucket_of(std::uint64_t value) {
     return value == 0 ? 0 : std::bit_width(value);
 }
+
+std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) {
+    return a > UINT64_MAX - b ? UINT64_MAX : a + b;
+}
 } // namespace
 
 void Histogram::record(std::uint64_t value) {
@@ -21,14 +25,32 @@ void Histogram::record(std::uint64_t value) {
 
 void Histogram::merge(const Histogram& other) {
     for (int b = 0; b < kBuckets; ++b)
-        buckets_[static_cast<std::size_t>(b)] +=
-            other.buckets_[static_cast<std::size_t>(b)];
-    count_ += other.count_;
-    sum_ += other.sum_;
+        buckets_[static_cast<std::size_t>(b)] =
+            sat_add(buckets_[static_cast<std::size_t>(b)],
+                    other.buckets_[static_cast<std::size_t>(b)]);
+    count_ = sat_add(count_, other.count_);
+    sum_ = sat_add(sum_, other.sum_);
     if (other.count_ > 0) {
         min_ = std::min(min_, other.min_);
         max_ = std::max(max_, other.max_);
     }
+}
+
+Histogram Histogram::from_parts(const Parts& parts) {
+    Histogram h;
+    h.count_ = parts.count;
+    h.sum_ = parts.sum;
+    h.min_ = parts.count == 0 ? UINT64_MAX : parts.min;
+    h.max_ = parts.max;
+    for (const auto& [floor, n] : parts.buckets) {
+        // A bucket's floor identifies it: bucket_of(floor) inverts
+        // bucket_floor (floor 0 → bucket 0, 2^(b-1) → bucket b). Tolerate
+        // non-canonical floors by filing under the containing bucket.
+        h.buckets_[static_cast<std::size_t>(bucket_of(floor))] =
+            sat_add(h.buckets_[static_cast<std::size_t>(bucket_of(floor))],
+                    n);
+    }
+    return h;
 }
 
 std::uint64_t Histogram::bucket_floor(int bucket) {

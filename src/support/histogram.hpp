@@ -15,6 +15,8 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace psaflow {
 
@@ -23,8 +25,24 @@ public:
     static constexpr int kBuckets = 65; ///< bit_width(uint64) + 1
 
     void record(std::uint64_t value);
-    /// Pointwise sum of two histograms (counts, sum, min/max).
+    /// Pointwise sum of two histograms (counts, sum, min/max). Counts and
+    /// the sum saturate at UINT64_MAX instead of wrapping — the cluster
+    /// metrics fan-in merges histograms whose totals it does not control.
     void merge(const Histogram& other);
+
+    /// Serialised histogram state, as it rides the wire in a shard's
+    /// stats document ("buckets" as [floor, count] pairs plus the summary
+    /// fields). from_parts rebuilds an equivalent Histogram on the other
+    /// side, so a router can merge scraped shard histograms exactly:
+    /// merged bucket counts are the arithmetic sums of the parts.
+    struct Parts {
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::uint64_t min = 0;
+        std::uint64_t max = 0;
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+    };
+    [[nodiscard]] static Histogram from_parts(const Parts& parts);
 
     [[nodiscard]] std::uint64_t count() const { return count_; }
     [[nodiscard]] std::uint64_t sum() const { return sum_; }

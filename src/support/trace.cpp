@@ -1,11 +1,14 @@
 #include "support/trace.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 #include <sstream>
 
 namespace psaflow::trace {
@@ -71,6 +74,7 @@ std::string format_work_units(double units) {
 
 thread_local Registry* tl_registry = nullptr;
 thread_local std::uint64_t tl_active_span = 0;
+thread_local std::uint64_t tl_trace_id = 0;
 
 } // namespace
 
@@ -97,6 +101,31 @@ ScopedRegistry::ScopedRegistry(Registry& registry) noexcept
 ScopedRegistry::~ScopedRegistry() { tl_registry = previous_; }
 
 std::uint64_t current_span_id() { return tl_active_span; }
+
+std::uint64_t wire_span_id() {
+    // Per-process salt: finalised mix of the start clock and the pid, so
+    // two shards launched the same nanosecond still differ.
+    static const std::uint64_t salt = [] {
+        std::uint64_t mix = static_cast<std::uint64_t>(steady_ns()) ^
+                            (static_cast<std::uint64_t>(::getpid()) << 32);
+        mix += 0x9e3779b97f4a7c15ULL;
+        mix = (mix ^ (mix >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        mix = (mix ^ (mix >> 27)) * 0x94d049bb133111ebULL;
+        return mix ^ (mix >> 31);
+    }();
+    static std::atomic<std::uint64_t> next{1};
+    const std::uint64_t seq = next.fetch_add(1);
+    return (1ull << 52) | ((salt & 0xffffffffULL) << 20) | (seq & 0xfffffULL);
+}
+
+std::uint64_t current_trace_id() { return tl_trace_id; }
+
+ScopedTraceId::ScopedTraceId(std::uint64_t trace_id) noexcept
+    : previous_(tl_trace_id) {
+    tl_trace_id = trace_id;
+}
+
+ScopedTraceId::~ScopedTraceId() { tl_trace_id = previous_; }
 
 ScopedParent::ScopedParent(std::uint64_t parent_span) noexcept
     : previous_(tl_active_span) {
@@ -182,11 +211,32 @@ void Registry::merge_from(const Registry& other) {
     std::map<std::uint64_t, std::uint64_t> track;
     for (const Span& span : spans) track.emplace(span.thread, 0);
     for (auto& [from, to] : track) to = ++max_thread_;
+    // Cross-process id-collision remap (see header): an incoming id that
+    // this registry already holds gets a fresh process-unique id; parent
+    // links that referenced a remapped incoming id follow it (a parent a
+    // source span recorded refers to the source's span, not ours).
+    std::set<std::uint64_t> mine;
+    for (const Span& span : spans_) mine.insert(span.id);
+    std::set<std::uint64_t> incoming;
+    for (const Span& span : spans) incoming.insert(span.id);
+    std::map<std::uint64_t, std::uint64_t> id_remap;
+    for (const Span& span : spans) {
+        if (mine.count(span.id) == 0 || id_remap.count(span.id) != 0)
+            continue;
+        std::uint64_t fresh = next_span_id();
+        while (mine.count(fresh) != 0 || incoming.count(fresh) != 0)
+            fresh = next_span_id();
+        id_remap.emplace(span.id, fresh);
+    }
     for (Span& span : spans) {
         const std::int64_t start =
             static_cast<std::int64_t>(span.start_us) + delta_us;
         span.start_us = start > 0 ? static_cast<std::uint64_t>(start) : 0;
         span.thread = track[span.thread];
+        if (auto it = id_remap.find(span.id); it != id_remap.end())
+            span.id = it->second;
+        if (auto it = id_remap.find(span.parent); it != id_remap.end())
+            span.parent = it->second;
         spans_.push_back(std::move(span));
     }
     for (const auto& [name, value] : counters) counters_[name] += value;

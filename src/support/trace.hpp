@@ -91,7 +91,12 @@ public:
     /// their thread ordinals remapped onto fresh tracks (two registries may
     /// have recorded unrelated work from the same pool threads; without the
     /// remap a merged Chrome trace would interleave them on one track).
-    /// Span ids are process-unique, so parent links survive unchanged. The
+    /// Within one process span ids are unique, so parent links usually
+    /// survive unchanged; but a cross-process merge (two shards both count
+    /// ids from 1) can collide, so colliding incoming ids are remapped onto
+    /// fresh process-unique ids, with parent links that referenced a
+    /// remapped id rewritten to follow it. A parent id that exists only in
+    /// this registry is a cross-registry link and survives unchanged. The
     /// batch driver and the daemon merge each request's private registry
     /// into global() so process-wide totals (--trace-out) still accumulate.
     void merge_from(const Registry& other);
@@ -109,6 +114,35 @@ private:
 /// the parent a newly opened span will link to. Capture it before handing
 /// work to another thread and restore it there with ScopedParent.
 [[nodiscard]] std::uint64_t current_span_id();
+
+/// A process-unique span id for spans that ride the wire (cross-process
+/// trace propagation): 32 bits of per-process salt above a 20-bit
+/// sequence, with bit 52 set. Never 0, exact in a JSON double (< 2^53),
+/// and unlike the sequential ids ScopedSpan mints — which every process
+/// counts from 1 — two processes can only collide on a 2^-32 salt
+/// coincidence. The serving layer uses these for the synthetic hop spans
+/// it injects into responses (serve/wire_trace.hpp).
+[[nodiscard]] std::uint64_t wire_span_id();
+
+/// The distributed trace id adopted by the calling thread (0 = none).
+/// The serving layer installs the request's trace id (ScopedTraceId)
+/// around traced work so deeper layers — e.g. the remote-CAS client —
+/// can forward it onward without threading it through every signature.
+[[nodiscard]] std::uint64_t current_trace_id();
+
+/// RAII install of `trace_id` as the calling thread's distributed trace
+/// id (current_trace_id()); restores the previous id on destruction.
+class ScopedTraceId {
+public:
+    explicit ScopedTraceId(std::uint64_t trace_id) noexcept;
+    ~ScopedTraceId();
+
+    ScopedTraceId(const ScopedTraceId&) = delete;
+    ScopedTraceId& operator=(const ScopedTraceId&) = delete;
+
+private:
+    std::uint64_t previous_;
+};
 
 /// RAII span: measures construction-to-destruction wall clock and registers
 /// the span on destruction (no-op when span collection is disabled). While

@@ -3,13 +3,17 @@
 // decision-provenance documents.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/chrome_trace.hpp"
 #include "obs/decision.hpp"
+#include "obs/flight.hpp"
 #include "obs/log.hpp"
 #include "obs/prometheus.hpp"
 #include "support/histogram.hpp"
@@ -148,6 +152,204 @@ TEST(Prometheus, RenderCountersCoversTheWholeMap) {
     const std::string text = obs::render_counters(counters);
     EXPECT_NE(text.find("psaflow_flow_runs 2"), std::string::npos);
     EXPECT_NE(text.find("psaflow_interp_steps 12345"), std::string::npos);
+}
+
+TEST(Prometheus, EscapesLabelValuesPerTextFormat) {
+    // text-format 0.0.4: backslash, double quote and newline must be
+    // escaped inside label values — shard names and endpoints are
+    // operator-controlled strings, so the exposition can't assume.
+    obs::PrometheusRenderer renderer;
+    renderer.gauge("awkward", "help", 1.0,
+                   {{"shard", "a\\b\"c\nd"}});
+    const std::string text = renderer.text();
+    EXPECT_NE(text.find("awkward{shard=\"a\\\\b\\\"c\\nd\"} 1"),
+              std::string::npos);
+}
+
+TEST(Prometheus, NonFiniteValuesRenderPerTextFormat) {
+    obs::PrometheusRenderer renderer;
+    renderer.gauge("not_a_number", "help",
+                   std::numeric_limits<double>::quiet_NaN());
+    renderer.gauge("too_big", "help",
+                   std::numeric_limits<double>::infinity());
+    renderer.gauge("too_small", "help",
+                   -std::numeric_limits<double>::infinity());
+    const std::string text = renderer.text();
+    EXPECT_NE(text.find("not_a_number NaN"), std::string::npos);
+    EXPECT_NE(text.find("too_big +Inf"), std::string::npos);
+    EXPECT_NE(text.find("too_small -Inf"), std::string::npos);
+}
+
+TEST(Prometheus, LabeledHistogramSeriesCoexistAndSumExactly) {
+    // The router's cluster exposition re-renders each shard's histogram
+    // under one metric name with shard labels; the per-label +Inf counts
+    // must add up to the merged (label-free) histogram's count.
+    Histogram a, b, merged;
+    a.record(3);
+    a.record(5);
+    b.record(300);
+    merged.merge(a);
+    merged.merge(b);
+
+    obs::PrometheusRenderer renderer;
+    renderer.histogram("shard_lat", "latency", a, {{"shard", "a"}});
+    renderer.histogram("shard_lat", "latency", b, {{"shard", "b"}});
+    renderer.histogram("fleet_lat", "merged latency", merged);
+    const std::string text = renderer.text();
+    EXPECT_NE(text.find("shard_lat_bucket{shard=\"a\",le=\"+Inf\"} 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("shard_lat_bucket{shard=\"b\",le=\"+Inf\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("fleet_lat_bucket{le=\"+Inf\"} 3"),
+              std::string::npos);
+    // One HELP/TYPE header despite two label sets.
+    EXPECT_EQ(text.find("# TYPE shard_lat histogram"),
+              text.rfind("# TYPE shard_lat histogram"));
+}
+
+// -------------------------------------------------------- flight recorder ----
+
+TEST(Flight, RecordsStampSequenceAndSnapshotOldestFirst) {
+    obs::FlightRecorder recorder(8);
+    for (int i = 1; i <= 3; ++i) {
+        obs::FlightRecord record;
+        record.total_us = static_cast<std::uint64_t>(i) * 100;
+        record.set_app("nbody");
+        record.set_status("ok");
+        recorder.record(record);
+    }
+    EXPECT_EQ(recorder.total(), 3u);
+    EXPECT_EQ(recorder.dropped(), 0u);
+    const auto snapshot = recorder.snapshot();
+    ASSERT_EQ(snapshot.size(), 3u);
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+        EXPECT_EQ(snapshot[i].seq, i + 1);
+        EXPECT_EQ(snapshot[i].total_us, (i + 1) * 100);
+        EXPECT_EQ(std::string(snapshot[i].app), "nbody");
+    }
+}
+
+TEST(Flight, RingKeepsTheNewestWhenLapped) {
+    obs::FlightRecorder recorder(4);
+    for (std::uint64_t i = 1; i <= 10; ++i) {
+        obs::FlightRecord record;
+        record.trace_id = i;
+        recorder.record(record);
+    }
+    EXPECT_EQ(recorder.total(), 10u);
+    const auto snapshot = recorder.snapshot();
+    ASSERT_EQ(snapshot.size(), 4u);
+    for (std::size_t i = 0; i < snapshot.size(); ++i)
+        EXPECT_EQ(snapshot[i].seq, 7 + i); // oldest-first, newest retained
+
+    const auto newest = recorder.snapshot(/*max_records=*/2);
+    ASSERT_EQ(newest.size(), 2u);
+    EXPECT_EQ(newest[0].seq, 9u);
+    EXPECT_EQ(newest[1].seq, 10u);
+}
+
+TEST(Flight, SloBreachIsFlaggedAndCounted) {
+    obs::FlightRecorder recorder(8);
+    recorder.set_slo_us(1000);
+    obs::FlightRecord fast;
+    fast.total_us = 500;
+    recorder.record(fast);
+    obs::FlightRecord slow;
+    slow.total_us = 5000;
+    recorder.record(slow);
+    EXPECT_EQ(recorder.breaches(), 1u);
+    const auto snapshot = recorder.snapshot();
+    ASSERT_EQ(snapshot.size(), 2u);
+    EXPECT_EQ(snapshot[0].slo_breach, 0u);
+    EXPECT_EQ(snapshot[1].slo_breach, 1u);
+}
+
+TEST(Flight, ToJsonCarriesHexTraceIdAndTimings) {
+    obs::FlightRecord record;
+    record.trace_id = 0xabcULL;
+    record.seq = 7;
+    record.queue_wait_us = 10;
+    record.exec_us = 20;
+    record.total_us = 30;
+    record.retries = 2;
+    record.cache_hits = 3;
+    record.set_lane("interactive");
+    record.set_shard("127.0.0.1:7401");
+    record.set_app("nbody");
+    record.set_winner("simd");
+    record.set_status("ok");
+
+    const json::Value doc = obs::to_json(record);
+    EXPECT_EQ(doc.find("trace_id")->string_or(""), "0000000000000abc");
+    EXPECT_EQ(doc.find("seq")->number_or(0.0), 7.0);
+    EXPECT_EQ(doc.find("queue_wait_us")->number_or(0.0), 10.0);
+    EXPECT_EQ(doc.find("exec_us")->number_or(0.0), 20.0);
+    EXPECT_EQ(doc.find("total_us")->number_or(0.0), 30.0);
+    EXPECT_EQ(doc.find("retries")->number_or(0.0), 2.0);
+    EXPECT_EQ(doc.find("cache_hits")->number_or(0.0), 3.0);
+    EXPECT_EQ(doc.find("lane")->string_or(""), "interactive");
+    EXPECT_EQ(doc.find("shard")->string_or(""), "127.0.0.1:7401");
+    EXPECT_EQ(doc.find("app")->string_or(""), "nbody");
+    EXPECT_EQ(doc.find("winner")->string_or(""), "simd");
+    EXPECT_EQ(doc.find("status")->string_or(""), "ok");
+    EXPECT_FALSE(doc.find("slo_breach")->bool_or(true));
+}
+
+TEST(Flight, OverlongFieldsTruncateWithoutOverflow) {
+    obs::FlightRecord record;
+    record.set_app(std::string(100, 'x'));
+    record.set_status(std::string(100, 'y'));
+    EXPECT_EQ(std::string(record.app).size(), sizeof record.app - 1);
+    EXPECT_EQ(std::string(record.status).size(),
+              sizeof record.status - 1);
+}
+
+TEST(Flight, WraparoundUnderConcurrentWritersStaysConsistent) {
+    // The tsan target: writers lapping a small ring while a reader
+    // snapshots mid-flight. Each record carries a self-consistency
+    // relation (exec = 5*trace, queue = 3*trace) so any torn read —
+    // half one record, half another — is detected, not just data races.
+    obs::FlightRecorder recorder(8);
+    constexpr int kWriters = 4;
+    constexpr std::uint64_t kPerWriter = 2000;
+
+    std::atomic<bool> stop{false};
+    std::thread reader([&recorder, &stop] {
+        while (!stop.load()) {
+            for (const obs::FlightRecord& record : recorder.snapshot()) {
+                ASSERT_EQ(record.queue_wait_us, record.trace_id * 3);
+                ASSERT_EQ(record.exec_us, record.trace_id * 5);
+            }
+        }
+    });
+    std::vector<std::thread> writers;
+    for (int w = 0; w < kWriters; ++w)
+        writers.emplace_back([&recorder, w] {
+            for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+                const std::uint64_t k =
+                    static_cast<std::uint64_t>(w) * kPerWriter + i + 1;
+                obs::FlightRecord record;
+                record.trace_id = k;
+                record.queue_wait_us = k * 3;
+                record.exec_us = k * 5;
+                record.set_status("ok");
+                recorder.record(record);
+            }
+        });
+    for (std::thread& writer : writers) writer.join();
+    stop.store(true);
+    reader.join();
+
+    EXPECT_EQ(recorder.total(), kWriters * kPerWriter);
+    const auto snapshot = recorder.snapshot();
+    EXPECT_LE(snapshot.size(), recorder.capacity());
+    EXPECT_FALSE(snapshot.empty());
+    for (const obs::FlightRecord& record : snapshot) {
+        EXPECT_EQ(record.queue_wait_us, record.trace_id * 3);
+        EXPECT_EQ(record.exec_us, record.trace_id * 5);
+    }
+    // Seqlock slot collisions may drop records, never corrupt them.
+    EXPECT_LE(recorder.dropped(), recorder.total());
 }
 
 // ----------------------------------------------------------- chrome trace ----

@@ -8,21 +8,25 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <thread>
 #include <vector>
 
 #include "flow/manifest.hpp"
 #include "flow/standard_flow.hpp"
+#include "obs/flight.hpp"
 #include "serve/protocol.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
+#include "serve/wire_trace.hpp"
 #include "support/cancel.hpp"
 #include "support/histogram.hpp"
 #include "support/net.hpp"
 #include "support/string_util.hpp"
+#include "support/trace.hpp"
 
 namespace psaflow {
 namespace {
@@ -219,6 +223,100 @@ TEST(Histogram, BucketFloorsArePowersOfTwo) {
     EXPECT_EQ(Histogram::bucket_floor(1), 1u);
     EXPECT_EQ(Histogram::bucket_floor(2), 2u);
     EXPECT_EQ(Histogram::bucket_floor(10), 512u);
+}
+
+TEST(Histogram, MergeOfTwoEmptiesStaysEmpty) {
+    Histogram a;
+    const Histogram b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.sum(), 0u);
+    EXPECT_EQ(a.min(), 0u);
+    EXPECT_EQ(a.max(), 0u);
+    EXPECT_EQ(a.percentile(99), 0u);
+}
+
+TEST(Histogram, MergeDisjointBucketsKeepsBothPopulations) {
+    Histogram a, b;
+    a.record(1);
+    a.record(1);
+    b.record(std::uint64_t{1} << 20);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.bucket_count(1), 2u);
+    EXPECT_EQ(a.bucket_count(21), 1u); // floor 2^20 lives in bucket 21
+    EXPECT_EQ(a.min(), 1u);
+    EXPECT_EQ(a.max(), std::uint64_t{1} << 20);
+}
+
+TEST(Histogram, MergeSaturatesCountsInsteadOfWrapping) {
+    // from_parts can express counts no realistic record() loop could;
+    // merging two such histograms must pin at UINT64_MAX, not wrap to 0.
+    Histogram::Parts parts;
+    parts.count = UINT64_MAX;
+    parts.sum = UINT64_MAX;
+    parts.min = 1;
+    parts.max = 1;
+    parts.buckets = {{1, UINT64_MAX}};
+    Histogram a = Histogram::from_parts(parts);
+    const Histogram b = Histogram::from_parts(parts);
+    a.merge(b);
+    EXPECT_EQ(a.count(), UINT64_MAX);
+    EXPECT_EQ(a.sum(), UINT64_MAX);
+    EXPECT_EQ(a.bucket_count(1), UINT64_MAX);
+}
+
+TEST(Histogram, MergedPercentilesMatchPooledSamples) {
+    // Merging per-shard histograms must answer percentile queries exactly
+    // as if every sample had been recorded into one histogram.
+    Histogram a, b, merged, pooled;
+    for (std::uint64_t v = 0; v < 500; ++v) {
+        a.record(v);
+        pooled.record(v);
+    }
+    for (std::uint64_t v = 5000; v < 5500; ++v) {
+        b.record(v);
+        pooled.record(v);
+    }
+    merged.merge(a);
+    merged.merge(b);
+    for (double p : {1.0, 10.0, 50.0, 90.0, 99.0, 100.0})
+        EXPECT_EQ(merged.percentile(p), pooled.percentile(p)) << p;
+}
+
+TEST(Histogram, FromPartsRebuildsExactBucketCounts) {
+    Histogram original;
+    for (std::uint64_t v : {std::uint64_t{0}, std::uint64_t{1},
+                            std::uint64_t{3}, std::uint64_t{700},
+                            std::uint64_t{900}, std::uint64_t{1} << 30})
+        original.record(v);
+
+    Histogram::Parts parts;
+    parts.count = original.count();
+    parts.sum = original.sum();
+    parts.min = original.min();
+    parts.max = original.max();
+    for (int b = 0; b < Histogram::kBuckets; ++b)
+        if (original.bucket_count(b) != 0)
+            parts.buckets.emplace_back(Histogram::bucket_floor(b),
+                                       original.bucket_count(b));
+
+    const Histogram rebuilt = Histogram::from_parts(parts);
+    EXPECT_EQ(rebuilt.count(), original.count());
+    EXPECT_EQ(rebuilt.sum(), original.sum());
+    EXPECT_EQ(rebuilt.min(), original.min());
+    EXPECT_EQ(rebuilt.max(), original.max());
+    for (int b = 0; b < Histogram::kBuckets; ++b)
+        EXPECT_EQ(rebuilt.bucket_count(b), original.bucket_count(b)) << b;
+    for (double p : {50.0, 90.0, 99.0})
+        EXPECT_EQ(rebuilt.percentile(p), original.percentile(p)) << p;
+}
+
+TEST(Histogram, FromPartsOfNothingIsEmpty) {
+    const Histogram rebuilt = Histogram::from_parts(Histogram::Parts{});
+    EXPECT_EQ(rebuilt.count(), 0u);
+    EXPECT_EQ(rebuilt.min(), 0u); // not the internal UINT64_MAX sentinel
+    EXPECT_EQ(rebuilt.percentile(50), 0u);
 }
 
 // ------------------------------------------------------------------ queue ----
@@ -541,6 +639,150 @@ TEST(Protocol, CasRequestsRoundTripKeysAndPayloads) {
     EXPECT_EQ(miss.find("payload"), nullptr);
 }
 
+// -------------------------------------------------------------- wire trace ----
+
+TEST(WireTrace, TraceMemberRoundTripsThroughRequestParse) {
+    json::Value doc = json::Value::object();
+    doc.set("type", json::Value::string("ping"));
+    serve::WireTraceContext ctx;
+    ctx.trace_id = 0xabcdef12u;
+    ctx.parent_span = 42;
+    serve::set_trace_member(doc, ctx);
+
+    serve::WireRequest request;
+    ASSERT_FALSE(serve::parse_wire_request(doc, request).has_value());
+    EXPECT_TRUE(request.trace.traced());
+    EXPECT_EQ(request.trace.trace_id, 0xabcdef12u);
+    EXPECT_EQ(request.trace.parent_span, 42u);
+}
+
+TEST(WireTrace, UntracedContextLeavesTheDocumentUntouched) {
+    json::Value doc = json::Value::object();
+    serve::set_trace_member(doc, serve::WireTraceContext{});
+    EXPECT_EQ(doc.find("trace"), nullptr);
+}
+
+TEST(WireTrace, MalformedTraceMemberDegradesToUntraced) {
+    const auto doc = json::parse(
+        R"({"type":"ping","trace":{"trace_id":"not-hex"}})");
+    ASSERT_TRUE(doc.has_value());
+    serve::WireRequest request;
+    // Tolerant parse: a garbled trace context degrades to an untraced
+    // request, it never fails an otherwise valid one.
+    ASSERT_FALSE(serve::parse_wire_request(*doc, request).has_value());
+    EXPECT_FALSE(request.trace.traced());
+}
+
+TEST(WireTrace, ResponseSpansRoundTrip) {
+    std::vector<trace::Span> spans(2);
+    spans[0].name = "root";
+    spans[0].category = "serve";
+    spans[0].id = 7;
+    spans[0].parent = 3;
+    spans[0].duration_us = 10;
+    spans[1].name = "child";
+    spans[1].id = 8;
+    spans[1].parent = 7;
+    spans[1].start_us = 2;
+    spans[1].duration_us = 5;
+    spans[1].work_units = 1.5;
+
+    json::Value response = json::Value::object();
+    serve::attach_response_trace(response, 0x77, spans);
+    EXPECT_EQ(serve::response_trace_id(response), 0x77u);
+    const std::vector<trace::Span> back =
+        serve::response_trace_spans(response);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].name, "root");
+    EXPECT_EQ(back[0].category, "serve");
+    EXPECT_EQ(back[0].id, 7u);
+    EXPECT_EQ(back[0].parent, 3u);
+    EXPECT_EQ(back[1].start_us, 2u);
+    EXPECT_EQ(back[1].duration_us, 5u);
+    EXPECT_EQ(back[1].work_units, 1.5);
+}
+
+TEST(WireTrace, NestSpansCentersChildrenInsideTheWrapperWindow) {
+    std::vector<trace::Span> spans(1);
+    spans[0].id = 2;
+    spans[0].parent = 1;
+    spans[0].start_us = 0;
+    spans[0].duration_us = 10;
+    trace::Span wrapper;
+    wrapper.id = 1;
+    wrapper.start_us = 100;
+    wrapper.duration_us = 50;
+    serve::nest_spans(spans, wrapper);
+
+    ASSERT_EQ(spans.size(), 2u); // the wrapper itself is appended last
+    const trace::Span& child = spans[0];
+    const trace::Span& window = spans[1];
+    EXPECT_EQ(window.id, 1u);
+    EXPECT_EQ(child.start_us, 120u); // slack (50-10)/2 on each side
+    EXPECT_GE(child.start_us, window.start_us);
+    EXPECT_LE(child.start_us + child.duration_us,
+              window.start_us + window.duration_us);
+}
+
+TEST(WireTrace, NestSpansStretchesTheWrapperOnClockSkew) {
+    std::vector<trace::Span> spans(1);
+    spans[0].id = 2;
+    spans[0].start_us = 0;
+    spans[0].duration_us = 80; // longer than the wrapper window
+    trace::Span wrapper;
+    wrapper.id = 1;
+    wrapper.start_us = 100;
+    wrapper.duration_us = 50;
+    serve::nest_spans(spans, wrapper);
+
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_GE(spans[1].duration_us, 80u);
+    EXPECT_LE(spans[0].start_us + spans[0].duration_us,
+              spans[1].start_us + spans[1].duration_us);
+}
+
+TEST(Protocol, ParsesFlightAndClusterRequestTypes) {
+    serve::WireRequest request;
+    const auto flight = json::parse(R"({"type":"flight","max":5})");
+    ASSERT_TRUE(flight.has_value());
+    ASSERT_FALSE(serve::parse_wire_request(*flight, request).has_value());
+    EXPECT_EQ(request.type, serve::RequestType::Flight);
+    EXPECT_EQ(request.flight_max, 5);
+
+    const auto stats = json::parse(R"({"type":"cluster_stats"})");
+    ASSERT_FALSE(serve::parse_wire_request(*stats, request).has_value());
+    EXPECT_EQ(request.type, serve::RequestType::ClusterStats);
+
+    const auto metrics = json::parse(R"({"type":"cluster_metrics"})");
+    ASSERT_FALSE(serve::parse_wire_request(*metrics, request).has_value());
+    EXPECT_EQ(request.type, serve::RequestType::ClusterMetrics);
+
+    const auto bad = json::parse(R"({"type":"flight","max":-1})");
+    EXPECT_TRUE(serve::parse_wire_request(*bad, request).has_value());
+}
+
+TEST(Protocol, FlightResponseCarriesRecorderStateAndRecords) {
+    obs::FlightRecorder recorder(4);
+    obs::FlightRecord record;
+    record.trace_id = 0x99;
+    record.total_us = 1234;
+    record.set_app("nbody");
+    record.set_status("ok");
+    recorder.record(record);
+
+    const json::Value response = serve::make_flight_response(recorder, 0);
+    EXPECT_TRUE(response.find("ok")->bool_value);
+    EXPECT_EQ(response.find("type")->string_or(""), "flight");
+    EXPECT_EQ(response.find("schema_version")->number_or(0.0), 1.0);
+    EXPECT_EQ(response.find("capacity")->number_or(0.0), 4.0);
+    const json::Value* records = response.find("records");
+    ASSERT_NE(records, nullptr);
+    ASSERT_EQ(records->elements.size(), 1u);
+    EXPECT_EQ(records->elements[0].find("app")->string_or(""), "nbody");
+    EXPECT_EQ(records->elements[0].find("total_us")->number_or(0.0),
+              1234.0);
+}
+
 TEST(Net, WriteFrameStatusDistinguishesOversizeFromTransport) {
     net::Fd a, b;
     ASSERT_TRUE(net::socket_pair(a, b));
@@ -611,6 +853,81 @@ TEST(ExecuteRequest, CompilesAndIsolatesPerRequestCounters) {
     EXPECT_EQ(first.counters.at("flow.runs"), 1u);
     EXPECT_EQ(second.counters.at("flow.runs"), 1u);
     EXPECT_GT(first.counters.at("interp.runs"), 0u);
+}
+
+TEST(ExecuteRequest, TracedRequestYieldsOneRootedHopTree) {
+    ScratchDir dir("traced");
+    flow::FlowSession session;
+    serve::CompileRequest req;
+    req.app = "adpredictor";
+    req.out_dir = (dir.path / "out").string();
+
+    serve::RequestTrace trace;
+    trace.trace_id = 0xfeedu;
+    trace.parent_span = 77; // the requester's span, not in this process
+    trace.queue_wait_us = 500;
+    const serve::CompileOutcome outcome = serve::execute_request(
+        session, req, nullptr, nullptr, &trace);
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+    ASSERT_GE(outcome.spans.size(), 3u); // at least the synthesized hops
+
+    // Exactly one span (serve:request) parents on the remote span; every
+    // other parent resolves inside the returned set — the requester can
+    // graft the whole thing under its own span and get a single tree.
+    std::map<std::uint64_t, const trace::Span*> by_id;
+    for (const trace::Span& span : outcome.spans) {
+        EXPECT_NE(span.id, 0u) << span.name;
+        EXPECT_TRUE(by_id.emplace(span.id, &span).second)
+            << "duplicate id on " << span.name;
+    }
+    std::size_t roots = 0;
+    const trace::Span* root = nullptr;
+    for (const trace::Span& span : outcome.spans) {
+        if (span.parent == 77) {
+            ++roots;
+            root = &span;
+            continue;
+        }
+        EXPECT_TRUE(by_id.count(span.parent) == 1)
+            << span.name << " has unresolved parent " << span.parent;
+    }
+    ASSERT_EQ(roots, 1u);
+    EXPECT_EQ(root->name, "serve:request");
+    EXPECT_EQ(root->start_us, 0u);
+
+    bool saw_queue_wait = false, saw_execute = false;
+    for (const trace::Span& span : outcome.spans) {
+        if (span.name == "serve:queue-wait") {
+            saw_queue_wait = true;
+            EXPECT_EQ(span.duration_us, 500u);
+            EXPECT_EQ(span.parent, root->id);
+        }
+        if (span.name == "serve:execute") {
+            saw_execute = true;
+            EXPECT_EQ(span.start_us, 500u); // starts after the queue wait
+            EXPECT_EQ(span.parent, root->id);
+        }
+        // Timing containment: the root's window covers every hop.
+        EXPECT_GE(span.start_us, root->start_us) << span.name;
+        EXPECT_LE(span.start_us + span.duration_us,
+                  root->start_us + root->duration_us)
+            << span.name;
+    }
+    EXPECT_TRUE(saw_queue_wait);
+    EXPECT_TRUE(saw_execute);
+}
+
+TEST(ExecuteRequest, UntracedRequestSynthesizesNoHopSpans) {
+    ScratchDir dir("untraced");
+    flow::FlowSession session;
+    serve::CompileRequest req;
+    req.app = "adpredictor";
+    req.out_dir = (dir.path / "out").string();
+    const serve::CompileOutcome outcome =
+        serve::execute_request(session, req);
+    ASSERT_TRUE(outcome.ok) << outcome.error;
+    for (const trace::Span& span : outcome.spans)
+        EXPECT_NE(span.name, "serve:request");
 }
 
 TEST(ExecuteRequest, UnknownAppIsBadRequest) {

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <memory>
+#include <set>
 #include <stdexcept>
 
 #include "support/cli.hpp"
@@ -344,9 +345,89 @@ TEST(Trace, MergeRemapsThreadOrdinalsAndKeepsParentLinks) {
         if (span.name == "merged-root") merged_root_id = span.id;
     }
     EXPECT_EQ(merged_root_id, other_root); // ids are process-unique: no remap
-    for (const auto& span : spans)
-        if (span.name == "merged-child")
+    for (const auto& span : spans) {
+        if (span.name == "merged-child") {
             EXPECT_EQ(span.parent, merged_root_id);
+        }
+    }
+}
+
+TEST(Trace, MergeRemapsCollidingSpanIds) {
+    // Two registries from *different processes* can hold the same span
+    // ids (each process numbers sequentially from 1). merge_from must
+    // remap the incoming ids off the collision while preserving the
+    // incoming parent links — regression for cross-process trace merges.
+    trace::Registry target;
+    target.set_enabled(true);
+    trace::Span mine_root;
+    mine_root.name = "mine-root";
+    mine_root.id = 100;
+    target.add_span(mine_root);
+    trace::Span mine_child;
+    mine_child.name = "mine-child";
+    mine_child.id = 101;
+    mine_child.parent = 100;
+    target.add_span(mine_child);
+
+    trace::Registry other;
+    other.set_enabled(true);
+    trace::Span theirs_root;
+    theirs_root.name = "theirs-root";
+    theirs_root.id = 100; // collides with mine-root
+    other.add_span(theirs_root);
+    trace::Span theirs_child;
+    theirs_child.name = "theirs-child";
+    theirs_child.id = 101; // collides with mine-child
+    theirs_child.parent = 100;
+    other.add_span(theirs_child);
+
+    target.merge_from(other);
+    const auto spans = target.spans();
+    ASSERT_EQ(spans.size(), 4u);
+    std::set<std::uint64_t> ids;
+    for (const auto& span : spans)
+        EXPECT_TRUE(ids.insert(span.id).second)
+            << "id " << span.id << " still duplicated on " << span.name;
+
+    std::uint64_t theirs_root_id = 0;
+    for (const auto& span : spans)
+        if (span.name == "theirs-root") theirs_root_id = span.id;
+    EXPECT_NE(theirs_root_id, 100u); // remapped off the collision
+    for (const auto& span : spans) {
+        if (span.name == "theirs-child") {
+            EXPECT_EQ(span.parent, theirs_root_id);
+        }
+        if (span.name == "mine-child") { // untouched: the target keeps its ids
+            EXPECT_EQ(span.parent, 100u);
+        }
+    }
+}
+
+TEST(Trace, WireSpanIdsAreSaltedDistinctAndJsonExact) {
+    const std::uint64_t a = trace::wire_span_id();
+    const std::uint64_t b = trace::wire_span_id();
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(a, b);
+    // Below 2^53: survives a JSON double round-trip exactly.
+    EXPECT_LT(a, std::uint64_t{1} << 53);
+    // Marker bit keeps wire ids disjoint from sequential in-process ids.
+    EXPECT_NE(a & (std::uint64_t{1} << 52), 0u);
+    // Same process salt, differing only in the sequence bits.
+    EXPECT_EQ(a >> 20, b >> 20);
+}
+
+TEST(Trace, ScopedTraceIdInstallsAndRestores) {
+    EXPECT_EQ(trace::current_trace_id(), 0u);
+    {
+        trace::ScopedTraceId outer(0xabc);
+        EXPECT_EQ(trace::current_trace_id(), 0xabcu);
+        {
+            trace::ScopedTraceId inner(0xdef);
+            EXPECT_EQ(trace::current_trace_id(), 0xdefu);
+        }
+        EXPECT_EQ(trace::current_trace_id(), 0xabcu);
+    }
+    EXPECT_EQ(trace::current_trace_id(), 0u);
 }
 
 // ------------------------------------------------------------------- json ----

@@ -8,8 +8,14 @@
 // those checks with the repo's own JSON parser so the smoke test does not
 // depend on python/jq being installed.
 //
+// Cross-process trees (a distributed-traced request assembled across
+// client, router, shard and CAS-upstream hops) additionally obey timing
+// containment: every child span's window lies inside its parent's.
+// --check-nesting asserts that invariant on either trace format.
+//
 //   psaflow-obscheck --chrome-trace flame.json [--expect-roots 1]
 //   psaflow-obscheck --trace trace.json        [--expect-roots 1]
+//   psaflow-obscheck --chrome-trace flame.json --check-nesting
 //   psaflow-obscheck --explain why.json
 //
 // Exit codes: 0 valid, 1 structural violation (message on stderr),
@@ -54,57 +60,82 @@ bool load_json(const std::string& path, json::Value& doc) {
     return false;
 }
 
+/// One span's tree-relevant fields, shared between both trace formats.
+struct SpanLink {
+    std::uint64_t id = 0;
+    std::uint64_t parent = 0;
+    std::uint64_t start = 0; ///< microseconds (start_us / ts)
+    std::uint64_t end = 0;   ///< start + duration
+};
+
 /// Shared tree check over (id -> parent) links: ids unique, every non-zero
 /// parent resolves to a recorded span, exactly `expected_roots` roots, and
-/// every span reaches a root (no cycles).
-bool check_span_tree(const std::vector<std::pair<std::uint64_t,
-                                                 std::uint64_t>>& links,
-                     long long expected_roots) {
+/// every span reaches a root (no cycles). With `check_nesting`, each
+/// child's [start, end] window must also lie inside its parent's — the
+/// invariant a correctly assembled cross-process tree (hop spans rebased
+/// into their requester's round-trip window) preserves, and a merge bug
+/// (unremapped ids, unshifted clocks) breaks.
+bool check_span_tree(const std::vector<SpanLink>& links,
+                     long long expected_roots, bool check_nesting) {
     if (links.empty()) return fail("no spans recorded");
-    std::map<std::uint64_t, std::uint64_t> parent_of;
-    for (const auto& [id, parent] : links) {
-        if (id == 0) return fail("span with id 0 (ids must be non-zero)");
-        if (!parent_of.emplace(id, parent).second)
-            return fail("duplicate span id " + std::to_string(id));
+    std::map<std::uint64_t, const SpanLink*> by_id;
+    for (const SpanLink& link : links) {
+        if (link.id == 0)
+            return fail("span with id 0 (ids must be non-zero)");
+        if (!by_id.emplace(link.id, &link).second)
+            return fail("duplicate span id " + std::to_string(link.id));
     }
     long long roots = 0;
-    for (const auto& [id, parent] : parent_of) {
-        if (parent == 0) {
+    for (const auto& [id, link] : by_id) {
+        if (link->parent == 0) {
             ++roots;
             continue;
         }
-        if (parent_of.find(parent) == parent_of.end())
+        const auto parent = by_id.find(link->parent);
+        if (parent == by_id.end())
             return fail("span " + std::to_string(id) + " has parent " +
-                        std::to_string(parent) +
+                        std::to_string(link->parent) +
                         " which is not in the trace (orphan)");
+        if (check_nesting &&
+            (link->start < parent->second->start ||
+             link->end > parent->second->end))
+            return fail("span " + std::to_string(id) + " [" +
+                        std::to_string(link->start) + ", " +
+                        std::to_string(link->end) +
+                        "]us escapes its parent " +
+                        std::to_string(link->parent) + " [" +
+                        std::to_string(parent->second->start) + ", " +
+                        std::to_string(parent->second->end) + "]us");
     }
     if (roots != expected_roots)
         return fail("expected " + std::to_string(expected_roots) +
                     " root span(s), found " + std::to_string(roots));
-    for (const auto& [id, parent] : parent_of) {
+    for (const auto& [id, link] : by_id) {
         std::set<std::uint64_t> seen;
         std::uint64_t cursor = id;
         while (cursor != 0) {
             if (!seen.insert(cursor).second)
                 return fail("cycle in span parents at id " +
                             std::to_string(cursor));
-            cursor = parent_of.at(cursor);
+            cursor = by_id.at(cursor)->parent;
         }
     }
     std::cout << "obscheck: span tree ok (" << links.size() << " span(s), "
-              << roots << " root(s))\n";
+              << roots << " root(s)"
+              << (check_nesting ? ", nesting checked" : "") << ")\n";
     return true;
 }
 
 /// Registry JSON dump (schema v2): {"schema_version":2,"spans":[...]}.
-bool check_registry_trace(const json::Value& doc, long long expected_roots) {
+bool check_registry_trace(const json::Value& doc, long long expected_roots,
+                          bool check_nesting) {
     const json::Value* version = doc.find("schema_version");
     if (version == nullptr || version->number_or(0.0) != 2.0)
         return fail("trace schema_version is not 2");
     const json::Value* spans = doc.find("spans");
     if (spans == nullptr || !spans->is_array())
         return fail("trace has no spans array");
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> links;
+    std::vector<SpanLink> links;
     for (std::size_t i = 0; i < spans->elements.size(); ++i) {
         const json::Value& span = spans->elements[i];
         const json::Value* id = span.find("id");
@@ -114,20 +145,29 @@ bool check_registry_trace(const json::Value& doc, long long expected_roots) {
             return fail("span " + std::to_string(i) + " lacks id/parent");
         if (name == nullptr || name->string_or("").empty())
             return fail("span " + std::to_string(i) + " lacks a name");
-        links.emplace_back(
-            static_cast<std::uint64_t>(id->number_or(0.0)),
-            static_cast<std::uint64_t>(parent->number_or(0.0)));
+        SpanLink link;
+        link.id = static_cast<std::uint64_t>(id->number_or(0.0));
+        link.parent = static_cast<std::uint64_t>(parent->number_or(0.0));
+        const json::Value* start = span.find("start_us");
+        const json::Value* duration = span.find("duration_us");
+        link.start = static_cast<std::uint64_t>(
+            start ? start->number_or(0.0) : 0.0);
+        link.end = link.start + static_cast<std::uint64_t>(
+                                    duration ? duration->number_or(0.0)
+                                             : 0.0);
+        links.push_back(link);
     }
-    return check_span_tree(links, expected_roots);
+    return check_span_tree(links, expected_roots, check_nesting);
 }
 
 /// Chrome trace-event document: {"traceEvents":[...]} with complete
 /// ("ph":"X") events carrying args.span_id / args.parent_id.
-bool check_chrome_trace(const json::Value& doc, long long expected_roots) {
+bool check_chrome_trace(const json::Value& doc, long long expected_roots,
+                        bool check_nesting) {
     const json::Value* events = doc.find("traceEvents");
     if (events == nullptr || !events->is_array())
         return fail("no traceEvents array (not a Chrome trace?)");
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> links;
+    std::vector<SpanLink> links;
     bool saw_metadata = false;
     for (std::size_t i = 0; i < events->elements.size(); ++i) {
         const json::Value& event = events->elements[i];
@@ -140,7 +180,9 @@ bool check_chrome_trace(const json::Value& doc, long long expected_roots) {
         if (ph != "X")
             return fail("event " + std::to_string(i) +
                         " has phase '" + ph + "' (want M or X)");
-        if (event.find("ts") == nullptr || event.find("dur") == nullptr)
+        const json::Value* ts = event.find("ts");
+        const json::Value* dur = event.find("dur");
+        if (ts == nullptr || dur == nullptr)
             return fail("X event " + std::to_string(i) + " lacks ts/dur");
         const json::Value* args = event.find("args");
         const json::Value* id = args ? args->find("span_id") : nullptr;
@@ -148,14 +190,18 @@ bool check_chrome_trace(const json::Value& doc, long long expected_roots) {
         if (id == nullptr || parent == nullptr)
             return fail("X event " + std::to_string(i) +
                         " lacks args.span_id/args.parent_id");
-        links.emplace_back(
-            static_cast<std::uint64_t>(id->number_or(0.0)),
-            static_cast<std::uint64_t>(parent->number_or(0.0)));
+        SpanLink link;
+        link.id = static_cast<std::uint64_t>(id->number_or(0.0));
+        link.parent = static_cast<std::uint64_t>(parent->number_or(0.0));
+        link.start = static_cast<std::uint64_t>(ts->number_or(0.0));
+        link.end =
+            link.start + static_cast<std::uint64_t>(dur->number_or(0.0));
+        links.push_back(link);
     }
     if (!saw_metadata)
         return fail("no metadata (ph:\"M\") events — process/thread names "
                     "missing");
-    return check_span_tree(links, expected_roots);
+    return check_span_tree(links, expected_roots, check_nesting);
 }
 
 /// Decision-provenance report (psaflowc --explain).
@@ -221,11 +267,13 @@ int main(int argc, char** argv) {
     std::string trace_path;
     std::string explain_path;
     long long expect_roots = 1;
+    bool check_nesting = false;
 
     cli::OptionParser parser(
         argv[0],
-        {"--chrome-trace <file.json> [--expect-roots <n>]",
-         "--trace <file.json> [--expect-roots <n>]",
+        {"--chrome-trace <file.json> [--expect-roots <n>] "
+         "[--check-nesting]",
+         "--trace <file.json> [--expect-roots <n>] [--check-nesting]",
          "--explain <file.json>"});
     parser.str("--chrome-trace", "<file.json>",
                "validate a Chrome trace-event document", &chrome_path);
@@ -236,6 +284,10 @@ int main(int argc, char** argv) {
     parser.integer("--expect-roots", "<n>",
                    "required number of root spans (default 1)",
                    &expect_roots, /*min=*/1);
+    parser.flag("--check-nesting",
+                "require every child span's time window to lie inside its "
+                "parent's (cross-process tree assembly invariant)",
+                &check_nesting);
 
     if (!parser.parse(argc, argv)) return 2;
     if (chrome_path.empty() && trace_path.empty() && explain_path.empty()) {
@@ -246,11 +298,12 @@ int main(int argc, char** argv) {
     json::Value doc;
     if (!chrome_path.empty()) {
         if (!load_json(chrome_path, doc)) return 2;
-        if (!check_chrome_trace(doc, expect_roots)) return 1;
+        if (!check_chrome_trace(doc, expect_roots, check_nesting)) return 1;
     }
     if (!trace_path.empty()) {
         if (!load_json(trace_path, doc)) return 2;
-        if (!check_registry_trace(doc, expect_roots)) return 1;
+        if (!check_registry_trace(doc, expect_roots, check_nesting))
+            return 1;
     }
     if (!explain_path.empty()) {
         if (!load_json(explain_path, doc)) return 2;

@@ -53,6 +53,7 @@
 #include "flow/standard_flow.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/decision.hpp"
+#include "obs/flight.hpp"
 #include "obs/prometheus.hpp"
 #include "serve/service.hpp"
 #include "support/cas/cas.hpp"
@@ -80,6 +81,29 @@ bool write_text_file(const std::string& path, const std::string& content) {
     }
     file << content;
     return true;
+}
+
+/// Drop a flight-recorder digest for one locally executed request, so the
+/// PSAFLOW_SLO_MS slow-request forensics behave in the CLI driver exactly
+/// as they do in psaflowd (a breach logs a warn, echoed to stderr).
+void record_flight(const serve::CompileRequest& req,
+                   const serve::CompileOutcome& outcome) {
+    obs::FlightRecord flight;
+    flight.set_app(req.app);
+    flight.set_lane("local");
+    flight.exec_us = outcome.wall_us;
+    flight.total_us = outcome.wall_us;
+    const auto hits = [&outcome](const char* name) {
+        const auto it = outcome.counters.find(name);
+        return it == outcome.counters.end() ? std::uint64_t{0} : it->second;
+    };
+    flight.cache_hits = static_cast<std::uint32_t>(
+        hits("cas.hits") + hits("profile_cache.hits"));
+    if (!outcome.decisions.empty() &&
+        !outcome.decisions.front().selected.empty())
+        flight.set_winner(outcome.decisions.front().selected.front());
+    flight.set_status(outcome.ok ? "ok" : to_string(outcome.error_kind));
+    obs::FlightRecorder::global().record(flight);
 }
 
 /// Read + parse the batch manifest; returns false (message on stderr) on
@@ -143,6 +167,7 @@ int run_batch(const std::string& manifest_path, const cli::FlowFlags& flags,
         const serve::CompileRequest& req = requests[i];
         const serve::CompileOutcome outcome =
             serve::execute_request(session, req);
+        record_flight(req, outcome);
         if (!outcome.ok) {
             ++failures;
             std::cerr << "request " << i << " (" << req.app
@@ -357,6 +382,7 @@ int main(int argc, char** argv) {
                   << "'...\n";
         const serve::CompileOutcome outcome =
             serve::execute_request(session, req);
+        record_flight(req, outcome);
         if (!outcome.ok) {
             std::cerr << outcome.error << "\n";
             return outcome.error.rfind("flow failed:", 0) == 0 ? 1 : 2;

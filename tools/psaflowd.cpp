@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
     long long recv_timeout_ms = 5000;
     long long session_jobs = 1;
     long long cache_max_mb = 0;
+    long long slo_ms = 0;
     bool enable_test_endpoints = false;
 
     std::string cas_upstream;
@@ -60,7 +61,7 @@ int main(int argc, char** argv) {
          "[--queue-depth <n>]\n"
          "      [--deadline-ms <n>] [--recv-timeout-ms <n>] [--out <dir>]\n"
          "      [--jobs <n>] [--interp tree|vm] [--cache-dir <dir>]\n"
-         "      [--cache-max-mb <n>]"});
+         "      [--cache-max-mb <n>] [--slo-ms <n>]"});
     parser.str("--socket", "<path>", "Unix-domain socket to listen on",
                &options.socket_path);
     parser.str("--listen", "<host:port>",
@@ -100,6 +101,10 @@ int main(int argc, char** argv) {
     parser.integer("--cache-max-mb", "<n>",
                    "persistent cache size cap (0 = env / default)",
                    &cache_max_mb, /*min=*/0);
+    parser.integer("--slo-ms", "<n>",
+                   "latency SLO for the flight recorder; slower requests "
+                   "log a breach (0 = PSAFLOW_SLO_MS / off)",
+                   &slo_ms, /*min=*/0);
     parser.flag("--enable-test-endpoints",
                 "allow the test-only 'sleep' request type",
                 &enable_test_endpoints);
@@ -116,6 +121,7 @@ int main(int argc, char** argv) {
     options.recv_timeout_ms = recv_timeout_ms;
     options.session_jobs = static_cast<int>(session_jobs);
     options.cache_max_bytes = static_cast<std::uint64_t>(cache_max_mb) << 20;
+    options.slo_ms = slo_ms;
     options.enable_test_endpoints = enable_test_endpoints;
 
     serve::Daemon daemon(options);
